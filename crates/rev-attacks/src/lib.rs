@@ -1,0 +1,81 @@
+//! # rev-attacks — the paper's Table 1, executable
+//!
+//! Mounts each attack class against a purpose-built victim program and
+//! adjudicates whether REV (a) detects it and (b) contains it — no store
+//! from compromised execution may ever reach validated memory.
+//!
+//! The victim is realistic in the way that matters: the attacker never
+//! "teleports" control. Every hijack happens through the program's own
+//! mechanisms — a buffer-overflow-style store through the stack pointer
+//! whose trigger data the attacker plants, a function-pointer (vtable)
+//! slot in writable data, a jump table in writable data, or a code page
+//! whose write protection the attacker has already defeated (the paper's
+//! threat model for code injection).
+//!
+//! ```
+//! use rev_attacks::{mount, AttackKind};
+//! use rev_core::RevConfig;
+//!
+//! let outcome = mount(AttackKind::ReturnOriented, RevConfig::paper_default());
+//! assert!(outcome.detected);
+//! assert!(!outcome.tainted);
+//! ```
+
+mod harness;
+mod victim;
+
+pub use harness::{mount, mount_unprotected, AttackOutcome};
+pub use victim::{victim_program, VictimMap, INJECT_REGION, TAINT_VALUE};
+
+use std::fmt;
+
+/// The attack classes of the paper's Table 1 (plus table tampering from
+/// Sec. VII's security discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Binaries overwritten on the fly by a (higher-privilege) process.
+    DirectCodeInjection,
+    /// Attacker-supplied code written to writable memory and entered via a
+    /// corrupted return address (classic stack smash).
+    IndirectCodeInjection,
+    /// Return address redirected to an unintended but legitimate block
+    /// (ROP gadget).
+    ReturnOriented,
+    /// Jump-table slot redirected to a gadget (JOP).
+    JumpOriented,
+    /// Function-pointer (vtable) slot overwritten with a different,
+    /// legitimate function outside the call site's target set.
+    VtableCompromise,
+    /// Return address redirected to a library function's entry.
+    ReturnToLibc,
+    /// The encrypted in-RAM signature table itself is overwritten.
+    TableTamper,
+}
+
+impl AttackKind {
+    /// All attack classes, in Table 1 order.
+    pub const ALL: [AttackKind; 7] = [
+        AttackKind::DirectCodeInjection,
+        AttackKind::IndirectCodeInjection,
+        AttackKind::ReturnOriented,
+        AttackKind::JumpOriented,
+        AttackKind::VtableCompromise,
+        AttackKind::ReturnToLibc,
+        AttackKind::TableTamper,
+    ];
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttackKind::DirectCodeInjection => "direct code injection",
+            AttackKind::IndirectCodeInjection => "indirect code injection",
+            AttackKind::ReturnOriented => "return-oriented attack",
+            AttackKind::JumpOriented => "jump-oriented attack",
+            AttackKind::VtableCompromise => "vtable compromise",
+            AttackKind::ReturnToLibc => "return-to-libc",
+            AttackKind::TableTamper => "signature-table tampering",
+        };
+        f.write_str(s)
+    }
+}

@@ -1,0 +1,283 @@
+//! The victim: a two-module program with deliberately attackable surfaces.
+//!
+//! * `process()` contains a buffer-overflow-style bug: when an
+//!   attacker-controlled flag cell is set, it stores an attacker-supplied
+//!   value over its own saved return address (the classic stack smash —
+//!   control is hijacked by the program's *own* store).
+//! * The main loop dispatches through a **vtable** (function-pointer slot
+//!   in writable data) and a **jump table** (also writable data).
+//! * A **gadget** function exists that is never legitimately called; it
+//!   writes a sentinel to the canary cell — any attack that manages to get
+//!   its store released into validated memory has "succeeded".
+//! * A second module (`libc`) provides a privileged function for
+//!   return-to-libc, exercising REV's cross-module SAG path.
+
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{Module, ModuleBuilder, Program};
+
+/// Attacker-writable scratch region (not backed by any module — "the
+/// heap").
+pub const INJECT_REGION: u64 = 0x2000_0000;
+
+/// The canary sentinel malicious code writes.
+pub const TAINT_VALUE: u64 = 0xdead;
+
+/// Addresses an attacker (and the test harness) needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VictimMap {
+    /// Cell `process()` checks before performing the overflow store.
+    pub flag_addr: u64,
+    /// Cell holding the value the overflow writes over the return address.
+    pub evil_addr: u64,
+    /// The canary cell malicious code writes [`TAINT_VALUE`] to.
+    pub canary_addr: u64,
+    /// First slot of the vtable (holds `handler_a`'s address).
+    pub vtable_slot_addr: u64,
+    /// First slot of the main loop's jump table.
+    pub jt_slot_addr: u64,
+    /// Entry of the never-called gadget function.
+    pub gadget_addr: u64,
+    /// Entry of `lonely()` — legitimate code outside the vtable's target
+    /// set (it also writes the canary, so vtable hijacks taint).
+    pub lonely_addr: u64,
+    /// Entry of libc's `privileged()` (writes the canary).
+    pub libc_privileged_addr: u64,
+    /// Address of the patchable marker instruction inside `process()`
+    /// (an `addi r4, r4, 41`), for direct code injection.
+    pub patch_addr: u64,
+    /// Attacker scratch region for injected code.
+    pub inject_region: u64,
+}
+
+const VICTIM_BASE: u64 = 0x1000;
+const LIBC_BASE: u64 = 0x8_0000;
+const PATCH_MARKER_IMM: i32 = 41;
+
+fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
+    let mut b = ModuleBuilder::new("victim", VICTIM_BASE);
+
+    // Data cells. Layout: flag at +0, evil at +8, canary at +16 (the
+    // direct-code-injection patch relies on canary = flag + 16).
+    let flag_off = b.data_zeroed(8);
+    let evil_off = b.data_zeroed(8);
+    let canary_off = b.data_zeroed(8);
+
+    let process = b.new_label();
+    let gadget = b.new_label();
+    let handler_a = b.new_label();
+    let handler_b = b.new_label();
+    let lonely = b.new_label();
+
+    // Vtable (writable data): slot 0 used by the call site.
+    let vtable_off = b.data_label_table(&[handler_a, handler_b]);
+
+    // main -------------------------------------------------------------
+    let arms: Vec<_> = (0..4).map(|_| b.new_label()).collect();
+    let jt_off = b.data_label_table(&arms);
+    let main_fn = b.begin_function("main");
+    let loop_top = b.new_label();
+    b.bind(loop_top);
+    b.push(Instruction::AddI { rd: Reg::R15, rs: Reg::R15, imm: 1 });
+    b.call(process);
+    // vtable dispatch: handler = vtable[r15 & 1]
+    b.push(Instruction::AndI { rd: Reg::R23, rs: Reg::R15, imm: 1 });
+    b.push(Instruction::Li { rd: Reg::R21, imm: 3 });
+    b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R23, rs1: Reg::R23, rs2: Reg::R21 });
+    b.li_data(Reg::R22, vtable_off);
+    b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R22, rs1: Reg::R22, rs2: Reg::R23 });
+    b.push(Instruction::Load { rd: Reg::R21, rbase: Reg::R22, off: 0 });
+    b.call_ind(Reg::R21, &[handler_a, handler_b]);
+    // jump-table dispatch: arms[r15 & 3]
+    b.push(Instruction::AndI { rd: Reg::R23, rs: Reg::R15, imm: 3 });
+    b.push(Instruction::Li { rd: Reg::R21, imm: 3 });
+    b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R23, rs1: Reg::R23, rs2: Reg::R21 });
+    b.li_data(Reg::R22, jt_off);
+    b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R22, rs1: Reg::R22, rs2: Reg::R23 });
+    b.push(Instruction::Load { rd: Reg::R21, rbase: Reg::R22, off: 0 });
+    b.jmp_ind(Reg::R21, &arms);
+    let merge = b.new_label();
+    for (i, arm) in arms.iter().enumerate() {
+        b.bind(*arm);
+        b.push(Instruction::AddI { rd: Reg::R7, rs: Reg::R7, imm: i as i32 });
+        b.jmp(merge);
+    }
+    b.bind(merge);
+    // Cross-module call into libc (exercises the SAG table switch).
+    b.push(Instruction::Li { rd: Reg::R21, imm: LIBC_BASE });
+    b.call_ind_abs(Reg::R21, &[LIBC_BASE]);
+    b.jmp(loop_top);
+    b.end_function(main_fn);
+
+    // process() ----------------------------------------------------------
+    let f = b.begin_function("process");
+    b.bind(process);
+    let skip = b.new_label();
+    b.li_data(Reg::R10, flag_off);
+    b.push(Instruction::Load { rd: Reg::R8, rbase: Reg::R10, off: 0 });
+    b.branch(BranchCond::Eq, Reg::R8, Reg::R0, skip);
+    // The "overflow": write the attacker-supplied value over [sp].
+    b.push(Instruction::Load { rd: Reg::R9, rbase: Reg::R10, off: 8 });
+    b.push(Instruction::Store { rs: Reg::R9, rbase: rev_isa::REG_SP, off: 0 });
+    b.bind(skip);
+    b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: PATCH_MARKER_IMM });
+    b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+
+    // gadget() — never called legitimately -------------------------------
+    let f = b.begin_function("gadget");
+    b.bind(gadget);
+    b.push(Instruction::Li { rd: Reg::R9, imm: TAINT_VALUE });
+    b.li_data(Reg::R10, canary_off);
+    b.push(Instruction::Store { rs: Reg::R9, rbase: Reg::R10, off: 0 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+
+    // handlers ------------------------------------------------------------
+    let f = b.begin_function("handler_a");
+    b.bind(handler_a);
+    b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+    let f = b.begin_function("handler_b");
+    b.bind(handler_b);
+    b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: 2 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+
+    // lonely() — legitimate, but not in any vtable target set ------------
+    let f = b.begin_function("lonely");
+    b.bind(lonely);
+    b.push(Instruction::Li { rd: Reg::R9, imm: TAINT_VALUE });
+    b.li_data(Reg::R10, canary_off);
+    b.push(Instruction::Store { rs: Reg::R9, rbase: Reg::R10, off: 0 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+
+    let module = b.finish().expect("victim assembles");
+
+    // Resolve addresses.
+    let data_base = module.data_base();
+    let find_fn = |name: &str| {
+        module
+            .functions()
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("function {name}"))
+            .entry
+    };
+    // Locate the patch marker.
+    let patch_addr = module
+        .instructions()
+        .filter_map(Result::ok)
+        .find(|(_, insn, _)| {
+            matches!(insn, Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm } if *imm == PATCH_MARKER_IMM)
+        })
+        .map(|(addr, _, _)| addr)
+        .expect("patch marker present");
+
+    let map = VictimMap {
+        flag_addr: data_base + flag_off as u64,
+        evil_addr: data_base + evil_off as u64,
+        canary_addr: data_base + canary_off as u64,
+        vtable_slot_addr: data_base + vtable_off as u64,
+        jt_slot_addr: data_base + jt_off as u64,
+        gadget_addr: find_fn("gadget"),
+        lonely_addr: find_fn("lonely"),
+        libc_privileged_addr: 0, // filled after libc builds
+        patch_addr,
+        inject_region: INJECT_REGION,
+    };
+    *canary_guess = Some(map.canary_addr);
+    (module, map)
+}
+
+fn build_libc(canary_addr: u64) -> Module {
+    let mut b = ModuleBuilder::new("libc", LIBC_BASE);
+    let helper = b.new_label();
+    // libc_api: entry at LIBC_BASE — called cross-module by the victim.
+    let f = b.begin_function("libc_api");
+    b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R6, imm: 1 });
+    b.call(helper);
+    b.push(Instruction::Ret);
+    b.end_function(f);
+    let f = b.begin_function("helper");
+    b.bind(helper);
+    b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R6, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+    // privileged(): never called legitimately — the function
+    // return-to-libc abuses. Writes the canary.
+    let f = b.begin_function("privileged");
+    b.push(Instruction::Li { rd: Reg::R9, imm: TAINT_VALUE });
+    b.push(Instruction::Li { rd: Reg::R10, imm: canary_addr });
+    b.push(Instruction::Store { rs: Reg::R9, rbase: Reg::R10, off: 0 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+    b.finish().expect("libc assembles")
+}
+
+/// Builds the two-module victim program and its attack-surface map.
+pub fn victim_program() -> (Program, VictimMap) {
+    let mut canary = None;
+    let (victim, mut map) = build_victim(&mut canary);
+    let libc = build_libc(canary.expect("set by build_victim"));
+    map.libc_privileged_addr = libc
+        .functions()
+        .iter()
+        .find(|f| f.name == "privileged")
+        .expect("privileged exists")
+        .entry;
+    let mut pb = Program::builder();
+    pb.module(victim);
+    pb.module(libc);
+    pb.entry(VICTIM_BASE);
+    (pb.build(), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_cpu::Oracle;
+    use rev_mem::MainMemory;
+
+    #[test]
+    fn victim_runs_clean_without_attack() {
+        let (p, map) = victim_program();
+        let mem = MainMemory::with_segments(&p.segments());
+        let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
+        for _ in 0..20_000 {
+            oracle.step().expect("clean execution");
+        }
+        assert_eq!(oracle.mem().read_u64(map.canary_addr), 0, "canary untouched");
+        assert!(oracle.state().reg(Reg::R5) > 0, "handlers ran");
+        assert!(oracle.state().reg(Reg::R6) > 0, "libc ran");
+    }
+
+    #[test]
+    fn overflow_hijacks_control_when_armed() {
+        let (p, map) = victim_program();
+        let mut mem = MainMemory::with_segments(&p.segments());
+        mem.write_u64(map.flag_addr, 1);
+        mem.write_u64(map.evil_addr, map.gadget_addr);
+        let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
+        for _ in 0..20_000 {
+            if oracle.step().is_err() {
+                break;
+            }
+            if oracle.mem().read_u64(map.canary_addr) == TAINT_VALUE {
+                return; // gadget reached
+            }
+        }
+        panic!("gadget never reached — the overflow is broken");
+    }
+
+    #[test]
+    fn map_addresses_are_consistent() {
+        let (p, map) = victim_program();
+        assert_eq!(map.canary_addr, map.flag_addr + 16);
+        assert!(p.module_containing(map.gadget_addr).is_some());
+        assert!(p.module_containing(map.libc_privileged_addr).unwrap().name() == "libc");
+        assert!(p.module_containing(map.inject_region).is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion microbenchmarks for the crypto primitives: CubeHash block
+//! hashing (the CHG's work) and AES-128 entry decryption (the SC fill
+//! path's work).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rev_crypto::{bb_body_hash, entry_digest, Aes128, SignatureKey};
+use std::hint::black_box;
+
+fn bench_cubehash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cubehash");
+    for size in [16usize, 48, 128, 512] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("bb_body_hash", size), &data, |b, d| {
+            b.iter(|| bb_body_hash(black_box(d)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_entry_digest(c: &mut Criterion) {
+    let key = SignatureKey::from_seed(7);
+    let body = bb_body_hash(b"example basic block bytes");
+    c.bench_function("entry_digest", |b| {
+        b.iter(|| entry_digest(black_box(&key), 0x1000, black_box(&body), 0x2000, 0x3000));
+    });
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let aes = Aes128::new([0x42; 16]);
+    let block = [0x5au8; 16];
+    c.bench_function("aes128_encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(black_box(&block)));
+    });
+    c.bench_function("aes128_decrypt_block", |b| {
+        let ct = aes.encrypt_block(&block);
+        b.iter(|| aes.decrypt_block(black_box(&ct)));
+    });
+    c.bench_function("aes128_entry_decrypt_tweaked", |b| {
+        let mut entry = [0x77u8; 16];
+        aes.encrypt_tweaked(9, &mut entry);
+        b.iter(|| {
+            let mut e = entry;
+            aes.decrypt_tweaked(black_box(9), &mut e);
+            e
+        });
+    });
+}
+
+criterion_group!(benches, bench_cubehash, bench_entry_digest, bench_aes);
+criterion_main!(benches);

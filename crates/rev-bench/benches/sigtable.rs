@@ -1,0 +1,48 @@
+//! Criterion microbenchmarks for signature-table construction and lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rev_crypto::{Aes128, SignatureKey};
+use rev_prog::{BbLimits, Cfg};
+use rev_sigtable::{build_table, ValidationMode};
+use rev_workloads::{generate, SpecProfile};
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let profile = SpecProfile::by_name("mcf").expect("profile").scaled(0.05);
+    let program = generate(&profile);
+    let module = program.modules()[0].clone();
+    let cfg = Cfg::analyze(&module, BbLimits::default()).expect("analyzes");
+    let key = SignatureKey::from_seed(1);
+    let cpu = Aes128::new([3; 16]);
+    let mut g = c.benchmark_group("table_build");
+    g.sample_size(10);
+    for mode in [ValidationMode::Standard, ValidationMode::Aggressive, ValidationMode::CfiOnly] {
+        g.bench_with_input(BenchmarkId::new("mode", mode.to_string()), &mode, |b, &mode| {
+            b.iter(|| build_table(black_box(&module), &cfg, &key, mode, &cpu).expect("builds"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let profile = SpecProfile::by_name("mcf").expect("profile").scaled(0.05);
+    let program = generate(&profile);
+    let module = program.modules()[0].clone();
+    let cfg = Cfg::analyze(&module, BbLimits::default()).expect("analyzes");
+    let key = SignatureKey::from_seed(1);
+    let cpu = Aes128::new([3; 16]);
+    let table =
+        build_table(&module, &cfg, &key, ValidationMode::Standard, &cpu).expect("builds");
+    let addrs: Vec<u64> = cfg.blocks().iter().map(|b| b.bb_addr).take(256).collect();
+    c.bench_function("table_lookup_chain_walk", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let addr = addrs[i % addrs.len()];
+            i += 1;
+            black_box(table.lookup(addr))
+        });
+    });
+}
+
+criterion_group!(benches, bench_build, bench_lookup);
+criterion_main!(benches);

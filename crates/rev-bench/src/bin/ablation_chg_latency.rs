@@ -1,0 +1,35 @@
+//! Ablation: CHG hash latency `H` vs the pipeline's fetch-to-commit depth
+//! `S` (= 16). The paper asserts full overlap when `H ≤ S` (Sec. VI);
+//! this sweep shows overhead flat through H = 16 and climbing beyond —
+//! the case where dummy post-commit stages would be needed.
+
+use rev_bench::{overhead_pct, program_for, BenchOptions, TablePrinter};
+use rev_core::{RevConfig, RevSimulator};
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let latencies: [u64; 6] = [8, 12, 16, 24, 32, 48];
+    let mut headers = vec!["benchmark".to_string(), "base IPC".to_string()];
+    headers.extend(latencies.iter().map(|h| format!("H={h} ovh %")));
+    let mut t = TablePrinter::new(headers, opts.csv);
+    for p in opts.profiles() {
+        eprintln!("[ablation_chg] {} ...", p.name);
+        let base = {
+            let sim = RevSimulator::new(program_for(&p), RevConfig::paper_default()).unwrap();
+            sim.run_baseline(opts.instructions).cpu.ipc()
+        };
+        let mut row = vec![p.name.to_string(), format!("{base:.3}")];
+        for &h in &latencies {
+            let mut cfg = RevConfig::paper_default();
+            cfg.chg.latency = h;
+            let mut sim = RevSimulator::new(program_for(&p), cfg).unwrap();
+            let r = sim.run(opts.instructions);
+            row.push(format!("{:.2}", overhead_pct(base, r.cpu.ipc())));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+    println!("expected: flat for H <= S (16), rising once the hash latency can no");
+    println!("longer hide behind the fetch-to-commit distance.");
+}

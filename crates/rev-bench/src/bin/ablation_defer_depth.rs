@@ -1,0 +1,41 @@
+//! Ablation: post-commit deferred-store buffer depth and the artificial
+//! BB split threshold (paper Sec. IV.A). Too shallow a buffer
+//! back-pressures commit; too aggressive splitting multiplies
+//! validations.
+
+use rev_bench::{overhead_pct, program_for, BenchOptions, TablePrinter};
+use rev_core::{RevConfig, RevSimulator};
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let configs: [(usize, usize, usize); 5] = [
+        // (defer capacity, max instrs/BB, max stores/BB)
+        (8, 64, 8),
+        (16, 64, 8),
+        (48, 64, 8),
+        (48, 16, 4),
+        (48, 8, 2),
+    ];
+    let mut headers = vec!["benchmark".to_string(), "base IPC".to_string()];
+    headers.extend(configs.iter().map(|(d, i, s)| format!("d{d}/i{i}/s{s} ovh%")));
+    let mut t = TablePrinter::new(headers, opts.csv);
+    for p in opts.profiles() {
+        eprintln!("[ablation_defer] {} ...", p.name);
+        let base = {
+            let sim = RevSimulator::new(program_for(&p), RevConfig::paper_default()).unwrap();
+            sim.run_baseline(opts.instructions).cpu.ipc()
+        };
+        let mut row = vec![p.name.to_string(), format!("{base:.3}")];
+        for &(defer, max_instrs, max_stores) in &configs {
+            let mut cfg = RevConfig::paper_default();
+            cfg.defer_capacity = defer;
+            cfg.bb_limits.max_instrs = max_instrs;
+            cfg.bb_limits.max_stores = max_stores;
+            let mut sim = RevSimulator::new(program_for(&p), cfg).unwrap();
+            let r = sim.run(opts.instructions);
+            row.push(format!("{:.2}", overhead_pct(base, r.cpu.ipc())));
+        }
+        t.row(row);
+    }
+    t.print();
+}

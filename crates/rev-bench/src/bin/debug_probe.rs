@@ -1,0 +1,61 @@
+//! Developer probe: detailed REV counters for one benchmark.
+
+use rev_bench::{run_benchmark, BenchOptions};
+use rev_core::RevConfig;
+use rev_mem::Requester;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    for p in opts.profiles() {
+        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let c = &r.rev.cpu;
+        let base = &r.base.cpu;
+        println!("== {} ==", p.name);
+        println!(
+            "base: ipc {:.3} cycles {} mispred {:.3} uniq {} wrongpath {}",
+            base.ipc(), base.cycles, base.mispredict_rate(), base.unique_branches(), base.wrong_path_fetched
+        );
+        println!(
+            "rev : ipc {:.3} cycles {} mispred {:.3} uniq {}",
+            c.ipc(), c.cycles, c.mispredict_rate(), c.unique_branches()
+        );
+        println!(
+            "stalls: validation {} defer_full {}  (of {} cycles)",
+            c.validation_stall_cycles, c.defer_full_stall_cycles, c.cycles
+        );
+        let s = &r.rev.rev;
+        println!(
+            "sc: hits {} partial {} complete {} commit_miss {} evict {}",
+            s.sc.hits, s.sc.partial_misses, s.sc.complete_misses, s.commit_misses, s.sc.evictions
+        );
+        println!(
+            "validations {} digest_checks {} spill_fetches {} fill_touches {} ret_checks {} splits {}",
+            s.validations, s.digest_checks, s.spill_fetches, s.fill_touches, s.return_checks, s.artificial_splits
+        );
+        println!(
+            "stall reasons: chg {} fill {} spill {}",
+            s.stall_chg, s.stall_fill, s.stall_spill
+        );
+        println!(
+            "defer: released {} peak {}  sag_refills {}",
+            s.stores_released, s.defer_peak, s.sag_refills
+        );
+        let m = &r.rev.mem;
+        println!(
+            "mem sigfetch: l1 {}/{} l2 {}/{} dram {}",
+            m.l1_misses[Requester::SigFetch.idx()],
+            m.l1_accesses[Requester::SigFetch.idx()],
+            m.l2_misses[Requester::SigFetch.idx()],
+            m.l2_accesses[Requester::SigFetch.idx()],
+            m.dram_accesses[Requester::SigFetch.idx()]
+        );
+        println!(
+            "mem data(rev): l1 {}/{}  base l1 {}/{}",
+            m.l1_misses[Requester::Data.idx()],
+            m.l1_accesses[Requester::Data.idx()],
+            r.base.mem.l1_misses[Requester::Data.idx()],
+            r.base.mem.l1_accesses[Requester::Data.idx()],
+        );
+        println!("overhead {:.2}%", r.overhead_pct());
+    }
+}

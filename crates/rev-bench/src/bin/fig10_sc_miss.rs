@@ -1,0 +1,36 @@
+//! Figure 10: signature-cache miss counts (32 KiB SC): complete misses,
+//! partial misses, and the resulting commit stalls.
+
+use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_core::RevConfig;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t = TablePrinter::new(
+        vec![
+            "benchmark",
+            "SC probes",
+            "hits",
+            "partial miss",
+            "complete miss",
+            "miss rate %",
+            "stall cycles",
+        ],
+        opts.csv,
+    );
+    for p in opts.profiles() {
+        eprintln!("[fig10] {} ...", p.name);
+        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let sc = r.rev.rev.sc;
+        t.row(vec![
+            p.name.to_string(),
+            sc.probes().to_string(),
+            sc.hits.to_string(),
+            sc.partial_misses.to_string(),
+            sc.complete_misses.to_string(),
+            format!("{:.3}", sc.miss_rate() * 100.0),
+            r.rev.cpu.validation_stall_cycles.to_string(),
+        ]);
+    }
+    t.print();
+}

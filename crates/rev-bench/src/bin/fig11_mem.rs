@@ -1,0 +1,40 @@
+//! Figure 11: cache statistics while servicing SC misses — L1D/L2
+//! accesses and misses attributed to signature-fetch traffic.
+
+use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_core::RevConfig;
+use rev_mem::Requester;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t = TablePrinter::new(
+        vec![
+            "benchmark",
+            "SC->L1D acc",
+            "SC->L1D miss",
+            "L1 miss %",
+            "SC->L2 acc",
+            "SC->L2 miss",
+            "L2 miss %",
+            "SC->DRAM",
+        ],
+        opts.csv,
+    );
+    for p in opts.profiles() {
+        eprintln!("[fig11] {} ...", p.name);
+        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let m = r.rev.mem;
+        let i = Requester::SigFetch.idx();
+        t.row(vec![
+            p.name.to_string(),
+            m.l1_accesses[i].to_string(),
+            m.l1_misses[i].to_string(),
+            format!("{:.1}", m.l1_miss_rate(Requester::SigFetch) * 100.0),
+            m.l2_accesses[i].to_string(),
+            m.l2_misses[i].to_string(),
+            format!("{:.1}", m.l2_miss_rate(Requester::SigFetch) * 100.0),
+            m.dram_accesses[i].to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,19 @@
+//! Figure 6: absolute IPCs for the base case and REV with 32 KiB and
+//! 64 KiB signature caches.
+
+use rev_bench::{sweep, BenchOptions, TablePrinter};
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t =
+        TablePrinter::new(vec!["benchmark", "base IPC", "REV 32K IPC", "REV 64K IPC"], opts.csv);
+    for row in sweep(&opts) {
+        t.row(vec![
+            row.name.clone(),
+            format!("{:.3}", row.base.cpu.ipc()),
+            format!("{:.3}", row.rev32.cpu.ipc()),
+            format!("{:.3}", row.rev64.cpu.ipc()),
+        ]);
+    }
+    t.print();
+}

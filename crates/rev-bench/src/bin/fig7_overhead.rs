@@ -1,0 +1,40 @@
+//! Figure 7: IPC overhead (% of base IPC) per benchmark, for 32 KiB and
+//! 64 KiB signature caches.
+
+use rev_bench::{mean, overhead_pct, run_benchmark, run_rev_only, BenchOptions, TablePrinter};
+use rev_core::RevConfig;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t = TablePrinter::new(
+        vec!["benchmark", "base IPC", "REV-32K IPC", "ovh 32K %", "REV-64K IPC", "ovh 64K %"],
+        opts.csv,
+    );
+    let mut ovh32 = Vec::new();
+    let mut ovh64 = Vec::new();
+    for p in opts.profiles() {
+        eprintln!("[fig7] {} ...", p.name);
+        let r32 = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let r64 = run_rev_only(&p, &opts, RevConfig::paper_64k());
+        let base_ipc = r32.base.cpu.ipc();
+        let o32 = r32.overhead_pct();
+        let o64 = overhead_pct(base_ipc, r64.cpu.ipc());
+        ovh32.push(o32);
+        ovh64.push(o64);
+        t.row(vec![
+            p.name.to_string(),
+            format!("{base_ipc:.3}"),
+            format!("{:.3}", r32.rev.cpu.ipc()),
+            format!("{o32:.2}"),
+            format!("{:.3}", r64.cpu.ipc()),
+            format!("{o64:.2}"),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "average overhead: {:.2}% (32 KiB SC)   {:.2}% (64 KiB SC)   [paper: 1.87% / 1.63%]",
+        mean(&ovh32),
+        mean(&ovh64)
+    );
+}

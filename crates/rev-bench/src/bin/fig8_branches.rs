@@ -1,0 +1,24 @@
+//! Figure 8: number of committed branches during execution.
+
+use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_core::RevConfig;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t = TablePrinter::new(
+        vec!["benchmark", "committed instrs", "committed branches", "branch frac %"],
+        opts.csv,
+    );
+    for p in opts.profiles() {
+        eprintln!("[fig8] {} ...", p.name);
+        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let c = &r.rev.cpu;
+        t.row(vec![
+            p.name.to_string(),
+            c.committed_instrs.to_string(),
+            c.committed_branches.to_string(),
+            format!("{:.1}", c.committed_branches as f64 / c.committed_instrs.max(1) as f64 * 100.0),
+        ]);
+    }
+    t.print();
+}

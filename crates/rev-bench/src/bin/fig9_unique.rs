@@ -1,0 +1,26 @@
+//! Figure 9: number of unique branch (BB-terminator) addresses
+//! encountered during execution — the control-flow working set that
+//! drives signature-cache behavior.
+
+use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_core::RevConfig;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+    let mut t = TablePrinter::new(
+        vec!["benchmark", "unique branches", "static BBs", "dynamic coverage %"],
+        opts.csv,
+    );
+    for p in opts.profiles() {
+        eprintln!("[fig9] {} ...", p.name);
+        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
+        let unique = r.rev.cpu.unique_branches();
+        t.row(vec![
+            p.name.to_string(),
+            unique.to_string(),
+            r.cfg.blocks.to_string(),
+            format!("{:.1}", unique as f64 / r.cfg.blocks.max(1) as f64 * 100.0),
+        ]);
+    }
+    t.print();
+}

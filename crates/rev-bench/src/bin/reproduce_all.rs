@@ -1,0 +1,195 @@
+//! Regenerates every table and figure in one pass (shares the base/32K/64K
+//! sweep across Figures 6–11) and prints them in paper order.
+
+use rev_bench::{mean, overhead_pct, run_rev_only, sweep, BenchOptions, TablePrinter};
+use rev_core::{CostModel, RevConfig, RevSimulator, ValidationMode};
+use rev_mem::Requester;
+
+fn main() {
+    let opts = BenchOptions::from_args();
+
+    println!("=== Table 1: attacks and detection ===");
+    for kind in rev_attacks::AttackKind::ALL {
+        let out = rev_attacks::mount(kind, RevConfig::paper_default());
+        println!(
+            "  {:<28} detected: {:<5} via {:<32} tainted: {}",
+            kind.to_string(),
+            out.detected,
+            out.violation.map(|v| v.kind.to_string()).unwrap_or_else(|| "-".into()),
+            out.tainted
+        );
+    }
+    println!();
+
+    let rows = sweep(&opts);
+
+    println!("=== Sec. VIII BB statistics ===");
+    let mut t = TablePrinter::new(vec!["benchmark", "static BBs", "instrs/BB", "succ/BB"], opts.csv);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            r.cfg.blocks.to_string(),
+            format!("{:.2}", r.cfg.avg_instrs),
+            format!("{:.2}", r.cfg.avg_successors),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 6: IPC (base, REV-32K, REV-64K) ===");
+    let mut t = TablePrinter::new(vec!["benchmark", "base", "REV 32K", "REV 64K"], opts.csv);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.3}", r.base.cpu.ipc()),
+            format!("{:.3}", r.rev32.cpu.ipc()),
+            format!("{:.3}", r.rev64.cpu.ipc()),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 7: IPC overhead % ===");
+    let mut t = TablePrinter::new(vec!["benchmark", "ovh 32K %", "ovh 64K %"], opts.csv);
+    for r in &rows {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.overhead32()),
+            format!("{:.2}", r.overhead64()),
+        ]);
+    }
+    t.print();
+    let o32: Vec<f64> = rows.iter().map(|r| r.overhead32()).collect();
+    let o64: Vec<f64> = rows.iter().map(|r| r.overhead64()).collect();
+    println!(
+        "average: {:.2}% (32K) / {:.2}% (64K)   [paper: 1.87% / 1.63%]",
+        mean(&o32),
+        mean(&o64)
+    );
+    println!();
+
+    println!("=== Figure 8: committed branches ===");
+    let mut t = TablePrinter::new(vec!["benchmark", "committed branches"], opts.csv);
+    for r in &rows {
+        t.row(vec![r.name.clone(), r.rev32.cpu.committed_branches.to_string()]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 9: unique branches ===");
+    let mut t = TablePrinter::new(vec!["benchmark", "unique branches"], opts.csv);
+    for r in &rows {
+        t.row(vec![r.name.clone(), r.rev32.cpu.unique_branches().to_string()]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 10: SC miss counts (32K SC) ===");
+    let mut t = TablePrinter::new(
+        vec!["benchmark", "partial", "complete", "miss rate %", "stall cycles"],
+        opts.csv,
+    );
+    for r in &rows {
+        let sc = r.rev32.rev.sc;
+        t.row(vec![
+            r.name.clone(),
+            sc.partial_misses.to_string(),
+            sc.complete_misses.to_string(),
+            format!("{:.3}", sc.miss_rate() * 100.0),
+            r.rev32.cpu.validation_stall_cycles.to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 11: cache stats servicing SC misses ===");
+    let mut t = TablePrinter::new(
+        vec!["benchmark", "L1D acc", "L1D miss", "L2 acc", "L2 miss", "DRAM"],
+        opts.csv,
+    );
+    let i = Requester::SigFetch.idx();
+    for r in &rows {
+        let m = r.rev32.mem;
+        t.row(vec![
+            r.name.clone(),
+            m.l1_accesses[i].to_string(),
+            m.l1_misses[i].to_string(),
+            m.l2_accesses[i].to_string(),
+            m.l2_misses[i].to_string(),
+            m.dram_accesses[i].to_string(),
+        ]);
+    }
+    t.print();
+    println!();
+
+    println!("=== Figure 12: aggressive-mode overhead % ===");
+    let agg32 = RevConfig::paper_default().with_mode(ValidationMode::Aggressive);
+    let agg64 = RevConfig::paper_64k().with_mode(ValidationMode::Aggressive);
+    let mut t = TablePrinter::new(vec!["benchmark", "aggr 32K %", "aggr 64K %"], opts.csv);
+    let mut a32 = Vec::new();
+    let mut a64 = Vec::new();
+    for (p, r) in opts.profiles().iter().zip(&rows) {
+        eprintln!("[fig12] {} ...", p.name);
+        let g32 = run_rev_only(p, &opts, agg32);
+        let g64 = run_rev_only(p, &opts, agg64);
+        let base = r.base.cpu.ipc();
+        let x = overhead_pct(base, g32.cpu.ipc());
+        let y = overhead_pct(base, g64.cpu.ipc());
+        a32.push(x);
+        a64.push(y);
+        t.row(vec![r.name.clone(), format!("{x:.2}"), format!("{y:.2}")]);
+    }
+    t.print();
+    println!("average: {:.2}% (32K) / {:.2}% (64K)", mean(&a32), mean(&a64));
+    println!();
+
+    println!("=== Sec. V.D: CFI-only overhead % ===");
+    let cfi = RevConfig::paper_default().with_mode(ValidationMode::CfiOnly);
+    let mut t = TablePrinter::new(vec!["benchmark", "cfi-only ovh %"], opts.csv);
+    let mut co = Vec::new();
+    for (p, r) in opts.profiles().iter().zip(&rows) {
+        eprintln!("[cfi] {} ...", p.name);
+        let g = run_rev_only(p, &opts, cfi);
+        let x = overhead_pct(r.base.cpu.ipc(), g.cpu.ipc());
+        co.push(x);
+        t.row(vec![r.name.clone(), format!("{x:.2}")]);
+    }
+    t.print();
+    println!("average: {:.2}%   [paper: 0.04%..1.68%]", mean(&co));
+    println!();
+
+    println!("=== Secs. V.B-V.D: signature-table sizes (% of code) ===");
+    let mut t =
+        TablePrinter::new(vec!["benchmark", "standard %", "aggressive %", "cfi-only %"], opts.csv);
+    let mut ss = Vec::new();
+    for p in opts.profiles() {
+        let ratio = |mode: ValidationMode| {
+            let program = rev_bench::program_for(&p);
+            let sim =
+                RevSimulator::new(program, RevConfig::paper_default().with_mode(mode)).unwrap();
+            sim.table_stats()[0].ratio_to_code() * 100.0
+        };
+        let s = ratio(ValidationMode::Standard);
+        ss.push(s);
+        t.row(vec![
+            p.name.to_string(),
+            format!("{s:.1}"),
+            format!("{:.1}", ratio(ValidationMode::Aggressive)),
+            format!("{:.1}", ratio(ValidationMode::CfiOnly)),
+        ]);
+    }
+    t.print();
+    println!("standard average: {:.1}%   [paper: 15-52%, avg 37%]", mean(&ss));
+    println!();
+
+    println!("=== Sec. VI: cost model ===");
+    let m = CostModel::paper_default();
+    let r = m.evaluate(32 << 10, false);
+    println!(
+        "REV @ 32 KiB SC: {:.1}% core area, {:.1}% core power, {:.1}% chip power",
+        r.core_area_overhead * 100.0,
+        r.core_power_overhead * 100.0,
+        r.chip_power_overhead * 100.0
+    );
+    println!("[paper: ~8% core area, ~7.2% core power, <5.5% chip power]");
+}

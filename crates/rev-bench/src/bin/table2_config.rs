@@ -1,0 +1,51 @@
+//! Table 2: the simulated processor and memory-system configuration.
+
+use rev_core::{CpuConfig, MemConfig, RevConfig};
+
+fn main() {
+    let cpu = CpuConfig::paper_default();
+    let mem = MemConfig::paper_default();
+    let rev = RevConfig::paper_default();
+    println!("Processor and memory system configuration (paper Table 2)");
+    println!("==========================================================");
+    println!("Fetch queue size        : {}", cpu.fetch_queue);
+    println!("Dispatch width          : {}", cpu.width);
+    println!("ROB size                : {}", cpu.rob_size);
+    println!("LSQ size                : {}", cpu.lsq_size);
+    println!("Unified register file   : {} registers", cpu.phys_regs);
+    println!(
+        "Function units          : {} ALU, {} FPU, {} store + {} load units",
+        cpu.alu_units, cpu.fpu_units, cpu.store_units, cpu.load_units
+    );
+    println!(
+        "Fetch-to-commit depth S : {} cycles (CHG latency H = {})",
+        cpu.min_fetch_to_commit(),
+        rev.chg.latency
+    );
+    let cc = |c: rev_mem::CacheConfig| {
+        format!("{} KiB, {} cycles, {}-way", c.size_bytes >> 10, c.latency, c.assoc)
+    };
+    println!("L1D                     : {}", cc(mem.l1d));
+    println!("L1I                     : {}", cc(mem.l1i));
+    println!("L2                      : {}", cc(mem.l2));
+    println!(
+        "Memory                  : {} cycles first chunk, {} banks, {}-byte bursts",
+        mem.dram.first_chunk_latency, mem.dram.banks, mem.dram.burst_bytes
+    );
+    println!(
+        "TLBs                    : {}-entry L1 I-TLB, {}-entry L1 D-TLB, {}-entry L2 TLB",
+        mem.itlb.entries, mem.dtlb.entries, mem.l2tlb.entries
+    );
+    println!(
+        "Branch predictor        : {}K gshare, {}-entry BTB, {}-deep RAS",
+        cpu.predictor.gshare_entries / 1024,
+        cpu.predictor.btb_entries,
+        cpu.predictor.ras_depth
+    );
+    println!(
+        "REV                     : {} KiB {}-way SC (DTLB shared via extra port), {} mode",
+        rev.sc_capacity >> 10,
+        rev.sc_assoc,
+        rev.mode
+    );
+}

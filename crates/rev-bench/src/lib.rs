@@ -1,0 +1,320 @@
+//! # rev-bench — regenerating the paper's tables and figures
+//!
+//! Shared machinery for the harness binaries (one per table/figure; see
+//! `DESIGN.md` for the experiment index). Every binary accepts:
+//!
+//! * `--instructions N` — committed-instruction budget per run (default
+//!   2 000 000; the paper used 2 000 000 000 on its testbed),
+//! * `--scale F` — workload size scale factor (default 1.0 = the paper's
+//!   static BB counts),
+//! * `--quick` — shorthand for `--scale 0.05 --instructions 200000`,
+//! * `--bench NAME` (repeatable) — restrict to specific benchmarks,
+//! * `--csv` — machine-readable output.
+
+use rev_core::{BaselineReport, RevConfig, RevReport, RevSimulator};
+use rev_prog::{BbLimits, Cfg, CfgStats, Program};
+use rev_sigtable::TableStats;
+use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Committed-instruction budget per simulated run.
+    pub instructions: u64,
+    /// Warmup instructions before the measurement window (stats reset).
+    pub warmup: u64,
+    /// Workload scale factor (1.0 = paper-sized static footprints).
+    pub scale: f64,
+    /// Benchmark-name filter (empty = all 18).
+    pub only: Vec<String>,
+    /// Emit CSV instead of an aligned table.
+    pub csv: bool,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions { instructions: 2_000_000, warmup: 400_000, scale: 1.0, only: Vec::new(), csv: false }
+    }
+}
+
+impl BenchOptions {
+    /// Parses `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn from_args() -> Self {
+        let mut opts = BenchOptions::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--instructions" => {
+                    let v = args.next().expect("--instructions needs a value");
+                    opts.instructions = v.parse().expect("--instructions must be an integer");
+                }
+                "--scale" => {
+                    let v = args.next().expect("--scale needs a value");
+                    opts.scale = v.parse().expect("--scale must be a float");
+                }
+                "--quick" => {
+                    opts.scale = 0.05;
+                    opts.instructions = 200_000;
+                    opts.warmup = 50_000;
+                }
+                "--warmup" => {
+                    let v = args.next().expect("--warmup needs a value");
+                    opts.warmup = v.parse().expect("--warmup must be an integer");
+                }
+                "--bench" => {
+                    opts.only.push(args.next().expect("--bench needs a name"));
+                }
+                "--csv" => opts.csv = true,
+                other => panic!(
+                    "unknown argument '{other}' (expected --instructions, --scale, --quick, --bench, --csv)"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// The selected, scale-adjusted profiles.
+    pub fn profiles(&self) -> Vec<SpecProfile> {
+        ALL_PROFILES
+            .iter()
+            .filter(|p| self.only.is_empty() || self.only.iter().any(|n| n == p.name))
+            .map(|p| if (self.scale - 1.0).abs() < 1e-9 { p.clone() } else { p.scaled(self.scale) })
+            .collect()
+    }
+}
+
+/// Everything measured for one benchmark at one REV configuration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline (no REV) run.
+    pub base: BaselineReport,
+    /// REV run.
+    pub rev: RevReport,
+    /// Signature-table size statistics (first module).
+    pub table: TableStats,
+    /// Static CFG statistics.
+    pub cfg: CfgStats,
+}
+
+impl BenchResult {
+    /// IPC overhead of REV vs base, in percent (the paper's Figs. 7/12).
+    pub fn overhead_pct(&self) -> f64 {
+        overhead_pct(self.base.cpu.ipc(), self.rev.cpu.ipc())
+    }
+}
+
+/// IPC overhead in percent.
+pub fn overhead_pct(base_ipc: f64, rev_ipc: f64) -> f64 {
+    if base_ipc <= 0.0 {
+        0.0
+    } else {
+        (base_ipc - rev_ipc) / base_ipc * 100.0
+    }
+}
+
+/// Generates a profile's program (cached per-call; generation is fast
+/// relative to simulation).
+pub fn program_for(profile: &SpecProfile) -> Program {
+    generate(profile)
+}
+
+/// Static CFG statistics for a generated program's first module.
+pub fn cfg_stats_for(program: &Program) -> CfgStats {
+    let module = &program.modules()[0];
+    Cfg::analyze(module, BbLimits::default())
+        .expect("generated programs analyze")
+        .stats()
+}
+
+/// Runs one benchmark under `config` and its matching baseline.
+pub fn run_benchmark(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> BenchResult {
+    let program = program_for(profile);
+    let cfg = cfg_stats_for(&program);
+    let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
+    sim.warmup(opts.warmup);
+    let rev = sim.run(opts.instructions);
+    let table = sim.table_stats()[0];
+    BenchResult { name: profile.name.to_string(), base, rev, table, cfg }
+}
+
+/// Runs one benchmark under REV only (reusing an externally supplied
+/// baseline when the caller sweeps configurations).
+pub fn run_rev_only(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> RevReport {
+    let program = program_for(profile);
+    let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    sim.warmup(opts.warmup);
+    sim.run(opts.instructions)
+}
+
+/// One benchmark measured at base, REV-32K and REV-64K (the sweep behind
+/// Figures 6–11).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline run.
+    pub base: BaselineReport,
+    /// REV with the 32 KiB SC.
+    pub rev32: RevReport,
+    /// REV with the 64 KiB SC.
+    pub rev64: RevReport,
+    /// Table stats (standard mode, first module).
+    pub table: TableStats,
+    /// Static CFG stats.
+    pub cfg: CfgStats,
+}
+
+impl SweepRow {
+    /// Overhead of the 32 KiB configuration, percent.
+    pub fn overhead32(&self) -> f64 {
+        overhead_pct(self.base.cpu.ipc(), self.rev32.cpu.ipc())
+    }
+
+    /// Overhead of the 64 KiB configuration, percent.
+    pub fn overhead64(&self) -> f64 {
+        overhead_pct(self.base.cpu.ipc(), self.rev64.cpu.ipc())
+    }
+}
+
+/// Runs the full base/32K/64K sweep for the selected profiles.
+pub fn sweep(opts: &BenchOptions) -> Vec<SweepRow> {
+    opts.profiles()
+        .iter()
+        .map(|p| {
+            eprintln!("[sweep] {} ...", p.name);
+            let r32 = run_benchmark(p, opts, RevConfig::paper_default());
+            let rev64 = run_rev_only(p, opts, RevConfig::paper_64k());
+            SweepRow {
+                name: p.name.to_string(),
+                base: r32.base,
+                rev32: r32.rev,
+                rev64,
+                table: r32.table,
+                cfg: r32.cfg,
+            }
+        })
+        .collect()
+}
+
+/// A simple fixed-width table printer (or CSV when `csv` is set).
+#[derive(Debug)]
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    csv: bool,
+}
+
+impl TablePrinter {
+    /// Creates a printer with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>, csv: bool) -> Self {
+        TablePrinter {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+            csv,
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        if self.csv {
+            println!("{}", self.headers.join(","));
+            for r in &self.rows {
+                println!("{}", r.join(","));
+            }
+            return;
+        }
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut out = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    out.push_str(&format!("{:<w$}", cell, w = widths[i]));
+                } else {
+                    out.push_str(&format!("  {:>w$}", cell, w = widths[i]));
+                }
+            }
+            out
+        };
+        println!("{}", line(&self.headers));
+        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        for row in &self.rows {
+            println!("{}", line(row));
+        }
+    }
+}
+
+/// Harmonic mean (the paper reports per-benchmark harmonic means over
+/// runs; across benchmarks it reports arithmetic averages of overheads).
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let s: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    values.len() as f64 / s
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        assert!((overhead_pct(2.0, 1.9) - 5.0).abs() < 1e-9);
+        assert_eq!(overhead_pct(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((harmonic_mean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn printer_formats() {
+        let mut t = TablePrinter::new(vec!["name", "value"], false);
+        t.row(vec!["a", "1"]);
+        t.print(); // must not panic
+        let mut c = TablePrinter::new(vec!["name", "value"], true);
+        c.row(vec!["a", "1"]);
+        c.print();
+    }
+
+    #[test]
+    fn options_profiles_filter() {
+        let mut o = BenchOptions::default();
+        assert_eq!(o.profiles().len(), 18);
+        o.only = vec!["gcc".into(), "mcf".into()];
+        assert_eq!(o.profiles().len(), 2);
+        o.scale = 0.05;
+        assert!(o.profiles()[0].static_bbs < 10_000);
+    }
+}

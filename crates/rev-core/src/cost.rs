@@ -1,0 +1,139 @@
+//! Analytical area/power model for the REV additions (paper Sec. VI).
+//!
+//! The paper estimates, at 32 nm / 3 GHz, that REV adds about **8 %** to
+//! the core's area and **7.2 %** to its power (dropping below **5.5 %** at
+//! chip level once the shared L3 and I/O are included), using CACTI 6.0
+//! for the SRAM structures and scaling the CHG from the 180 nm SHA-3 ASIC
+//! survey data. This module reproduces those estimates with an analytical
+//! model: SRAM area/power scale linearly with capacity, logic blocks are
+//! fixed costs calibrated to the paper's bottom line at the default 32 KiB
+//! SC, and everything re-scales for ablation over SC sizes.
+
+/// Cost-model constants (calibrated to the paper's 32 nm estimates).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Baseline core area in mm² (core + private L1/L2, 32 nm).
+    pub core_area_mm2: f64,
+    /// Baseline core power in W at 3 GHz (McPAT-style estimate).
+    pub core_power_w: f64,
+    /// SRAM area per KiB (CACTI-style, 32 nm, small arrays).
+    pub sram_mm2_per_kib: f64,
+    /// SRAM power per KiB (dynamic + leakage at high activity).
+    pub sram_w_per_kib: f64,
+    /// CHG (pipelined CubeHash) area, scaled 180 nm → 32 nm from the
+    /// SHA-3 ASIC survey.
+    pub chg_area_mm2: f64,
+    /// CHG power at 3 GHz.
+    pub chg_power_w: f64,
+    /// AES decrypt unit area (absent if shared with an existing unit).
+    pub aes_area_mm2: f64,
+    /// AES decrypt unit power.
+    pub aes_power_w: f64,
+    /// SAG registers + comparators + ROB/SQ extensions + control.
+    pub misc_area_mm2: f64,
+    /// Power of the same.
+    pub misc_power_w: f64,
+    /// Chip-level scale factor: chip power ÷ core power (shared L3, I/O
+    /// pads) used for the chip-level percentage.
+    pub chip_over_core: f64,
+}
+
+impl CostModel {
+    /// The calibration used in the paper's Sec. VI.
+    pub fn paper_default() -> Self {
+        CostModel {
+            core_area_mm2: 18.0,
+            core_power_w: 12.0,
+            sram_mm2_per_kib: 0.012,
+            sram_w_per_kib: 0.0056,
+            chg_area_mm2: 0.55,
+            chg_power_w: 0.45,
+            aes_area_mm2: 0.15,
+            aes_power_w: 0.10,
+            misc_area_mm2: 0.35,
+            misc_power_w: 0.13,
+            chip_over_core: 1.33,
+        }
+    }
+
+    /// Evaluates the model for a given SC capacity.
+    pub fn evaluate(&self, sc_bytes: usize, aes_shared: bool) -> CostReport {
+        let sc_kib = sc_bytes as f64 / 1024.0;
+        let aes_area = if aes_shared { 0.0 } else { self.aes_area_mm2 };
+        let aes_power = if aes_shared { 0.0 } else { self.aes_power_w };
+        let added_area =
+            sc_kib * self.sram_mm2_per_kib + self.chg_area_mm2 + aes_area + self.misc_area_mm2;
+        let added_power =
+            sc_kib * self.sram_w_per_kib + self.chg_power_w + aes_power + self.misc_power_w;
+        CostReport {
+            sc_bytes,
+            added_area_mm2: added_area,
+            added_power_w: added_power,
+            core_area_overhead: added_area / self.core_area_mm2,
+            core_power_overhead: added_power / self.core_power_w,
+            chip_power_overhead: added_power / (self.core_power_w * self.chip_over_core),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// The model's output for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostReport {
+    /// SC capacity evaluated.
+    pub sc_bytes: usize,
+    /// Absolute added area.
+    pub added_area_mm2: f64,
+    /// Absolute added power.
+    pub added_power_w: f64,
+    /// Fraction of core area added (paper: ≈ 0.08).
+    pub core_area_overhead: f64,
+    /// Fraction of core power added (paper: ≈ 0.072).
+    pub core_power_overhead: f64,
+    /// Fraction of chip power added (paper: < 0.055).
+    pub chip_power_overhead: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_estimates_at_32k() {
+        let r = CostModel::paper_default().evaluate(32 << 10, false);
+        assert!(
+            (0.07..0.09).contains(&r.core_area_overhead),
+            "area overhead {} should be ~8%",
+            r.core_area_overhead
+        );
+        assert!(
+            (0.065..0.08).contains(&r.core_power_overhead),
+            "power overhead {} should be ~7.2%",
+            r.core_power_overhead
+        );
+        assert!(r.chip_power_overhead < 0.055, "chip overhead {}", r.chip_power_overhead);
+    }
+
+    #[test]
+    fn sharing_the_aes_unit_reduces_cost() {
+        let m = CostModel::paper_default();
+        let dedicated = m.evaluate(32 << 10, false);
+        let shared = m.evaluate(32 << 10, true);
+        assert!(shared.core_area_overhead < dedicated.core_area_overhead);
+        assert!(shared.core_power_overhead < dedicated.core_power_overhead);
+    }
+
+    #[test]
+    fn cost_scales_with_sc_size() {
+        let m = CostModel::paper_default();
+        let small = m.evaluate(8 << 10, false);
+        let large = m.evaluate(256 << 10, false);
+        assert!(large.added_area_mm2 > small.added_area_mm2);
+        assert!(large.core_power_overhead > small.core_power_overhead);
+    }
+}

@@ -1,0 +1,178 @@
+//! The post-commit deferred-store buffer (the paper's ROB + store-queue
+//! extension, Fig. 1 / requirement R5).
+//!
+//! Stores that reach commit are *not* released to memory until the basic
+//! block that produced them validates. On validation of the block's
+//! terminator (fetch sequence `t`), every buffered store with `seq < t` is
+//! released; on a validation failure the buffer is discarded wholesale —
+//! compromised code never taints memory. Loads probe the buffer for
+//! forwarding (the paper extends the store queue past commit).
+
+use std::collections::VecDeque;
+
+/// One committed-but-unvalidated store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeferredStore {
+    /// Fetch sequence of the store instruction.
+    pub seq: u64,
+    /// Effective address.
+    pub addr: u64,
+    /// 64-bit value.
+    pub value: u64,
+}
+
+/// FIFO buffer of committed-but-unvalidated stores.
+#[derive(Debug, Clone, Default)]
+pub struct DeferredStoreBuffer {
+    entries: VecDeque<DeferredStore>,
+    capacity: usize,
+    peak: usize,
+    total_released: u64,
+    total_discarded: u64,
+}
+
+impl DeferredStoreBuffer {
+    /// Creates a buffer with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        DeferredStoreBuffer { capacity, ..Default::default() }
+    }
+
+    /// Whether another store fits (commit back-pressure otherwise).
+    pub fn has_room(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Buffers a committed store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full (the pipeline must check
+    /// [`Self::has_room`] and stall commit).
+    pub fn push(&mut self, store: DeferredStore) {
+        assert!(self.has_room(), "deferred-store buffer overflow");
+        debug_assert!(
+            self.entries.back().map(|s| s.seq <= store.seq).unwrap_or(true),
+            "stores arrive in commit order"
+        );
+        self.entries.push_back(store);
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Releases every store with `seq < boundary_seq` (the just-validated
+    /// block's stores), in order, into `sink`.
+    pub fn release_until<F: FnMut(DeferredStore)>(&mut self, boundary_seq: u64, mut sink: F) {
+        while self
+            .entries
+            .front()
+            .map(|s| s.seq < boundary_seq)
+            .unwrap_or(false)
+        {
+            let s = self.entries.pop_front().expect("checked");
+            self.total_released += 1;
+            sink(s);
+        }
+    }
+
+    /// Discards everything (validation failed: taint containment).
+    /// Returns the number of stores suppressed.
+    pub fn discard_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.total_discarded += n as u64;
+        self.entries.clear();
+        n
+    }
+
+    /// Whether any buffered store targets `addr` (store-to-load forwarding
+    /// from the post-commit extension).
+    pub fn forwards(&self, addr: u64) -> bool {
+        self.entries.iter().any(|s| s.addr == addr)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// High-water mark (sizing the hardware buffer).
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Stores released over the run.
+    pub fn total_released(&self) -> u64 {
+        self.total_released
+    }
+
+    /// Stores discarded by violations.
+    pub fn total_discarded(&self) -> u64 {
+        self.total_discarded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(seq: u64, addr: u64, value: u64) -> DeferredStore {
+        DeferredStore { seq, addr, value }
+    }
+
+    #[test]
+    fn release_respects_boundary() {
+        let mut b = DeferredStoreBuffer::new(8);
+        b.push(st(1, 0x10, 1));
+        b.push(st(2, 0x20, 2));
+        b.push(st(5, 0x30, 3)); // belongs to the next block
+        let mut out = Vec::new();
+        b.release_until(4, |s| out.push(s.seq));
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.total_released(), 2);
+    }
+
+    #[test]
+    fn discard_contains_taint() {
+        let mut b = DeferredStoreBuffer::new(8);
+        b.push(st(1, 0x10, 1));
+        b.push(st(2, 0x20, 2));
+        assert_eq!(b.discard_all(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.total_discarded(), 2);
+        let mut out = Vec::new();
+        b.release_until(100, |s| out.push(s));
+        assert!(out.is_empty(), "discarded stores must never release");
+    }
+
+    #[test]
+    fn forwarding_probe() {
+        let mut b = DeferredStoreBuffer::new(4);
+        b.push(st(1, 0x40, 9));
+        assert!(b.forwards(0x40));
+        assert!(!b.forwards(0x48));
+        b.release_until(2, |_| {});
+        assert!(!b.forwards(0x40));
+    }
+
+    #[test]
+    fn capacity_and_peak() {
+        let mut b = DeferredStoreBuffer::new(2);
+        b.push(st(1, 0, 0));
+        assert!(b.has_room());
+        b.push(st(2, 8, 0));
+        assert!(!b.has_room());
+        assert_eq!(b.peak(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut b = DeferredStoreBuffer::new(1);
+        b.push(st(1, 0, 0));
+        b.push(st(2, 8, 0));
+    }
+}

@@ -1,0 +1,159 @@
+//! Profiling-based discovery of computed-branch targets (paper Sec. IV.D).
+//!
+//! When static analysis cannot enumerate a computed jump/call's targets,
+//! the paper falls back to "performing program-profiling runs, as many
+//! model-based solutions have done". This module runs the program
+//! *functionally* (no timing) for a training budget and records every
+//! (indirect control-flow instruction → observed target) pair, which can
+//! then be merged into the module via
+//! [`Module::merge_indirect_targets`](rev_prog::Module::merge_indirect_targets)
+//! before the trusted linker builds the signature tables.
+
+use rev_cpu::Oracle;
+use rev_mem::MainMemory;
+use rev_prog::Program;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The observations of one profiling run.
+#[derive(Debug, Clone, Default)]
+pub struct IndirectProfile {
+    targets: BTreeMap<u64, BTreeSet<u64>>,
+    executed: u64,
+}
+
+impl IndirectProfile {
+    /// Observed (source, target) pairs, flattened.
+    pub fn edges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.targets.iter().flat_map(|(&s, ts)| ts.iter().map(move |&t| (s, t)))
+    }
+
+    /// Observed target set of the computed branch at `src`.
+    pub fn targets_of(&self, src: u64) -> Option<&BTreeSet<u64>> {
+        self.targets.get(&src)
+    }
+
+    /// Number of distinct computed-branch sites observed.
+    pub fn sites(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Instructions executed during training.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+}
+
+/// Functionally executes `program` for up to `budget` instructions and
+/// records the targets taken by every computed jump, computed call and
+/// return. Training stops early on `halt` or undecodable code.
+pub fn profile_indirect_targets(program: &Program, budget: u64) -> IndirectProfile {
+    let memory = MainMemory::with_segments(&program.segments());
+    let mut oracle = Oracle::new(memory, program.entry(), program.initial_sp());
+    let mut profile = IndirectProfile::default();
+    for _ in 0..budget {
+        let Ok(op) = oracle.step() else { break };
+        if op.halted {
+            break;
+        }
+        profile.executed += 1;
+        if op.insn.has_computed_target() {
+            profile.targets.entry(op.addr).or_default().insert(op.next_pc);
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_isa::{Instruction, Reg};
+    use rev_prog::ModuleBuilder;
+
+    /// A program whose computed jump has NO statically recorded targets —
+    /// the case profiling exists for.
+    fn unannotated_program() -> Program {
+        let mut b = ModuleBuilder::new("jit-ish", 0x1000);
+        let f = b.begin_function("main");
+        let t0 = b.new_label();
+        let t1 = b.new_label();
+        let table = b.data_label_table(&[t0, t1]);
+        let top = b.new_label();
+        b.bind(top);
+        b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+        b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R1, imm: 1 });
+        b.push(Instruction::Li { rd: Reg::R3, imm: 3 });
+        b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 });
+        b.li_data(Reg::R4, table);
+        b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R4, rs1: Reg::R4, rs2: Reg::R2 });
+        b.push(Instruction::Load { rd: Reg::R5, rbase: Reg::R4, off: 0 });
+        // Raw computed jump with an EMPTY static target annotation.
+        b.jmp_ind(Reg::R5, &[]);
+        b.bind(t0);
+        b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R6, imm: 1 });
+        b.jmp(top);
+        b.bind(t1);
+        b.push(Instruction::AddI { rd: Reg::R7, rs: Reg::R7, imm: 1 });
+        b.jmp(top);
+        b.end_function(f);
+        let mut pb = Program::builder();
+        pb.module(b.finish().expect("assembles"));
+        pb.build()
+    }
+
+    #[test]
+    fn profiling_discovers_both_targets() {
+        let program = unannotated_program();
+        let profile = profile_indirect_targets(&program, 10_000);
+        assert_eq!(profile.sites(), 1, "one computed-jump site");
+        let (&site, targets) = profile
+            .targets_of(*profile.targets.keys().next().expect("site"))
+            .map(|t| (profile.targets.keys().next().unwrap(), t))
+            .expect("targets");
+        assert_eq!(targets.len(), 2, "alternating index reaches both arms");
+        assert!(site >= 0x1000);
+    }
+
+    #[test]
+    fn merged_profile_makes_the_program_analyzable_and_validatable() {
+        use crate::{RevConfig, RevSimulator};
+        let program = unannotated_program();
+        // Static analysis alone sees an empty target set; the block's
+        // entry would list no legitimate successors and the first computed
+        // jump would violate.
+        let profile = profile_indirect_targets(&program, 10_000);
+
+        // Rebuild with the discovered targets merged in.
+        let mut module = program.modules()[0].clone();
+        module.merge_indirect_targets(profile.edges());
+        let mut pb = Program::builder();
+        pb.module(module);
+        pb.entry(program.entry());
+        let trained = pb.build();
+
+        let mut sim = RevSimulator::new(trained, RevConfig::paper_default()).expect("builds");
+        let report = sim.run(50_000);
+        assert!(report.rev.violation.is_none(), "{:?}", report.rev.violation);
+        assert!(report.rev.validations > 1_000);
+    }
+
+    #[test]
+    fn unprofiled_computed_branch_is_rejected_at_run_time() {
+        use crate::{RevConfig, RevSimulator};
+        use rev_cpu::{RunOutcome, ViolationKind};
+        // The paper: "REV treats any unidentified computed branch address
+        // as illegal". Without training, the very first computed jump must
+        // trip IllegalTarget (or fail the digest if no entry matches).
+        let program = unannotated_program();
+        let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
+        let report = sim.run(50_000);
+        match report.outcome {
+            RunOutcome::Violation(v) => {
+                assert!(matches!(
+                    v.kind,
+                    ViolationKind::IllegalTarget | ViolationKind::HashMismatch
+                ));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,867 @@
+//! The REV execution monitor: ties the CHG, SC, SAG and deferral buffer
+//! into the pipeline's fetch/commit protocol.
+
+use crate::config::{Containment, RevConfig};
+use crate::defer::{DeferredStore, DeferredStoreBuffer};
+use crate::sag::Sag;
+use crate::sc::{ScProbe, ScVariant, SignatureCache};
+use crate::shadow::ShadowMemory;
+use crate::stats::RevStats;
+use rev_crypto::{bb_body_hash, entry_digest, BodyHash, ChgPipeline, ChgTag, SignatureKey};
+use rev_cpu::{
+    CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreCommit, Violation, ViolationKind,
+};
+use rev_isa::InstrClass;
+use rev_mem::{Hierarchy, MainMemory, Request, Requester};
+use rev_sigtable::{EntryKind, ValidationMode};
+use std::collections::{BTreeMap, HashMap};
+
+/// Service number of the REV-disable system call (paper Sec. VII: "The
+/// second system call is used to enable or disable the REV mechanism and
+/// this is only used when safe, self-modifying executables are running").
+/// Takes effect when the syscall commits (and validates).
+pub const SYSCALL_REV_DISABLE: u16 = 0xfe;
+/// Service number of the REV-enable system call. Recognized at fetch
+/// while validation is off; tracking re-synchronizes at the next block
+/// boundary.
+pub const SYSCALL_REV_ENABLE: u16 = 0xff;
+
+/// A fetched-but-not-yet-validated basic block.
+#[derive(Debug, Clone, Copy)]
+struct PendingBb {
+    bb_addr: u64,
+    body: BodyHash,
+    chg_ready: u64,
+}
+
+type DigestKey = (u64, [u8; 32], u64, u64, usize);
+
+/// The REV hardware state, implementing [`ExecMonitor`].
+#[derive(Debug)]
+pub struct RevMonitor {
+    config: RevConfig,
+    sag: Sag,
+    sc: SignatureCache,
+    chg: ChgPipeline,
+    committed: MainMemory,
+    defer: DeferredStoreBuffer,
+    shadow: ShadowMemory,
+    stats: RevStats,
+    // Front-end speculative BB tracking.
+    cur_start: Option<u64>,
+    cur_bytes: Vec<u8>,
+    cur_instrs: usize,
+    cur_stores: usize,
+    pending: BTreeMap<u64, PendingBb>,
+    // Delayed return validation latch (paper Sec. V.A).
+    ret_latch: Option<u64>,
+    // Memoization: CHG output per static block variant and digest
+    // derivations. The body cache stores the hashed bytes and re-verifies
+    // them on every hit, so self-modifying stores are always observed
+    // exactly as the hardware CHG (which hashes the fetched bytes) would.
+    body_cache: HashMap<(u64, u64), (Vec<u8>, BodyHash)>,
+    digest_cache: HashMap<DigestKey, u32>,
+    violated: bool,
+    enabled: bool,
+    /// After re-enabling, skip gating until the next terminator passes so
+    /// BB tracking re-synchronizes on a block boundary (the OS performs
+    /// the enabling system call at exactly such a boundary).
+    resync: bool,
+}
+
+impl RevMonitor {
+    /// Creates a monitor over the SAG (with all module tables registered)
+    /// and the committed-memory image (program + tables as loaded).
+    pub fn new(config: RevConfig, sag: Sag, committed: MainMemory) -> Self {
+        RevMonitor {
+            sc: SignatureCache::new(config.sc_capacity, config.sc_assoc, config.mode.entry_size()),
+            chg: ChgPipeline::new(config.chg),
+            defer: DeferredStoreBuffer::new(config.defer_capacity),
+            shadow: ShadowMemory::new(),
+            config,
+            sag,
+            committed,
+            stats: RevStats::default(),
+            cur_start: None,
+            cur_bytes: Vec::with_capacity(512),
+            cur_instrs: 0,
+            cur_stores: 0,
+            pending: BTreeMap::new(),
+            ret_latch: None,
+            body_cache: HashMap::new(),
+            digest_cache: HashMap::new(),
+            violated: false,
+            enabled: true,
+            resync: false,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RevConfig {
+        &self.config
+    }
+
+    /// REV statistics accumulated so far.
+    pub fn stats(&self) -> &RevStats {
+        &self.stats
+    }
+
+    /// The validated (committed) memory image. Deferred stores from
+    /// unvalidated blocks are *not* visible here — that is the point.
+    pub fn committed(&self) -> &MainMemory {
+        &self.committed
+    }
+
+    /// Mutable committed memory (external writes: DMA, attacks).
+    pub fn committed_mut(&mut self) -> &mut MainMemory {
+        &mut self.committed
+    }
+
+    /// The signature cache (inspection).
+    pub fn sc(&self) -> &SignatureCache {
+        &self.sc
+    }
+
+    /// The SAG (registered signature tables and their RAM placement).
+    pub fn sag(&self) -> &Sag {
+        &self.sag
+    }
+
+    /// Swaps in a freshly linked SAG (the trusted dynamic linker just
+    /// loaded or re-keyed modules): flushes the SC, the memoized digests
+    /// and all in-flight validation state, exactly as a table swap must.
+    pub fn replace_sag(&mut self, sag: Sag) {
+        self.sag = sag;
+        self.sc.flush();
+        self.digest_cache.clear();
+        self.body_cache.clear();
+        self.pending.clear();
+        self.ret_latch = None;
+        self.cur_start = None;
+        self.cur_bytes.clear();
+        self.cur_instrs = 0;
+        self.cur_stores = 0;
+        self.resync = true;
+    }
+
+    /// Current deferred-store occupancy (inspection).
+    pub fn deferred_stores(&self) -> usize {
+        self.defer.len()
+    }
+
+    /// Models the paper's second REV system call (Secs. IV.E, VII):
+    /// momentarily disables validation while trusted self-modifying code
+    /// (a JIT, a boot loader) runs, or re-enables it. Disabling drops all
+    /// pending validation state; re-enabling flushes the memoized hashes
+    /// (the code may have changed) and restarts BB tracking cleanly.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        if self.enabled == enabled {
+            return;
+        }
+        self.enabled = enabled;
+        self.pending.clear();
+        self.ret_latch = None;
+        self.cur_start = None;
+        self.cur_bytes.clear();
+        self.cur_instrs = 0;
+        self.cur_stores = 0;
+        if enabled {
+            self.invalidate_code_cache();
+            self.resync = true;
+        }
+    }
+
+    /// Whether validation is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Zeroes all statistics (SC contents, caches and pending state stay)
+    /// — ends a warmup phase.
+    pub fn reset_stats(&mut self) {
+        self.stats = RevStats::default();
+        self.sc.reset_stats();
+    }
+
+    /// Invalidates the memoized CHG outputs. Must be called by anything
+    /// that rewrites code bytes at run time (the attack injectors do), so
+    /// subsequent hashing reflects the new bytes exactly as the hardware
+    /// CHG would.
+    pub fn invalidate_code_cache(&mut self) {
+        self.body_cache.clear();
+    }
+
+    fn body_hash(&mut self, start: u64, end: u64, bytes: &[u8]) -> BodyHash {
+        match self.body_cache.get(&(start, end)) {
+            Some((cached_bytes, hash)) if cached_bytes == bytes => *hash,
+            _ => {
+                let hash = bb_body_hash(bytes);
+                self.body_cache.insert((start, end), (bytes.to_vec(), hash));
+                hash
+            }
+        }
+    }
+
+    fn expected_digest(
+        &mut self,
+        key: &SignatureKey,
+        table_idx: usize,
+        bb_addr: u64,
+        body: &BodyHash,
+        bound_succ: u64,
+        bound_pred: u64,
+    ) -> u32 {
+        self.stats.digest_checks += 1;
+        *self
+            .digest_cache
+            .entry((bb_addr, body.0, bound_succ, bound_pred, table_idx))
+            .or_insert_with(|| entry_digest(key, bb_addr, body, bound_succ, bound_pred).0)
+    }
+
+    /// How the digest binds successors, per mode (must mirror the builder).
+    fn bound_succ_value(mode: ValidationMode, v: &ScVariant) -> u64 {
+        match mode {
+            ValidationMode::Standard => v.bound_succs.first().copied().unwrap_or(0),
+            ValidationMode::Aggressive => {
+                v.bound_succs.first().copied().unwrap_or(0)
+                    | (v.bound_succs.get(1).copied().unwrap_or(0) << 32)
+            }
+            ValidationMode::CfiOnly => 0,
+        }
+    }
+
+    /// Starts a table walk for `bb_addr` and installs the SC entry; returns
+    /// the fill-completion cycle, or `None` if no table covers the address.
+    fn start_fill(&mut self, mem: &mut Hierarchy, bb_addr: u64, cycle: u64) -> Option<u64> {
+        let (table_idx, sag_penalty) = self.sag.resolve(bb_addr)?;
+        if sag_penalty > 0 {
+            self.stats.sag_refills += 1;
+        }
+        let lookup = {
+            let table = self.sag.table(table_idx);
+            let committed = &self.committed;
+            let mut read = |addr: u64, len: usize| committed.read_bytes(addr, len);
+            table.lookup_with(&mut read, bb_addr)
+        };
+        // Timing: dependent chain of entry reads through the hierarchy,
+        // each followed by the AES decrypt.
+        let mut t = cycle + sag_penalty;
+        for &addr in &lookup.primary_touch {
+            let out = mem.data_access(Request {
+                addr,
+                is_write: false,
+                requester: Requester::SigFetch,
+                cycle: t,
+            });
+            t = out.complete_at + self.config.decrypt_latency;
+            self.stats.fill_touches += 1;
+        }
+        if lookup.primary_touch.is_empty() {
+            // Empty slot: one read to discover it.
+            let table_base = self.sag.table(table_idx).base();
+            let out = mem.data_access(Request {
+                addr: table_base + 16,
+                is_write: false,
+                requester: Requester::SigFetch,
+                cycle: t,
+            });
+            t = out.complete_at;
+            self.stats.fill_touches += 1;
+        }
+        let mut variants: Vec<ScVariant> = lookup
+            .variants
+            .iter()
+            .map(|v| ScVariant::from_sig(v, self.config.sc_mru))
+            .collect();
+        if lookup.parse_failure {
+            // Tampered table: install an empty, poisoned entry. No digest
+            // can ever match it, so validation fails closed.
+            variants.clear();
+        }
+        self.sc.install(bb_addr, t, variants);
+        Some(t)
+    }
+
+    /// Fetch-side spill prefetch: if the predicted successor is known to a
+    /// variant but outside its MRU window, fetch the spill records now
+    /// (the paper's partial miss).
+    fn prefetch_spills_for(
+        &mut self,
+        mem: &mut Hierarchy,
+        bb_addr: u64,
+        needed_succ: u64,
+        cycle: u64,
+    ) -> bool {
+        let mru = self.config.sc_mru;
+        let mode = self.config.mode;
+        let naive_returns = self.config.naive_return_validation;
+        let Some(entry) = self.sc.entry_mut(bb_addr) else { return false };
+        let mut fetch_addrs: Vec<u64> = Vec::new();
+        let mut found = false;
+        for v in &mut entry.variants {
+            // Only variants whose outgoing target is explicitly validated
+            // need their successor records resident. Returns are excluded
+            // in standard mode — that is the whole point of the paper's
+            // delayed return validation (Sec. V.A): the successor list of
+            // a popular function's return is never walked.
+            let relevant = match mode {
+                ValidationMode::Standard => {
+                    v.kind == EntryKind::Computed
+                        || (naive_returns && v.kind == EntryKind::Return)
+                }
+                ValidationMode::Aggressive => v.kind != EntryKind::Return,
+                ValidationMode::CfiOnly => v.kind == EntryKind::Computed,
+            };
+            if !relevant {
+                continue;
+            }
+            if v.succ_resident(needed_succ) {
+                return false; // already resident somewhere: plain hit
+            }
+            if !found && v.has_spills() {
+                if let Some(pos) = v.succs.iter().position(|&s| s == needed_succ) {
+                    // Walk the spill chain only as far as the entry that
+                    // holds the needed address (3 addresses per spill).
+                    let inline = v.bound_succs.len();
+                    let spill_idx = pos.saturating_sub(inline) / 3;
+                    let take = (spill_idx + 1).min(v.spill_addrs.len());
+                    fetch_addrs = v.spill_addrs[..take].to_vec();
+                    v.touch_succ(needed_succ, mru);
+                    found = true;
+                }
+            }
+        }
+        if !found {
+            return false;
+        }
+        let mut t = cycle;
+        for addr in fetch_addrs {
+            let out = mem.data_access(Request {
+                addr,
+                is_write: false,
+                requester: Requester::SigFetch,
+                cycle: t,
+            });
+            t = out.complete_at + self.config.decrypt_latency;
+            self.stats.spill_fetches += 1;
+        }
+        if let Some(entry) = self.sc.entry_mut(bb_addr) {
+            entry.ready_at = entry.ready_at.max(t);
+        }
+        true
+    }
+
+    fn violation(&mut self, kind: ViolationKind, q: &CommitQuery) -> CommitGate {
+        self.violated = true;
+        let discarded = self.defer.discard_all();
+        self.stats.stores_discarded += discarded as u64;
+        if self.config.containment == Containment::ShadowPages {
+            self.stats.stores_discarded += self.shadow.stats().stores_buffered;
+            self.shadow.discard();
+        }
+        let v = Violation {
+            kind,
+            bb_addr: q.bb_addr,
+            actual_target: q.actual_target,
+            cycle: q.cycle,
+        };
+        self.stats.violation = Some(v);
+        CommitGate::Violation(v)
+    }
+
+    /// Whether `addr` falls inside any registered module's code section —
+    /// a store there is (attempted) self-modification and must flush the
+    /// memoized CHG outputs so subsequent fetches re-hash the new bytes.
+    fn store_touches_code(&self, addr: u64) -> bool {
+        self.sag
+            .tables()
+            .iter()
+            .any(|t| addr + 8 > t.module_base() && addr < t.module_end())
+    }
+
+    fn release_stores(&mut self, mem: &mut Hierarchy, boundary_seq: u64, cycle: u64) {
+        let committed = &mut self.committed;
+        let mut released = 0u64;
+        let mut touched_code = false;
+        let tables = self.sag.tables();
+        self.defer.release_until(boundary_seq, |s| {
+            committed.write_u64(s.addr, s.value);
+            touched_code |= tables
+                .iter()
+                .any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
+            mem.data_access(Request {
+                addr: s.addr,
+                is_write: true,
+                requester: Requester::Data,
+                cycle,
+            });
+            released += 1;
+        });
+        self.stats.stores_released += released;
+        if touched_code {
+            self.body_cache.clear();
+        }
+    }
+
+    fn commit_standard(&mut self, mem: &mut Hierarchy, q: &CommitQuery) -> CommitGate {
+        if !self.enabled {
+            // Validation was switched off after this block was fetched
+            // (the disable syscall committed while it was in flight). The
+            // enable syscall may itself commit in this window.
+            if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_ENABLE } = q.insn {
+                self.set_enabled(true);
+            }
+            return CommitGate::Proceed;
+        }
+        let Some(&pb) = self.pending.get(&q.seq) else {
+            // The slot straddled a disable/enable window; its tracking
+            // state was discarded at the toggle.
+            return CommitGate::Proceed;
+        };
+        // Gate 1: the CHG must have produced the hash (H ≤ S makes this
+        // free in the common case).
+        if q.cycle < pb.chg_ready {
+            self.stats.stall_chg += pb.chg_ready - q.cycle;
+            return CommitGate::StallUntil(pb.chg_ready);
+        }
+        // Gate 2: the SC entry must be resident and ready.
+        match self.sc.probe(pb.bb_addr, q.cycle) {
+            ScProbe::Hit => {}
+            ScProbe::Filling(ready) => {
+                self.stats.stall_fill += ready - q.cycle;
+                return CommitGate::StallUntil(ready);
+            }
+            ScProbe::Miss => {
+                self.stats.commit_misses += 1;
+                self.sc.stats_mut().complete_misses += 1;
+                return match self.start_fill(mem, pb.bb_addr, q.cycle) {
+                    Some(ready) => {
+                        self.stats.stall_fill += ready.max(q.cycle + 1) - q.cycle;
+                        CommitGate::StallUntil(ready.max(q.cycle + 1))
+                    }
+                    None => self.violation(ViolationKind::NoTable, q),
+                };
+            }
+        }
+        // Gate 3: digest match against the chain candidates.
+        let table_idx = match self.sag.resolve(pb.bb_addr) {
+            Some((idx, _)) => idx,
+            None => return self.violation(ViolationKind::NoTable, q),
+        };
+        let key = self.sag.table(table_idx).key();
+        let mode = self.config.mode;
+        let candidates: Vec<(usize, Option<u32>, u64, u64)> = {
+            let entry = self.sc.entry(pb.bb_addr).expect("probed hit");
+            entry
+                .variants
+                .iter()
+                .enumerate()
+                .map(|(i, v)| {
+                    (
+                        i,
+                        v.digest,
+                        Self::bound_succ_value(mode, v),
+                        v.bound_pred.unwrap_or(0),
+                    )
+                })
+                .collect()
+        };
+        if candidates.is_empty() {
+            // Poisoned (tampered) or genuinely empty chain.
+            return self.violation(ViolationKind::TableCorrupt, q);
+        }
+        let mut matched: Option<usize> = None;
+        for (i, digest, bound_succ, bound_pred) in candidates {
+            let Some(digest) = digest else { continue };
+            let expected =
+                self.expected_digest(&key, table_idx, pb.bb_addr, &pb.body, bound_succ, bound_pred);
+            if expected == digest {
+                matched = Some(i);
+                break;
+            }
+        }
+        let Some(vi) = matched else {
+            return self.violation(ViolationKind::HashMismatch, q);
+        };
+
+        // Gate 4: explicit target validation.
+        let (kind, succ_resident, succ_known, pred_resident_latch, pred_known_latch, has_spills) = {
+            let entry = self.sc.entry(pb.bb_addr).expect("resident");
+            let v = &entry.variants[vi];
+            let latch = self.ret_latch;
+            (
+                v.kind,
+                v.succ_resident(q.actual_target),
+                v.succs.contains(&q.actual_target),
+                latch.map(|r| v.pred_resident(r)),
+                latch.map(|r| v.preds.contains(&r)),
+                v.has_spills(),
+            )
+        };
+
+        let has_successors = self
+            .sc
+            .entry(pb.bb_addr)
+            .map(|e| !e.variants[vi].succs.is_empty())
+            .unwrap_or(false);
+        let naive_returns = self.config.naive_return_validation;
+        let target_checked = match mode {
+            // Aggressive: every branch target verified. Terminal blocks
+            // (halt — no successors) have nothing to verify unless the
+            // terminator computes its target.
+            ValidationMode::Aggressive => has_successors || kind == EntryKind::Computed,
+            ValidationMode::Standard => {
+                kind == EntryKind::Computed || (naive_returns && kind == EntryKind::Return)
+            }
+            ValidationMode::CfiOnly => unreachable!("handled in commit_cfi"),
+        };
+        if target_checked {
+            if !succ_known {
+                return self.violation(ViolationKind::IllegalTarget, q);
+            }
+            if !succ_resident {
+                // Partial miss at validation: fetch the spill records.
+                if has_spills {
+                    self.sc.stats_mut().partial_misses += 1;
+                    if self.prefetch_spills_for(mem, pb.bb_addr, q.actual_target, q.cycle) {
+                        let ready = self
+                            .sc
+                            .entry(pb.bb_addr)
+                            .map(|e| e.ready_at)
+                            .unwrap_or(q.cycle + 1);
+                        self.stats.stall_spill += ready.max(q.cycle + 1) - q.cycle;
+                        return CommitGate::StallUntil(ready.max(q.cycle + 1));
+                    }
+                } else if let Some(e) = self.sc.entry_mut(pb.bb_addr) {
+                    let mru = self.config.sc_mru;
+                    e.variants[vi].touch_succ(q.actual_target, mru);
+                }
+            }
+        }
+
+        // Gate 5: delayed return validation (the previous block ended in a
+        // return; this block's predecessor set must list it).
+        if let Some(r) = self.ret_latch {
+            self.stats.return_checks += 1;
+            match (pred_known_latch, pred_resident_latch) {
+                (Some(true), Some(true)) => {}
+                (Some(true), Some(false)) => {
+                    if has_spills {
+                        self.sc.stats_mut().partial_misses += 1;
+                        // Reuse the spill path; charge the fetch.
+                        let spill_addrs: Vec<u64> = self
+                            .sc
+                            .entry(pb.bb_addr)
+                            .map(|e| e.variants[vi].spill_addrs.clone())
+                            .unwrap_or_default();
+                        let mut t = q.cycle;
+                        for addr in spill_addrs {
+                            let out = mem.data_access(Request {
+                                addr,
+                                is_write: false,
+                                requester: Requester::SigFetch,
+                                cycle: t,
+                            });
+                            t = out.complete_at + self.config.decrypt_latency;
+                            self.stats.spill_fetches += 1;
+                        }
+                        let mru = self.config.sc_mru;
+                        if let Some(e) = self.sc.entry_mut(pb.bb_addr) {
+                            e.variants[vi].touch_pred(r, mru);
+                            e.ready_at = e.ready_at.max(t);
+                        }
+                        self.stats.stall_spill += t.max(q.cycle + 1) - q.cycle;
+                        return CommitGate::StallUntil(t.max(q.cycle + 1));
+                    }
+                    let mru = self.config.sc_mru;
+                    if let Some(e) = self.sc.entry_mut(pb.bb_addr) {
+                        e.variants[vi].touch_pred(r, mru);
+                    }
+                }
+                _ => return self.violation(ViolationKind::ReturnMismatch, q),
+            }
+            self.ret_latch = None;
+        }
+        if kind == EntryKind::Return
+            && mode == ValidationMode::Standard
+            && !naive_returns
+        {
+            // Latch the return's address; the next validated block checks it.
+            self.ret_latch = Some(pb.bb_addr);
+        }
+
+        // Validated: update the MRU successor window, release the block's
+        // stores, retire the CHG entry.
+        let mru = self.config.sc_mru;
+        if let Some(e) = self.sc.entry_mut(pb.bb_addr) {
+            e.variants[vi].touch_succ(q.actual_target, mru);
+        }
+        self.release_stores(mem, q.seq, q.cycle);
+        self.chg.retire(ChgTag(q.seq));
+        self.pending.remove(&q.seq);
+        self.stats.validations += 1;
+        self.stats.defer_peak = self.stats.defer_peak.max(self.defer.peak());
+        if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_DISABLE } = q.insn {
+            // The disable syscall itself validated; everything after it
+            // runs unvalidated until the enable syscall (trusted
+            // self-modifying code, paper Sec. IV.E). Release the
+            // quarantine first — the block that asked was genuine.
+            self.release_stores(mem, q.seq + 1, q.cycle);
+            self.set_enabled(false);
+        }
+        CommitGate::Proceed
+    }
+
+    fn commit_cfi(&mut self, mem: &mut Hierarchy, q: &CommitQuery) -> CommitGate {
+        if !self.enabled {
+            if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_ENABLE } = q.insn {
+                self.set_enabled(true);
+            }
+            return CommitGate::Proceed;
+        }
+        let Some(&pb) = self.pending.get(&q.seq) else {
+            return CommitGate::Proceed;
+        };
+        match self.sc.probe(pb.bb_addr, q.cycle) {
+            ScProbe::Hit => {}
+            ScProbe::Filling(ready) => return CommitGate::StallUntil(ready),
+            ScProbe::Miss => {
+                self.stats.commit_misses += 1;
+                self.sc.stats_mut().complete_misses += 1;
+                return match self.start_fill(mem, pb.bb_addr, q.cycle) {
+                    Some(ready) => CommitGate::StallUntil(ready.max(q.cycle + 1)),
+                    None => self.violation(ViolationKind::NoTable, q),
+                };
+            }
+        }
+        let tag = (pb.bb_addr & 0xfff) as u16;
+        let ok = self
+            .sc
+            .entry(pb.bb_addr)
+            .map(|e| {
+                e.variants
+                    .iter()
+                    .filter(|v| v.tag == Some(tag))
+                    .any(|v| v.succs.contains(&q.actual_target))
+            })
+            .unwrap_or(false);
+        if !ok {
+            return self.violation(ViolationKind::IllegalTarget, q);
+        }
+        self.pending.remove(&q.seq);
+        self.stats.validations += 1;
+        CommitGate::Proceed
+    }
+}
+
+impl ExecMonitor for RevMonitor {
+    fn on_fetch(&mut self, mem: &mut Hierarchy, event: &FetchEvent) -> bool {
+        if self.violated {
+            return false;
+        }
+        if !self.enabled {
+            // Only the enable system call is watched while validation is
+            // off (correct path only; the resync machinery re-aligns BB
+            // tracking at the next boundary).
+            if !event.wrong_path {
+                if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_ENABLE } = event.insn {
+                    self.set_enabled(true);
+                }
+            }
+            return false;
+        }
+        let cfi_only = self.config.mode == ValidationMode::CfiOnly;
+        if cfi_only {
+            // Only computed transfers are validated; no hashing, no
+            // deferral, no artificial splits.
+            if !event.insn.has_computed_target() {
+                return false;
+            }
+            if self.sc.probe(event.addr, event.cycle) == ScProbe::Miss {
+                if !event.wrong_path {
+                    self.sc.stats_mut().complete_misses += 1;
+                    let _ = self.start_fill(mem, event.addr, event.cycle);
+                }
+            } else {
+                self.sc.stats_mut().hits += 1;
+            }
+            self.pending.insert(
+                event.seq,
+                PendingBb {
+                    bb_addr: event.addr,
+                    body: BodyHash([0; 32]),
+                    chg_ready: event.cycle,
+                },
+            );
+            return true;
+        }
+
+        // Standard / aggressive: track the dynamic BB byte stream.
+        if self.cur_start.is_none() {
+            self.cur_start = Some(event.addr);
+            self.cur_bytes.clear();
+            self.cur_instrs = 0;
+            self.cur_stores = 0;
+        }
+        self.cur_bytes.extend_from_slice(event.byte_slice());
+        self.cur_instrs += 1;
+        if matches!(event.insn.class(), InstrClass::Store) {
+            self.cur_stores += 1;
+        }
+        let natural = event.insn.is_bb_terminator();
+        let artificial = !natural
+            && (self.cur_instrs >= self.config.bb_limits.max_instrs
+                || self.cur_stores >= self.config.bb_limits.max_stores);
+        if !natural && !artificial {
+            return false;
+        }
+        if self.resync {
+            // First boundary after re-enable: discard the partial block
+            // and start clean tracking from the next instruction.
+            self.resync = false;
+            self.cur_start = None;
+            self.cur_bytes.clear();
+            self.cur_instrs = 0;
+            self.cur_stores = 0;
+            return false;
+        }
+        if artificial {
+            self.stats.artificial_splits += 1;
+        }
+
+        let bb_start = self.cur_start.take().expect("tracking active");
+        let bb_addr = event.addr;
+        let end = event.addr + event.len as u64;
+        let bytes = std::mem::take(&mut self.cur_bytes);
+        let body = self.body_hash(bb_start, end, &bytes);
+        self.cur_bytes = bytes;
+        self.cur_bytes.clear();
+
+        // CHG: the hash is ready `latency` cycles after the last byte
+        // enters the pipeline.
+        if !self.chg.has_capacity() {
+            // Over-deep speculation: retire the oldest in-flight hash (its
+            // pending record keeps its own ready cycle).
+            self.chg.flush_all();
+        }
+        let chg_ready = self.chg.enqueue(ChgTag(event.seq), event.cycle);
+
+        // SC probe along the predicted path. Fills are only initiated for
+        // correct-path fetches: the paper cancels SC fetches issued along
+        // a mispredicted path once the misprediction is discovered
+        // (Sec. IV.A), and in this front end the discovery is immediate.
+        match self.sc.probe(bb_addr, event.cycle) {
+            ScProbe::Miss => {
+                if !event.wrong_path {
+                    self.sc.stats_mut().complete_misses += 1;
+                    let _ = self.start_fill(mem, bb_addr, event.cycle);
+                }
+            }
+            ScProbe::Filling(_) => {
+                self.sc.stats_mut().hits += 1;
+            }
+            ScProbe::Hit => {
+                // Partial miss if the predicted successor is outside every
+                // variant's MRU window but fetchable from spills.
+                if !event.wrong_path
+                    && self.prefetch_spills_for(mem, bb_addr, event.predicted_next, event.cycle)
+                {
+                    self.sc.stats_mut().partial_misses += 1;
+                } else {
+                    self.sc.stats_mut().hits += 1;
+                }
+            }
+        }
+
+        self.pending.insert(event.seq, PendingBb { bb_addr, body, chg_ready });
+        true
+    }
+
+    fn on_flush(&mut self, from_seq: u64) {
+        self.pending.retain(|&seq, _| seq < from_seq);
+        self.chg.flush_from(ChgTag(from_seq));
+        // Fetch resumes at a block boundary (mispredicts happen only on
+        // terminators), so the tracker restarts cleanly.
+        self.cur_start = None;
+        self.cur_bytes.clear();
+        self.cur_instrs = 0;
+        self.cur_stores = 0;
+    }
+
+    fn on_terminator_commit(&mut self, mem: &mut Hierarchy, query: &CommitQuery) -> CommitGate {
+        match self.config.mode {
+            ValidationMode::CfiOnly => self.commit_cfi(mem, query),
+            _ => self.commit_standard(mem, query),
+        }
+    }
+
+    fn on_store_commit(&mut self, mem: &mut Hierarchy, store: StoreCommit) {
+        if self.config.mode == ValidationMode::CfiOnly || !self.enabled {
+            // CFI-only trusts code integrity; stores commit directly.
+            if self.store_touches_code(store.addr) {
+                self.invalidate_code_cache();
+            }
+            self.committed.write_u64(store.addr, store.value);
+            mem.data_access(Request {
+                addr: store.addr,
+                is_write: true,
+                requester: Requester::Data,
+                cycle: store.cycle,
+            });
+            return;
+        }
+        match self.config.containment {
+            Containment::DeferredStores => {
+                self.defer.push(DeferredStore {
+                    seq: store.seq,
+                    addr: store.addr,
+                    value: store.value,
+                });
+            }
+            Containment::ShadowPages => {
+                if self.store_touches_code(store.addr) {
+                    self.invalidate_code_cache();
+                }
+                let created = self.shadow.write_u64(&self.committed, store.addr, store.value);
+                // The write lands in the shadow page; a first touch also
+                // pays the copy-on-write traffic (modeled as one extra
+                // line access off the critical path).
+                mem.data_access(Request {
+                    addr: store.addr,
+                    is_write: true,
+                    requester: Requester::Data,
+                    cycle: store.cycle,
+                });
+                if created {
+                    mem.data_access(Request {
+                        addr: store.addr & !63,
+                        is_write: false,
+                        requester: Requester::Data,
+                        cycle: store.cycle,
+                    });
+                }
+            }
+        }
+    }
+
+    fn can_accept_store(&self) -> bool {
+        self.config.mode == ValidationMode::CfiOnly
+            || self.config.containment == Containment::ShadowPages
+            || self.defer.has_room()
+    }
+
+    fn forwards_store(&self, addr: u64) -> bool {
+        self.defer.forwards(addr)
+    }
+
+    fn on_run_end(&mut self, _mem: &mut Hierarchy, _cycle: u64) {
+        self.stats.sc = self.sc.stats();
+        self.stats.defer_peak = self.stats.defer_peak.max(self.defer.peak());
+        if self.config.containment == Containment::ShadowPages && !self.violated {
+            // The execution authenticated end to end: map the shadow
+            // pages in (paper Sec. IV.A).
+            self.shadow.promote(&mut self.committed);
+        }
+        self.stats.shadow = self.shadow.stats();
+    }
+}

@@ -1,0 +1,165 @@
+//! The signature address generation unit (SAG).
+//!
+//! Holds up to `B` base/limit/key register triples — one per executable
+//! module — and resolves, for any control-transfer address, which module's
+//! signature table (and decryption key) applies (paper Sec. IV.B). When
+//! more modules are live than registers, the paper's management exception
+//! refills a register; we model that as an LRU replacement with a fixed
+//! penalty.
+
+use rev_sigtable::SignatureTable;
+
+/// One resident SAG register triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SagEntry {
+    /// Index into the registered-table array.
+    pub table_idx: usize,
+    /// Module code range low bound (limit register pair).
+    pub lo: u64,
+    /// Module code range high bound.
+    pub hi: u64,
+}
+
+/// The SAG: registered tables + the resident register window.
+#[derive(Debug)]
+pub struct Sag {
+    tables: Vec<SignatureTable>,
+    resident: Vec<(SagEntry, u64)>, // (entry, lru tick)
+    capacity: usize,
+    miss_penalty: u64,
+    tick: u64,
+    misses: u64,
+}
+
+impl Sag {
+    /// Creates a SAG with `capacity` register triples and the given refill
+    /// penalty.
+    pub fn new(capacity: usize, miss_penalty: u64) -> Self {
+        Sag {
+            tables: Vec::new(),
+            resident: Vec::new(),
+            capacity: capacity.max(1),
+            miss_penalty,
+            tick: 0,
+            misses: 0,
+        }
+    }
+
+    /// Registers a module's table (the trusted linker/loader path). The
+    /// first `capacity` registered tables start resident.
+    pub fn register(&mut self, table: SignatureTable) {
+        let idx = self.tables.len();
+        let entry =
+            SagEntry { table_idx: idx, lo: table.module_base(), hi: table.module_end() };
+        self.tables.push(table);
+        if self.resident.len() < self.capacity {
+            self.tick += 1;
+            self.resident.push((entry, self.tick));
+        }
+    }
+
+    /// All registered tables.
+    pub fn tables(&self) -> &[SignatureTable] {
+        &self.tables
+    }
+
+    /// Number of SAG-miss exceptions taken.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Resolves the table covering `addr`. Returns the table index and the
+    /// cycle penalty paid (0 on a resident hit, `miss_penalty` when the
+    /// management handler had to refill a register). `None` if no
+    /// registered module covers the address — the REV `NoTable` violation.
+    pub fn resolve(&mut self, addr: u64) -> Option<(usize, u64)> {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((e, lru)) = self
+            .resident
+            .iter_mut()
+            .find(|(e, _)| (e.lo..e.hi).contains(&addr))
+        {
+            *lru = tick;
+            return Some((e.table_idx, 0));
+        }
+        // Not resident: is it registered at all?
+        let idx = self
+            .tables
+            .iter()
+            .position(|t| (t.module_base()..t.module_end()).contains(&addr))?;
+        self.misses += 1;
+        let entry = SagEntry {
+            table_idx: idx,
+            lo: self.tables[idx].module_base(),
+            hi: self.tables[idx].module_end(),
+        };
+        if self.resident.len() >= self.capacity {
+            let lru_idx = self
+                .resident
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, l))| *l)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.resident.swap_remove(lru_idx);
+        }
+        self.resident.push((entry, tick));
+        Some((idx, self.miss_penalty))
+    }
+
+    /// The table at `idx`.
+    pub fn table(&self, idx: usize) -> &SignatureTable {
+        &self.tables[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_crypto::{Aes128, SignatureKey};
+    use rev_isa::Instruction;
+    use rev_prog::{BbLimits, Cfg, ModuleBuilder};
+    use rev_sigtable::{build_table, ValidationMode};
+
+    fn table_for(name: &str, base: u64) -> SignatureTable {
+        let mut b = ModuleBuilder::new(name, base);
+        b.push(Instruction::Nop);
+        b.push(Instruction::Halt);
+        let m = b.finish().unwrap();
+        let cfg = Cfg::analyze(&m, BbLimits::default()).unwrap();
+        build_table(
+            &m,
+            &cfg,
+            &SignatureKey::from_seed(base),
+            ValidationMode::Standard,
+            &Aes128::new([1; 16]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn resolve_by_range() {
+        let mut sag = Sag::new(4, 100);
+        sag.register(table_for("a", 0x1000));
+        sag.register(table_for("b", 0x8000));
+        assert_eq!(sag.resolve(0x1001), Some((0, 0)));
+        assert_eq!(sag.resolve(0x8000), Some((1, 0)));
+        assert_eq!(sag.resolve(0x4000), None);
+    }
+
+    #[test]
+    fn lru_refill_with_penalty() {
+        let mut sag = Sag::new(1, 100);
+        sag.register(table_for("a", 0x1000));
+        sag.register(table_for("b", 0x8000)); // not resident (capacity 1)
+        assert_eq!(sag.resolve(0x1000).unwrap().1, 0);
+        let (idx, penalty) = sag.resolve(0x8000).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(penalty, 100, "refill pays the handler penalty");
+        assert_eq!(sag.misses(), 1);
+        // Now b is resident, a is not.
+        assert_eq!(sag.resolve(0x8000).unwrap().1, 0);
+        assert_eq!(sag.resolve(0x1000).unwrap().1, 100);
+    }
+}

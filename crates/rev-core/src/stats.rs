@@ -1,0 +1,52 @@
+//! REV-specific run statistics.
+
+use crate::sc::ScStats;
+use crate::shadow::ShadowStats;
+use rev_cpu::Violation;
+
+/// Counters accumulated by the REV monitor over one run.
+#[derive(Debug, Clone, Default)]
+pub struct RevStats {
+    /// Signature-cache traffic (Fig. 10).
+    pub sc: ScStats,
+    /// Basic blocks validated successfully.
+    pub validations: u64,
+    /// Digest comparisons performed (chain candidates examined).
+    pub digest_checks: u64,
+    /// Spill-record fetches (partial-miss services).
+    pub spill_fetches: u64,
+    /// Table-walk memory touches on complete misses.
+    pub fill_touches: u64,
+    /// Commit-time SC misses (entry evicted between fetch and commit, or
+    /// never probed because the terminator was discovered late).
+    pub commit_misses: u64,
+    /// Cross-module SAG refill exceptions.
+    pub sag_refills: u64,
+    /// Deferred stores released after validation.
+    pub stores_released: u64,
+    /// Deferred stores discarded by a violation (taint contained).
+    pub stores_discarded: u64,
+    /// Peak deferred-buffer occupancy.
+    pub defer_peak: usize,
+    /// Artificial BB splits applied by the front end.
+    pub artificial_splits: u64,
+    /// Return-latch validations performed (delayed return checks).
+    pub return_checks: u64,
+    /// Stall cycles charged while waiting for the CHG hash.
+    pub stall_chg: u64,
+    /// Stall cycles charged while waiting for an SC fill.
+    pub stall_fill: u64,
+    /// Stall cycles charged while waiting for spill fetches.
+    pub stall_spill: u64,
+    /// Shadow-page counters (zero unless `Containment::ShadowPages`).
+    pub shadow: ShadowStats,
+    /// The violation that ended the run, if any.
+    pub violation: Option<Violation>,
+}
+
+impl RevStats {
+    /// Total SC misses (partial + complete).
+    pub fn sc_misses(&self) -> u64 {
+        self.sc.misses()
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests on REV's containment structures.
+
+use proptest::prelude::*;
+use rev_core::{DeferredStore, DeferredStoreBuffer, ScVariant, SignatureCache};
+use rev_sigtable::EntryKind;
+
+fn variant(digest: u32, succs: Vec<u64>) -> ScVariant {
+    ScVariant {
+        kind: EntryKind::Implicit,
+        digest: Some(digest),
+        bound_succs: succs.first().copied().into_iter().collect(),
+        bound_pred: None,
+        succs: succs.clone(),
+        preds: vec![],
+        tag: None,
+        spill_addrs: vec![],
+        mru_succs: succs.first().copied().into_iter().collect(),
+        mru_preds: vec![],
+    }
+}
+
+proptest! {
+    /// The deferred buffer partitions every pushed store into exactly one
+    /// of {released, retained, discarded}; released stores appear in
+    /// commit order and only up to the boundary.
+    #[test]
+    fn defer_buffer_partition(
+        seqs in proptest::collection::vec(1u64..1000, 1..40),
+        boundary in 1u64..1000,
+        discard in any::<bool>(),
+    ) {
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut buf = DeferredStoreBuffer::new(64);
+        for &s in &sorted {
+            buf.push(DeferredStore { seq: s, addr: s * 8, value: s });
+        }
+        let mut released = Vec::new();
+        buf.release_until(boundary, |s| released.push(s.seq));
+        // Released = exactly those below the boundary, in order.
+        let expect: Vec<u64> = sorted.iter().copied().filter(|&s| s < boundary).collect();
+        prop_assert_eq!(&released, &expect);
+        // The rest are retained...
+        prop_assert_eq!(buf.len(), sorted.len() - released.len());
+        if discard {
+            // ...and a violation discards all of them, never releasing.
+            let n = buf.discard_all();
+            prop_assert_eq!(n, sorted.len() - released.len());
+            let mut late = Vec::new();
+            buf.release_until(u64::MAX, |s| late.push(s.seq));
+            prop_assert!(late.is_empty());
+        }
+    }
+
+    /// Store-to-load forwarding sees exactly the retained stores.
+    #[test]
+    fn defer_buffer_forwarding(seqs in proptest::collection::vec(1u64..100, 1..20)) {
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut buf = DeferredStoreBuffer::new(32);
+        for &s in &sorted {
+            buf.push(DeferredStore { seq: s, addr: 0x1000 + s * 8, value: s });
+        }
+        for &s in &sorted {
+            prop_assert!(buf.forwards(0x1000 + s * 8));
+        }
+        prop_assert!(!buf.forwards(0x0));
+        let mid = sorted[sorted.len() / 2];
+        buf.release_until(mid + 1, |_| {});
+        for &s in &sorted {
+            prop_assert_eq!(buf.forwards(0x1000 + s * 8), s > mid);
+        }
+    }
+
+    /// The SC never reports a hit for an address that was not installed,
+    /// and installed entries are findable until evicted; eviction count
+    /// equals installs minus residents.
+    #[test]
+    fn sc_install_probe_consistency(addrs in proptest::collection::vec(1u64..10_000, 1..200)) {
+        let mut unique = addrs.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut sc = SignatureCache::new(1024, 2, 16); // 64 entries
+        for (i, &a) in unique.iter().enumerate() {
+            sc.install(a * 2, 0, vec![variant(i as u32, vec![a])]);
+        }
+        let evictions = sc.stats().evictions as usize;
+        prop_assert_eq!(sc.len() + evictions, unique.len());
+        // Never-installed addresses miss.
+        prop_assert!(sc.entry(123_456_789).is_none());
+        // Resident entries carry their variants intact.
+        let mut found = 0;
+        for &a in &unique {
+            if let Some(e) = sc.entry(a * 2) {
+                prop_assert_eq!(e.variants.len(), 1);
+                prop_assert!(e.variants[0].succs.contains(&a));
+                found += 1;
+            }
+        }
+        prop_assert_eq!(found, sc.len());
+    }
+}

@@ -1,0 +1,97 @@
+//! Core configuration (paper Table 2).
+
+use crate::bpred::PredictorConfig;
+
+/// Out-of-order core parameters. Defaults reproduce the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Fetch-queue capacity (Table 2: 32).
+    pub fetch_queue: usize,
+    /// Dispatch/issue/commit width (Table 2: 4).
+    pub width: usize,
+    /// Reorder-buffer capacity (Table 2: 128).
+    pub rob_size: usize,
+    /// Load/store-queue capacity (Table 2: 92).
+    pub lsq_size: usize,
+    /// Unified physical register file (Table 2: 256).
+    pub phys_regs: usize,
+    /// Issue-queue (scheduler) capacity.
+    pub iq_size: usize,
+    /// Integer ALUs (Table 2: 2).
+    pub alu_units: usize,
+    /// Floating-point units (Table 2: 2).
+    pub fpu_units: usize,
+    /// Load ports (Table 2: 2).
+    pub load_units: usize,
+    /// Store ports (Table 2: 2).
+    pub store_units: usize,
+    /// Cycles from fetching an instruction to the earliest cycle it can
+    /// dispatch (front-end pipeline depth). Together with
+    /// issue/execute/writeback/commit this puts the minimum fetch→commit
+    /// distance at 16 cycles — the paper's `S`.
+    pub frontend_depth: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// FP add/mul latency.
+    pub fp_latency: u64,
+    /// FP divide latency (unpipelined).
+    pub fpdiv_latency: u64,
+    /// Branch predictor configuration.
+    pub predictor: PredictorConfig,
+}
+
+impl CpuConfig {
+    /// The paper's Table 2 configuration.
+    pub fn paper_default() -> Self {
+        CpuConfig {
+            fetch_width: 4,
+            fetch_queue: 32,
+            width: 4,
+            rob_size: 128,
+            lsq_size: 92,
+            phys_regs: 256,
+            iq_size: 64,
+            alu_units: 2,
+            fpu_units: 2,
+            load_units: 2,
+            store_units: 2,
+            frontend_depth: 12,
+            mul_latency: 3,
+            fp_latency: 4,
+            fpdiv_latency: 12,
+            predictor: PredictorConfig::paper_default(),
+        }
+    }
+
+    /// The minimum fetch→commit depth `S` implied by this configuration
+    /// (front end + issue + execute + writeback + commit).
+    pub fn min_fetch_to_commit(&self) -> u64 {
+        self.frontend_depth + 4
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table2() {
+        let c = CpuConfig::paper_default();
+        assert_eq!(c.fetch_queue, 32);
+        assert_eq!(c.width, 4);
+        assert_eq!(c.rob_size, 128);
+        assert_eq!(c.lsq_size, 92);
+        assert_eq!(c.phys_regs, 256);
+        assert_eq!(c.alu_units, 2);
+        assert_eq!(c.fpu_units, 2);
+        assert_eq!(c.min_fetch_to_commit(), 16, "S must equal the paper's 16");
+    }
+}

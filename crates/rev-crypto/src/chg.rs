@@ -1,0 +1,230 @@
+//! Cycle-level timing model of the pipelined Crypto Hash Generator (CHG).
+//!
+//! The CHG sits beside the front-end stages (paper Fig. 1): instruction
+//! bytes are fed in as they are fetched along the *predicted* path, tagged
+//! with the id of the basic block they belong to so that entries on a
+//! mispredicted path can be flushed (paper Sec. IV.C). The hash of a BB
+//! becomes available `latency` cycles after the BB's last byte enters the
+//! pipeline. With `latency H ≤ S` (the fetch-to-commit depth), hash
+//! generation is fully overlapped and never delays commit on an SC hit
+//! (paper Sec. VI).
+//!
+//! Functionally the hash is computed by [`crate::bb_body_hash`]; this model
+//! tracks only *when* it is ready.
+
+use std::collections::VecDeque;
+
+/// Opaque tag identifying one in-flight basic-block hash (the paper tags
+/// CHG inputs "with the id of the successor basic block along the predicted
+/// path").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ChgTag(pub u64);
+
+/// Configuration of the CHG pipeline model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChgConfig {
+    /// Hash latency `H` in cycles from the last byte of a BB entering the
+    /// pipeline to its digest being available (paper: worst case 16 for a
+    /// 5-round CubeHash).
+    pub latency: u64,
+    /// Maximum number of BB hashes in flight (pipeline depth / parallel
+    /// lanes). Enqueueing beyond this back-pressures the front end.
+    pub capacity: usize,
+}
+
+impl Default for ChgConfig {
+    fn default() -> Self {
+        // H = S = 16 per the paper's simulation assumptions.
+        ChgConfig { latency: 16, capacity: 64 }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    tag: ChgTag,
+    ready_at: u64,
+}
+
+/// The CHG pipeline timing model.
+///
+/// # Example
+///
+/// ```
+/// use rev_crypto::{ChgConfig, ChgPipeline, ChgTag};
+///
+/// let mut chg = ChgPipeline::new(ChgConfig { latency: 16, capacity: 8 });
+/// chg.enqueue(ChgTag(1), 100); // BB 1's last byte fetched at cycle 100
+/// assert!(!chg.is_ready(ChgTag(1), 110));
+/// assert!(chg.is_ready(ChgTag(1), 116));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChgPipeline {
+    config: ChgConfig,
+    in_flight: VecDeque<InFlight>,
+    enqueued: u64,
+    flushed: u64,
+}
+
+impl ChgPipeline {
+    /// Creates a CHG model with the given configuration.
+    pub fn new(config: ChgConfig) -> Self {
+        ChgPipeline { config, in_flight: VecDeque::new(), enqueued: 0, flushed: 0 }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> ChgConfig {
+        self.config
+    }
+
+    /// Returns `true` if another BB hash can be accepted.
+    pub fn has_capacity(&self) -> bool {
+        self.in_flight.len() < self.config.capacity
+    }
+
+    /// Registers that the final byte of the BB identified by `tag` entered
+    /// the hash pipeline at `cycle`. Returns the cycle at which the digest
+    /// will be available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline is at capacity (callers must check
+    /// [`ChgPipeline::has_capacity`] and stall fetch otherwise).
+    pub fn enqueue(&mut self, tag: ChgTag, cycle: u64) -> u64 {
+        assert!(self.has_capacity(), "CHG pipeline over capacity");
+        let ready_at = cycle + self.config.latency;
+        self.in_flight.push_back(InFlight { tag, ready_at });
+        self.enqueued += 1;
+        ready_at
+    }
+
+    /// Returns `true` if the digest for `tag` is available at `cycle`.
+    /// Unknown tags (never enqueued or already retired/flushed) report
+    /// `false`.
+    pub fn is_ready(&self, tag: ChgTag, cycle: u64) -> bool {
+        self.in_flight
+            .iter()
+            .any(|e| e.tag == tag && e.ready_at <= cycle)
+    }
+
+    /// Returns the ready cycle for `tag`, if it is in flight.
+    pub fn ready_cycle(&self, tag: ChgTag) -> Option<u64> {
+        self.in_flight.iter().find(|e| e.tag == tag).map(|e| e.ready_at)
+    }
+
+    /// Retires a completed hash (the validation check consumed it).
+    pub fn retire(&mut self, tag: ChgTag) {
+        self.in_flight.retain(|e| e.tag != tag);
+    }
+
+    /// Flushes all in-flight hashes with tags **greater than or equal to**
+    /// `from`, modeling recovery from a branch misprediction or interrupt:
+    /// everything fetched after the mispredicted block is wrong-path
+    /// (paper Sec. IV.A: "the appropriate pipeline stages in the CHG are
+    /// also flushed"). Returns the number of entries flushed.
+    pub fn flush_from(&mut self, from: ChgTag) -> usize {
+        let before = self.in_flight.len();
+        self.in_flight.retain(|e| e.tag < from);
+        let flushed = before - self.in_flight.len();
+        self.flushed += flushed as u64;
+        flushed
+    }
+
+    /// Drops every in-flight hash (full pipeline flush).
+    pub fn flush_all(&mut self) -> usize {
+        let flushed = self.in_flight.len();
+        self.flushed += flushed as u64;
+        self.in_flight.clear();
+        flushed
+    }
+
+    /// Number of hashes currently in flight.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Lifetime count of enqueued hashes.
+    pub fn total_enqueued(&self) -> u64 {
+        self.enqueued
+    }
+
+    /// Lifetime count of flushed (wrong-path) hashes.
+    pub fn total_flushed(&self) -> u64 {
+        self.flushed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chg() -> ChgPipeline {
+        ChgPipeline::new(ChgConfig { latency: 16, capacity: 4 })
+    }
+
+    #[test]
+    fn ready_after_latency() {
+        let mut c = chg();
+        let ready = c.enqueue(ChgTag(1), 100);
+        assert_eq!(ready, 116);
+        assert!(!c.is_ready(ChgTag(1), 115));
+        assert!(c.is_ready(ChgTag(1), 116));
+        assert!(c.is_ready(ChgTag(1), 200));
+    }
+
+    #[test]
+    fn unknown_tag_not_ready() {
+        let c = chg();
+        assert!(!c.is_ready(ChgTag(9), 1_000_000));
+    }
+
+    #[test]
+    fn retire_removes_entry() {
+        let mut c = chg();
+        c.enqueue(ChgTag(1), 0);
+        c.retire(ChgTag(1));
+        assert!(!c.is_ready(ChgTag(1), 100));
+        assert_eq!(c.in_flight_len(), 0);
+    }
+
+    #[test]
+    fn flush_from_drops_younger_tags_only() {
+        let mut c = chg();
+        c.enqueue(ChgTag(1), 0);
+        c.enqueue(ChgTag(2), 1);
+        c.enqueue(ChgTag(3), 2);
+        let flushed = c.flush_from(ChgTag(2));
+        assert_eq!(flushed, 2);
+        assert!(c.ready_cycle(ChgTag(1)).is_some());
+        assert!(c.ready_cycle(ChgTag(2)).is_none());
+        assert_eq!(c.total_flushed(), 2);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c = chg();
+        for i in 0..4 {
+            assert!(c.has_capacity());
+            c.enqueue(ChgTag(i), 0);
+        }
+        assert!(!c.has_capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "over capacity")]
+    fn enqueue_over_capacity_panics() {
+        let mut c = chg();
+        for i in 0..5 {
+            c.enqueue(ChgTag(i), 0);
+        }
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut c = chg();
+        c.enqueue(ChgTag(1), 0);
+        c.enqueue(ChgTag(2), 0);
+        assert_eq!(c.flush_all(), 2);
+        assert_eq!(c.in_flight_len(), 0);
+        assert_eq!(c.total_enqueued(), 2);
+    }
+}

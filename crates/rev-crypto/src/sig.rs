@@ -1,0 +1,155 @@
+//! REV signature derivations.
+//!
+//! The paper's validation hash binds four things together (Sec. V.B): the
+//! instruction bytes of the basic block, the address of the BB (the address
+//! of its terminating control-flow instruction), the successor (target)
+//! address recorded in the table entry, and the predecessor address. The
+//! stored reference value is the **last 4 bytes** of the crypto hash
+//! (Sec. V.C — the deliberate truncation the "aggressive" mode exists to
+//! compensate for). The hash is keyed with the module's secret key so that
+//! an adversary who can read the (encrypted) table still cannot forge
+//! entries.
+
+use crate::cubehash::CubeHash;
+use std::fmt;
+
+/// Full-width digest of a basic block's instruction bytes, as produced by
+/// the CHG while the block's instructions stream through the front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BodyHash(pub [u8; 32]);
+
+/// The truncated 4-byte reference digest stored in a signature-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct EntryDigest(pub u32);
+
+impl fmt::Display for EntryDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for EntryDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A per-module secret key used both to key the validation hash and to
+/// encrypt the module's signature table (paper Sec. IX: the symmetric key is
+/// itself wrapped with a CPU-specific public key; key wrapping is modeled in
+/// `rev-sigtable`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignatureKey([u8; 16]);
+
+impl fmt::Debug for SignatureKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SignatureKey(..)")
+    }
+}
+
+impl SignatureKey {
+    /// Wraps raw key bytes.
+    pub const fn from_bytes(bytes: [u8; 16]) -> Self {
+        SignatureKey(bytes)
+    }
+
+    /// Returns the raw key bytes (for the AES table-encryption path).
+    pub const fn as_bytes(&self) -> &[u8; 16] {
+        &self.0
+    }
+
+    /// Derives a key deterministically from a seed (convenience for tests
+    /// and workload setup; production keys come from the TPM-like store).
+    pub fn from_seed(seed: u64) -> Self {
+        let digest = CubeHash::digest(&seed.to_le_bytes());
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&digest[..16]);
+        SignatureKey(key)
+    }
+}
+
+/// Hashes a basic block's raw instruction bytes, exactly as the pipelined
+/// CHG does while the block streams through the fetch stages.
+pub fn bb_body_hash(instr_bytes: &[u8]) -> BodyHash {
+    let digest = CubeHash::digest(instr_bytes);
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&digest);
+    BodyHash(out)
+}
+
+/// Derives the 4-byte reference digest for one signature-table entry.
+///
+/// Binds `(key, bb_addr, body, target, pred)`; any change to the block's
+/// bytes, its address, the recorded successor, or the recorded predecessor
+/// produces a different digest (with 2⁻³² collision probability — see the
+/// paper's Sec. V.C discussion and the `Aggressive` mode).
+pub fn entry_digest(
+    key: &SignatureKey,
+    bb_addr: u64,
+    body: &BodyHash,
+    target: u64,
+    pred: u64,
+) -> EntryDigest {
+    let mut h = CubeHash::new();
+    h.update(&key.0);
+    h.update(&bb_addr.to_le_bytes());
+    h.update(&body.0);
+    h.update(&target.to_le_bytes());
+    h.update(&pred.to_le_bytes());
+    let digest = h.finalize();
+    // "the last 4 bytes of the crypto hash value" (paper Sec. V.C)
+    let tail: [u8; 4] = digest[digest.len() - 4..].try_into().expect("4 bytes");
+    EntryDigest(u32::from_le_bytes(tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(bytes: &[u8]) -> BodyHash {
+        bb_body_hash(bytes)
+    }
+
+    #[test]
+    fn digest_binds_every_field() {
+        let key = SignatureKey::from_seed(1);
+        let b = body(&[1, 2, 3]);
+        let base = entry_digest(&key, 0x1000, &b, 0x2000, 0x3000);
+        assert_ne!(base, entry_digest(&key, 0x1008, &b, 0x2000, 0x3000), "bb addr");
+        assert_ne!(base, entry_digest(&key, 0x1000, &b, 0x2008, 0x3000), "target");
+        assert_ne!(base, entry_digest(&key, 0x1000, &b, 0x2000, 0x3008), "pred");
+        assert_ne!(
+            base,
+            entry_digest(&key, 0x1000, &body(&[1, 2, 4]), 0x2000, 0x3000),
+            "body"
+        );
+        assert_ne!(
+            base,
+            entry_digest(&SignatureKey::from_seed(2), 0x1000, &b, 0x2000, 0x3000),
+            "key"
+        );
+    }
+
+    #[test]
+    fn digest_is_deterministic() {
+        let key = SignatureKey::from_seed(9);
+        let b = body(b"block");
+        assert_eq!(
+            entry_digest(&key, 7, &b, 8, 9),
+            entry_digest(&key, 7, &b, 8, 9)
+        );
+    }
+
+    #[test]
+    fn key_debug_redacts() {
+        let key = SignatureKey::from_bytes([0xaa; 16]);
+        assert_eq!(format!("{key:?}"), "SignatureKey(..)");
+    }
+
+    #[test]
+    fn from_seed_is_stable_and_distinct() {
+        assert_eq!(SignatureKey::from_seed(5), SignatureKey::from_seed(5));
+        assert_ne!(SignatureKey::from_seed(5), SignatureKey::from_seed(6));
+    }
+}

@@ -1,0 +1,38 @@
+//! # rev-isa — a synthetic byte-encoded ISA for the REV simulator
+//!
+//! The REV paper (MICRO 2014) evaluates on the x86-64 ISA via the MARSS
+//! full-system simulator. REV itself is ISA-agnostic: it hashes the raw
+//! *bytes* of each basic block as instructions are fetched and keys all
+//! validation state off the *address* of the control-flow instruction that
+//! terminates a basic block. This crate provides a compact load/store ISA
+//! with **variable-length byte encodings** (1–10 bytes, mimicking x86's
+//! variable-length property that REV's byte-stream hashing must handle) and
+//! the full control-flow taxonomy REV distinguishes:
+//!
+//! * PC-relative conditional branches (validated implicitly via the BB hash),
+//! * direct jumps and calls (also implicit),
+//! * **computed** jumps and calls (explicit target validation),
+//! * returns (delayed validation, Sec. V.A of the paper),
+//! * syscalls and halt (BB terminators).
+//!
+//! # Example
+//!
+//! ```
+//! use rev_isa::{Instruction, Reg, decode, encoded_len};
+//!
+//! let insn = Instruction::AddI { rd: Reg::R1, rs: Reg::R2, imm: 42 };
+//! let bytes = insn.encode();
+//! assert_eq!(bytes.len(), encoded_len(&insn));
+//! let (decoded, len) = decode(&bytes).expect("round trip");
+//! assert_eq!(decoded, insn);
+//! assert_eq!(len, bytes.len());
+//! ```
+
+mod instr;
+mod reg;
+
+pub use instr::{
+    decode, encoded_len, AluOp, BranchCond, DecodeError, FpuOp, InstrClass, Instruction,
+    MAX_INSTR_LEN,
+};
+pub use reg::{FReg, Reg, NUM_FREGS, NUM_REGS, REG_FP, REG_LCG, REG_SP, REG_ZERO};

@@ -1,0 +1,161 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// Number of architectural integer registers.
+pub const NUM_REGS: usize = 32;
+/// Number of architectural floating-point registers.
+pub const NUM_FREGS: usize = 32;
+
+/// The hardwired zero register (`r0` always reads 0; writes are discarded).
+pub const REG_ZERO: Reg = Reg::R0;
+/// ABI stack pointer. `Call` pushes the return address at `[sp - 8]`,
+/// `Ret` pops it — so return addresses live in simulated memory and are
+/// corruptible, which is exactly what ROP-style attacks exploit.
+pub const REG_SP: Reg = Reg::R29;
+/// ABI frame pointer (used by generated workloads).
+pub const REG_FP: Reg = Reg::R28;
+/// Register that generated workloads dedicate to their in-program linear
+/// congruential generator, which drives data-dependent branch outcomes.
+pub const REG_LCG: Reg = Reg::R27;
+
+macro_rules! define_reg {
+    ($(#[$meta:meta])* $name:ident, $n:expr, $($variant:ident = $idx:expr),+ $(,)?) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[repr(u8)]
+        pub enum $name {
+            $(#[allow(missing_docs)] $variant = $idx),+
+        }
+
+        impl $name {
+            /// Returns the register's index in `0..$n`.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Constructs a register from an index.
+            ///
+            /// Returns `None` if `idx >= $n`.
+            #[inline]
+            pub const fn from_index(idx: u8) -> Option<Self> {
+                if (idx as usize) < $n {
+                    // SAFETY-free: exhaustive match via transmute-equivalent table.
+                    Some(match idx {
+                        $($idx => Self::$variant,)+
+                        _ => unreachable!(),
+                    })
+                } else {
+                    None
+                }
+            }
+
+            /// Iterator over every register, in index order.
+            pub fn all() -> impl Iterator<Item = Self> {
+                (0..$n as u8).map(|i| Self::from_index(i).expect("index in range"))
+            }
+        }
+
+        impl From<$name> for u8 {
+            #[inline]
+            fn from(r: $name) -> u8 {
+                r as u8
+            }
+        }
+
+        impl TryFrom<u8> for $name {
+            type Error = InvalidRegError;
+
+            #[inline]
+            fn try_from(v: u8) -> Result<Self, InvalidRegError> {
+                Self::from_index(v).ok_or(InvalidRegError(v))
+            }
+        }
+    };
+}
+
+define_reg!(
+    /// An architectural integer register (`r0`–`r31`).
+    ///
+    /// `r0` is hardwired to zero. See [`REG_SP`], [`REG_FP`], [`REG_LCG`]
+    /// for ABI role assignments used by the workload generator.
+    Reg, NUM_REGS,
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+);
+
+define_reg!(
+    /// An architectural floating-point register (`f0`–`f31`).
+    FReg, NUM_FREGS,
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14, F15 = 15,
+    F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21, F22 = 22, F23 = 23,
+    F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+);
+
+/// Error returned when converting an out-of-range index into a register name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRegError(pub u8);
+
+impl fmt::Display for InvalidRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "register index {} out of range", self.0)
+    }
+}
+
+impl std::error::Error for InvalidRegError {}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(u8::from(r), i);
+        }
+        for i in 0..NUM_FREGS as u8 {
+            let r = FReg::from_index(i).unwrap();
+            assert_eq!(r.index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert_eq!(Reg::from_index(32), None);
+        assert_eq!(FReg::from_index(255), None);
+        assert!(Reg::try_from(200u8).is_err());
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_REGS);
+        assert_eq!(regs[0], Reg::R0);
+        assert_eq!(regs[31], Reg::R31);
+    }
+
+    #[test]
+    fn display_is_conventional() {
+        assert_eq!(Reg::R29.to_string(), "r29");
+        assert_eq!(FReg::F3.to_string(), "f3");
+        assert_eq!(REG_SP, Reg::R29);
+    }
+}

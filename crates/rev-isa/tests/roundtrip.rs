@@ -1,0 +1,115 @@
+//! Property-based round-trip tests for the ISA encoder/decoder.
+
+use proptest::prelude::*;
+use rev_isa::{decode, encoded_len, BranchCond, FReg, Instruction, Reg};
+use rev_isa::{AluOp, FpuOp};
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(|i| Reg::from_index(i).unwrap())
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(|i| FReg::from_index(i).unwrap())
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Shl),
+        Just(AluOp::Shr),
+        Just(AluOp::Mul),
+        Just(AluOp::Slt),
+    ]
+}
+
+fn arb_fpu_op() -> impl Strategy<Value = FpuOp> {
+    prop_oneof![Just(FpuOp::Add), Just(FpuOp::Sub), Just(FpuOp::Mul), Just(FpuOp::Div)]
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ]
+}
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        Just(Instruction::Ret),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AddI { rd, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AndI { rd, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::XorI { rd, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::MulI { rd, rs, imm }),
+        (arb_reg(), any::<u64>()).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instruction::Mov { rd, rs }),
+        (arb_fpu_op(), arb_freg(), arb_freg(), arb_freg())
+            .prop_map(|(op, fd, fs1, fs2)| Instruction::Fpu { op, fd, fs1, fs2 }),
+        (arb_freg(), arb_freg()).prop_map(|(fd, fs)| Instruction::FMov { fd, fs }),
+        (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Instruction::CvtIF { fd, rs }),
+        (arb_reg(), arb_freg()).prop_map(|(rd, fs)| Instruction::CvtFI { rd, fs }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rd, rbase, off)| Instruction::Load { rd, rbase, off }),
+        (arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(rs, rbase, off)| Instruction::Store { rs, rbase, off }),
+        (arb_freg(), arb_reg(), any::<i32>())
+            .prop_map(|(fd, rbase, off)| Instruction::LoadF { fd, rbase, off }),
+        (arb_freg(), arb_reg(), any::<i32>())
+            .prop_map(|(fs, rbase, off)| Instruction::StoreF { fs, rbase, off }),
+        (arb_cond(), arb_reg(), arb_reg(), any::<i32>())
+            .prop_map(|(cond, rs1, rs2, disp)| Instruction::Branch { cond, rs1, rs2, disp }),
+        any::<i32>().prop_map(|disp| Instruction::Jmp { disp }),
+        any::<i32>().prop_map(|disp| Instruction::Call { disp }),
+        arb_reg().prop_map(|rt| Instruction::JmpInd { rt }),
+        arb_reg().prop_map(|rt| Instruction::CallInd { rt }),
+        any::<u16>().prop_map(|num| Instruction::Syscall { num }),
+    ]
+}
+
+proptest! {
+    /// Every instruction encodes and decodes back to itself, and the
+    /// declared length matches the encoded byte count.
+    #[test]
+    fn round_trip(insn in arb_instruction()) {
+        let bytes = insn.encode();
+        prop_assert_eq!(bytes.len(), encoded_len(&insn));
+        let (decoded, len) = decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, insn);
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    /// A sequence of instructions decodes back instruction-by-instruction —
+    /// the property REV's front end relies on when walking the fetched byte
+    /// stream.
+    #[test]
+    fn stream_round_trip(insns in proptest::collection::vec(arb_instruction(), 1..64)) {
+        let mut bytes = Vec::new();
+        for insn in &insns {
+            insn.encode_into(&mut bytes);
+        }
+        let mut offset = 0;
+        for insn in &insns {
+            let (decoded, len) = decode(&bytes[offset..]).unwrap();
+            prop_assert_eq!(&decoded, insn);
+            offset += len;
+        }
+        prop_assert_eq!(offset, bytes.len());
+    }
+
+    /// Decoding never panics on arbitrary bytes (it may error).
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        let _ = decode(&bytes);
+    }
+}

@@ -1,0 +1,30 @@
+//! # rev-mem — the memory system under the REV-augmented core
+//!
+//! Models the paper's Table 2 memory configuration:
+//!
+//! * split 64 KiB / 4-way L1 I and D caches (2-cycle),
+//! * unified 512 KiB / 8-way L2 (5-cycle),
+//! * DRAM with 8 banks, open-page row hits, 100-cycle first-chunk latency
+//!   and 64-byte bursts,
+//! * 32-entry L1 I-TLB and 128-entry L1 D-TLB backed by a 512-entry L2 TLB
+//!   (the D-TLB is shared with the signature cache through an extra port).
+//!
+//! Timing caches are **tag-only**: functional data lives in the flat
+//! [`MainMemory`], which keeps the timing model and the oracle execution
+//! engine trivially coherent. Requests carry a [`Requester`] class so the
+//! hierarchy can attribute traffic — the paper's Figure 11 reports L1/L2
+//! miss statistics *for signature-cache fill traffic specifically*, and the
+//! priority ordering (data misses > SC fills > instruction misses >
+//! prefetch, paper Sec. IV.A) is modeled in the port arbitration.
+
+mod cache;
+mod dram;
+mod hier;
+mod memory;
+mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use dram::{Dram, DramConfig, DramStats};
+pub use hier::{AccessOutcome, Hierarchy, MemConfig, MemStats, Request, Requester};
+pub use memory::MainMemory;
+pub use tlb::{Tlb, TlbConfig, TlbStats};

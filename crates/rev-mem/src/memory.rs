@@ -1,0 +1,148 @@
+//! Flat, sparse, functional main memory.
+//!
+//! Holds the program image and all run-time data. The timing model
+//! ([`crate::Hierarchy`]) is tag-only, so this is the single source of
+//! functional truth for both the oracle execution engine and the committed
+//! state. Pages are allocated lazily.
+
+use rev_prog::Segment;
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse 64-bit byte-addressable memory.
+///
+/// # Example
+///
+/// ```
+/// use rev_mem::MainMemory;
+///
+/// let mut mem = MainMemory::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u8(0x9999), 0); // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MainMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl MainMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a memory pre-loaded with `segments`.
+    pub fn with_segments(segments: &[Segment]) -> Self {
+        let mut mem = Self::new();
+        for seg in segments {
+            mem.write_bytes(seg.addr, &seg.bytes);
+        }
+        mem
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte (unmapped memory reads zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.page(addr)
+            .map(|p| p[(addr as usize) & (PAGE_SIZE - 1)])
+            .unwrap_or(0)
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian u64 (may straddle pages).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.read_into(addr, &mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`.
+    pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+    }
+
+    /// Returns `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        let mut buf = vec![0; len];
+        self.read_into(addr, &mut buf);
+        buf
+    }
+
+    /// Writes a byte slice starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut a = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let take = (PAGE_SIZE - off).min(rest.len());
+            self.page_mut(a)[off..off + take].copy_from_slice(&rest[..take]);
+            a += take as u64;
+            rest = &rest[take..];
+        }
+    }
+
+    /// Number of resident pages (for tests / footprint reporting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let mem = MainMemory::new();
+        assert_eq!(mem.read_u8(0), 0);
+        assert_eq!(mem.read_u64(0xffff_ffff_ffff_fff0), 0);
+    }
+
+    #[test]
+    fn u64_round_trip_cross_page() {
+        let mut mem = MainMemory::new();
+        let addr = (1 << PAGE_SHIFT) - 3; // straddles a page boundary
+        mem.write_u64(addr, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(addr), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn segment_loading() {
+        let segs = vec![Segment { addr: 0x2000, bytes: vec![1, 2, 3], writable: false }];
+        let mem = MainMemory::with_segments(&segs);
+        assert_eq!(mem.read_bytes(0x2000, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn write_bytes_cross_page() {
+        let mut mem = MainMemory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let addr = (1 << PAGE_SHIFT) - 100;
+        mem.write_bytes(addr, &data);
+        assert_eq!(mem.read_bytes(addr, 256), data);
+    }
+}

@@ -1,0 +1,450 @@
+//! A textual assembler for the `rev-isa` syntax emitted by
+//! [`disassemble`](crate::disassemble) — lets tests, examples and victim
+//! payloads be written as readable assembly instead of builder calls.
+//!
+//! Supported grammar (one statement per line, `;` comments):
+//!
+//! ```text
+//! func <name>            ; begin a function
+//! endfunc                ; end it
+//! <label>:               ; bind a label
+//! addi r1, r0, 42        ; register/immediate forms as printed by Display
+//! ld r2, 8(r5)           ; loads/stores with offset(base)
+//! beq r1, r2, target     ; branches take a label
+//! jmp target / call target
+//! jmp *r5 [t1, t2]       ; computed jump with its legitimate targets
+//! call *r5 [f1, f2]
+//! li r1, 0x1234          ; decimal or 0x-hex immediates
+//! li r1, =label          ; absolute address of a label
+//! ret / nop / halt / syscall 7
+//! ```
+
+use crate::builder::{BuildError, FuncId, Label, ModuleBuilder};
+use crate::module::Module;
+use rev_isa::{AluOp, BranchCond, FReg, FpuOp, Instruction, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly-text error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<BuildError> for AsmError {
+    fn from(e: BuildError) -> Self {
+        AsmError { line: 0, message: e.to_string() }
+    }
+}
+
+struct Assembler {
+    b: ModuleBuilder,
+    labels: HashMap<String, Label>,
+    open: Option<FuncId>,
+}
+
+impl Assembler {
+    fn label(&mut self, name: &str) -> Label {
+        if let Some(&l) = self.labels.get(name) {
+            return l;
+        }
+        let l = self.b.new_label();
+        self.labels.insert(name.to_string(), l);
+        l
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError { line, message: message.into() }
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<Reg, AsmError> {
+    let idx: u8 = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected integer register, got '{tok}'")))?;
+    Reg::from_index(idx).ok_or_else(|| err(line, format!("register out of range: '{tok}'")))
+}
+
+fn parse_freg(line: usize, tok: &str) -> Result<FReg, AsmError> {
+    let idx: u8 = tok
+        .strip_prefix('f')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected fp register, got '{tok}'")))?;
+    FReg::from_index(idx).ok_or_else(|| err(line, format!("fp register out of range: '{tok}'")))
+}
+
+fn parse_int(line: usize, tok: &str) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok.strip_prefix('+').unwrap_or(tok)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad integer '{tok}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `off(base)` memory operands.
+fn parse_mem(line: usize, tok: &str) -> Result<(i32, Reg), AsmError> {
+    let open = tok.find('(').ok_or_else(|| err(line, format!("expected off(base), got '{tok}'")))?;
+    let close =
+        tok.find(')').ok_or_else(|| err(line, format!("unclosed memory operand '{tok}'")))?;
+    let off = if open == 0 { 0 } else { parse_int(line, &tok[..open])? as i32 };
+    let base = parse_reg(line, &tok[open + 1..close])?;
+    Ok((off, base))
+}
+
+fn split_operands(rest: &str) -> Vec<String> {
+    rest.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect()
+}
+
+/// Assembles `source` into a module named `name` based at `base`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on syntax errors or unbound labels.
+///
+/// # Example
+///
+/// ```
+/// use rev_prog::assemble;
+///
+/// let module = assemble(
+///     "demo",
+///     0x1000,
+///     r#"
+///     func main
+///         li   r2, 10
+///     loop:
+///         addi r1, r1, 1
+///         blt  r1, r2, loop
+///         halt
+///     endfunc
+///     "#,
+/// )?;
+/// assert_eq!(module.functions()[0].name, "main");
+/// # Ok::<(), rev_prog::AsmError>(())
+/// ```
+pub fn assemble(name: &str, base: u64, source: &str) -> Result<Module, AsmError> {
+    let mut a = Assembler { b: ModuleBuilder::new(name, base), labels: HashMap::new(), open: None };
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Label binding.
+        if let Some(label_name) = line.strip_suffix(':') {
+            let l = a.label(label_name.trim());
+            a.b.bind(l);
+            continue;
+        }
+        let (mnemonic, rest) = match line.split_once(char::is_whitespace) {
+            Some((m, r)) => (m.trim(), r.trim()),
+            None => (line, ""),
+        };
+        let ops = split_operands(rest);
+        let nops = ops.len();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if nops == n {
+                Ok(())
+            } else {
+                Err(err(line_no, format!("'{mnemonic}' expects {n} operands, got {nops}")))
+            }
+        };
+
+        match mnemonic {
+            "func" => {
+                let id = a.b.begin_function(rest);
+                a.open = Some(id);
+            }
+            "endfunc" => {
+                let id = a.open.take().ok_or_else(|| err(line_no, "endfunc without func"))?;
+                a.b.end_function(id);
+            }
+            "nop" => a.b.push(Instruction::Nop),
+            "halt" => a.b.push(Instruction::Halt),
+            "ret" => a.b.push(Instruction::Ret),
+            "syscall" => {
+                want(1)?;
+                let n = parse_int(line_no, &ops[0])? as u16;
+                a.b.push(Instruction::Syscall { num: n });
+            }
+            "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" | "mul" | "slt" => {
+                want(3)?;
+                let op = match mnemonic {
+                    "add" => AluOp::Add,
+                    "sub" => AluOp::Sub,
+                    "and" => AluOp::And,
+                    "or" => AluOp::Or,
+                    "xor" => AluOp::Xor,
+                    "shl" => AluOp::Shl,
+                    "shr" => AluOp::Shr,
+                    "mul" => AluOp::Mul,
+                    _ => AluOp::Slt,
+                };
+                a.b.push(Instruction::Alu {
+                    op,
+                    rd: parse_reg(line_no, &ops[0])?,
+                    rs1: parse_reg(line_no, &ops[1])?,
+                    rs2: parse_reg(line_no, &ops[2])?,
+                });
+            }
+            "addi" | "andi" | "xori" | "muli" => {
+                want(3)?;
+                let rd = parse_reg(line_no, &ops[0])?;
+                let rs = parse_reg(line_no, &ops[1])?;
+                let imm = parse_int(line_no, &ops[2])? as i32;
+                a.b.push(match mnemonic {
+                    "addi" => Instruction::AddI { rd, rs, imm },
+                    "andi" => Instruction::AndI { rd, rs, imm },
+                    "xori" => Instruction::XorI { rd, rs, imm },
+                    _ => Instruction::MulI { rd, rs, imm },
+                });
+            }
+            "li" => {
+                want(2)?;
+                let rd = parse_reg(line_no, &ops[0])?;
+                if let Some(label_name) = ops[1].strip_prefix('=') {
+                    let l = a.label(label_name);
+                    a.b.li_label(rd, l);
+                } else {
+                    a.b.push(Instruction::Li { rd, imm: parse_int(line_no, &ops[1])? as u64 });
+                }
+            }
+            "mov" => {
+                want(2)?;
+                a.b.push(Instruction::Mov {
+                    rd: parse_reg(line_no, &ops[0])?,
+                    rs: parse_reg(line_no, &ops[1])?,
+                });
+            }
+            "fadd" | "fsub" | "fmul" | "fdiv" => {
+                want(3)?;
+                let op = match mnemonic {
+                    "fadd" => FpuOp::Add,
+                    "fsub" => FpuOp::Sub,
+                    "fmul" => FpuOp::Mul,
+                    _ => FpuOp::Div,
+                };
+                a.b.push(Instruction::Fpu {
+                    op,
+                    fd: parse_freg(line_no, &ops[0])?,
+                    fs1: parse_freg(line_no, &ops[1])?,
+                    fs2: parse_freg(line_no, &ops[2])?,
+                });
+            }
+            "fmov" => {
+                want(2)?;
+                a.b.push(Instruction::FMov {
+                    fd: parse_freg(line_no, &ops[0])?,
+                    fs: parse_freg(line_no, &ops[1])?,
+                });
+            }
+            "cvtif" => {
+                want(2)?;
+                a.b.push(Instruction::CvtIF {
+                    fd: parse_freg(line_no, &ops[0])?,
+                    rs: parse_reg(line_no, &ops[1])?,
+                });
+            }
+            "cvtfi" => {
+                want(2)?;
+                a.b.push(Instruction::CvtFI {
+                    rd: parse_reg(line_no, &ops[0])?,
+                    fs: parse_freg(line_no, &ops[1])?,
+                });
+            }
+            "ld" | "st" | "fld" | "fst" => {
+                want(2)?;
+                let (off, rbase) = parse_mem(line_no, &ops[1])?;
+                a.b.push(match mnemonic {
+                    "ld" => Instruction::Load { rd: parse_reg(line_no, &ops[0])?, rbase, off },
+                    "st" => Instruction::Store { rs: parse_reg(line_no, &ops[0])?, rbase, off },
+                    "fld" => Instruction::LoadF { fd: parse_freg(line_no, &ops[0])?, rbase, off },
+                    _ => Instruction::StoreF { fs: parse_freg(line_no, &ops[0])?, rbase, off },
+                });
+            }
+            "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" => {
+                want(3)?;
+                let cond = match mnemonic {
+                    "beq" => BranchCond::Eq,
+                    "bne" => BranchCond::Ne,
+                    "blt" => BranchCond::Lt,
+                    "bge" => BranchCond::Ge,
+                    "bltu" => BranchCond::Ltu,
+                    _ => BranchCond::Geu,
+                };
+                let rs1 = parse_reg(line_no, &ops[0])?;
+                let rs2 = parse_reg(line_no, &ops[1])?;
+                let target = a.label(&ops[2]);
+                a.b.branch(cond, rs1, rs2, target);
+            }
+            "jmp" | "call" => {
+                if let Some(rest) = rest.strip_prefix('*') {
+                    // Computed form: `jmp *r5 [t1, t2]`.
+                    let (reg_tok, targets_tok) = match rest.split_once('[') {
+                        Some((r, t)) => (r.trim(), t.trim_end_matches(']')),
+                        None => (rest.trim(), ""),
+                    };
+                    let rt = parse_reg(line_no, reg_tok)?;
+                    let targets: Vec<Label> = split_operands(targets_tok)
+                        .iter()
+                        .map(|t| a.label(t))
+                        .collect();
+                    if mnemonic == "jmp" {
+                        a.b.jmp_ind(rt, &targets);
+                    } else {
+                        a.b.call_ind(rt, &targets);
+                    }
+                } else {
+                    want(1)?;
+                    let target = a.label(&ops[0]);
+                    if mnemonic == "jmp" {
+                        a.b.jmp(target);
+                    } else {
+                        a.b.call(target);
+                    }
+                }
+            }
+            other => return Err(err(line_no, format!("unknown mnemonic '{other}'"))),
+        }
+    }
+    a.b.finish().map_err(AsmError::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_loop() {
+        let m = assemble(
+            "t",
+            0x1000,
+            r#"
+            func main
+                li   r2, 5
+            top:
+                addi r1, r1, 1
+                blt  r1, r2, top
+                halt
+            endfunc
+            "#,
+        )
+        .expect("assembles");
+        let insns: Vec<_> = m.instructions().map(Result::unwrap).collect();
+        assert_eq!(insns.len(), 4);
+        assert!(matches!(insns[2].1, Instruction::Branch { disp, .. } if disp < 0));
+    }
+
+    #[test]
+    fn memory_and_computed_forms() {
+        let m = assemble(
+            "t",
+            0x1000,
+            r#"
+            func main
+                ld   r2, 8(r5)
+                st   r2, (r5)
+                jmp  *r3 [a, b]
+            a:
+                nop
+            b:
+                halt
+            endfunc
+            "#,
+        )
+        .expect("assembles");
+        let targets = m.all_indirect_targets().next().expect("recorded").1.to_vec();
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn li_label_form() {
+        let m = assemble(
+            "t",
+            0x1000,
+            r#"
+            func main
+                li r1, =dest
+                halt
+            dest:
+                nop
+            endfunc
+            "#,
+        )
+        .expect("assembles");
+        let (_, insn, _) = m.instructions().next().unwrap().unwrap();
+        match insn {
+            Instruction::Li { imm, .. } => assert_eq!(imm, 0x1000 + 11),
+            other => panic!("expected li, got {other}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("t", 0, "func main\n  bogus r1\nendfunc").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+        let e = assemble("t", 0, "func main\n  addi r1, r0\nendfunc").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+        let e = assemble("t", 0, "func main\n  addi r99, r0, 1\nendfunc").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+
+    #[test]
+    fn disassembler_output_reassembles() {
+        // Round trip: builder -> Display text -> assemble -> same bytes.
+        let mut b = ModuleBuilder::new("orig", 0x1000);
+        let f = b.begin_function("main");
+        let top = b.new_label();
+        b.push(Instruction::Li { rd: Reg::R2, imm: 3 });
+        b.bind(top);
+        b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+        b.push(Instruction::Alu { op: AluOp::Xor, rd: Reg::R3, rs1: Reg::R3, rs2: Reg::R1 });
+        b.push(Instruction::Store { rs: Reg::R3, rbase: Reg::R29, off: -16 });
+        b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+        b.push(Instruction::Halt);
+        b.end_function(f);
+        let original = b.finish().unwrap();
+
+        // Convert the listing into assemblable text: keep mnemonics, turn
+        // branch displacements into labels.
+        let mut text = String::from("func main\n");
+        for item in original.instructions() {
+            let (addr, insn, _) = item.unwrap();
+            if let Instruction::Branch { cond, rs1, rs2, .. } = insn {
+                // The only branch targets `top` (the addi at 0x100a).
+                let _ = (cond, rs1, rs2);
+                text.push_str("blt r1, r2, top\n");
+            } else {
+                if addr == 0x100a {
+                    text.push_str("top:\n");
+                }
+                text.push_str(&insn.to_string());
+                text.push('\n');
+            }
+        }
+        text.push_str("endfunc\n");
+        let reassembled = assemble("again", 0x1000, &text).expect("reassembles");
+        assert_eq!(original.code(), reassembled.code());
+    }
+}

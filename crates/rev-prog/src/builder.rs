@@ -1,0 +1,495 @@
+//! A two-pass, label-resolving assembler for [`Module`]s.
+//!
+//! Because every instruction's encoded length is fixed by its opcode, the
+//! builder can lay out addresses in one pass and patch PC-relative
+//! displacements in a second. The builder doubles as the "trusted linker"
+//! of the paper: it records function extents and the exact target sets of
+//! computed jumps/calls, which the signature-table generator consumes.
+
+use crate::module::{Function, Module};
+use rev_isa::{encoded_len, BranchCond, Instruction, Reg};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A forward-referenceable code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(usize);
+
+/// Handle for an open function, returned by [`ModuleBuilder::begin_function`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuncId(usize);
+
+/// Error produced when finishing a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was referenced but never bound.
+    UnboundLabel(Label),
+    /// A displacement overflowed the 32-bit field.
+    DisplacementOverflow {
+        /// Address of the referencing instruction.
+        at: u64,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label {l:?} referenced but never bound"),
+            BuildError::DisplacementOverflow { at } => {
+                write!(f, "branch displacement at {at:#x} overflows 32 bits")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    /// A complete instruction (no label operand).
+    Fixed(Instruction),
+    /// Conditional branch to a label.
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, label: Label },
+    /// Unconditional jump to a label.
+    Jmp { label: Label },
+    /// Direct call to a label.
+    Call { label: Label },
+    /// `Li rd, <absolute address of label>` (resolved at finish).
+    LiLabel { rd: Reg, label: Label },
+    /// `Li rd, <absolute address of data offset>`.
+    LiData { rd: Reg, offset: usize },
+}
+
+impl Item {
+    fn len(&self) -> usize {
+        match self {
+            Item::Fixed(i) => encoded_len(i),
+            Item::Branch { .. } => 8,
+            Item::Jmp { .. } | Item::Call { .. } => 6,
+            Item::LiLabel { .. } | Item::LiData { .. } => 10,
+        }
+    }
+}
+
+/// Incremental builder for a [`Module`].
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    base: u64,
+    items: Vec<Item>,
+    /// label -> item index it points at (bound at that position).
+    bound: Vec<Option<usize>>,
+    functions: Vec<(String, usize, Option<usize>)>, // name, start item, end item
+    open_function: Option<usize>,
+    data: Vec<u8>,
+    /// item index of indirect CF instruction -> target labels
+    indirect: Vec<(usize, Vec<Label>)>,
+    /// item index of indirect CF instruction -> absolute target addresses
+    indirect_abs: Vec<(usize, Vec<u64>)>,
+    /// data-section u64 slots that hold the absolute address of a label:
+    /// (data offset, label)
+    data_label_slots: Vec<(usize, Label)>,
+}
+
+impl ModuleBuilder {
+    /// Starts a module named `name` whose code is loaded at `base`.
+    pub fn new(name: impl Into<String>, base: u64) -> Self {
+        ModuleBuilder {
+            name: name.into(),
+            base,
+            items: Vec::new(),
+            bound: Vec::new(),
+            functions: Vec::new(),
+            open_function: None,
+            data: Vec::new(),
+            indirect: Vec::new(),
+            indirect_abs: Vec::new(),
+            data_label_slots: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.bound.push(None);
+        Label(self.bound.len() - 1)
+    }
+
+    /// Binds `label` to the address of the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label binds exactly once).
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.bound[label.0].is_none(), "label bound twice");
+        self.bound[label.0] = Some(self.items.len());
+    }
+
+    /// Opens a function; its entry is the next emitted instruction.
+    pub fn begin_function(&mut self, name: impl Into<String>) -> FuncId {
+        assert!(self.open_function.is_none(), "functions cannot nest");
+        self.functions.push((name.into(), self.items.len(), None));
+        let id = FuncId(self.functions.len() - 1);
+        self.open_function = Some(id.0);
+        id
+    }
+
+    /// Closes the function opened by [`ModuleBuilder::begin_function`].
+    pub fn end_function(&mut self, id: FuncId) {
+        assert_eq!(self.open_function, Some(id.0), "mismatched end_function");
+        self.functions[id.0].2 = Some(self.items.len());
+        self.open_function = None;
+    }
+
+    /// Returns a label bound to the entry of function `id` (usable as a
+    /// call target before or after the function is emitted).
+    pub fn function_label(&mut self, id: FuncId) -> Label {
+        let item = self.functions[id.0].1;
+        self.bound.push(Some(item));
+        Label(self.bound.len() - 1)
+    }
+
+    /// Emits a label-free instruction.
+    pub fn push(&mut self, insn: Instruction) {
+        debug_assert!(
+            !matches!(
+                insn,
+                Instruction::Branch { .. } | Instruction::Jmp { .. } | Instruction::Call { .. }
+            ),
+            "use the labeled helpers for control flow"
+        );
+        self.items.push(Item::Fixed(insn));
+    }
+
+    /// Emits a conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: Label) {
+        self.items.push(Item::Branch { cond, rs1, rs2, label });
+    }
+
+    /// Emits an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.items.push(Item::Jmp { label });
+    }
+
+    /// Emits a direct call to `label`.
+    pub fn call(&mut self, label: Label) {
+        self.items.push(Item::Call { label });
+    }
+
+    /// Emits a computed jump through `rt`, declaring the exhaustive set of
+    /// legitimate targets (the static-analysis product REV requires,
+    /// Sec. IV.D: "REV treats any unidentified computed branch address as
+    /// illegal").
+    pub fn jmp_ind(&mut self, rt: Reg, targets: &[Label]) {
+        self.indirect.push((self.items.len(), targets.to_vec()));
+        self.items.push(Item::Fixed(Instruction::JmpInd { rt }));
+    }
+
+    /// Emits a computed call through `rt` with its legitimate target set.
+    pub fn call_ind(&mut self, rt: Reg, targets: &[Label]) {
+        self.indirect.push((self.items.len(), targets.to_vec()));
+        self.items.push(Item::Fixed(Instruction::CallInd { rt }));
+    }
+
+    /// Emits a computed jump whose legitimate targets are absolute
+    /// addresses (typically in *another* module — the cross-module
+    /// transfers the SAG handles, paper Sec. IV.B).
+    pub fn jmp_ind_abs(&mut self, rt: Reg, targets: &[u64]) {
+        self.indirect_abs.push((self.items.len(), targets.to_vec()));
+        self.items.push(Item::Fixed(Instruction::JmpInd { rt }));
+    }
+
+    /// Emits a computed call with absolute (typically cross-module)
+    /// targets.
+    pub fn call_ind_abs(&mut self, rt: Reg, targets: &[u64]) {
+        self.indirect_abs.push((self.items.len(), targets.to_vec()));
+        self.items.push(Item::Fixed(Instruction::CallInd { rt }));
+    }
+
+    /// Emits `li rd, <address of label>`.
+    pub fn li_label(&mut self, rd: Reg, label: Label) {
+        self.items.push(Item::LiLabel { rd, label });
+    }
+
+    /// Emits `li rd, <address of data at offset>` where `offset` was
+    /// returned by a `data_*` method.
+    pub fn li_data(&mut self, rd: Reg, offset: usize) {
+        self.items.push(Item::LiData { rd, offset });
+    }
+
+    /// Appends raw bytes to the data section; returns their offset.
+    pub fn data_bytes(&mut self, bytes: &[u8]) -> usize {
+        let off = self.data.len();
+        self.data.extend_from_slice(bytes);
+        off
+    }
+
+    /// Appends 64-bit words to the data section; returns their offset.
+    pub fn data_u64s(&mut self, words: &[u64]) -> usize {
+        let off = self.data.len();
+        for w in words {
+            self.data.extend_from_slice(&w.to_le_bytes());
+        }
+        off
+    }
+
+    /// Appends a jump table of code-label addresses to the data section;
+    /// the slots are patched with absolute addresses at finish. Returns the
+    /// table's data offset.
+    pub fn data_label_table(&mut self, labels: &[Label]) -> usize {
+        let off = self.data.len();
+        for (i, l) in labels.iter().enumerate() {
+            self.data_label_slots.push((off + 8 * i, *l));
+            self.data.extend_from_slice(&0u64.to_le_bytes());
+        }
+        off
+    }
+
+    /// Appends `count` zero bytes to the data section (array storage);
+    /// returns the offset.
+    pub fn data_zeroed(&mut self, count: usize) -> usize {
+        let off = self.data.len();
+        self.data.resize(off + count, 0);
+        off
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Assembles the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if any referenced label is unbound or a
+    /// displacement does not fit its field.
+    pub fn finish(self) -> Result<Module, BuildError> {
+        // Pass 1: addresses of every item.
+        let mut addrs = Vec::with_capacity(self.items.len());
+        let mut pc = self.base;
+        for item in &self.items {
+            addrs.push(pc);
+            pc += item.len() as u64;
+        }
+        let code_end = pc;
+        // Data section follows code, aligned to 64 bytes (a cache line).
+        let data_base = (code_end + 63) & !63;
+
+        let label_addr = |label: Label| -> Result<u64, BuildError> {
+            let idx = self.bound[label.0].ok_or(BuildError::UnboundLabel(label))?;
+            Ok(if idx == addrs.len() { code_end } else { addrs[idx] })
+        };
+
+        // Pass 2: encode with resolved displacements.
+        let mut code = Vec::with_capacity((code_end - self.base) as usize);
+        for (i, item) in self.items.iter().enumerate() {
+            let next_pc = addrs[i] + item.len() as u64;
+            let disp_to = |target: u64| -> Result<i32, BuildError> {
+                let d = target as i64 - next_pc as i64;
+                i32::try_from(d).map_err(|_| BuildError::DisplacementOverflow { at: addrs[i] })
+            };
+            let insn = match item {
+                Item::Fixed(insn) => *insn,
+                Item::Branch { cond, rs1, rs2, label } => Instruction::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    disp: disp_to(label_addr(*label)?)?,
+                },
+                Item::Jmp { label } => Instruction::Jmp { disp: disp_to(label_addr(*label)?)? },
+                Item::Call { label } => Instruction::Call { disp: disp_to(label_addr(*label)?)? },
+                Item::LiLabel { rd, label } => {
+                    Instruction::Li { rd: *rd, imm: label_addr(*label)? }
+                }
+                Item::LiData { rd, offset } => {
+                    Instruction::Li { rd: *rd, imm: data_base + *offset as u64 }
+                }
+            };
+            insn.encode_into(&mut code);
+        }
+        debug_assert_eq!(code.len() as u64, code_end - self.base);
+
+        // Patch data-section jump tables with absolute label addresses.
+        let mut data = self.data;
+        for (off, label) in &self.data_label_slots {
+            let addr = label_addr(*label)?;
+            data[*off..*off + 8].copy_from_slice(&addr.to_le_bytes());
+        }
+
+        // Function extents.
+        let functions = self
+            .functions
+            .iter()
+            .map(|(name, start, end)| {
+                let entry = addrs.get(*start).copied().unwrap_or(code_end);
+                let end_addr = match end {
+                    Some(e) => addrs.get(*e).copied().unwrap_or(code_end),
+                    None => code_end,
+                };
+                Function { name: name.clone(), entry, end: end_addr }
+            })
+            .collect();
+
+        // Indirect target sets keyed by instruction address.
+        let mut indirect_targets: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        for (item_idx, labels) in &self.indirect {
+            let targets = labels
+                .iter()
+                .map(|l| label_addr(*l))
+                .collect::<Result<Vec<u64>, _>>()?;
+            indirect_targets.entry(addrs[*item_idx]).or_default().extend(targets);
+        }
+        for (item_idx, abs) in &self.indirect_abs {
+            indirect_targets.entry(addrs[*item_idx]).or_default().extend(abs.iter().copied());
+        }
+
+        Ok(Module::from_parts(
+            self.name,
+            self.base,
+            code,
+            data_base,
+            data,
+            functions,
+            indirect_targets,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_isa::decode;
+
+    #[test]
+    fn backward_and_forward_branches_resolve() {
+        let mut b = ModuleBuilder::new("m", 0x1000);
+        let top = b.new_label();
+        let out = b.new_label();
+        b.bind(top);
+        b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+        b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+        b.jmp(out);
+        b.bind(out);
+        b.push(Instruction::Halt);
+        let m = b.finish().unwrap();
+
+        // branch at 0x1007, next pc 0x100f, target 0x1000 -> disp -15
+        let (insn, _) = m.decode_at(0x1007).unwrap();
+        match insn {
+            Instruction::Branch { disp, .. } => assert_eq!(disp, -15),
+            other => panic!("expected branch, got {other}"),
+        }
+        // jmp at 0x100f, next pc 0x1015, target 0x1015 -> disp 0
+        let (insn, _) = m.decode_at(0x100f).unwrap();
+        match insn {
+            Instruction::Jmp { disp } => assert_eq!(disp, 0),
+            other => panic!("expected jmp, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unbound_label_errors() {
+        let mut b = ModuleBuilder::new("m", 0);
+        let l = b.new_label();
+        b.jmp(l);
+        assert!(matches!(b.finish(), Err(BuildError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn call_to_function_label() {
+        let mut b = ModuleBuilder::new("m", 0x2000);
+        let f_main = b.begin_function("main");
+        // Call the function that comes later.
+        let callee_entry = b.new_label();
+        b.call(callee_entry);
+        b.push(Instruction::Halt);
+        b.end_function(f_main);
+        let f_callee = b.begin_function("callee");
+        b.bind(callee_entry);
+        b.push(Instruction::Ret);
+        b.end_function(f_callee);
+        let m = b.finish().unwrap();
+
+        assert_eq!(m.functions().len(), 2);
+        assert_eq!(m.functions()[1].name, "callee");
+        let (insn, len) = m.decode_at(0x2000).unwrap();
+        match insn {
+            Instruction::Call { disp } => {
+                let target = 0x2000 + len as u64 + disp as u64;
+                assert_eq!(target, m.functions()[1].entry);
+            }
+            other => panic!("expected call, got {other}"),
+        }
+    }
+
+    #[test]
+    fn indirect_targets_recorded_with_addresses() {
+        let mut b = ModuleBuilder::new("m", 0x3000);
+        let t1 = b.new_label();
+        let t2 = b.new_label();
+        b.jmp_ind(Reg::R5, &[t1, t2]);
+        b.bind(t1);
+        b.push(Instruction::Nop);
+        b.bind(t2);
+        b.push(Instruction::Halt);
+        let m = b.finish().unwrap();
+
+        let targets = m.indirect_targets(0x3000).expect("targets recorded");
+        assert_eq!(targets, &[0x3002, 0x3003]);
+    }
+
+    #[test]
+    fn data_label_table_patched() {
+        let mut b = ModuleBuilder::new("m", 0x100);
+        let t1 = b.new_label();
+        let tab = b.data_label_table(&[t1]);
+        b.li_data(Reg::R1, tab);
+        b.bind(t1);
+        b.push(Instruction::Halt);
+        let m = b.finish().unwrap();
+
+        let slot = u64::from_le_bytes(m.data()[tab..tab + 8].try_into().unwrap());
+        assert_eq!(slot, 0x100 + 10); // after the 10-byte li
+        // li operand must equal data_base + tab
+        let (insn, _) = m.decode_at(0x100).unwrap();
+        match insn {
+            Instruction::Li { imm, .. } => assert_eq!(imm, m.data_base()),
+            other => panic!("expected li, got {other}"),
+        }
+        assert_eq!(m.data_base() % 64, 0, "data base is cache-line aligned");
+    }
+
+    #[test]
+    fn encoded_stream_is_dense() {
+        let mut b = ModuleBuilder::new("m", 0);
+        for i in 0..10 {
+            b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: i });
+        }
+        b.push(Instruction::Halt);
+        let m = b.finish().unwrap();
+        let mut off = 0usize;
+        let mut count = 0;
+        while off < m.code_len() {
+            let (_, len) = decode(&m.code()[off..]).unwrap();
+            off += len;
+            count += 1;
+        }
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ModuleBuilder::new("m", 0);
+        let l = b.new_label();
+        b.bind(l);
+        b.bind(l);
+    }
+}

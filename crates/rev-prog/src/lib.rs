@@ -1,0 +1,53 @@
+//! # rev-prog — programs, modules, and static control-flow analysis
+//!
+//! REV validates executions against *statically derived* reference
+//! signatures (paper Sec. IV.A). That requires, ahead of execution:
+//!
+//! 1. a binary image of each executable module,
+//! 2. a complete basic-block decomposition with every block keyed by the
+//!    address of its terminating control-flow instruction (the paper's
+//!    "address of the BB"),
+//! 3. the control-flow graph: successors per block, predecessors per block,
+//!    return-site sets per function, and the target sets of computed
+//!    branches (paper Sec. IV.D — obtained via static analysis or
+//!    profiling; here we *are* the linker, so target sets are exact),
+//! 4. the artificial splitting of over-long blocks so the post-commit
+//!    deferral buffers are never exceeded (paper Sec. IV.A).
+//!
+//! This crate provides the [`ModuleBuilder`] (a two-pass label-resolving
+//! assembler), the [`Module`]/[`Program`] containers, the loader that
+//! produces a flat memory image, and [`Cfg`] static analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use rev_prog::{ModuleBuilder, BbLimits, Cfg};
+//! use rev_isa::{Instruction, Reg, BranchCond};
+//!
+//! let mut b = ModuleBuilder::new("demo", 0x1000);
+//! let f = b.begin_function("main");
+//! let done = b.new_label();
+//! b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R0, imm: 1 });
+//! b.branch(BranchCond::Eq, Reg::R1, Reg::R0, done);
+//! b.push(Instruction::AddI { rd: Reg::R2, rs: Reg::R0, imm: 2 });
+//! b.bind(done);
+//! b.push(Instruction::Halt);
+//! b.end_function(f);
+//! let module = b.finish().unwrap();
+//! let cfg = Cfg::analyze(&module, BbLimits::default()).unwrap();
+//! assert!(cfg.blocks().len() >= 2);
+//! ```
+
+mod asm;
+mod builder;
+mod cfg;
+mod disasm;
+mod module;
+mod program;
+
+pub use asm::{assemble, AsmError};
+pub use builder::{BuildError, FuncId, Label, ModuleBuilder};
+pub use disasm::disassemble;
+pub use cfg::{BbLimits, BlockId, BlockInfo, Cfg, CfgError, CfgStats, TermKind};
+pub use module::{Function, Module};
+pub use program::{Program, ProgramBuilder, Segment, STACK_SIZE_DEFAULT};

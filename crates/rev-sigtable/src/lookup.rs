@@ -1,0 +1,521 @@
+//! The decrypt-and-walk side of the signature table, as performed by the
+//! signature address generation unit + SC fill engine on an SC miss.
+
+use crate::build::{slot_index, TableStats};
+use crate::format::{EntryKind, RawEntry, ValidationMode};
+use rev_crypto::{Aes128, SignatureKey};
+
+const HEADER_BYTES: u64 = 16;
+
+/// One decoded candidate record for a BB address: a primary entry with its
+/// spill continuations resolved. Several variants can share a BB address
+/// (different entry leaders into the same terminator, or hash-chain
+/// neighbors from colliding addresses — the digest check disambiguates).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SigVariant {
+    /// Terminator classification.
+    pub kind: EntryKind,
+    /// The stored 4-byte keyed digest (`None` in CFI-only mode).
+    pub digest: Option<u32>,
+    /// The successor address(es) bound into the digest (primary one for
+    /// standard mode, up to two for aggressive).
+    pub bound_succs: Vec<u64>,
+    /// The predecessor address bound into the digest.
+    pub bound_pred: Option<u64>,
+    /// Full successor set (inline + spills).
+    pub succs: Vec<u64>,
+    /// Full predecessor set (inline + spills).
+    pub preds: Vec<u64>,
+    /// Low 12/16 bits of the owning BB address when the format stores a
+    /// discriminator tag (aggressive `bb_tag`, CFI `src_tag`).
+    pub tag: Option<u16>,
+    /// Absolute memory addresses of this variant's spill entries (the
+    /// partial-miss fetch targets).
+    pub spill_addrs: Vec<u64>,
+}
+
+impl SigVariant {
+    /// Returns `true` if `target` is a legitimate successor.
+    pub fn allows_target(&self, target: u64) -> bool {
+        self.succs.contains(&target)
+    }
+
+    /// Returns `true` if `pred` is a legitimate predecessor.
+    pub fn allows_pred(&self, pred: u64) -> bool {
+        self.preds.contains(&pred)
+    }
+}
+
+/// Result of walking the chain for one BB address.
+#[derive(Debug, Clone, Default)]
+pub struct ChainLookup {
+    /// Candidate variants found on the chain.
+    pub variants: Vec<SigVariant>,
+    /// Absolute addresses read while walking primary entries (each is one
+    /// dependent memory access on the SC-miss path).
+    pub primary_touch: Vec<u64>,
+    /// `true` if a chain entry failed to parse after decryption —
+    /// symptomatic of table tampering.
+    pub parse_failure: bool,
+}
+
+/// A built (encrypted) signature table plus the metadata the SAG holds for
+/// its module: base/limit addresses and the (CPU-internal) decryption key.
+#[derive(Debug, Clone)]
+pub struct SignatureTable {
+    module_name: String,
+    module_base: u64,
+    module_end: u64,
+    mode: ValidationMode,
+    slots: usize,
+    total_entries: usize,
+    image: Vec<u8>,
+    key: SignatureKey,
+    stats: TableStats,
+    base: u64,
+}
+
+impl SignatureTable {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        module_name: String,
+        module_base: u64,
+        module_end: u64,
+        mode: ValidationMode,
+        slots: usize,
+        total_entries: usize,
+        image: Vec<u8>,
+        key: SignatureKey,
+        stats: TableStats,
+    ) -> Self {
+        SignatureTable {
+            module_name,
+            module_base,
+            module_end,
+            mode,
+            slots,
+            total_entries,
+            image,
+            key,
+            stats,
+            base: 0,
+        }
+    }
+
+    /// Name of the module this table validates.
+    pub fn module_name(&self) -> &str {
+        &self.module_name
+    }
+
+    /// First code address of the module (SAG limit register low bound).
+    pub fn module_base(&self) -> u64 {
+        self.module_base
+    }
+
+    /// One past the last code address (SAG limit register high bound).
+    pub fn module_end(&self) -> u64 {
+        self.module_end
+    }
+
+    /// Validation mode.
+    pub fn mode(&self) -> ValidationMode {
+        self.mode
+    }
+
+    /// Number of primary hash slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Total entries (slots + spill area).
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// The encrypted image (header + entry region) the loader writes into
+    /// RAM.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// Build statistics.
+    pub fn stats(&self) -> TableStats {
+        self.stats
+    }
+
+    /// The module's signature key. In hardware this never leaves the CPU;
+    /// it is exposed here for the simulator's SAG key registers.
+    pub fn key(&self) -> SignatureKey {
+        self.key
+    }
+
+    /// Unwraps the key stored in the table header using the CPU master key.
+    pub fn unwrap_key(&self, cpu: &Aes128) -> SignatureKey {
+        let block: [u8; 16] = self.image[..16].try_into().expect("header present");
+        SignatureKey::from_bytes(cpu.decrypt_block(&block))
+    }
+
+    /// Records where the loader placed the table in RAM.
+    pub fn set_base(&mut self, base: u64) {
+        self.base = base;
+    }
+
+    /// The table's RAM base address (0 until loaded).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Absolute address of entry `idx`.
+    pub fn entry_addr(&self, idx: usize) -> u64 {
+        self.base + HEADER_BYTES + (idx * self.mode.entry_size()) as u64
+    }
+
+    /// The hash-slot index for a BB address.
+    pub fn slot_of(&self, bb_addr: u64) -> usize {
+        slot_index(bb_addr, self.slots)
+    }
+
+    fn decrypt_entry(&self, encrypted_region_read: &mut dyn FnMut(u64, usize) -> Vec<u8>, idx: usize) -> Option<RawEntry> {
+        let esize = self.mode.entry_size();
+        let byte_off = idx * esize;
+        // Determine the covering 16-byte blocks.
+        let block_lo = byte_off / 16;
+        let block_hi = (byte_off + esize - 1) / 16;
+        let mut plain = Vec::with_capacity((block_hi - block_lo + 1) * 16);
+        let aes = Aes128::new(*self.key.as_bytes());
+        for b in block_lo..=block_hi {
+            let addr = self.base + HEADER_BYTES + (b * 16) as u64;
+            let mut bytes = encrypted_region_read(addr, 16);
+            if bytes.len() != 16 {
+                return None;
+            }
+            aes.decrypt_tweaked(b as u64, &mut bytes);
+            plain.extend_from_slice(&bytes);
+        }
+        let inner_off = byte_off - block_lo * 16;
+        RawEntry::unpack(self.mode, &plain[inner_off..inner_off + esize])
+    }
+
+    /// Walks the chain for `bb_addr`, reading the encrypted table through
+    /// `read` (absolute address, byte count) — typically backed by the
+    /// simulated main memory so that tampering with the in-RAM table is
+    /// observable. Returns the decoded candidates and the addresses
+    /// touched.
+    pub fn lookup_with(
+        &self,
+        read: &mut dyn FnMut(u64, usize) -> Vec<u8>,
+        bb_addr: u64,
+    ) -> ChainLookup {
+        let mut out = ChainLookup::default();
+        let mut idx = self.slot_of(bb_addr);
+        let mut current: Option<SigVariant> = None;
+        let mut hops = 0usize;
+        loop {
+            hops += 1;
+            if hops > self.total_entries + 2 {
+                // Cycle (corrupt table); bail out.
+                out.parse_failure = true;
+                break;
+            }
+            let addr = self.entry_addr(idx);
+            let entry = match self.decrypt_entry(read, idx) {
+                Some(e) => e,
+                None => {
+                    out.parse_failure = true;
+                    break;
+                }
+            };
+            match &entry {
+                RawEntry::Invalid => {
+                    break;
+                }
+                RawEntry::Primary { kind, digest, succ, pred, .. } => {
+                    out.primary_touch.push(addr);
+                    if let Some(v) = current.take() {
+                        out.variants.push(v);
+                    }
+                    let succs: Vec<u64> =
+                        (*succ != u32::MAX).then_some(*succ as u64).into_iter().collect();
+                    let preds: Vec<u64> =
+                        (*pred != u32::MAX).then_some(*pred as u64).into_iter().collect();
+                    current = Some(SigVariant {
+                        kind: *kind,
+                        digest: Some(*digest),
+                        bound_succs: succs.clone(),
+                        bound_pred: preds.first().copied(),
+                        succs,
+                        preds,
+                        tag: None,
+                        spill_addrs: Vec::new(),
+                    });
+                }
+                RawEntry::AggressivePrimary { kind, digest, succs, pred, bb_tag, .. } => {
+                    out.primary_touch.push(addr);
+                    if let Some(v) = current.take() {
+                        out.variants.push(v);
+                    }
+                    let succ_list: Vec<u64> = succs
+                        .iter()
+                        .filter(|&&s| s != u32::MAX)
+                        .map(|&s| s as u64)
+                        .collect();
+                    let preds: Vec<u64> =
+                        (*pred != u32::MAX).then_some(*pred as u64).into_iter().collect();
+                    current = Some(SigVariant {
+                        kind: *kind,
+                        digest: Some(*digest),
+                        bound_succs: succ_list.clone(),
+                        bound_pred: preds.first().copied(),
+                        succs: succ_list,
+                        preds,
+                        tag: Some(*bb_tag),
+                        spill_addrs: Vec::new(),
+                    });
+                }
+                RawEntry::Spill { is_pred, addrs, .. } => {
+                    if let Some(v) = current.as_mut() {
+                        v.spill_addrs.push(addr);
+                        let list = if *is_pred { &mut v.preds } else { &mut v.succs };
+                        list.extend(addrs.iter().map(|&a| a as u64));
+                    } else {
+                        // Spill with no owning primary: corrupt chain.
+                        out.parse_failure = true;
+                    }
+                }
+                RawEntry::Cfi { target, src_tag, .. } => {
+                    out.primary_touch.push(addr);
+                    // Group CFI entries by source tag into one variant.
+                    let matches_current =
+                        current.as_ref().map(|v| v.tag == Some(*src_tag)).unwrap_or(false);
+                    if matches_current {
+                        current.as_mut().expect("checked").succs.push(*target as u64);
+                    } else {
+                        if let Some(v) = current.take() {
+                            out.variants.push(v);
+                        }
+                        current = Some(SigVariant {
+                            kind: EntryKind::Computed,
+                            digest: None,
+                            bound_succs: vec![*target as u64],
+                            bound_pred: None,
+                            succs: vec![*target as u64],
+                            preds: Vec::new(),
+                            tag: Some(*src_tag),
+                            spill_addrs: Vec::new(),
+                        });
+                    }
+                }
+            }
+            match entry.next() {
+                Some(n) => idx = n as usize,
+                None => break,
+            }
+        }
+        if let Some(v) = current.take() {
+            out.variants.push(v);
+        }
+        out
+    }
+
+    /// Convenience lookup against the table's own image (no simulated
+    /// memory involved).
+    pub fn lookup(&self, bb_addr: u64) -> ChainLookup {
+        let base = self.base;
+        let image = &self.image;
+        let mut read = move |addr: u64, len: usize| -> Vec<u8> {
+            let off = (addr - base) as usize;
+            image.get(off..off + len).map(|s| s.to_vec()).unwrap_or_default()
+        };
+        self.lookup_with(&mut read, bb_addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_table;
+    use rev_crypto::{bb_body_hash, entry_digest};
+    use rev_isa::{BranchCond, Instruction, Reg};
+    use rev_prog::{BbLimits, Cfg, Module, ModuleBuilder, TermKind};
+
+    fn cpu() -> Aes128 {
+        Aes128::new([0x55; 16])
+    }
+
+    fn demo() -> (Module, Cfg) {
+        let mut b = ModuleBuilder::new("demo", 0x1000);
+        let f = b.begin_function("main");
+        let t1 = b.new_label();
+        let t2 = b.new_label();
+        let out = b.new_label();
+        b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R0, imm: 1 });
+        b.branch(BranchCond::Eq, Reg::R1, Reg::R0, out);
+        b.jmp_ind(Reg::R5, &[t1, t2]);
+        b.bind(t1);
+        b.jmp(out);
+        b.bind(t2);
+        b.push(Instruction::Nop);
+        b.bind(out);
+        b.push(Instruction::Halt);
+        b.end_function(f);
+        let m = b.finish().unwrap();
+        let cfg = Cfg::analyze(&m, BbLimits::default()).unwrap();
+        (m, cfg)
+    }
+
+    #[test]
+    fn every_block_is_findable_standard() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(10);
+        let t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        for block in cfg.blocks() {
+            let body = bb_body_hash(cfg.block_bytes(&m, block));
+            let lookup = t.lookup(block.bb_addr);
+            assert!(!lookup.parse_failure);
+            // Exactly one candidate must digest-match this block variant.
+            let matching = lookup
+                .variants
+                .iter()
+                .filter(|v| {
+                    let succ = v.bound_succs.first().copied().unwrap_or(0);
+                    let pred = v.bound_pred.unwrap_or(0);
+                    v.digest
+                        == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
+                })
+                .count();
+            assert_eq!(matching, 1, "block at {:#x}", block.bb_addr);
+        }
+    }
+
+    #[test]
+    fn successor_sets_complete_for_validated_cases() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(11);
+        let t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        for block in cfg.blocks() {
+            let body = bb_body_hash(cfg.block_bytes(&m, block));
+            let lookup = t.lookup(block.bb_addr);
+            let v = lookup
+                .variants
+                .iter()
+                .find(|v| {
+                    let succ = v.bound_succs.first().copied().unwrap_or(0);
+                    let pred = v.bound_pred.unwrap_or(0);
+                    v.digest
+                        == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
+                })
+                .expect("variant found");
+            // Standard mode stores successors only where REV validates
+            // them explicitly: computed branches (paper Sec. V).
+            if matches!(block.term, TermKind::JumpIndirect | TermKind::CallIndirect) {
+                for &s in &block.successors {
+                    assert!(v.allows_target(s), "succ {s:#x} of {:#x}", block.bb_addr);
+                }
+            }
+            // Predecessors are stored when they are return instructions
+            // (the delayed return check's lookup).
+            for &p in &block.predecessors {
+                let pred_is_ret = cfg
+                    .blocks_by_bb_addr(p)
+                    .iter()
+                    .any(|id| cfg.block(*id).term == TermKind::Return);
+                if pred_is_ret {
+                    assert!(v.allows_pred(p), "ret pred {p:#x} of {:#x}", block.bb_addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cfi_only_covers_computed_blocks() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(12);
+        let t = build_table(&m, &cfg, &key, ValidationMode::CfiOnly, &cpu()).unwrap();
+        for block in cfg.blocks() {
+            if !matches!(block.term, TermKind::JumpIndirect | TermKind::CallIndirect | TermKind::Return) {
+                continue;
+            }
+            let lookup = t.lookup(block.bb_addr);
+            let tag = (block.bb_addr & 0xfff) as u16;
+            let v = lookup
+                .variants
+                .iter()
+                .find(|v| v.tag == Some(tag))
+                .expect("cfi variant");
+            for &s in &block.successors {
+                assert!(v.allows_target(s));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_bb_yields_no_matching_variant() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(13);
+        let t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        let bogus = 0xdead0;
+        let body = bb_body_hash(&[0x90]);
+        let lookup = t.lookup(bogus);
+        let matching = lookup.variants.iter().any(|v| {
+            let succ = v.bound_succs.first().copied().unwrap_or(0);
+            let pred = v.bound_pred.unwrap_or(0);
+            v.digest == Some(entry_digest(&key, bogus, &body, succ, pred).0)
+        });
+        assert!(!matching);
+    }
+
+    #[test]
+    fn tampered_table_detected() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(14);
+        let t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        let block = &cfg.blocks()[0];
+        // Corrupt the image and look up through a tampered reader.
+        let mut corrupted = t.image().to_vec();
+        for b in corrupted[16..].iter_mut() {
+            *b ^= 0xa5;
+        }
+        let mut read = |addr: u64, len: usize| -> Vec<u8> {
+            corrupted[(addr as usize)..(addr as usize) + len].to_vec()
+        };
+        let lookup = t.lookup_with(&mut read, block.bb_addr);
+        let body = bb_body_hash(cfg.block_bytes(&m, block));
+        let matching = lookup.variants.iter().any(|v| {
+            let succ = v.bound_succs.first().copied().unwrap_or(0);
+            let pred = v.bound_pred.unwrap_or(0);
+            v.digest == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
+        });
+        assert!(!matching, "tampering must never produce a digest match");
+    }
+
+    #[test]
+    fn wrong_key_never_matches() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(15);
+        let wrong = SignatureKey::from_seed(16);
+        let t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        let block = &cfg.blocks()[0];
+        let body = bb_body_hash(cfg.block_bytes(&m, block));
+        let lookup = t.lookup(block.bb_addr);
+        let matching = lookup.variants.iter().any(|v| {
+            let succ = v.bound_succs.first().copied().unwrap_or(0);
+            let pred = v.bound_pred.unwrap_or(0);
+            v.digest == Some(entry_digest(&wrong, block.bb_addr, &body, succ, pred).0)
+        });
+        assert!(!matching);
+    }
+
+    #[test]
+    fn placed_table_reports_addresses_in_range() {
+        let (m, cfg) = demo();
+        let key = SignatureKey::from_seed(17);
+        let mut t = build_table(&m, &cfg, &key, ValidationMode::Standard, &cpu()).unwrap();
+        t.set_base(0x8_0000);
+        let block = &cfg.blocks()[0];
+        let lookup = t.lookup(block.bb_addr);
+        for &addr in &lookup.primary_touch {
+            assert!(addr >= 0x8_0000 + 16);
+            assert!(addr < 0x8_0000 + t.image().len() as u64);
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! The synthetic program generator.
+//!
+//! Emits a layered web of functions: a dispatcher loop calls root
+//! functions through a weighted jump table; each function runs filler
+//! compute (ALU/FP/loads/stores with tunable locality), control-flow
+//! segments (biased or chaotic diamonds, counted loops, computed-jump
+//! tables) and calls into the next layer through compare-and-call chains
+//! or function-pointer tables. All data-dependent decisions derive from an
+//! in-program LCG, so runs are deterministic, branch outcomes carry real
+//! entropy, and the locality knobs translate directly into the
+//! control-flow-working-set behavior the REV evaluation depends on.
+
+use crate::profiles::{SpecProfile, WorkloadClass};
+use crate::rng::XorShift;
+use rev_isa::{AluOp, BranchCond, FReg, FpuOp, Instruction, Reg};
+use rev_prog::{Label, ModuleBuilder, Program};
+
+const CODE_BASE: u64 = 0x1_0000;
+const DATA_BASE: u64 = 0x1000_0000;
+const STACK_BASE: u64 = 0x3000_0000;
+const STACK_SIZE: u64 = 1 << 20;
+const ROOTS: usize = 32;
+const ROOT_TABLE_SLOTS: usize = 64;
+const MAX_LAYERS: usize = 6;
+
+// Register roles (callee-clobbered scratch is r20–r23; the LCG, pointers
+// and loop counters survive calls by convention).
+const R_LCG: Reg = Reg::R27;
+const R_STRIDE: Reg = Reg::R26;
+const R_DATA: Reg = Reg::R25;
+const R_T0: Reg = Reg::R23;
+const R_T1: Reg = Reg::R22;
+const R_T2: Reg = Reg::R21;
+
+fn loop_reg(layer: usize) -> Reg {
+    Reg::from_index((10 + layer) as u8).expect("layer bounded")
+}
+
+/// Generates the program for one benchmark profile.
+///
+/// The program never halts on its own (the dispatcher loops forever);
+/// runs are bounded by the simulator's committed-instruction budget, just
+/// like the paper's 2-billion-instruction windows.
+pub fn generate(p: &SpecProfile) -> Program {
+    Generator::new(p).build()
+}
+
+struct Generator<'p> {
+    p: &'p SpecProfile,
+    rng: XorShift,
+    b: ModuleBuilder,
+    mem_mask: i32,
+}
+
+impl<'p> Generator<'p> {
+    fn new(p: &'p SpecProfile) -> Self {
+        let mem_bytes = (p.mem_kib * 1024).next_power_of_two();
+        Generator {
+            p,
+            rng: XorShift::new(p.seed),
+            b: ModuleBuilder::new(p.name, CODE_BASE),
+            mem_mask: ((mem_bytes - 1) & !7) as i32,
+        }
+    }
+
+    fn build(mut self) -> Program {
+        let n = self.p.functions();
+        let capacity = (self.p.call_sites * self.p.callees_per_site).max(2);
+
+        // Layer sizes grow by the call capacity so every function can have
+        // a "home" caller one layer up.
+        let mut sizes: Vec<usize> = Vec::new();
+        let mut remaining = n;
+        let mut width = ROOTS.min(n);
+        for _ in 0..MAX_LAYERS {
+            if remaining == 0 {
+                break;
+            }
+            let take = width.min(remaining);
+            sizes.push(take);
+            remaining -= take;
+            width = width.saturating_mul(capacity);
+        }
+        if remaining > 0 {
+            *sizes.last_mut().expect("at least one layer") += remaining;
+        }
+        let mut layer_start = vec![0usize];
+        for s in &sizes {
+            layer_start.push(layer_start.last().unwrap() + s);
+        }
+        let layer_of = |idx: usize| -> usize {
+            (0..sizes.len()).find(|&l| idx < layer_start[l + 1]).expect("in range")
+        };
+
+        // Entry label per function.
+        let fn_labels: Vec<Label> = (0..n).map(|_| self.b.new_label()).collect();
+
+        // Call-site candidate lists with guaranteed home callers.
+        let mut sites: Vec<Vec<Vec<usize>>> = vec![Vec::new(); n];
+        for l in 0..sizes.len().saturating_sub(1) {
+            let (lo, hi) = (layer_start[l], layer_start[l + 1]);
+            let (nlo, nhi) = (layer_start[l + 1], layer_start[l + 2]);
+            let callers = hi - lo;
+            // Home assignment: child j -> caller (j - nlo) % callers.
+            let mut mandatory: Vec<Vec<usize>> = vec![Vec::new(); callers];
+            for j in nlo..nhi {
+                mandatory[(j - nlo) % callers].push(j);
+            }
+            for (c, mand) in mandatory.into_iter().enumerate() {
+                let caller = lo + c;
+                let mut pools: Vec<Vec<usize>> = vec![Vec::new(); self.p.call_sites];
+                for (i, j) in mand.into_iter().enumerate() {
+                    pools[i % self.p.call_sites].push(j);
+                }
+                // Each call site's *primary* callee is a popular hub of the
+                // next layer (Zipf-weighted, shared across callers): the
+                // frequently executed spines of real call graphs converge
+                // on hot library-like functions, which is what gives
+                // programs their instantaneous control-flow locality. The
+                // rarely taken non-primary candidates carry the mandatory
+                // reachability edges to the cold tail.
+                for pool in pools.iter_mut() {
+                    let hub = nlo + self.rng.zipf(nhi - nlo, 2.5);
+                    if let Some(pos) = pool.iter().position(|&x| x == hub) {
+                        pool.swap(0, pos);
+                    } else {
+                        pool.insert(0, hub);
+                    }
+                    while pool.len() < self.p.callees_per_site + 1 {
+                        let extra = nlo + self.rng.zipf(nhi - nlo, 1.2);
+                        if !pool.contains(&extra) {
+                            pool.push(extra);
+                        } else if nhi - nlo <= pool.len() {
+                            break;
+                        }
+                    }
+                }
+                sites[caller] = pools;
+            }
+        }
+
+        // Dispatcher root table: the root_spread knob sets how evenly the
+        // dispatch cycles over the roots (1 = uniform, 0 = one hot root).
+        let alpha = 3.0 * (1.0 - self.p.root_spread);
+        let roots = sizes[0];
+        let root_slots: Vec<Label> = (0..ROOT_TABLE_SLOTS)
+            .map(|_| fn_labels[self.rng.zipf(roots, alpha)])
+            .collect();
+        let mut unique_roots: Vec<Label> = root_slots.clone();
+        unique_roots.sort_unstable();
+        unique_roots.dedup();
+        let root_table = self.b.data_label_table(&root_slots);
+
+        // main: init + dispatch loop.
+        let main_fn = self.b.begin_function("main");
+        self.b.push(Instruction::Li { rd: R_LCG, imm: self.p.seed | 1 });
+        self.b.push(Instruction::Li { rd: R_DATA, imm: DATA_BASE });
+        self.b.push(Instruction::Li { rd: R_STRIDE, imm: 0 });
+        let dispatch = self.b.new_label();
+        self.b.bind(dispatch);
+        self.advance_lcg();
+        self.b.push(Instruction::Alu {
+            op: AluOp::Shr,
+            rd: R_T0,
+            rs1: R_LCG,
+            rs2: Reg::R0,
+        });
+        self.b.push(Instruction::AndI {
+            rd: R_T0,
+            rs: R_T0,
+            imm: (ROOT_TABLE_SLOTS - 1) as i32,
+        });
+        self.b.push(Instruction::Li { rd: R_T2, imm: 3 });
+        self.b.push(Instruction::Alu { op: AluOp::Shl, rd: R_T0, rs1: R_T0, rs2: R_T2 });
+        self.b.li_data(R_T1, root_table);
+        self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T0, rs1: R_T0, rs2: R_T1 });
+        self.b.push(Instruction::Load { rd: R_T1, rbase: R_T0, off: 0 });
+        self.b.call_ind(R_T1, &unique_roots);
+        self.b.jmp(dispatch);
+        self.b.end_function(main_fn);
+
+        // Emit every function.
+        for (idx, site_list) in std::mem::take(&mut sites).into_iter().enumerate() {
+            let layer = layer_of(idx);
+            self.emit_function(idx, layer, &fn_labels, &site_list);
+        }
+
+        let module = self.b.finish().expect("generator emits valid modules");
+        let mut pb = Program::builder();
+        pb.module(module);
+        pb.entry(CODE_BASE);
+        pb.stack(STACK_BASE, STACK_SIZE);
+        pb.build()
+    }
+
+    fn advance_lcg(&mut self) {
+        self.b.push(Instruction::MulI { rd: R_LCG, rs: R_LCG, imm: 1_103_515_245 });
+        self.b.push(Instruction::AddI { rd: R_LCG, rs: R_LCG, imm: 12_345 });
+    }
+
+    /// Extracts a pseudo-random byte of the LCG into `R_T0`.
+    fn extract_byte(&mut self, shift: i64) {
+        self.b.push(Instruction::Li { rd: R_T2, imm: shift as u64 });
+        self.b.push(Instruction::Alu { op: AluOp::Shr, rd: R_T0, rs1: R_LCG, rs2: R_T2 });
+        self.b.push(Instruction::AndI { rd: R_T0, rs: R_T0, imm: 0xff });
+    }
+
+    fn filler(&mut self, ops: usize) {
+        let p = self.p;
+        for _ in 0..ops {
+            let roll = self.rng.unit();
+            if roll < p.load_frac {
+                self.emit_mem(false);
+            } else if roll < p.load_frac + p.store_frac {
+                self.emit_mem(true);
+            } else if roll < p.load_frac + p.store_frac + p.fp_frac {
+                self.emit_fp();
+            } else {
+                self.emit_alu();
+            }
+        }
+    }
+
+    fn emit_mem(&mut self, is_store: bool) {
+        let strided = self.rng.chance(self.p.stride_frac);
+        if strided {
+            self.b.push(Instruction::AddI { rd: R_STRIDE, rs: R_STRIDE, imm: 8 });
+            self.b.push(Instruction::AndI { rd: R_STRIDE, rs: R_STRIDE, imm: self.mem_mask });
+            self.b.push(Instruction::Alu {
+                op: AluOp::Add,
+                rd: R_T0,
+                rs1: R_DATA,
+                rs2: R_STRIDE,
+            });
+        } else {
+            let shift = 3 + self.rng.below(20) as i64;
+            self.b.push(Instruction::Li { rd: R_T2, imm: shift as u64 });
+            self.b.push(Instruction::Alu { op: AluOp::Shr, rd: R_T0, rs1: R_LCG, rs2: R_T2 });
+            self.b.push(Instruction::AndI { rd: R_T0, rs: R_T0, imm: self.mem_mask });
+            self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T0, rs1: R_T0, rs2: R_DATA });
+        }
+        if is_store {
+            self.b.push(Instruction::Store { rs: R_T1, rbase: R_T0, off: 0 });
+        } else if self.p.class == WorkloadClass::Fp && self.rng.chance(0.4) {
+            self.b.push(Instruction::LoadF { fd: FReg::F2, rbase: R_T0, off: 0 });
+        } else {
+            self.b.push(Instruction::Load { rd: R_T1, rbase: R_T0, off: 0 });
+        }
+    }
+
+    fn emit_fp(&mut self) {
+        let ops = [FpuOp::Add, FpuOp::Mul, FpuOp::Sub, FpuOp::Add];
+        let op = ops[self.rng.below(4)];
+        let op = if self.rng.chance(0.04) { FpuOp::Div } else { op };
+        let fd = FReg::from_index((1 + self.rng.below(5)) as u8).expect("in range");
+        let fs1 = FReg::from_index((1 + self.rng.below(5)) as u8).expect("in range");
+        self.b.push(Instruction::Fpu { op, fd, fs1, fs2: FReg::F2 });
+    }
+
+    fn emit_alu(&mut self) {
+        match self.rng.below(4) {
+            0 => self.b.push(Instruction::Alu {
+                op: AluOp::Xor,
+                rd: R_T1,
+                rs1: R_T1,
+                rs2: R_LCG,
+            }),
+            1 => self.b.push(Instruction::AddI {
+                rd: R_T1,
+                rs: R_T1,
+                imm: self.rng.below(1000) as i32,
+            }),
+            2 => self.b.push(Instruction::Alu {
+                op: AluOp::Add,
+                rd: R_T1,
+                rs1: R_T1,
+                rs2: R_T0,
+            }),
+            _ => self.b.push(Instruction::MulI { rd: R_T1, rs: R_T1, imm: 3 }),
+        }
+    }
+
+    fn emit_diamond(&mut self, filler_ops: usize) {
+        self.advance_lcg();
+        let chaotic = self.rng.chance(self.p.chaos);
+        let thresh: u64 = if chaotic {
+            128
+        } else if self.rng.chance(0.5) {
+            236
+        } else {
+            20
+        };
+        let shift = 3 + self.rng.below(16) as i64;
+        self.extract_byte(shift);
+        self.b.push(Instruction::Li { rd: R_T2, imm: thresh });
+        let arm = self.b.new_label();
+        let merge = self.b.new_label();
+        self.b.branch(BranchCond::Ltu, R_T0, R_T2, arm);
+        self.filler(filler_ops);
+        self.b.jmp(merge);
+        self.b.bind(arm);
+        self.filler(filler_ops);
+        self.b.bind(merge);
+    }
+
+    fn emit_counted_loop(&mut self, layer: usize, filler_ops: usize) {
+        let lr = loop_reg(layer);
+        let iters = (self.p.loop_iters + self.rng.below(4) as i32).max(2);
+        self.b.push(Instruction::Li { rd: lr, imm: iters as u64 });
+        let top = self.b.new_label();
+        self.b.bind(top);
+        self.filler(filler_ops);
+        self.b.push(Instruction::AddI { rd: lr, rs: lr, imm: -1 });
+        self.b.branch(BranchCond::Ne, lr, Reg::R0, top);
+    }
+
+    fn emit_jump_table(&mut self, filler_ops: usize) {
+        let k = self.p.jump_table_k.next_power_of_two().max(2);
+        self.advance_lcg();
+        let arms: Vec<Label> = (0..k).map(|_| self.b.new_label()).collect();
+        let merge = self.b.new_label();
+        let table = self.b.data_label_table(&arms);
+        self.b.push(Instruction::AndI { rd: R_T0, rs: R_LCG, imm: (k - 1) as i32 });
+        self.b.push(Instruction::Li { rd: R_T2, imm: 3 });
+        self.b.push(Instruction::Alu { op: AluOp::Shl, rd: R_T0, rs1: R_T0, rs2: R_T2 });
+        self.b.li_data(R_T1, table);
+        self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T0, rs1: R_T0, rs2: R_T1 });
+        self.b.push(Instruction::Load { rd: R_T1, rbase: R_T0, off: 0 });
+        self.b.jmp_ind(R_T1, &arms);
+        for arm in arms {
+            self.b.bind(arm);
+            self.filler(1 + filler_ops / 2);
+            self.b.jmp(merge);
+        }
+        self.b.bind(merge);
+    }
+
+    fn emit_call_site(&mut self, candidates: &[usize], fn_labels: &[Label]) {
+        if candidates.is_empty() {
+            return;
+        }
+        if candidates.len() == 1 {
+            self.b.call(fn_labels[candidates[0]]);
+            return;
+        }
+        self.advance_lcg();
+        if self.rng.chance(self.p.indirect_call_frac) {
+            // Function-pointer table: 8 slots, primary callee weighted by
+            // locality.
+            let slots = 8usize;
+            let primary_share = ((self.p.locality * slots as f64) as usize).clamp(1, slots - 1);
+            let mut slot_labels = Vec::with_capacity(slots);
+            for s in 0..slots {
+                let pick = if s < primary_share {
+                    candidates[0]
+                } else {
+                    candidates[self.rng.below(candidates.len())]
+                };
+                slot_labels.push(fn_labels[pick]);
+            }
+            let targets: Vec<Label> = candidates.iter().map(|&c| fn_labels[c]).collect();
+            let table = self.b.data_label_table(&slot_labels);
+            self.b.push(Instruction::AndI { rd: R_T0, rs: R_LCG, imm: (slots - 1) as i32 });
+            self.b.push(Instruction::Li { rd: R_T2, imm: 3 });
+            self.b.push(Instruction::Alu { op: AluOp::Shl, rd: R_T0, rs1: R_T0, rs2: R_T2 });
+            self.b.li_data(R_T1, table);
+            self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T0, rs1: R_T0, rs2: R_T1 });
+            self.b.push(Instruction::Load { rd: R_T1, rbase: R_T0, off: 0 });
+            self.b.call_ind(R_T1, &targets);
+        } else {
+            // Compare-and-call chain, primary callee taken with
+            // probability `locality + (1 - locality)/k`.
+            let k = candidates.len();
+            let shift = 5 + self.rng.below(12) as i64;
+            self.extract_byte(shift);
+            let done = self.b.new_label();
+            let primary_p = self.p.locality + (1.0 - self.p.locality) / k as f64;
+            let mut cum = 0.0f64;
+            for (i, &c) in candidates.iter().enumerate() {
+                if i == k - 1 {
+                    self.b.call(fn_labels[c]);
+                    break;
+                }
+                let share = if i == 0 {
+                    primary_p
+                } else {
+                    (1.0 - primary_p) / (k - 1) as f64
+                };
+                cum += share;
+                let bound = (cum * 256.0).min(255.0) as u64;
+                let next = self.b.new_label();
+                self.b.push(Instruction::Li { rd: R_T2, imm: bound });
+                self.b.branch(BranchCond::Geu, R_T0, R_T2, next);
+                self.b.call(fn_labels[c]);
+                self.b.jmp(done);
+                self.b.bind(next);
+            }
+            self.b.bind(done);
+        }
+    }
+
+    fn emit_function(
+        &mut self,
+        idx: usize,
+        layer: usize,
+        fn_labels: &[Label],
+        sites: &[Vec<usize>],
+    ) {
+        let name = format!("f{idx}");
+        let f = self.b.begin_function(name);
+        self.b.bind(fn_labels[idx]);
+        // Filler budget per arm keyed to the target instrs/block: each
+        // filler op expands to ~1 instruction for ALU/FP and ~4 for memory
+        // (address generation), and block scaffolding contributes ~4.5.
+        let instrs_per_op = 1.0 + 3.0 * (self.p.load_frac + self.p.store_frac);
+        let fc = ((self.p.avg_instrs_per_bb - 4.5) * 2.2 / instrs_per_op).max(0.5);
+        let fc = fc as usize + usize::from(self.rng.chance(fc.fract())) + 1;
+
+        self.filler(fc);
+
+        // Hot kernel: functions near the roots carry a multi-iteration
+        // inner loop around a couple of compute blocks. This is what gives
+        // real programs their execution concentration — the small set of
+        // blocks inside these kernels receives the overwhelming share of
+        // dynamic execution, while the call web supplies the long tail of
+        // occasionally visited blocks.
+        if layer <= 2 {
+            let hot_reg = Reg::from_index((8 + layer) as u8).expect("r8/r9");
+            let iters = 10 + self.rng.below(22) as u64;
+            self.b.push(Instruction::Li { rd: hot_reg, imm: iters });
+            let top = self.b.new_label();
+            self.b.bind(top);
+            self.emit_diamond(fc);
+            self.filler(fc);
+            self.b.push(Instruction::AddI { rd: hot_reg, rs: hot_reg, imm: -1 });
+            self.b.branch(BranchCond::Ne, hot_reg, Reg::R0, top);
+        }
+        let segments = 3 + self.rng.below(3);
+        let call_positions: Vec<usize> =
+            (0..sites.len()).map(|i| 1 + i * segments / sites.len().max(1)).collect();
+        let mut site_iter = sites.iter();
+        for s in 0..segments {
+            if call_positions.contains(&s) {
+                if let Some(cands) = site_iter.next() {
+                    self.emit_call_site(cands, fn_labels);
+                }
+            }
+            let roll = self.rng.unit();
+            if roll < self.p.jump_table_frac {
+                self.emit_jump_table(fc);
+            } else if roll < self.p.jump_table_frac + self.p.loop_frac {
+                self.emit_counted_loop(layer, fc);
+            } else {
+                self.emit_diamond(fc);
+            }
+        }
+        for cands in site_iter {
+            self.emit_call_site(cands, fn_labels);
+        }
+        self.b.push(Instruction::Ret);
+        self.b.end_function(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_prog::{BbLimits, Cfg};
+
+    fn small(name: &str) -> Program {
+        generate(&SpecProfile::by_name(name).unwrap().scaled(0.03))
+    }
+
+    #[test]
+    fn generates_analyzable_program() {
+        let p = small("mcf");
+        let m = &p.modules()[0];
+        let cfg = Cfg::analyze(m, BbLimits::default()).expect("analyzable");
+        assert!(cfg.blocks().len() > 300, "got {} blocks", cfg.blocks().len());
+        let stats = cfg.stats();
+        assert!(stats.avg_instrs >= 3.0 && stats.avg_instrs <= 14.0, "{:?}", stats);
+        assert!(stats.avg_successors > 1.0, "{:?}", stats);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = small("gcc");
+        let b = small("gcc");
+        assert_eq!(a.modules()[0].code(), b.modules()[0].code());
+        assert_eq!(a.modules()[0].data(), b.modules()[0].data());
+    }
+
+    #[test]
+    fn different_benchmarks_differ() {
+        let a = small("gcc");
+        let b = small("mcf");
+        assert_ne!(a.modules()[0].code(), b.modules()[0].code());
+    }
+
+    #[test]
+    fn executes_cleanly_for_thousands_of_instructions() {
+        use rev_cpu::Oracle;
+        use rev_mem::MainMemory;
+        let p = small("sjeng");
+        let mem = MainMemory::with_segments(&p.segments());
+        let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
+        for i in 0..50_000 {
+            let op = oracle.step().unwrap_or_else(|e| panic!("step {i}: {e}"));
+            assert!(!op.halted, "workloads must not halt");
+        }
+    }
+
+    #[test]
+    fn visits_many_functions() {
+        use rev_cpu::Oracle;
+        use rev_mem::MainMemory;
+        let p = small("gobmk"); // uniform root spread: broad coverage
+        let module = &p.modules()[0];
+        let mem = MainMemory::with_segments(&p.segments());
+        let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
+        let mut visited = std::collections::HashSet::new();
+        for _ in 0..150_000 {
+            let op = oracle.step().unwrap();
+            if let Some(f) = module.function_at(op.addr) {
+                visited.insert(f.entry);
+            }
+        }
+        assert!(visited.len() > 15, "visited only {} functions", visited.len());
+    }
+
+    /// The locality knob directly controls the dynamic branch working set:
+    /// two otherwise-identical profiles must order correctly.
+    #[test]
+    fn locality_knob_shrinks_dynamic_working_set() {
+        use rev_cpu::Oracle;
+        use rev_mem::MainMemory;
+        let unique_blocks = |locality: f64, root_spread: f64| {
+            let mut p = SpecProfile::by_name("gcc").unwrap().scaled(0.05);
+            p.locality = locality;
+            p.root_spread = root_spread;
+            let p = generate(&p);
+            let mem = MainMemory::with_segments(&p.segments());
+            let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
+            let mut unique = std::collections::HashSet::new();
+            for _ in 0..120_000 {
+                let op = oracle.step().unwrap();
+                if op.insn.is_bb_terminator() {
+                    unique.insert(op.addr);
+                }
+            }
+            unique.len()
+        };
+        let local = unique_blocks(0.99, 0.1);
+        let flat = unique_blocks(0.55, 1.0);
+        assert!(
+            flat as f64 > local as f64 * 1.5,
+            "flat profile working set ({flat}) should dwarf the local one ({local})"
+        );
+    }
+
+    #[test]
+    fn all_profiles_generate() {
+        for p in crate::ALL_PROFILES {
+            let prog = generate(&p.scaled(0.01));
+            let m = &prog.modules()[0];
+            assert!(
+                Cfg::analyze(m, BbLimits::default()).is_ok(),
+                "profile {} not analyzable",
+                p.name
+            );
+        }
+    }
+}

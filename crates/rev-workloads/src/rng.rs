@@ -1,0 +1,97 @@
+//! A tiny, stable PRNG for program generation.
+//!
+//! The workload generator must produce byte-identical programs across
+//! toolchain versions (signature tables and experiment outputs depend on
+//! the exact bytes), so it uses its own xorshift64* generator instead of
+//! an external crate whose stream might change between releases.
+
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    pub fn new(seed: u64) -> Self {
+        XorShift { state: seed.max(1) }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n.max(1) as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit() < p
+    }
+
+    /// Zipf-like index in `[0, n)` with skew `alpha` (0 = uniform).
+    /// Implemented by inverse-power transform of a uniform draw — not an
+    /// exact Zipf sampler, but monotone in `alpha` and cheap, which is all
+    /// the locality knob needs.
+    pub fn zipf(&mut self, n: usize, alpha: f64) -> usize {
+        if n <= 1 {
+            return 0;
+        }
+        let u = self.unit().max(1e-12);
+        let idx = (u.powf(1.0 + alpha) * n as f64) as usize;
+        idx.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = XorShift::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+
+    #[test]
+    fn chance_respects_probability() {
+        let mut r = XorShift::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn zipf_skews_low() {
+        let mut r = XorShift::new(11);
+        let n = 100;
+        let skewed: Vec<usize> = (0..10_000).map(|_| r.zipf(n, 2.0)).collect();
+        let low = skewed.iter().filter(|&&i| i < 10).count();
+        let uniform: Vec<usize> = (0..10_000).map(|_| r.zipf(n, 0.0)).collect();
+        let low_uniform = uniform.iter().filter(|&&i| i < 10).count();
+        assert!(low > low_uniform * 2, "skewed {low} vs uniform {low_uniform}");
+        assert!(skewed.iter().all(|&i| i < n));
+    }
+}

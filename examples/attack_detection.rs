@@ -1,0 +1,47 @@
+//! Attack gallery: mounts every attack class from the paper's Table 1
+//! against a vulnerable victim program, twice — once on an unprotected
+//! machine (showing the attack genuinely works) and once under REV
+//! (showing detection *and* containment: no malicious store ever reaches
+//! validated memory).
+//!
+//! ```sh
+//! cargo run --release --example attack_detection
+//! ```
+
+use rev_attacks::{mount, mount_unprotected, AttackKind};
+use rev_core::RevConfig;
+
+fn main() {
+    println!("{:-<78}", "");
+    println!(
+        "{:<28} {:>14} {:>10} {:>22}",
+        "attack", "unprotected", "REV", "detection"
+    );
+    println!("{:-<78}", "");
+    for kind in AttackKind::ALL {
+        let unprot = if kind == AttackKind::TableTamper {
+            "n/a".to_string()
+        } else {
+            let u = mount_unprotected(kind);
+            if u.tainted { "compromised".into() } else { "survived?".to_string() }
+        };
+        let out = mount(kind, RevConfig::paper_default());
+        let verdict = if out.detected && !out.tainted {
+            "caught+contained"
+        } else if out.detected {
+            "caught, TAINTED"
+        } else {
+            "MISSED"
+        };
+        println!(
+            "{:<28} {:>14} {:>10} {:>22}",
+            kind.to_string(),
+            unprot,
+            verdict,
+            out.violation.map(|v| v.kind.to_string()).unwrap_or_else(|| "-".into()),
+        );
+    }
+    println!("{:-<78}", "");
+    println!("REV is attack-agnostic: every class above trips one of the same three");
+    println!("checks — block hash, transfer-target membership, or return linkage.");
+}

@@ -1,0 +1,76 @@
+//! Self-modifying code under REV (paper Sec. IV.E): a JIT-style program
+//! patches one of its own instructions at run time. Unsanctioned, the
+//! patched block fails hash validation; bracketed by the paper's REV
+//! disable/enable system calls, the trusted modification window runs
+//! unvalidated and normal validated execution resumes afterwards.
+//!
+//! ```sh
+//! cargo run --release --example jit_selfmod
+//! ```
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome};
+use rev_core::{SYSCALL_REV_DISABLE, SYSCALL_REV_ENABLE};
+use rev_isa::{Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+fn jit_program(sanctioned: bool) -> Program {
+    let mut b = ModuleBuilder::new("jit", 0x1000);
+    let jit_region = b.new_label();
+    let patch_site = b.new_label();
+
+    let f = b.begin_function("main");
+    b.call(jit_region); // run the template once
+    if sanctioned {
+        b.push(Instruction::Syscall { num: SYSCALL_REV_DISABLE });
+    }
+    // Patch `addi r9, r9, 5` + `nop` into `addi r9, r9, 1000` + `nop`.
+    let mut new_bytes = Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 1000 }.encode();
+    new_bytes.push(0x00);
+    b.li_label(Reg::R10, patch_site);
+    b.push(Instruction::Li {
+        rd: Reg::R11,
+        imm: u64::from_le_bytes(new_bytes.try_into().expect("8 bytes")),
+    });
+    b.push(Instruction::Store { rs: Reg::R11, rbase: Reg::R10, off: 0 });
+    b.call(jit_region); // run the generated code
+    if sanctioned {
+        b.push(Instruction::Syscall { num: SYSCALL_REV_ENABLE });
+    }
+    b.push(Instruction::Halt);
+    b.end_function(f);
+
+    let g = b.begin_function("jit_region");
+    b.bind(jit_region);
+    b.bind(patch_site);
+    b.push(Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 5 });
+    b.push(Instruction::Nop);
+    b.push(Instruction::Ret);
+    b.end_function(g);
+
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("-- unsanctioned self-modification (REV active throughout) --");
+    let mut sim = RevSimulator::new(jit_program(false), RevConfig::paper_default())?;
+    let report = sim.run(10_000);
+    match report.outcome {
+        RunOutcome::Violation(v) => println!("caught: {v}"),
+        other => println!("UNEXPECTED: {other:?}"),
+    }
+
+    println!();
+    println!("-- sanctioned JIT window (REV disable/enable system calls) --");
+    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default())?;
+    let report = sim.run(10_000);
+    println!("outcome      : {:?}", report.outcome);
+    println!("violations   : {:?}", report.rev.violation);
+    println!(
+        "r9           : {} (5 from the template + 1000 from the generated code)",
+        sim.pipeline().oracle().state().reg(Reg::R9)
+    );
+    println!("validations  : {} (resumed after re-enable)", report.rev.validations);
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! The paper's Sec. IV.D workflow for computed branches whose targets
+//! static analysis cannot enumerate: run *profiling* (training) passes,
+//! collect the observed (source → target) edges, merge them into the
+//! module's target sets, and only then let the trusted linker build the
+//! signature tables.
+//!
+//! ```sh
+//! cargo run --release --example profiling_workflow
+//! ```
+
+use rev_core::{profile_indirect_targets, RevConfig, RevSimulator, RunOutcome};
+use rev_isa::{AluOp, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+/// A dispatcher whose jump table is opaque to static analysis (the builder
+/// records an EMPTY target set, standing in for a stripped binary).
+fn opaque_program() -> Program {
+    let mut b = ModuleBuilder::new("opaque", 0x1000);
+    let f = b.begin_function("main");
+    let (t0, t1, t2, t3) = (b.new_label(), b.new_label(), b.new_label(), b.new_label());
+    let table = b.data_label_table(&[t0, t1, t2, t3]);
+    let top = b.new_label();
+    b.bind(top);
+    b.push(Instruction::MulI { rd: Reg::R27, rs: Reg::R27, imm: 1_103_515_245 });
+    b.push(Instruction::AddI { rd: Reg::R27, rs: Reg::R27, imm: 12_345 });
+    b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R27, imm: 3 });
+    b.push(Instruction::Li { rd: Reg::R3, imm: 3 });
+    b.push(Instruction::Alu { op: AluOp::Shl, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 });
+    b.li_data(Reg::R4, table);
+    b.push(Instruction::Alu { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R4, rs2: Reg::R2 });
+    b.push(Instruction::Load { rd: Reg::R5, rbase: Reg::R4, off: 0 });
+    b.jmp_ind(Reg::R5, &[]); // <- no static annotation
+    for (i, t) in [t0, t1, t2, t3].into_iter().enumerate() {
+        b.bind(t);
+        b.push(Instruction::AddI {
+            rd: Reg::from_index(6 + i as u8).expect("r6..r9"),
+            rs: Reg::from_index(6 + i as u8).expect("r6..r9"),
+            imm: 1,
+        });
+        b.jmp(top);
+    }
+    b.end_function(f);
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = opaque_program();
+
+    println!("-- without training: the first computed jump is unidentified --");
+    let mut sim = RevSimulator::new(program.clone(), RevConfig::paper_default())?;
+    match sim.run(50_000).outcome {
+        RunOutcome::Violation(v) => println!("rejected, as the paper requires: {v}"),
+        other => println!("UNEXPECTED: {other:?}"),
+    }
+
+    println!();
+    println!("-- profiling run (functional, no timing) --");
+    let profile = profile_indirect_targets(&program, 20_000);
+    println!(
+        "observed {} computed-branch site(s) over {} instructions:",
+        profile.sites(),
+        profile.executed()
+    );
+    for (src, dst) in profile.edges() {
+        println!("  {src:#x} -> {dst:#x}");
+    }
+
+    println!();
+    println!("-- re-link with the discovered targets and run under REV --");
+    let mut module = program.modules()[0].clone();
+    module.merge_indirect_targets(profile.edges());
+    let mut pb = Program::builder();
+    pb.module(module);
+    pb.entry(program.entry());
+    let mut sim = RevSimulator::new(pb.build(), RevConfig::paper_default())?;
+    let report = sim.run(100_000);
+    println!("{report}");
+    assert!(report.rev.violation.is_none());
+    Ok(())
+}

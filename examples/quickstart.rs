@@ -1,0 +1,64 @@
+//! Quickstart: assemble a tiny program, build its encrypted signature
+//! table, and run it on the REV-protected out-of-order core.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Assemble a module: sum the numbers 1..=100, store the result.
+    let mut b = ModuleBuilder::new("quickstart", 0x1000);
+    let f = b.begin_function("main");
+    let top = b.new_label();
+    let result_cell = b.data_zeroed(8);
+    b.push(Instruction::Li { rd: Reg::R2, imm: 100 }); // limit
+    b.bind(top);
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 }); // i += 1
+    b.push(Instruction::Alu {
+        op: rev_isa::AluOp::Add,
+        rd: Reg::R3,
+        rs1: Reg::R3,
+        rs2: Reg::R1,
+    }); // sum += i
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.li_data(Reg::R5, result_cell);
+    b.push(Instruction::Store { rs: Reg::R3, rbase: Reg::R5, off: 0 });
+    b.push(Instruction::Halt);
+    b.end_function(f);
+
+    let mut pb = Program::builder();
+    pb.module(b.finish()?);
+    let program = pb.build();
+
+    // 2. Build the simulator: this is where the "trusted toolchain" runs —
+    //    static CFG analysis, per-block reference signatures, AES-encrypted
+    //    signature table placed in simulated RAM, SAG registers loaded.
+    let mut sim = RevSimulator::new(program, RevConfig::paper_default())?;
+
+    // 3. Run. Every basic block is hashed as it is fetched and validated
+    //    as its terminator commits; stores stay quarantined until their
+    //    block validates.
+    let report = sim.run(100_000);
+
+    assert_eq!(report.outcome, RunOutcome::Halted);
+    println!("outcome            : {:?}", report.outcome);
+    println!("instructions       : {}", report.cpu.committed_instrs);
+    println!("cycles             : {}", report.cpu.cycles);
+    println!("IPC                : {:.3}", report.cpu.ipc());
+    println!("blocks validated   : {}", report.rev.validations);
+    println!("SC hit rate        : {:.1}%", (1.0 - report.rev.sc.miss_rate()) * 100.0);
+    println!("stores released    : {}", report.rev.stores_released);
+    println!("violations         : {:?}", report.rev.violation);
+
+    // 4. The architectural result (sum 1..=100 = 5050) reached validated
+    //    memory only because every producing block authenticated.
+    let result_addr = sim.pipeline().oracle().state().reg(Reg::R5);
+    let result = sim.monitor().committed().read_u64(result_addr);
+    println!("sum(1..=100)       : {result}");
+    assert_eq!(result, 5050);
+    Ok(())
+}

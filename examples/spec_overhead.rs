@@ -1,0 +1,53 @@
+//! Measure REV's performance overhead on a SPEC-2006-like workload:
+//! the headline experiment of the paper (Figs. 6/7), on one benchmark.
+//!
+//! ```sh
+//! cargo run --release --example spec_overhead            # default: mcf
+//! cargo run --release --example spec_overhead -- gobmk   # pick another
+//! ```
+
+use rev_core::{RevConfig, RevSimulator};
+use rev_workloads::{generate, SpecProfile};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mcf".to_string());
+    let profile = SpecProfile::by_name(&name)
+        .unwrap_or_else(|| panic!("unknown benchmark '{name}'"))
+        .scaled(0.25); // keep the example snappy
+    let instructions = 500_000;
+
+    println!("benchmark          : {name} (scaled)");
+    let program = generate(&profile);
+    println!("static code        : {} KiB", program.total_code_len() >> 10);
+
+    let mut sim = RevSimulator::new(program, RevConfig::paper_default())?;
+    println!(
+        "signature table    : {} KiB ({:.0}% of code)",
+        sim.table_stats()[0].image_bytes >> 10,
+        sim.table_stats()[0].ratio_to_code() * 100.0
+    );
+
+    println!("running baseline ({instructions} instructions, warmed)...");
+    let base = sim.run_baseline_with_warmup(100_000, instructions);
+    println!("running REV...");
+    sim.warmup(100_000);
+    let rev = sim.run(instructions);
+
+    let base_ipc = base.cpu.ipc();
+    let rev_ipc = rev.cpu.ipc();
+    println!();
+    println!("base IPC           : {base_ipc:.3}");
+    println!("REV IPC            : {rev_ipc:.3}");
+    println!("overhead           : {:.2}%", (base_ipc - rev_ipc) / base_ipc * 100.0);
+    println!("blocks validated   : {}", rev.rev.validations);
+    println!(
+        "SC: {} hits, {} partial misses, {} complete misses ({:.2}% miss rate)",
+        rev.rev.sc.hits,
+        rev.rev.sc.partial_misses,
+        rev.rev.sc.complete_misses,
+        rev.rev.sc.miss_rate() * 100.0
+    );
+    println!("validation stalls  : {} cycles", rev.cpu.validation_stall_cycles);
+    println!("violations         : {:?}", rev.rev.violation);
+    Ok(())
+}

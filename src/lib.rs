@@ -1,0 +1,47 @@
+//! # rev — facade crate for the REV reproduction
+//!
+//! Re-exports the workspace's public API under one roof. See the
+//! [README](https://github.com/rev-sim/rev) and `DESIGN.md` for the system
+//! inventory, and the `examples/` directory for runnable walkthroughs:
+//!
+//! * `quickstart` — assemble, protect, and run a tiny program,
+//! * `attack_detection` — the paper's Table 1, executable,
+//! * `spec_overhead` — base-vs-REV IPC on a SPEC-like workload,
+//! * `validation_modes` — standard vs aggressive vs CFI-only.
+//!
+//! ```
+//! use rev::core::{RevConfig, RevSimulator};
+//! use rev::prog::{ModuleBuilder, Program};
+//! use rev::isa::{Instruction, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = ModuleBuilder::new("hello", 0x1000);
+//! b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R0, imm: 1 });
+//! b.push(Instruction::Halt);
+//! let mut pb = Program::builder();
+//! pb.module(b.finish()?);
+//! let mut sim = RevSimulator::new(pb.build(), RevConfig::paper_default())?;
+//! let report = sim.run(1_000);
+//! assert!(report.rev.violation.is_none());
+//! # Ok(())
+//! # }
+//! ```
+
+/// The synthetic byte-encoded ISA.
+pub use rev_isa as isa;
+/// Programs, modules, the assembler and static CFG analysis.
+pub use rev_prog as prog;
+/// CubeHash, AES-128 and the CHG model.
+pub use rev_crypto as crypto;
+/// Encrypted reference signature tables.
+pub use rev_sigtable as sigtable;
+/// The memory hierarchy.
+pub use rev_mem as mem;
+/// The out-of-order core.
+pub use rev_cpu as cpu;
+/// The REV mechanism and top-level simulator.
+pub use rev_core as core;
+/// SPEC CPU 2006 statistical workloads.
+pub use rev_workloads as workloads;
+/// The Table 1 attack framework.
+pub use rev_attacks as attacks;

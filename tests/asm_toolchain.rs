@@ -1,0 +1,92 @@
+//! End-to-end toolchain cohesion: a program written in assembly text goes
+//! through assemble → static analysis → encrypted table → OoO execution
+//! under REV, and the textual listing round-trips through the disassembler.
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome};
+use rev_isa::Reg;
+use rev_prog::{assemble, disassemble, Program};
+
+const FIB: &str = r#"
+; iterative fibonacci: r3 = fib(r2)
+func main
+    li   r2, 20        ; n
+    li   r4, 0         ; a
+    li   r3, 1         ; b
+    li   r1, 1         ; i
+loop:
+    add  r5, r4, r3    ; t = a + b
+    mov  r4, r3
+    mov  r3, r5
+    addi r1, r1, 1
+    blt  r1, r2, loop
+    li   r6, =result
+    st   r3, (r6)
+    halt
+endfunc
+result:
+    nop                ; 1 byte of "data" inside the module (never reached)
+"#;
+
+#[test]
+fn assembled_program_validates_under_rev() {
+    let module = assemble("fib", 0x1000, FIB).expect("assembles");
+    let listing = disassemble(&module);
+    assert!(listing.contains("add r5, r4, r3"));
+
+    let mut pb = Program::builder();
+    pb.module(module);
+    let mut sim = RevSimulator::new(pb.build(), RevConfig::paper_default()).expect("builds");
+    let report = sim.run(10_000);
+    assert_eq!(report.outcome, RunOutcome::Halted, "{:?}", report.rev.violation);
+    assert!(report.rev.violation.is_none());
+    // fib(20) with this recurrence = 6765.
+    assert_eq!(sim.pipeline().oracle().state().reg(Reg::R3), 6765);
+    // The store released into validated memory.
+    let addr = sim.pipeline().oracle().state().reg(Reg::R6);
+    assert_eq!(sim.monitor().committed().read_u64(addr), 6765);
+}
+
+#[test]
+fn assembled_computed_dispatch_validates() {
+    let src = r#"
+func main
+    li   r2, 0
+top:
+    andi r3, r2, 1
+    li   r4, 3
+    shl  r3, r3, r4
+    li   r5, =table
+    add  r5, r5, r3
+    ld   r6, (r5)
+    jmp  *r6 [even, odd]
+even:
+    addi r7, r7, 1
+    jmp  next
+odd:
+    addi r8, r8, 1
+    jmp  next
+next:
+    addi r2, r2, 1
+    li   r9, 40
+    blt  r2, r9, top
+    halt
+endfunc
+"#;
+    // The jump table itself lives in data; build it with the builder API
+    // afterwards is not possible from text, so store the two code
+    // addresses at run time instead: simpler — precompute via labels.
+    // Here we emulate the table with immediate materialization:
+    let src = src.replace(
+        "    li   r5, =table\n    add  r5, r5, r3\n    ld   r6, (r5)\n",
+        // r6 = (r3 == 0) ? &even : &odd, via arithmetic select
+        "    li   r5, =even\n    li   r6, =odd\n    sub  r6, r6, r5\n    li   r9, 3\n    shr  r10, r3, r9\n    mul  r6, r6, r10\n    add  r6, r5, r6\n",
+    );
+    let module = assemble("disp", 0x1000, &src).expect("assembles");
+    let mut pb = Program::builder();
+    pb.module(module);
+    let mut sim = RevSimulator::new(pb.build(), RevConfig::paper_default()).expect("builds");
+    let report = sim.run(20_000);
+    assert_eq!(report.outcome, RunOutcome::Halted, "{:?}", report.rev.violation);
+    assert_eq!(sim.pipeline().oracle().state().reg(Reg::R7), 20);
+    assert_eq!(sim.pipeline().oracle().state().reg(Reg::R8), 20);
+}

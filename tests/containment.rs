@@ -1,0 +1,87 @@
+//! Property-level integration tests of REV's security guarantees: the
+//! deferred-store quarantine (requirement R5), the key's role in digest
+//! forgery resistance, and detection latency.
+
+use rev_attacks::{mount, victim_program, AttackKind};
+use rev_core::{RevConfig, RevSimulator, RunOutcome, ValidationMode, ViolationKind};
+
+#[test]
+fn every_attack_is_contained_in_every_hash_mode() {
+    // Standard and aggressive both quarantine stores; every attack class
+    // must be caught before its canary store becomes architectural.
+    for mode in [ValidationMode::Standard, ValidationMode::Aggressive] {
+        for kind in [
+            AttackKind::DirectCodeInjection,
+            AttackKind::ReturnOriented,
+            AttackKind::JumpOriented,
+            AttackKind::VtableCompromise,
+        ] {
+            let out = mount(kind, RevConfig::paper_default().with_mode(mode));
+            assert!(out.detected, "{kind} undetected in {mode} mode");
+            assert!(!out.tainted, "{kind} tainted memory in {mode} mode");
+        }
+    }
+}
+
+#[test]
+fn cfi_only_catches_control_flow_attacks() {
+    // CFI-only gives up hash checking but must still catch pure
+    // control-flow hijacks (its design point, paper Sec. V.D).
+    for kind in
+        [AttackKind::ReturnOriented, AttackKind::JumpOriented, AttackKind::VtableCompromise]
+    {
+        let out = mount(kind, RevConfig::paper_default().with_mode(ValidationMode::CfiOnly));
+        assert!(out.detected, "{kind} undetected in CFI-only mode");
+        assert_eq!(out.violation.unwrap().kind, ViolationKind::IllegalTarget, "{kind}");
+    }
+}
+
+#[test]
+fn cfi_only_misses_pure_code_substitution() {
+    // The flip side of Sec. V.D: with no hashes, substituting same-shape
+    // code in place is NOT caught — CFI-only "assumes the system is
+    // protected against code integrity attacks". This documents the
+    // trade-off rather than papering over it.
+    let out = mount(
+        AttackKind::DirectCodeInjection,
+        RevConfig::paper_default().with_mode(ValidationMode::CfiOnly),
+    );
+    assert!(
+        !out.detected,
+        "CFI-only unexpectedly detected a pure code substitution: {:?}",
+        out.violation
+    );
+}
+
+#[test]
+fn detection_happens_promptly_after_the_attack_fires() {
+    let out = mount(AttackKind::ReturnOriented, RevConfig::paper_default());
+    assert!(out.detected);
+    // The overflow arms on the next process() call; detection must land
+    // within the post-attack window, not at its very end.
+    assert!(
+        out.committed < 330_000,
+        "detection too late: {} instructions committed",
+        out.committed
+    );
+}
+
+#[test]
+fn victim_runs_clean_indefinitely_without_attack() {
+    let (program, map) = victim_program();
+    let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
+    let report = sim.run(400_000);
+    assert_eq!(report.outcome, RunOutcome::BudgetReached);
+    assert!(report.rev.violation.is_none());
+    assert_eq!(sim.monitor().committed().read_u64(map.canary_addr), 0);
+    assert!(report.rev.return_checks > 0, "delayed return validation active");
+    assert!(report.rev.sag_refills == 0, "two modules fit the SAG");
+}
+
+#[test]
+fn violation_halts_validation_permanently() {
+    // After a violation, continuing the run must not release quarantined
+    // stores or validate further blocks.
+    let out = mount(AttackKind::JumpOriented, RevConfig::paper_default());
+    assert!(out.detected && !out.tainted);
+}

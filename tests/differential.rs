@@ -1,0 +1,179 @@
+//! Differential property testing: for arbitrary structured programs, the
+//! static analysis, table generation and run-time validation must agree —
+//! a clean program never trips a violation, and the architectural result
+//! equals an unprotected run's result.
+
+use proptest::prelude::*;
+use rev_core::{RevConfig, RevSimulator, RunOutcome, ValidationMode};
+use rev_isa::{AluOp, BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+#[derive(Debug, Clone)]
+enum Seg {
+    Alu(u8),
+    Store(u8),
+    Diamond(u8),
+    Loop(u8),
+    CallLeaf,
+    JumpTable(u8),
+}
+
+fn arb_seg() -> impl Strategy<Value = Seg> {
+    prop_oneof![
+        (1u8..6).prop_map(Seg::Alu),
+        (1u8..4).prop_map(Seg::Store),
+        (1u8..4).prop_map(Seg::Diamond),
+        (2u8..5).prop_map(Seg::Loop),
+        Just(Seg::CallLeaf),
+        (2u8..4).prop_map(Seg::JumpTable),
+    ]
+}
+
+/// Builds a program from the segment recipe. All control flow is driven by
+/// an in-program LCG (r27) so outcomes are data-dependent.
+fn build(segs: &[Seg]) -> Program {
+    let mut b = ModuleBuilder::new("diff", 0x1000);
+    // Leaf functions for call segments (created on demand).
+    let leaf_count = segs.iter().filter(|s| matches!(s, Seg::CallLeaf)).count().max(1);
+    let leaves: Vec<_> = (0..leaf_count).map(|_| b.new_label()).collect();
+
+    let f = b.begin_function("main");
+    let scratch = b.data_zeroed(4096);
+    b.li_data(Reg::R25, scratch);
+    b.push(Instruction::Li { rd: Reg::R27, imm: 0x1234_5677 });
+    let mut leaf_iter = leaves.iter();
+    for (i, seg) in segs.iter().enumerate() {
+        // Advance the LCG.
+        b.push(Instruction::MulI { rd: Reg::R27, rs: Reg::R27, imm: 1_103_515_245 });
+        b.push(Instruction::AddI { rd: Reg::R27, rs: Reg::R27, imm: 12_345 });
+        match seg {
+            Seg::Alu(n) => {
+                for k in 0..*n {
+                    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: k as i32 });
+                }
+            }
+            Seg::Store(n) => {
+                for k in 0..*n {
+                    b.push(Instruction::Store {
+                        rs: Reg::R1,
+                        rbase: Reg::R25,
+                        off: (8 * (i as i32 * 4 + k as i32)) % 4096,
+                    });
+                }
+            }
+            Seg::Diamond(n) => {
+                let arm = b.new_label();
+                let merge = b.new_label();
+                b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R27, imm: 1 << (i % 20) });
+                b.branch(BranchCond::Ne, Reg::R2, Reg::R0, arm);
+                for _ in 0..*n {
+                    b.push(Instruction::Alu {
+                        op: AluOp::Xor,
+                        rd: Reg::R3,
+                        rs1: Reg::R3,
+                        rs2: Reg::R27,
+                    });
+                }
+                b.jmp(merge);
+                b.bind(arm);
+                b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: 1 });
+                b.bind(merge);
+            }
+            Seg::Loop(n) => {
+                let top = b.new_label();
+                b.push(Instruction::Li { rd: Reg::R10, imm: *n as u64 });
+                b.bind(top);
+                b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: 1 });
+                b.push(Instruction::AddI { rd: Reg::R10, rs: Reg::R10, imm: -1 });
+                b.branch(BranchCond::Ne, Reg::R10, Reg::R0, top);
+            }
+            Seg::CallLeaf => {
+                let leaf = leaf_iter.next().unwrap_or(&leaves[0]);
+                b.call(*leaf);
+            }
+            Seg::JumpTable(k) => {
+                let arms: Vec<_> = (0..*k).map(|_| b.new_label()).collect();
+                let merge = b.new_label();
+                let table = b.data_label_table(&arms);
+                let mask = (k.next_power_of_two() - 1).max(1);
+                b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R27, imm: mask as i32 });
+                // Clamp to arm count via min: r2 = r2 < k ? r2 : 0
+                b.push(Instruction::Li { rd: Reg::R3, imm: *k as u64 });
+                b.push(Instruction::Alu { op: AluOp::Slt, rd: Reg::R4, rs1: Reg::R2, rs2: Reg::R3 });
+                b.push(Instruction::MulI { rd: Reg::R2, rs: Reg::R2, imm: 1 });
+                let inb = b.new_label();
+                b.branch(BranchCond::Ne, Reg::R4, Reg::R0, inb);
+                b.push(Instruction::Li { rd: Reg::R2, imm: 0 });
+                b.bind(inb);
+                b.push(Instruction::Li { rd: Reg::R3, imm: 3 });
+                b.push(Instruction::Alu { op: AluOp::Shl, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 });
+                b.li_data(Reg::R4, table);
+                b.push(Instruction::Alu { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R4, rs2: Reg::R2 });
+                b.push(Instruction::Load { rd: Reg::R4, rbase: Reg::R4, off: 0 });
+                b.jmp_ind(Reg::R4, &arms);
+                for arm in &arms {
+                    b.bind(*arm);
+                    b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R6, imm: 1 });
+                    b.jmp(merge);
+                }
+                b.bind(merge);
+            }
+        }
+    }
+    b.push(Instruction::Halt);
+    b.end_function(f);
+
+    // Leaf bodies.
+    for (j, leaf) in leaves.iter().enumerate() {
+        let g = b.begin_function(format!("leaf{j}"));
+        b.bind(*leaf);
+        b.push(Instruction::AddI { rd: Reg::R7, rs: Reg::R7, imm: 1 });
+        b.push(Instruction::Ret);
+        b.end_function(g);
+    }
+
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Clean programs validate in every mode, and the REV-protected run's
+    /// architectural register state equals the unprotected baseline's.
+    #[test]
+    fn clean_programs_always_validate(segs in proptest::collection::vec(arb_seg(), 1..16)) {
+        let program = build(&segs);
+        for mode in [ValidationMode::Standard, ValidationMode::Aggressive, ValidationMode::CfiOnly] {
+            let mut sim = RevSimulator::new(
+                program.clone(),
+                RevConfig::paper_default().with_mode(mode),
+            ).expect("builds");
+            let report = sim.run(200_000);
+            prop_assert_eq!(
+                &report.outcome, &RunOutcome::Halted,
+                "mode {}: {:?}", mode, report.rev.violation
+            );
+            prop_assert!(report.rev.violation.is_none());
+        }
+    }
+
+    /// Committed memory after a validated halt equals the oracle's view of
+    /// the scratch region (no lost or phantom stores).
+    #[test]
+    fn committed_state_equals_oracle_state(segs in proptest::collection::vec(arb_seg(), 1..12)) {
+        let program = build(&segs);
+        let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
+        let report = sim.run(200_000);
+        prop_assert_eq!(&report.outcome, &RunOutcome::Halted);
+        let scratch = sim.pipeline().oracle().state().reg(Reg::R25);
+        for i in 0..512u64 {
+            prop_assert_eq!(
+                sim.monitor().committed().read_u64(scratch + i * 8),
+                sim.pipeline().oracle().mem().read_u64(scratch + i * 8),
+                "slot {}", i
+            );
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Dynamic module loading (paper Sec. IV.B): calls into a module that is
+//! loaded (`dlopen`-style) mid-run. Before loading, any transfer into the
+//! module raises `NoTable` (the SAG has no base/limit/key triple for it);
+//! after the trusted dynamic linker runs, execution validates cleanly —
+//! including delayed return validation across the new module boundary.
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome, ViolationKind};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{Module, ModuleBuilder, Program};
+
+const PLUGIN_BASE: u64 = 0x20_0000;
+
+/// Main program: spins on validated work, checks a "plugin ready" flag in
+/// data, and once set calls the plugin through a function pointer.
+fn host_program() -> Program {
+    let mut b = ModuleBuilder::new("host", 0x1000);
+    let f = b.begin_function("main");
+    let flag_off = b.data_zeroed(8);
+    let top = b.new_label();
+    let skip = b.new_label();
+    b.bind(top);
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.li_data(Reg::R10, flag_off);
+    b.push(Instruction::Load { rd: Reg::R8, rbase: Reg::R10, off: 0 });
+    b.branch(BranchCond::Eq, Reg::R8, Reg::R0, skip);
+    // Plugin ready: call it (cross-module computed call).
+    b.push(Instruction::Li { rd: Reg::R21, imm: PLUGIN_BASE });
+    b.call_ind_abs(Reg::R21, &[PLUGIN_BASE]);
+    b.bind(skip);
+    b.jmp(top);
+    b.end_function(f);
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+fn plugin() -> Module {
+    let mut b = ModuleBuilder::new("plugin", PLUGIN_BASE);
+    let f = b.begin_function("plugin_entry");
+    b.push(Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 7 });
+    b.push(Instruction::Ret);
+    b.end_function(f);
+    b.finish().expect("assembles")
+}
+
+fn flag_addr(sim: &RevSimulator) -> u64 {
+    sim.program().modules()[0].data_base()
+}
+
+#[test]
+fn calling_an_unloaded_module_is_a_no_table_violation() {
+    let mut sim = RevSimulator::new(host_program(), RevConfig::paper_default()).expect("builds");
+    let addr = flag_addr(&sim);
+    sim.inject(|mem| mem.write_u64(addr, 1)); // arm the call without loading
+    let report = sim.run(100_000);
+    match report.outcome {
+        RunOutcome::Violation(v) => assert_eq!(v.kind, ViolationKind::NoTable),
+        // The call lands in unmapped zeros; depending on timing the oracle
+        // may also fault first — but REV must fire before that commits.
+        other => panic!("expected NoTable violation, got {other:?}"),
+    }
+}
+
+#[test]
+fn dlopen_then_call_validates_cleanly() {
+    let mut sim = RevSimulator::new(host_program(), RevConfig::paper_default()).expect("builds");
+    // Phase 1: run without the plugin (flag clear): clean.
+    let r1 = sim.run(20_000);
+    assert!(r1.rev.violation.is_none());
+    assert_eq!(sim.table_stats().len(), 1);
+
+    // Phase 2: the trusted dynamic linker loads the plugin, then the
+    // "application" flips the ready flag.
+    sim.load_dynamic_module(plugin()).expect("links");
+    assert_eq!(sim.table_stats().len(), 2);
+    let addr = flag_addr(&sim);
+    sim.inject(|mem| mem.write_u64(addr, 1));
+
+    // Phase 3: cross-module calls into the plugin validate, including the
+    // return back into the host.
+    let r2 = sim.run(120_000);
+    assert!(r2.rev.violation.is_none(), "{:?}", r2.rev.violation);
+    assert!(
+        sim.pipeline().oracle().state().reg(Reg::R9) > 0,
+        "the plugin actually ran"
+    );
+    assert!(r2.rev.return_checks > 0, "cross-module returns were validated");
+}
+
+#[test]
+fn tampering_with_the_dynamically_loaded_module_is_caught() {
+    let mut sim = RevSimulator::new(host_program(), RevConfig::paper_default()).expect("builds");
+    sim.run(10_000);
+    sim.load_dynamic_module(plugin()).expect("links");
+    let addr = flag_addr(&sim);
+    sim.inject(|mem| mem.write_u64(addr, 1));
+    let r = sim.run(40_000);
+    assert!(r.rev.violation.is_none());
+
+    // Now overwrite the plugin's first instruction (same length).
+    let evil = Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 666 }.encode();
+    sim.inject(|mem| mem.write_bytes(PLUGIN_BASE, &evil));
+    let r = sim.run(200_000);
+    match r.outcome {
+        RunOutcome::Violation(v) => assert_eq!(v.kind, ViolationKind::HashMismatch),
+        other => panic!("expected detection, got {other:?}"),
+    }
+}
+
+#[test]
+fn rekeying_mid_run_keeps_validation_working() {
+    // Paper Sec. IX: the trusted entity rotates the table keys; execution
+    // continues validating under the new keys with a flushed SC.
+    let mut sim = RevSimulator::new(host_program(), RevConfig::paper_default()).expect("builds");
+    let r1 = sim.run(30_000);
+    assert!(r1.rev.violation.is_none());
+    let old_key = sim.monitor().sag().tables()[0].key();
+    sim.rekey_modules(1).expect("rekeys");
+    let new_key = sim.monitor().sag().tables()[0].key();
+    assert_ne!(old_key, new_key, "the key actually rotated");
+    let r2 = sim.run(120_000);
+    assert!(r2.rev.violation.is_none(), "{:?}", r2.rev.violation);
+    assert!(r2.rev.validations > r1.rev.validations);
+}
+
+#[test]
+fn stale_table_after_rekey_is_useless_to_an_attacker() {
+    // An attacker who copies the old encrypted table and restores it after
+    // a rekey (a rollback attack) cannot get illicit code validated: the
+    // SAG's key registers hold the *new* key, so the stale image decrypts
+    // to garbage and validation fails closed.
+    let mut sim = RevSimulator::new(host_program(), RevConfig::paper_default()).expect("builds");
+    sim.run(20_000);
+    let (base, old_image) = {
+        let t = &sim.monitor().sag().tables()[0];
+        (t.base(), t.image().to_vec())
+    };
+    sim.rekey_modules(7).expect("rekeys");
+    let new_base = sim.monitor().sag().tables()[0].base();
+    // Roll the old ciphertext back over the new table's location.
+    sim.inject(|mem| mem.write_bytes(new_base, &old_image));
+    let _ = base;
+    let r = sim.run(200_000);
+    match r.outcome {
+        RunOutcome::Violation(v) => assert!(matches!(
+            v.kind,
+            ViolationKind::HashMismatch | ViolationKind::TableCorrupt
+        )),
+        other => panic!("rollback must not validate: {other:?}"),
+    }
+}

@@ -1,0 +1,162 @@
+//! Workspace-spanning integration tests: the full stack from program
+//! generation through table building, OoO simulation, REV validation,
+//! attack detection and containment.
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome, ValidationMode};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
+
+fn spec_program(name: &str) -> Program {
+    generate(&SpecProfile::by_name(name).expect("profile").scaled(0.05))
+}
+
+#[test]
+fn every_benchmark_runs_clean_under_rev() {
+    for p in ALL_PROFILES {
+        let program = generate(&p.scaled(0.03));
+        let mut sim = RevSimulator::new(program, RevConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let report = sim.run(60_000);
+        assert_eq!(report.outcome, RunOutcome::BudgetReached, "{}", p.name);
+        assert!(report.rev.violation.is_none(), "{}: {:?}", p.name, report.rev.violation);
+        assert!(report.rev.validations > 1_000, "{}: too few validations", p.name);
+    }
+}
+
+#[test]
+fn all_three_modes_validate_spec_workloads() {
+    let program = spec_program("sjeng");
+    for mode in [ValidationMode::Standard, ValidationMode::Aggressive, ValidationMode::CfiOnly] {
+        let mut sim =
+            RevSimulator::new(program.clone(), RevConfig::paper_default().with_mode(mode))
+                .expect("builds");
+        let report = sim.run(80_000);
+        assert!(report.rev.violation.is_none(), "{mode}: {:?}", report.rev.violation);
+    }
+}
+
+#[test]
+fn rev_never_beats_baseline_and_overhead_is_bounded() {
+    let program = spec_program("hmmer");
+    let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
+    let base = sim.run_baseline(150_000);
+    let rev = sim.run(150_000);
+    let base_ipc = base.cpu.ipc();
+    let rev_ipc = rev.cpu.ipc();
+    assert!(rev_ipc <= base_ipc * 1.001, "REV cannot speed execution up");
+    assert!(
+        rev_ipc >= base_ipc * 0.5,
+        "overhead implausibly high: base {base_ipc:.3} vs rev {rev_ipc:.3}"
+    );
+}
+
+#[test]
+fn bigger_sc_never_hurts() {
+    let p = SpecProfile::by_name("gcc").expect("profile").scaled(0.05);
+    let run = |bytes: usize| {
+        let mut sim = RevSimulator::new(
+            generate(&p),
+            RevConfig::paper_default().with_sc_capacity(bytes),
+        )
+        .expect("builds");
+        let r = sim.run(150_000);
+        (r.cpu.ipc(), r.rev.sc.misses())
+    };
+    let (ipc_small, misses_small) = run(4 << 10);
+    let (ipc_large, misses_large) = run(64 << 10);
+    assert!(misses_large <= misses_small, "more capacity, fewer misses");
+    assert!(ipc_large >= ipc_small * 0.999, "more capacity must not slow things down");
+}
+
+#[test]
+fn committed_memory_matches_architectural_state_after_halt() {
+    // A program that fills a buffer with known values then halts: after a
+    // clean validated run, committed memory == oracle memory.
+    let mut b = ModuleBuilder::new("writer", 0x1000);
+    let f = b.begin_function("main");
+    let buf = b.data_zeroed(256);
+    let top = b.new_label();
+    b.li_data(Reg::R5, buf);
+    b.push(Instruction::Li { rd: Reg::R2, imm: 32 });
+    b.bind(top);
+    // value = i * 3 + 1
+    b.push(Instruction::MulI { rd: Reg::R6, rs: Reg::R1, imm: 3 });
+    b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R6, imm: 1 });
+    b.push(Instruction::Store { rs: Reg::R6, rbase: Reg::R5, off: 0 });
+    b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: 8 });
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    let program = pb.build();
+
+    let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
+    let report = sim.run(10_000);
+    assert_eq!(report.outcome, RunOutcome::Halted);
+    let base_addr = sim.pipeline().oracle().state().reg(Reg::R5) - 32 * 8;
+    for i in 0..32u64 {
+        let addr = base_addr + i * 8;
+        assert_eq!(
+            sim.monitor().committed().read_u64(addr),
+            i * 3 + 1,
+            "committed memory at slot {i}"
+        );
+        assert_eq!(
+            sim.pipeline().oracle().mem().read_u64(addr),
+            i * 3 + 1,
+            "oracle memory at slot {i}"
+        );
+    }
+    assert_eq!(report.rev.stores_released, 32, "all buffer stores released");
+}
+
+#[test]
+fn determinism_across_identical_runs() {
+    let run = || {
+        let mut sim = RevSimulator::new(spec_program("astar"), RevConfig::paper_default())
+            .expect("builds");
+        let r = sim.run(60_000);
+        (
+            r.cpu.cycles,
+            r.cpu.committed_branches,
+            r.rev.validations,
+            r.rev.sc.probes(),
+            r.rev.sc.misses(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn cfi_only_table_is_smallest_aggressive_largest() {
+    let program = spec_program("gamess");
+    let size = |mode| {
+        RevSimulator::new(program.clone(), RevConfig::paper_default().with_mode(mode))
+            .expect("builds")
+            .table_stats()[0]
+            .image_bytes
+    };
+    let std_size = size(ValidationMode::Standard);
+    let agg_size = size(ValidationMode::Aggressive);
+    let cfi_size = size(ValidationMode::CfiOnly);
+    assert!(cfi_size < std_size, "cfi {cfi_size} < standard {std_size}");
+    assert!(std_size < agg_size, "standard {std_size} < aggressive {agg_size}");
+}
+
+#[test]
+fn unique_branches_reflect_working_set_differences() {
+    let unique = |name: &str| {
+        let mut sim = RevSimulator::new(spec_program(name), RevConfig::paper_default())
+            .expect("builds");
+        sim.run(120_000).cpu.unique_branches()
+    };
+    let gcc = unique("gcc");
+    let libquantum = unique("libquantum");
+    assert!(
+        gcc as f64 > libquantum as f64 * 1.4,
+        "gcc working set {gcc} should exceed libquantum's {libquantum}"
+    );
+}

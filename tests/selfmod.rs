@@ -1,0 +1,114 @@
+//! Self-modifying code (paper Sec. IV.E): a JIT-style program that patches
+//! its own code at run time. With REV active the patched block fails
+//! validation; with the paper's enable/disable system-call protocol the
+//! trusted modification window runs unvalidated and execution continues
+//! cleanly afterwards.
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome, ViolationKind};
+use rev_core::{SYSCALL_REV_DISABLE, SYSCALL_REV_ENABLE};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+/// The 8 bytes the JIT writes: `addi r9, r9, 9` (7 B) + `nop` (1 B),
+/// exactly overwriting the placeholder `addi r9, r9, 5` + `nop`.
+fn patched_bytes() -> u64 {
+    let mut bytes = Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 9 }.encode();
+    bytes.push(Instruction::Nop.encode()[0]);
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}
+
+/// Builds the JIT program. When `sanctioned`, the patch window is
+/// bracketed by the REV disable/enable system calls.
+fn jit_program(sanctioned: bool) -> Program {
+    let mut b = ModuleBuilder::new("jit", 0x1000);
+    let jit_region = b.new_label();
+    let patch_site = b.new_label();
+
+    let f = b.begin_function("main");
+    // Warm phase: run the unpatched region once (validated, clean).
+    b.call(jit_region);
+    if sanctioned {
+        b.push(Instruction::Syscall { num: SYSCALL_REV_DISABLE });
+    }
+    // The "JIT": overwrite the placeholder instruction.
+    b.li_label(Reg::R10, patch_site);
+    b.push(Instruction::Li { rd: Reg::R11, imm: patched_bytes() });
+    b.push(Instruction::Store { rs: Reg::R11, rbase: Reg::R10, off: 0 });
+    // Run the freshly generated code.
+    b.call(jit_region);
+    if sanctioned {
+        b.push(Instruction::Syscall { num: SYSCALL_REV_ENABLE });
+    }
+    // Post-JIT validated work.
+    let top = b.new_label();
+    b.push(Instruction::Li { rd: Reg::R2, imm: 50 });
+    b.bind(top);
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+
+    let g = b.begin_function("jit_region");
+    b.bind(jit_region);
+    b.bind(patch_site);
+    b.push(Instruction::AddI { rd: Reg::R9, rs: Reg::R9, imm: 5 }); // placeholder
+    b.push(Instruction::Nop);
+    b.push(Instruction::Ret);
+    b.end_function(g);
+
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+#[test]
+fn unsanctioned_self_modification_is_caught() {
+    let mut sim = RevSimulator::new(jit_program(false), RevConfig::paper_default())
+        .expect("builds");
+    let report = sim.run(10_000);
+    match report.outcome {
+        RunOutcome::Violation(v) => assert_eq!(v.kind, ViolationKind::HashMismatch),
+        other => panic!("expected a hash-mismatch violation, got {other:?}"),
+    }
+    // The patched region ran once pre-patch (r9 += 5) but its post-patch
+    // execution was caught; validated state reflects containment.
+    assert!(report.rev.stores_discarded > 0 || report.rev.violation.is_some());
+}
+
+#[test]
+fn sanctioned_jit_window_runs_clean() {
+    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default())
+        .expect("builds");
+    let report = sim.run(10_000);
+    assert_eq!(report.outcome, RunOutcome::Halted, "{:?}", report.rev.violation);
+    assert!(report.rev.violation.is_none());
+    // Functional effect of both the original and the patched code.
+    let r9 = sim.pipeline().oracle().state().reg(Reg::R9);
+    assert_eq!(r9, 5 + 9, "placeholder ran once, patched code once");
+    // The post-enable loop was validated again.
+    assert_eq!(sim.pipeline().oracle().state().reg(Reg::R1), 50);
+    assert!(report.rev.validations > 0);
+}
+
+#[test]
+fn monitor_reports_enablement_state() {
+    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default())
+        .expect("builds");
+    assert!(sim.monitor().is_enabled());
+    let _ = sim.run(10_000);
+    assert!(sim.monitor().is_enabled(), "re-enabled by the second syscall");
+}
+
+#[test]
+fn external_disable_enable_api() {
+    // The OS-facing API (not program-initiated): disabling validation
+    // makes even code injection invisible — which is exactly why the
+    // paper insists the two system calls themselves must be secured.
+    let mut sim = RevSimulator::new(jit_program(false), RevConfig::paper_default())
+        .expect("builds");
+    sim.set_rev_enabled(false);
+    let report = sim.run(10_000);
+    assert_eq!(report.outcome, RunOutcome::Halted);
+    assert!(report.rev.violation.is_none(), "nothing validates while disabled");
+    assert_eq!(report.rev.validations, 0);
+}

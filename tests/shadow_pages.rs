@@ -1,0 +1,117 @@
+//! Integration tests of the page-shadowing containment mode (paper
+//! Sec. IV.A's stricter alternative for requirement R5).
+
+use rev_attacks::{victim_program, TAINT_VALUE};
+use rev_core::{Containment, RevConfig, RevSimulator, RunOutcome};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+fn shadow_config() -> RevConfig {
+    let mut cfg = RevConfig::paper_default();
+    cfg.containment = Containment::ShadowPages;
+    cfg
+}
+
+fn writer_program() -> Program {
+    let mut b = ModuleBuilder::new("writer", 0x1000);
+    let f = b.begin_function("main");
+    let buf = b.data_zeroed(512);
+    let top = b.new_label();
+    b.li_data(Reg::R5, buf);
+    b.push(Instruction::Li { rd: Reg::R2, imm: 16 });
+    b.bind(top);
+    b.push(Instruction::AddI { rd: Reg::R6, rs: Reg::R1, imm: 100 });
+    b.push(Instruction::Store { rs: Reg::R6, rbase: Reg::R5, off: 0 });
+    b.push(Instruction::AddI { rd: Reg::R5, rs: Reg::R5, imm: 8 });
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    let mut pb = Program::builder();
+    pb.module(b.finish().expect("assembles"));
+    pb.build()
+}
+
+#[test]
+fn clean_run_promotes_shadow_pages_at_the_end() {
+    let mut sim = RevSimulator::new(writer_program(), shadow_config()).expect("builds");
+    let report = sim.run(10_000);
+    assert_eq!(report.outcome, RunOutcome::Halted);
+    assert!(report.rev.shadow.pages_created > 0, "stores went through shadow pages");
+    assert_eq!(report.rev.shadow.pages_promoted, report.rev.shadow.pages_created);
+    assert_eq!(report.rev.shadow.pages_discarded, 0);
+    // After promotion, the committed image holds the program's writes.
+    let last = sim.pipeline().oracle().state().reg(Reg::R5) - 8;
+    assert_eq!(sim.monitor().committed().read_u64(last), 100 + 15);
+}
+
+#[test]
+fn violation_discards_the_entire_execution_including_pre_attack_stores() {
+    // The semantic difference from the deferred-store buffer: under
+    // shadowing, even stores from *validated* blocks never became
+    // architectural, so a violation wipes them too.
+    let (program, map) = victim_program();
+    let mut sim = RevSimulator::new(program, shadow_config()).expect("builds");
+    let warm = sim.run(30_000);
+    assert!(warm.rev.violation.is_none());
+    // The victim's loop counter cell in shadow, committed memory stale:
+    // handlers have run (oracle r5 > 0), yet nothing promoted mid-run.
+    assert!(sim.monitor().committed().read_u64(map.canary_addr) == 0);
+
+    // Mount the ROP attack by hand.
+    sim.inject(|mem| {
+        mem.write_u64(map.flag_addr, 1);
+        mem.write_u64(map.evil_addr, map.gadget_addr);
+    });
+    let report = sim.run(400_000);
+    assert!(matches!(report.outcome, RunOutcome::Violation(_)));
+    // Canary contained AND every shadow page dropped.
+    assert_ne!(
+        sim.pipeline().oracle().mem().read_u64(map.canary_addr),
+        0,
+        "the gadget did run speculatively"
+    );
+    assert_eq!(sim.monitor().committed().read_u64(map.canary_addr), 0, "contained");
+    assert!(report.rev.shadow.pages_discarded > 0);
+    // The only promotion happened at the clean end of the *pre-attack*
+    // window; nothing promoted after the violation.
+    assert!(report.rev.shadow.pages_promoted <= warm.rev.shadow.pages_created);
+    let _ = TAINT_VALUE;
+}
+
+#[test]
+fn shadow_and_defer_agree_on_final_state_for_clean_runs() {
+    let run = |containment: Containment| {
+        let mut cfg = RevConfig::paper_default();
+        cfg.containment = containment;
+        let mut sim = RevSimulator::new(writer_program(), cfg).expect("builds");
+        let report = sim.run(10_000);
+        assert_eq!(report.outcome, RunOutcome::Halted);
+        let base = sim.pipeline().oracle().state().reg(Reg::R5) - 16 * 8;
+        (0..16u64)
+            .map(|i| sim.monitor().committed().read_u64(base + i * 8))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(Containment::DeferredStores), run(Containment::ShadowPages));
+}
+
+#[test]
+fn shadow_mode_ipc_close_to_defer_mode() {
+    // Page shadowing is a containment-policy change, not a validation
+    // change; IPC should be within a few percent (COW traffic only).
+    let run = |containment: Containment| {
+        let mut cfg = RevConfig::paper_default();
+        cfg.containment = containment;
+        let program = rev_workloads::generate(
+            &rev_workloads::SpecProfile::by_name("hmmer").unwrap().scaled(0.05),
+        );
+        let mut sim = RevSimulator::new(program, cfg).expect("builds");
+        sim.run(100_000).cpu.ipc()
+    };
+    let defer = run(Containment::DeferredStores);
+    let shadow = run(Containment::ShadowPages);
+    assert!(
+        (defer - shadow).abs() / defer < 0.10,
+        "defer {defer:.3} vs shadow {shadow:.3}"
+    );
+}
