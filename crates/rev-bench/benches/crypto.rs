@@ -3,7 +3,10 @@
 //! path's work).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rev_crypto::{bb_body_hash, entry_digest, Aes128, SignatureKey};
+use rev_crypto::{
+    bb_body_hash, bb_body_hash_with, entry_digest, entry_digest_with, Aes128, CubeHash,
+    SignatureKey,
+};
 use std::hint::black_box;
 
 fn bench_cubehash(c: &mut Criterion) {
@@ -16,6 +19,49 @@ fn bench_cubehash(c: &mut Criterion) {
         });
     }
     g.finish();
+}
+
+/// Fresh-construction vs reusable-hasher (`reset` + `update` +
+/// `finalize_reset`) paths, per BB-sized input. The reusable path is what
+/// `RevMonitor` runs per validated basic block; the delta here is the cost
+/// of re-running CubeHash's 10·r initialization rounds plus hasher
+/// construction on every hash, which `reset()` replaces with a copy of the
+/// precomputed IV.
+fn bench_reusable_hasher(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cubehash_reuse");
+    for size in [16usize, 48, 128] {
+        let data = vec![0xa5u8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("fresh_construction", size), &data, |b, d| {
+            b.iter(|| {
+                let mut h = CubeHash::new();
+                h.update(black_box(d));
+                h.finalize()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reset_reuse", size), &data, |b, d| {
+            let mut h = CubeHash::new();
+            b.iter(|| bb_body_hash_with(&mut h, black_box(d)));
+        });
+    }
+    g.finish();
+
+    // The monitor's full per-BB sequence: body hash + entry digest.
+    let key = SignatureKey::from_seed(7);
+    let bytes = b"example basic block bytes";
+    c.bench_function("per_bb_oneshot", |b| {
+        b.iter(|| {
+            let body = bb_body_hash(black_box(&bytes[..]));
+            entry_digest(&key, 0x1000, &body, 0x2000, 0x3000)
+        });
+    });
+    c.bench_function("per_bb_reused_hasher", |b| {
+        let mut h = CubeHash::new();
+        b.iter(|| {
+            let body = bb_body_hash_with(&mut h, black_box(&bytes[..]));
+            entry_digest_with(&mut h, &key, 0x1000, &body, 0x2000, 0x3000)
+        });
+    });
 }
 
 fn bench_entry_digest(c: &mut Criterion) {
@@ -47,5 +93,5 @@ fn bench_aes(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cubehash, bench_entry_digest, bench_aes);
+criterion_group!(benches, bench_cubehash, bench_reusable_hasher, bench_entry_digest, bench_aes);
 criterion_main!(benches);

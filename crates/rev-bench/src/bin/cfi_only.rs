@@ -1,27 +1,27 @@
 //! Sec. V.D / VIII: CFI-only validation — only computed branches and
 //! returns are checked (~10 % of dynamic branches), no hashes. Paper:
-//! 0.04 %–1.68 % IPC overhead.
+//! 0.04 %–1.68 % IPC overhead. Benchmarks fan out across `--jobs` workers.
 
-use rev_bench::{mean, run_benchmark, BenchOptions, TablePrinter};
+use rev_bench::{mean, overhead_pct, sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::{RevConfig, ValidationMode};
 
 fn main() {
     let opts = BenchOptions::from_args();
-    let cfg = RevConfig::paper_default().with_mode(ValidationMode::CfiOnly);
+    let configs =
+        [SweepConfig::new("cfi-only", RevConfig::paper_default().with_mode(ValidationMode::CfiOnly))];
     let mut t = TablePrinter::new(
         vec!["benchmark", "base IPC", "cfi-only IPC", "ovh %", "computed/branches %"],
         opts.csv,
     );
     let mut ovh = Vec::new();
-    for p in opts.profiles() {
-        eprintln!("[cfi_only] {} ...", p.name);
-        let r = run_benchmark(&p, &opts, cfg);
-        let o = r.overhead_pct();
+    for r in sweep_configs(&opts, &configs) {
+        let rev = &r.revs[0];
+        let o = overhead_pct(r.base.cpu.ipc(), rev.cpu.ipc());
         ovh.push(o);
-        let c = &r.rev.cpu;
-        let computed_frac = r.rev.rev.validations as f64 / c.committed_branches.max(1) as f64;
+        let c = &rev.cpu;
+        let computed_frac = rev.rev.validations as f64 / c.committed_branches.max(1) as f64;
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             format!("{:.3}", r.base.cpu.ipc()),
             format!("{:.3}", c.ipc()),
             format!("{o:.2}"),

@@ -1,11 +1,13 @@
 //! Figure 10: signature-cache miss counts (32 KiB SC): complete misses,
-//! partial misses, and the resulting commit stalls.
+//! partial misses, and the resulting commit stalls. Benchmarks fan out
+//! across `--jobs` workers.
 
-use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_bench::{sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
     let mut t = TablePrinter::new(
         vec![
             "benchmark",
@@ -18,18 +20,16 @@ fn main() {
         ],
         opts.csv,
     );
-    for p in opts.profiles() {
-        eprintln!("[fig10] {} ...", p.name);
-        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
-        let sc = r.rev.rev.sc;
+    for r in sweep_configs(&opts, &configs) {
+        let sc = r.revs[0].rev.sc;
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             sc.probes().to_string(),
             sc.hits.to_string(),
             sc.partial_misses.to_string(),
             sc.complete_misses.to_string(),
             format!("{:.3}", sc.miss_rate() * 100.0),
-            r.rev.cpu.validation_stall_cycles.to_string(),
+            r.revs[0].cpu.validation_stall_cycles.to_string(),
         ]);
     }
     t.print();

@@ -1,12 +1,14 @@
 //! Figure 11: cache statistics while servicing SC misses — L1D/L2
-//! accesses and misses attributed to signature-fetch traffic.
+//! accesses and misses attributed to signature-fetch traffic. Benchmarks
+//! fan out across `--jobs` workers.
 
-use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_bench::{sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::RevConfig;
 use rev_mem::Requester;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
     let mut t = TablePrinter::new(
         vec![
             "benchmark",
@@ -20,13 +22,11 @@ fn main() {
         ],
         opts.csv,
     );
-    for p in opts.profiles() {
-        eprintln!("[fig11] {} ...", p.name);
-        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
-        let m = r.rev.mem;
+    for r in sweep_configs(&opts, &configs) {
+        let m = r.revs[0].mem;
         let i = Requester::SigFetch.idx();
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             m.l1_accesses[i].to_string(),
             m.l1_misses[i].to_string(),
             format!("{:.1}", m.l1_miss_rate(Requester::SigFetch) * 100.0),

@@ -2,31 +2,31 @@
 //! target verified explicitly; 32-byte entries carrying two inline
 //! targets). The paper reports slightly better behavior than standard in
 //! some cases because two successors are verified from a single entry.
+//! Both SC sizes fan out across `--jobs` workers sharing one baseline.
 
-use rev_bench::{mean, overhead_pct, run_benchmark, run_rev_only, BenchOptions, TablePrinter};
+use rev_bench::{mean, overhead_pct, sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::{RevConfig, ValidationMode};
 
 fn main() {
     let opts = BenchOptions::from_args();
-    let cfg32 = RevConfig::paper_default().with_mode(ValidationMode::Aggressive);
-    let cfg64 = RevConfig::paper_64k().with_mode(ValidationMode::Aggressive);
+    let configs = [
+        SweepConfig::new("aggr-32K", RevConfig::paper_default().with_mode(ValidationMode::Aggressive)),
+        SweepConfig::new("aggr-64K", RevConfig::paper_64k().with_mode(ValidationMode::Aggressive)),
+    ];
     let mut t = TablePrinter::new(
         vec!["benchmark", "base IPC", "aggr-32K ovh %", "aggr-64K ovh %"],
         opts.csv,
     );
     let mut o32 = Vec::new();
     let mut o64 = Vec::new();
-    for p in opts.profiles() {
-        eprintln!("[fig12] {} ...", p.name);
-        let r32 = run_benchmark(&p, &opts, cfg32);
-        let r64 = run_rev_only(&p, &opts, cfg64);
-        let base_ipc = r32.base.cpu.ipc();
-        let a = r32.overhead_pct();
-        let b = overhead_pct(base_ipc, r64.cpu.ipc());
+    for r in sweep_configs(&opts, &configs) {
+        let base_ipc = r.base.cpu.ipc();
+        let a = overhead_pct(base_ipc, r.revs[0].cpu.ipc());
+        let b = overhead_pct(base_ipc, r.revs[1].cpu.ipc());
         o32.push(a);
         o64.push(b);
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             format!("{base_ipc:.3}"),
             format!("{a:.2}"),
             format!("{b:.2}"),

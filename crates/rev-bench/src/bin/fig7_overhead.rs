@@ -1,8 +1,8 @@
 //! Figure 7: IPC overhead (% of base IPC) per benchmark, for 32 KiB and
-//! 64 KiB signature caches.
+//! 64 KiB signature caches. Work fans out across `--jobs` workers; the
+//! baseline is simulated once per benchmark and shared by both SC sizes.
 
-use rev_bench::{mean, overhead_pct, run_benchmark, run_rev_only, BenchOptions, TablePrinter};
-use rev_core::RevConfig;
+use rev_bench::{mean, overhead_pct, sweep, BenchOptions, TablePrinter};
 
 fn main() {
     let opts = BenchOptions::from_args();
@@ -12,21 +12,18 @@ fn main() {
     );
     let mut ovh32 = Vec::new();
     let mut ovh64 = Vec::new();
-    for p in opts.profiles() {
-        eprintln!("[fig7] {} ...", p.name);
-        let r32 = run_benchmark(&p, &opts, RevConfig::paper_default());
-        let r64 = run_rev_only(&p, &opts, RevConfig::paper_64k());
-        let base_ipc = r32.base.cpu.ipc();
-        let o32 = r32.overhead_pct();
-        let o64 = overhead_pct(base_ipc, r64.cpu.ipc());
+    for row in sweep(&opts) {
+        let base_ipc = row.base.cpu.ipc();
+        let o32 = overhead_pct(base_ipc, row.rev32.cpu.ipc());
+        let o64 = overhead_pct(base_ipc, row.rev64.cpu.ipc());
         ovh32.push(o32);
         ovh64.push(o64);
         t.row(vec![
-            p.name.to_string(),
+            row.name.clone(),
             format!("{base_ipc:.3}"),
-            format!("{:.3}", r32.rev.cpu.ipc()),
+            format!("{:.3}", row.rev32.cpu.ipc()),
             format!("{o32:.2}"),
-            format!("{:.3}", r64.cpu.ipc()),
+            format!("{:.3}", row.rev64.cpu.ipc()),
             format!("{o64:.2}"),
         ]);
     }

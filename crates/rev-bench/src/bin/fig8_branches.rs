@@ -1,20 +1,20 @@
-//! Figure 8: number of committed branches during execution.
+//! Figure 8: number of committed branches during execution. Benchmarks
+//! fan out across `--jobs` workers.
 
-use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_bench::{sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
     let mut t = TablePrinter::new(
         vec!["benchmark", "committed instrs", "committed branches", "branch frac %"],
         opts.csv,
     );
-    for p in opts.profiles() {
-        eprintln!("[fig8] {} ...", p.name);
-        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
-        let c = &r.rev.cpu;
+    for r in sweep_configs(&opts, &configs) {
+        let c = &r.revs[0].cpu;
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             c.committed_instrs.to_string(),
             c.committed_branches.to_string(),
             format!("{:.1}", c.committed_branches as f64 / c.committed_instrs.max(1) as f64 * 100.0),

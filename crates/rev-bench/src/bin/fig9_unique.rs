@@ -1,22 +1,22 @@
 //! Figure 9: number of unique branch (BB-terminator) addresses
 //! encountered during execution — the control-flow working set that
-//! drives signature-cache behavior.
+//! drives signature-cache behavior. Benchmarks fan out across `--jobs`
+//! workers.
 
-use rev_bench::{run_benchmark, BenchOptions, TablePrinter};
+use rev_bench::{sweep_configs, BenchOptions, SweepConfig, TablePrinter};
 use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
     let mut t = TablePrinter::new(
         vec!["benchmark", "unique branches", "static BBs", "dynamic coverage %"],
         opts.csv,
     );
-    for p in opts.profiles() {
-        eprintln!("[fig9] {} ...", p.name);
-        let r = run_benchmark(&p, &opts, RevConfig::paper_default());
-        let unique = r.rev.cpu.unique_branches();
+    for r in sweep_configs(&opts, &configs) {
+        let unique = r.revs[0].cpu.unique_branches();
         t.row(vec![
-            p.name.to_string(),
+            r.name.clone(),
             unique.to_string(),
             r.cfg.blocks.to_string(),
             format!("{:.1}", unique as f64 / r.cfg.blocks.max(1) as f64 * 100.0),

@@ -1,12 +1,20 @@
-//! Regenerates every table and figure in one pass (shares the base/32K/64K
-//! sweep across Figures 6–11) and prints them in paper order.
+//! Regenerates every table and figure in one pass and prints them in paper
+//! order. All simulation work — base, REV-32K, REV-64K, both aggressive
+//! variants and CFI-only — fans out across `--jobs` worker threads in a
+//! single sweep, with each profile's baseline computed once and shared by
+//! every configuration.
 
-use rev_bench::{mean, overhead_pct, run_rev_only, sweep, BenchOptions, TablePrinter};
+use rev_bench::{
+    mean, overhead_pct, parallel_map, program_for, sweep_configs, BenchOptions, SweepConfig,
+    TablePrinter,
+};
 use rev_core::{CostModel, RevConfig, RevSimulator, ValidationMode};
 use rev_mem::Requester;
+use std::time::Instant;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let t_start = Instant::now();
 
     println!("=== Table 1: attacks and detection ===");
     for kind in rev_attacks::AttackKind::ALL {
@@ -20,12 +28,28 @@ fn main() {
         );
     }
     println!();
+    let t_attacks = t_start.elapsed();
 
-    let rows = sweep(&opts);
+    // One fan-out covers Figures 6-12 and the CFI-only section: per
+    // profile one shared baseline plus five REV configurations.
+    let t_sweep_start = Instant::now();
+    let configs = [
+        SweepConfig::new("REV-32K", RevConfig::paper_default()),
+        SweepConfig::new("REV-64K", RevConfig::paper_64k()),
+        SweepConfig::new(
+            "aggr-32K",
+            RevConfig::paper_default().with_mode(ValidationMode::Aggressive),
+        ),
+        SweepConfig::new("aggr-64K", RevConfig::paper_64k().with_mode(ValidationMode::Aggressive)),
+        SweepConfig::new("cfi-only", RevConfig::paper_default().with_mode(ValidationMode::CfiOnly)),
+    ];
+    let runs = sweep_configs(&opts, &configs);
+    let t_sweep = t_sweep_start.elapsed();
+    let (rev32, rev64, agg32, agg64, cfi) = (0, 1, 2, 3, 4);
 
     println!("=== Sec. VIII BB statistics ===");
     let mut t = TablePrinter::new(vec!["benchmark", "static BBs", "instrs/BB", "succ/BB"], opts.csv);
-    for r in &rows {
+    for r in &runs {
         t.row(vec![
             r.name.clone(),
             r.cfg.blocks.to_string(),
@@ -38,29 +62,30 @@ fn main() {
 
     println!("=== Figure 6: IPC (base, REV-32K, REV-64K) ===");
     let mut t = TablePrinter::new(vec!["benchmark", "base", "REV 32K", "REV 64K"], opts.csv);
-    for r in &rows {
+    for r in &runs {
         t.row(vec![
             r.name.clone(),
             format!("{:.3}", r.base.cpu.ipc()),
-            format!("{:.3}", r.rev32.cpu.ipc()),
-            format!("{:.3}", r.rev64.cpu.ipc()),
+            format!("{:.3}", r.revs[rev32].cpu.ipc()),
+            format!("{:.3}", r.revs[rev64].cpu.ipc()),
         ]);
     }
     t.print();
     println!();
 
     println!("=== Figure 7: IPC overhead % ===");
+    let ovh = |r: &rev_bench::ProfileRun, i: usize| overhead_pct(r.base.cpu.ipc(), r.revs[i].cpu.ipc());
     let mut t = TablePrinter::new(vec!["benchmark", "ovh 32K %", "ovh 64K %"], opts.csv);
-    for r in &rows {
+    for r in &runs {
         t.row(vec![
             r.name.clone(),
-            format!("{:.2}", r.overhead32()),
-            format!("{:.2}", r.overhead64()),
+            format!("{:.2}", ovh(r, rev32)),
+            format!("{:.2}", ovh(r, rev64)),
         ]);
     }
     t.print();
-    let o32: Vec<f64> = rows.iter().map(|r| r.overhead32()).collect();
-    let o64: Vec<f64> = rows.iter().map(|r| r.overhead64()).collect();
+    let o32: Vec<f64> = runs.iter().map(|r| ovh(r, rev32)).collect();
+    let o64: Vec<f64> = runs.iter().map(|r| ovh(r, rev64)).collect();
     println!(
         "average: {:.2}% (32K) / {:.2}% (64K)   [paper: 1.87% / 1.63%]",
         mean(&o32),
@@ -70,16 +95,16 @@ fn main() {
 
     println!("=== Figure 8: committed branches ===");
     let mut t = TablePrinter::new(vec!["benchmark", "committed branches"], opts.csv);
-    for r in &rows {
-        t.row(vec![r.name.clone(), r.rev32.cpu.committed_branches.to_string()]);
+    for r in &runs {
+        t.row(vec![r.name.clone(), r.revs[rev32].cpu.committed_branches.to_string()]);
     }
     t.print();
     println!();
 
     println!("=== Figure 9: unique branches ===");
     let mut t = TablePrinter::new(vec!["benchmark", "unique branches"], opts.csv);
-    for r in &rows {
-        t.row(vec![r.name.clone(), r.rev32.cpu.unique_branches().to_string()]);
+    for r in &runs {
+        t.row(vec![r.name.clone(), r.revs[rev32].cpu.unique_branches().to_string()]);
     }
     t.print();
     println!();
@@ -89,14 +114,14 @@ fn main() {
         vec!["benchmark", "partial", "complete", "miss rate %", "stall cycles"],
         opts.csv,
     );
-    for r in &rows {
-        let sc = r.rev32.rev.sc;
+    for r in &runs {
+        let sc = r.revs[rev32].rev.sc;
         t.row(vec![
             r.name.clone(),
             sc.partial_misses.to_string(),
             sc.complete_misses.to_string(),
             format!("{:.3}", sc.miss_rate() * 100.0),
-            r.rev32.cpu.validation_stall_cycles.to_string(),
+            r.revs[rev32].cpu.validation_stall_cycles.to_string(),
         ]);
     }
     t.print();
@@ -108,8 +133,8 @@ fn main() {
         opts.csv,
     );
     let i = Requester::SigFetch.idx();
-    for r in &rows {
-        let m = r.rev32.mem;
+    for r in &runs {
+        let m = r.revs[rev32].mem;
         t.row(vec![
             r.name.clone(),
             m.l1_accesses[i].to_string(),
@@ -123,64 +148,59 @@ fn main() {
     println!();
 
     println!("=== Figure 12: aggressive-mode overhead % ===");
-    let agg32 = RevConfig::paper_default().with_mode(ValidationMode::Aggressive);
-    let agg64 = RevConfig::paper_64k().with_mode(ValidationMode::Aggressive);
     let mut t = TablePrinter::new(vec!["benchmark", "aggr 32K %", "aggr 64K %"], opts.csv);
-    let mut a32 = Vec::new();
-    let mut a64 = Vec::new();
-    for (p, r) in opts.profiles().iter().zip(&rows) {
-        eprintln!("[fig12] {} ...", p.name);
-        let g32 = run_rev_only(p, &opts, agg32);
-        let g64 = run_rev_only(p, &opts, agg64);
-        let base = r.base.cpu.ipc();
-        let x = overhead_pct(base, g32.cpu.ipc());
-        let y = overhead_pct(base, g64.cpu.ipc());
-        a32.push(x);
-        a64.push(y);
-        t.row(vec![r.name.clone(), format!("{x:.2}"), format!("{y:.2}")]);
+    let a32: Vec<f64> = runs.iter().map(|r| ovh(r, agg32)).collect();
+    let a64: Vec<f64> = runs.iter().map(|r| ovh(r, agg64)).collect();
+    for r in &runs {
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", ovh(r, agg32)),
+            format!("{:.2}", ovh(r, agg64)),
+        ]);
     }
     t.print();
     println!("average: {:.2}% (32K) / {:.2}% (64K)", mean(&a32), mean(&a64));
     println!();
 
     println!("=== Sec. V.D: CFI-only overhead % ===");
-    let cfi = RevConfig::paper_default().with_mode(ValidationMode::CfiOnly);
     let mut t = TablePrinter::new(vec!["benchmark", "cfi-only ovh %"], opts.csv);
-    let mut co = Vec::new();
-    for (p, r) in opts.profiles().iter().zip(&rows) {
-        eprintln!("[cfi] {} ...", p.name);
-        let g = run_rev_only(p, &opts, cfi);
-        let x = overhead_pct(r.base.cpu.ipc(), g.cpu.ipc());
-        co.push(x);
-        t.row(vec![r.name.clone(), format!("{x:.2}")]);
+    let co: Vec<f64> = runs.iter().map(|r| ovh(r, cfi)).collect();
+    for r in &runs {
+        t.row(vec![r.name.clone(), format!("{:.2}", ovh(r, cfi))]);
     }
     t.print();
     println!("average: {:.2}%   [paper: 0.04%..1.68%]", mean(&co));
     println!();
 
     println!("=== Secs. V.B-V.D: signature-table sizes (% of code) ===");
+    let t_tables_start = Instant::now();
     let mut t =
         TablePrinter::new(vec!["benchmark", "standard %", "aggressive %", "cfi-only %"], opts.csv);
-    let mut ss = Vec::new();
-    for p in opts.profiles() {
+    let profiles = opts.profiles();
+    let size_rows = parallel_map(opts.jobs, &profiles, |worker, p| {
+        eprintln!("[tables w{worker:02}] {} ...", p.name);
         let ratio = |mode: ValidationMode| {
-            let program = rev_bench::program_for(&p);
+            let program = program_for(p);
             let sim =
                 RevSimulator::new(program, RevConfig::paper_default().with_mode(mode)).unwrap();
             sim.table_stats()[0].ratio_to_code() * 100.0
         };
-        let s = ratio(ValidationMode::Standard);
-        ss.push(s);
-        t.row(vec![
+        (
             p.name.to_string(),
-            format!("{s:.1}"),
-            format!("{:.1}", ratio(ValidationMode::Aggressive)),
-            format!("{:.1}", ratio(ValidationMode::CfiOnly)),
-        ]);
+            ratio(ValidationMode::Standard),
+            ratio(ValidationMode::Aggressive),
+            ratio(ValidationMode::CfiOnly),
+        )
+    });
+    let mut ss = Vec::new();
+    for (name, s, a, c) in size_rows {
+        ss.push(s);
+        t.row(vec![name, format!("{s:.1}"), format!("{a:.1}"), format!("{c:.1}")]);
     }
     t.print();
     println!("standard average: {:.1}%   [paper: 15-52%, avg 37%]", mean(&ss));
     println!();
+    let t_tables = t_tables_start.elapsed();
 
     println!("=== Sec. VI: cost model ===");
     let m = CostModel::paper_default();
@@ -192,4 +212,16 @@ fn main() {
         r.chip_power_overhead * 100.0
     );
     println!("[paper: ~8% core area, ~7.2% core power, <5.5% chip power]");
+    println!();
+
+    // Timing summary (goes last so the result tables above stay
+    // byte-identical across hosts and job counts; these lines are the
+    // "modulo timing" part).
+    println!("=== Timing ===");
+    println!("jobs:                {}", opts.jobs);
+    println!("attacks phase:       {:>9.2?}", t_attacks);
+    println!("sweep phase:         {:>9.2?}  ({} profiles x (base + {} configs))",
+        t_sweep, runs.len(), configs.len());
+    println!("table-sizes phase:   {:>9.2?}", t_tables);
+    println!("total wall clock:    {:>9.2?}", t_start.elapsed());
 }

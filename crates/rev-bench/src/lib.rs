@@ -15,6 +15,8 @@ use rev_core::{BaselineReport, RevConfig, RevReport, RevSimulator};
 use rev_prog::{BbLimits, Cfg, CfgStats, Program};
 use rev_sigtable::TableStats;
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Parsed command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -29,11 +31,26 @@ pub struct BenchOptions {
     pub only: Vec<String>,
     /// Emit CSV instead of an aligned table.
     pub csv: bool,
+    /// Worker threads for the sweep fan-out (defaults to the host's
+    /// available parallelism; `--jobs 1` forces the serial path).
+    pub jobs: usize,
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 impl Default for BenchOptions {
     fn default() -> Self {
-        BenchOptions { instructions: 2_000_000, warmup: 400_000, scale: 1.0, only: Vec::new(), csv: false }
+        BenchOptions {
+            instructions: 2_000_000,
+            warmup: 400_000,
+            scale: 1.0,
+            only: Vec::new(),
+            csv: false,
+            jobs: default_jobs(),
+        }
     }
 }
 
@@ -69,8 +86,13 @@ impl BenchOptions {
                     opts.only.push(args.next().expect("--bench needs a name"));
                 }
                 "--csv" => opts.csv = true,
+                "--jobs" => {
+                    let v = args.next().expect("--jobs needs a value");
+                    let n: usize = v.parse().expect("--jobs must be an integer");
+                    opts.jobs = if n == 0 { default_jobs() } else { n };
+                }
                 other => panic!(
-                    "unknown argument '{other}' (expected --instructions, --scale, --quick, --bench, --csv)"
+                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs)"
                 ),
             }
         }
@@ -183,21 +205,154 @@ impl SweepRow {
     }
 }
 
-/// Runs the full base/32K/64K sweep for the selected profiles.
-pub fn sweep(opts: &BenchOptions) -> Vec<SweepRow> {
-    opts.profiles()
+/// Maps `f` over `items` on a scoped pool of `jobs` worker threads,
+/// returning results in **input order** regardless of which worker ran
+/// which item or in what order items finished. Workers pull items off a
+/// shared atomic cursor (work stealing by index), so long and short items
+/// mix freely. `f` receives `(worker_id, item)`.
+///
+/// With `jobs <= 1` (or a single item) the map runs inline on the calling
+/// thread — the serial path used by `--jobs 1`, byte-for-byte equivalent.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs == 1 {
+        return items.iter().map(|item| f(0, item)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for worker in 0..jobs {
+            let cursor = &cursor;
+            let collected = &collected;
+            let f = &f;
+            scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(worker, &items[i])));
+                }
+                collected.lock().unwrap().extend(local);
+            });
+        }
+    });
+    let mut merged = collected.into_inner().unwrap();
+    merged.sort_by_key(|&(i, _)| i);
+    merged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// One labelled REV configuration inside a [`sweep_configs`] fan-out.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Short label used in progress lines (e.g. `REV-32K`).
+    pub label: String,
+    /// The configuration to simulate.
+    pub config: RevConfig,
+}
+
+impl SweepConfig {
+    /// Convenience constructor.
+    pub fn new<S: Into<String>>(label: S, config: RevConfig) -> Self {
+        SweepConfig { label: label.into(), config }
+    }
+}
+
+/// One benchmark measured at base plus every requested REV configuration.
+#[derive(Debug, Clone)]
+pub struct ProfileRun {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline run (computed **once** and shared by every configuration).
+    pub base: BaselineReport,
+    /// One REV report per requested configuration, in request order.
+    pub revs: Vec<RevReport>,
+    /// Table stats for the first configuration's table (first module).
+    pub table: TableStats,
+    /// Static CFG statistics.
+    pub cfg: CfgStats,
+}
+
+enum SweepItemOut {
+    Base(Box<(BaselineReport, CfgStats, TableStats)>),
+    Rev(Box<RevReport>),
+}
+
+/// Runs base + every configuration for every selected profile, fanning the
+/// per-(profile, config) work items across `opts.jobs` worker threads.
+///
+/// The baseline simulation runs **once per profile** and is shared across
+/// all configurations (the seed harness re-ran it per config pair).
+/// Results are deterministic and ordered by profile then configuration —
+/// identical output for any `--jobs` value.
+pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<ProfileRun> {
+    assert!(!configs.is_empty(), "sweep_configs needs at least one configuration");
+    let profiles = opts.profiles();
+    // Work item = (profile, slot): slot 0 is the baseline run (plus the
+    // static CFG / table statistics), slot k >= 1 is configs[k - 1].
+    let slots = configs.len() + 1;
+    let items: Vec<(usize, usize)> =
+        (0..profiles.len()).flat_map(|p| (0..slots).map(move |s| (p, s))).collect();
+    let outs = parallel_map(opts.jobs, &items, |worker, &(p, s)| {
+        let profile = &profiles[p];
+        let label = if s == 0 { "base" } else { configs[s - 1].label.as_str() };
+        eprintln!("[sweep w{worker:02}] {} {} ...", profile.name, label);
+        if s == 0 {
+            let program = program_for(profile);
+            let cfg = cfg_stats_for(&program);
+            let sim = RevSimulator::new(program, configs[0].config).expect("workload builds");
+            let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
+            let table = sim.table_stats()[0];
+            SweepItemOut::Base(Box::new((base, cfg, table)))
+        } else {
+            SweepItemOut::Rev(Box::new(run_rev_only(profile, opts, configs[s - 1].config)))
+        }
+    });
+    let mut outs = outs.into_iter();
+    profiles
         .iter()
-        .map(|p| {
-            eprintln!("[sweep] {} ...", p.name);
-            let r32 = run_benchmark(p, opts, RevConfig::paper_default());
-            let rev64 = run_rev_only(p, opts, RevConfig::paper_64k());
+        .map(|profile| {
+            let Some(SweepItemOut::Base(base_out)) = outs.next() else {
+                unreachable!("slot 0 is always the baseline item");
+            };
+            let (base, cfg, table) = *base_out;
+            let revs: Vec<RevReport> = (0..configs.len())
+                .map(|_| {
+                    let Some(SweepItemOut::Rev(rev)) = outs.next() else {
+                        unreachable!("slots 1.. are always REV items");
+                    };
+                    *rev
+                })
+                .collect();
+            ProfileRun { name: profile.name.to_string(), base, revs, table, cfg }
+        })
+        .collect()
+}
+
+/// Runs the full base/32K/64K sweep for the selected profiles, fanned out
+/// across `opts.jobs` workers (Figures 6–11 share these runs).
+pub fn sweep(opts: &BenchOptions) -> Vec<SweepRow> {
+    let configs = [
+        SweepConfig::new("REV-32K", RevConfig::paper_default()),
+        SweepConfig::new("REV-64K", RevConfig::paper_64k()),
+    ];
+    sweep_configs(opts, &configs)
+        .into_iter()
+        .map(|run| {
+            let mut revs = run.revs.into_iter();
             SweepRow {
-                name: p.name.to_string(),
-                base: r32.base,
-                rev32: r32.rev,
-                rev64,
-                table: r32.table,
-                cfg: r32.cfg,
+                name: run.name,
+                base: run.base,
+                rev32: revs.next().expect("two configs"),
+                rev64: revs.next().expect("two configs"),
+                table: run.table,
+                cfg: run.cfg,
             }
         })
         .collect()
@@ -312,9 +467,46 @@ mod tests {
     fn options_profiles_filter() {
         let mut o = BenchOptions::default();
         assert_eq!(o.profiles().len(), 18);
+        assert!(o.jobs >= 1, "default jobs must be at least 1");
         o.only = vec!["gcc".into(), "mcf".into()];
         assert_eq!(o.profiles().len(), 2);
         o.scale = 0.05;
         assert!(o.profiles()[0].static_bbs < 10_000);
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial: Vec<u64> = parallel_map(1, &items, |_, &x| x * 3 + 1);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(parallel_map(jobs, &items, |_, &x| x * 3 + 1), serial, "jobs={jobs}");
+        }
+        let empty: Vec<u64> = parallel_map(4, &[] as &[u64], |_, &x| x);
+        assert!(empty.is_empty());
+    }
+
+    /// The headline determinism guarantee: a sweep produces identical
+    /// measurements no matter how many worker threads ran it.
+    #[test]
+    fn sweep_deterministic_across_job_counts() {
+        let mut opts = BenchOptions {
+            instructions: 20_000,
+            warmup: 4_000,
+            scale: 0.05,
+            only: vec!["mcf".into()],
+            csv: false,
+            jobs: 1,
+        };
+        let serial = sweep(&opts);
+        opts.jobs = 4;
+        let parallel = sweep(&opts);
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.base.cpu.ipc(), p.base.cpu.ipc(), "base IPC must not depend on jobs");
+            assert_eq!(s.rev32.cpu.ipc(), p.rev32.cpu.ipc(), "REV-32K IPC must not depend on jobs");
+            assert_eq!(s.rev64.cpu.ipc(), p.rev64.cpu.ipc(), "REV-64K IPC must not depend on jobs");
+            assert_eq!(s.table.image_bytes, p.table.image_bytes);
+        }
     }
 }

@@ -7,7 +7,9 @@ use crate::sag::Sag;
 use crate::sc::{ScProbe, ScVariant, SignatureCache};
 use crate::shadow::ShadowMemory;
 use crate::stats::RevStats;
-use rev_crypto::{bb_body_hash, entry_digest, BodyHash, ChgPipeline, ChgTag, SignatureKey};
+use rev_crypto::{
+    bb_body_hash_with, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash, SignatureKey,
+};
 use rev_cpu::{
     CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreCommit, Violation, ViolationKind,
 };
@@ -59,8 +61,14 @@ pub struct RevMonitor {
     // derivations. The body cache stores the hashed bytes and re-verifies
     // them on every hit, so self-modifying stores are always observed
     // exactly as the hardware CHG (which hashes the fetched bytes) would.
+    // Cache keys are Copy tuples, so the hit path performs no heap
+    // allocation.
     body_cache: HashMap<(u64, u64), (Vec<u8>, BodyHash)>,
     digest_cache: HashMap<DigestKey, u32>,
+    /// One reusable CubeHash instance for every per-BB hash and digest
+    /// derivation (reset between uses; avoids both the digest allocation
+    /// and the 10·r initialization rounds per block).
+    hasher: CubeHash,
     violated: bool,
     enabled: bool,
     /// After re-enabling, skip gating until the next terminator passes so
@@ -90,6 +98,7 @@ impl RevMonitor {
             ret_latch: None,
             body_cache: HashMap::new(),
             digest_cache: HashMap::new(),
+            hasher: CubeHash::new(),
             violated: false,
             enabled: true,
             resync: false,
@@ -192,14 +201,14 @@ impl RevMonitor {
     }
 
     fn body_hash(&mut self, start: u64, end: u64, bytes: &[u8]) -> BodyHash {
-        match self.body_cache.get(&(start, end)) {
-            Some((cached_bytes, hash)) if cached_bytes == bytes => *hash,
-            _ => {
-                let hash = bb_body_hash(bytes);
-                self.body_cache.insert((start, end), (bytes.to_vec(), hash));
-                hash
+        if let Some((cached_bytes, hash)) = self.body_cache.get(&(start, end)) {
+            if cached_bytes == bytes {
+                return *hash;
             }
         }
+        let hash = bb_body_hash_with(&mut self.hasher, bytes);
+        self.body_cache.insert((start, end), (bytes.to_vec(), hash));
+        hash
     }
 
     fn expected_digest(
@@ -212,10 +221,14 @@ impl RevMonitor {
         bound_pred: u64,
     ) -> u32 {
         self.stats.digest_checks += 1;
-        *self
-            .digest_cache
-            .entry((bb_addr, body.0, bound_succ, bound_pred, table_idx))
-            .or_insert_with(|| entry_digest(key, bb_addr, body, bound_succ, bound_pred).0)
+        let cache_key = (bb_addr, body.0, bound_succ, bound_pred, table_idx);
+        if let Some(&digest) = self.digest_cache.get(&cache_key) {
+            return digest;
+        }
+        let digest =
+            entry_digest_with(&mut self.hasher, key, bb_addr, body, bound_succ, bound_pred).0;
+        self.digest_cache.insert(cache_key, digest);
+        digest
     }
 
     /// How the digest binds successors, per mode (must mirror the builder).

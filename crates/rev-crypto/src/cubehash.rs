@@ -11,9 +11,90 @@
 //! selects exactly that configuration.
 
 use std::fmt;
+use std::ops::Deref;
 
 /// Number of 32-bit words in the CubeHash state.
 const STATE_WORDS: usize = 32;
+
+/// Largest digest CubeHash can emit (`h/8` ≤ 64).
+pub const MAX_DIGEST_BYTES: usize = 64;
+
+/// A finalized CubeHash digest: a fixed-size buffer plus length, so the
+/// hot hashing path never touches the heap. Dereferences to `[u8]` of the
+/// configured digest length.
+#[derive(Clone, Copy)]
+pub struct Digest {
+    len: u8,
+    bytes: [u8; MAX_DIGEST_BYTES],
+}
+
+impl Digest {
+    /// The digest bytes (`params.digest_bytes` long).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes[..self.len as usize]
+    }
+}
+
+impl Deref for Digest {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl PartialEq for Digest {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for Digest {}
+
+impl PartialEq<[u8]> for Digest {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_bytes() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Digest {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_bytes() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Digest {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_bytes() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Digest {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_bytes() == other.as_slice()
+    }
+}
+
+impl std::hash::Hash for Digest {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest(")?;
+        for b in self.as_bytes() {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
 
 /// Parameters of a CubeHash instance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,6 +157,9 @@ impl Default for CubeHashParams {
 pub struct CubeHash {
     params: CubeHashParams,
     state: [u32; STATE_WORDS],
+    /// The post-initialization state, kept so [`CubeHash::reset`] can
+    /// rewind without re-running the `10·r` initialization rounds.
+    iv: [u32; STATE_WORDS],
     buf: [u8; 128],
     buf_len: usize,
 }
@@ -117,7 +201,15 @@ impl CubeHash {
         for _ in 0..10 * params.rounds {
             round(&mut state);
         }
-        CubeHash { params, state, buf: [0; 128], buf_len: 0 }
+        CubeHash { params, state, iv: state, buf: [0; 128], buf_len: 0 }
+    }
+
+    /// Rewinds the hasher to its freshly initialized state so it can be
+    /// reused for another message. Much cheaper than constructing a new
+    /// hasher: the `10·r` initialization rounds were precomputed.
+    pub fn reset(&mut self) {
+        self.state = self.iv;
+        self.buf_len = 0;
     }
 
     /// Returns the parameters this hasher was created with.
@@ -153,50 +245,50 @@ impl CubeHash {
     }
 
     /// Finalizes the hash and returns the digest
-    /// (`params.digest_bytes` long).
-    pub fn finalize(mut self) -> Vec<u8> {
-        // Padding: append 0x80 then zeros to the block boundary.
+    /// (`params.digest_bytes` long). Allocation-free: the digest lives in
+    /// a fixed-size [`Digest`] buffer on the stack.
+    pub fn finalize(mut self) -> Digest {
+        self.finalize_core()
+    }
+
+    /// Finalizes the hash and rewinds the hasher for reuse (the
+    /// allocation-free hot path: one hasher serves every basic block).
+    pub fn finalize_reset(&mut self) -> Digest {
+        let digest = self.finalize_core();
+        self.reset();
+        digest
+    }
+
+    fn finalize_core(&mut self) -> Digest {
+        // Padding: append 0x80 then zeros to the block boundary, then
+        // absorb the final block.
         self.buf[self.buf_len] = 0x80;
         for byte in &mut self.buf[self.buf_len + 1..self.params.block_bytes] {
             *byte = 0;
         }
         self.buf_len = self.params.block_bytes;
-        // absorb_block expects buf_len == block; emulate by direct call.
-        let b = self.params.block_bytes;
-        for (i, chunk) in self.buf[..b].chunks(4).enumerate() {
-            let mut word = [0u8; 4];
-            word[..chunk.len()].copy_from_slice(chunk);
-            self.state[i] ^= u32::from_le_bytes(word);
-        }
-        for _ in 0..self.params.rounds {
-            round(&mut self.state);
-        }
+        self.absorb_block();
         // Finalization: XOR 1 into the last state word, then 10·r rounds.
         self.state[31] ^= 1;
         for _ in 0..10 * self.params.rounds {
             round(&mut self.state);
         }
-        let mut out = Vec::with_capacity(self.params.digest_bytes);
-        'outer: for word in self.state.iter() {
-            for byte in word.to_le_bytes() {
-                out.push(byte);
-                if out.len() == self.params.digest_bytes {
-                    break 'outer;
-                }
-            }
+        let mut bytes = [0u8; MAX_DIGEST_BYTES];
+        for (chunk, word) in bytes.chunks_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
         }
-        out
+        Digest { len: self.params.digest_bytes as u8, bytes }
     }
 
     /// One-shot digest with the REV-default parameters.
-    pub fn digest(data: &[u8]) -> Vec<u8> {
+    pub fn digest(data: &[u8]) -> Digest {
         let mut h = CubeHash::new();
         h.update(data);
         h.finalize()
     }
 
     /// One-shot digest with explicit parameters.
-    pub fn digest_with(params: CubeHashParams, data: &[u8]) -> Vec<u8> {
+    pub fn digest_with(params: CubeHashParams, data: &[u8]) -> Digest {
         let mut h = CubeHash::with_params(params);
         h.update(data);
         h.finalize()
@@ -259,7 +351,7 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         let inputs: [&[u8]; 6] = [b"", b"a", b"b", b"ab", b"ba", b"abc"];
-        let digests: Vec<Vec<u8>> = inputs.iter().map(|i| CubeHash::digest(i)).collect();
+        let digests: Vec<Digest> = inputs.iter().map(|i| CubeHash::digest(i)).collect();
         for i in 0..digests.len() {
             for j in i + 1..digests.len() {
                 assert_ne!(digests[i], digests[j], "collision between {i} and {j}");
@@ -305,7 +397,7 @@ mod tests {
         let d1 = CubeHash::digest(&flipped);
         let differing_bits: u32 = d0
             .iter()
-            .zip(&d1)
+            .zip(d1.iter())
             .map(|(a, b)| (a ^ b).count_ones())
             .sum();
         // 256-bit digest: expect ~128 differing bits; accept a wide band.
@@ -335,6 +427,67 @@ mod tests {
         let d2 = CubeHash::digest(b"");
         assert_eq!(d1, d2);
         assert_eq!(d1.len(), 32);
-        assert_ne!(d1, vec![0u8; 32], "digest must not be all zeros");
+        assert_ne!(d1, [0u8; 32], "digest must not be all zeros");
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Known-answer pins generated with the pre-refactor `Vec<u8>`-returning
+    /// implementation: the fixed-array digest must match it byte for byte
+    /// across both parameter sets, otherwise every stored signature table
+    /// would silently be invalidated.
+    #[test]
+    fn fixed_array_digest_matches_legacy_vec_output() {
+        let inputs: [&[u8]; 5] = [b"", b"a", b"abc", &[0xa5; 32], &[0x5a; 100]];
+        let rev_expect = [
+            "4d2ff9798d95bf1c3ff623a9d0820ded80819ef01ead8b8ee11c81decbb36d0e",
+            "228fa32df52026541623f14a7f07671bfc5f5a9b04735a7617c8996455516a88",
+            "eccd0c405693dd94e9cb7f9671b40072836192669f3fc01cbc6cb02b74d2291c",
+            "5c8422660cdf6ea491d3374222755a670064f4d4cc565a66fef240e640b337c5",
+            "0680177713cfecf02478fd19c657cc262babe484e1e21d3ee6d2d481d0f8604b",
+        ];
+        let classical_expect = [
+            "4a1d00bbcfcb5a9562fb981e7f7db3350fe2658639d948b9d57452c22328bb32f468b072208450bad5ee178271408be0b16e5633ac8a1e3cf9864cfbfc8e043a",
+            "2b3fa7a97d1e369a469c9e5d5d4e52fe37bc8befb369dc0923372c2eae1d91eea9f69407f433bb49ab6ceaeeea739bb752c1e33f69eda9a479e5a5b941968c75",
+            "f63d6fa89ca9fe7ab2e171be52cf193f0c8ac9f62bad297032c1e7571046791a7e8964e5c8d91880d6f9c2a54176b05198901047438e05ac4ef38d45c0282673",
+            "cdff075b0f6e757d2d32a784e3985bc7eeacc0ad96d434957b33a58e9a0d67944786b86560dcef6533cb46a30470a24632ad741864c5337ddf3a76ba77206bb9",
+            "ce2aabc0a942d8007a73a57837c6d681e8f62ab35425f8907ce99961b5f382d05e2a7831e0c6c3a064364d98b93eca73e3eab83640a6708f48bfbaef16dd54e8",
+        ];
+        for ((input, rev), classical) in inputs.iter().zip(rev_expect).zip(classical_expect) {
+            assert_eq!(
+                hex(&CubeHash::digest_with(CubeHashParams::rev_default(), input)),
+                rev,
+                "rev_default digest changed for input len {}",
+                input.len()
+            );
+            assert_eq!(
+                hex(&CubeHash::digest_with(CubeHashParams::classical(), input)),
+                classical,
+                "classical digest changed for input len {}",
+                input.len()
+            );
+        }
+    }
+
+    /// `reset` + `finalize_reset` reuse must produce exactly the digests a
+    /// fresh hasher would, for both parameter sets, including back-to-back
+    /// messages on one instance.
+    #[test]
+    fn reusable_hasher_matches_fresh_construction() {
+        for params in [CubeHashParams::rev_default(), CubeHashParams::classical()] {
+            let mut reused = CubeHash::with_params(params);
+            for msg in [&b""[..], b"a", b"hello world", &[0x42; 200]] {
+                reused.update(msg);
+                let via_reuse = reused.finalize_reset();
+                assert_eq!(via_reuse, CubeHash::digest_with(params, msg));
+            }
+            // An explicit mid-message reset discards the partial message.
+            reused.update(b"partial garbage");
+            reused.reset();
+            reused.update(b"abc");
+            assert_eq!(reused.finalize_reset(), CubeHash::digest_with(params, b"abc"));
+        }
     }
 }

@@ -40,5 +40,8 @@ mod sig;
 
 pub use aes::{Aes128, BLOCK_LEN};
 pub use chg::{ChgConfig, ChgPipeline, ChgTag};
-pub use cubehash::{CubeHash, CubeHashParams};
-pub use sig::{bb_body_hash, entry_digest, BodyHash, EntryDigest, SignatureKey};
+pub use cubehash::{CubeHash, CubeHashParams, Digest, MAX_DIGEST_BYTES};
+pub use sig::{
+    bb_body_hash, bb_body_hash_with, entry_digest, entry_digest_with, BodyHash, EntryDigest,
+    SignatureKey,
+};

@@ -72,7 +72,22 @@ impl SignatureKey {
 /// Hashes a basic block's raw instruction bytes, exactly as the pipelined
 /// CHG does while the block streams through the fetch stages.
 pub fn bb_body_hash(instr_bytes: &[u8]) -> BodyHash {
-    let digest = CubeHash::digest(instr_bytes);
+    let mut h = CubeHash::new();
+    bb_body_hash_with(&mut h, instr_bytes)
+}
+
+/// [`bb_body_hash`] through a caller-owned reusable hasher: the
+/// allocation-free hot path. The hasher is reset before and after use, so
+/// any parameters-compatible instance can be shared across calls.
+///
+/// # Panics
+///
+/// Panics if the hasher's digest length is not 32 bytes (the CHG digest
+/// width).
+pub fn bb_body_hash_with(h: &mut CubeHash, instr_bytes: &[u8]) -> BodyHash {
+    h.reset();
+    h.update(instr_bytes);
+    let digest = h.finalize_reset();
     let mut out = [0u8; 32];
     out.copy_from_slice(&digest);
     BodyHash(out)
@@ -92,12 +107,28 @@ pub fn entry_digest(
     pred: u64,
 ) -> EntryDigest {
     let mut h = CubeHash::new();
+    entry_digest_with(&mut h, key, bb_addr, body, target, pred)
+}
+
+/// [`entry_digest`] through a caller-owned reusable hasher: the
+/// allocation-free hot path used by the run-time monitor, which derives one
+/// digest per validated basic block. The hasher is reset before and after
+/// use.
+pub fn entry_digest_with(
+    h: &mut CubeHash,
+    key: &SignatureKey,
+    bb_addr: u64,
+    body: &BodyHash,
+    target: u64,
+    pred: u64,
+) -> EntryDigest {
+    h.reset();
     h.update(&key.0);
     h.update(&bb_addr.to_le_bytes());
     h.update(&body.0);
     h.update(&target.to_le_bytes());
     h.update(&pred.to_le_bytes());
-    let digest = h.finalize();
+    let digest = h.finalize_reset();
     // "the last 4 bytes of the crypto hash value" (paper Sec. V.C)
     let tail: [u8; 4] = digest[digest.len() - 4..].try_into().expect("4 bytes");
     EntryDigest(u32::from_le_bytes(tail))
@@ -151,5 +182,23 @@ mod tests {
     fn from_seed_is_stable_and_distinct() {
         assert_eq!(SignatureKey::from_seed(5), SignatureKey::from_seed(5));
         assert_ne!(SignatureKey::from_seed(5), SignatureKey::from_seed(6));
+    }
+
+    /// The reusable-hasher variants must agree exactly with the one-shot
+    /// functions, across repeated uses of one instance.
+    #[test]
+    fn reusable_variants_match_oneshot() {
+        let mut h = CubeHash::new();
+        let key = SignatureKey::from_seed(3);
+        for (i, bytes) in [&b"alpha"[..], b"beta", b"", b"gamma gamma"].iter().enumerate() {
+            let b = bb_body_hash_with(&mut h, bytes);
+            assert_eq!(b, bb_body_hash(bytes), "body hash diverged on use {i}");
+            let d = entry_digest_with(&mut h, &key, 0x100 + i as u64, &b, 0x200, 0x300);
+            assert_eq!(
+                d,
+                entry_digest(&key, 0x100 + i as u64, &b, 0x200, 0x300),
+                "entry digest diverged on use {i}"
+            );
+        }
     }
 }

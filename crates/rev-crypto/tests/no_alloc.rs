@@ -1,0 +1,53 @@
+//! Proves the per-BB crypto hot path is allocation-free: with a counting
+//! global allocator installed, running the reusable-hasher body-hash and
+//! entry-digest sequence must perform zero heap allocations. This is the
+//! exact sequence `RevMonitor` executes per validated basic block (on a
+//! digest-cache miss; hits do even less).
+
+use rev_crypto::{bb_body_hash_with, entry_digest_with, CubeHash, SignatureKey};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn per_bb_hash_sequence_does_not_allocate() {
+    // Setup may allocate freely.
+    let mut h = CubeHash::new();
+    let key = SignatureKey::from_seed(42);
+    let instr_bytes = [0xc3u8; 48];
+
+    // Warm up once so any lazy one-time costs land outside the window.
+    let body = bb_body_hash_with(&mut h, &instr_bytes);
+    let _ = entry_digest_with(&mut h, &key, 0x1000, &body, 0x2000, 0x3000);
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for i in 0..100u64 {
+        let body = bb_body_hash_with(&mut h, &instr_bytes);
+        let d = entry_digest_with(&mut h, &key, 0x1000 + i, &body, 0x2000, 0x3000);
+        std::hint::black_box(d);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "per-BB hash sequence allocated {} times in 100 iterations",
+        after - before
+    );
+}

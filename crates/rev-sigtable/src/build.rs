@@ -8,7 +8,7 @@
 
 use crate::format::{EntryKind, RawEntry, ValidationMode, ENTRY_NONE, NEXT20_NONE, NEXT24_NONE};
 use crate::lookup::SignatureTable;
-use rev_crypto::{bb_body_hash, entry_digest, Aes128, SignatureKey};
+use rev_crypto::{bb_body_hash_with, entry_digest_with, Aes128, CubeHash, SignatureKey};
 use rev_prog::{BlockInfo, Cfg, Module, TermKind};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -115,8 +115,9 @@ fn standard_segment(
     cfg: &Cfg,
     key: &SignatureKey,
     block: &BlockInfo,
+    hasher: &mut CubeHash,
 ) -> Result<Segment, TableBuildError> {
-    let body = bb_body_hash(cfg.block_bytes(module, block));
+    let body = bb_body_hash_with(hasher, cfg.block_bytes(module, block));
     // Successor lists are stored only where a target can change at run
     // time: computed branches, and returns ("the signature table entry
     // for the return instruction terminating such a function should list
@@ -144,7 +145,8 @@ fn standard_segment(
         .collect::<Result<_, _>>()?;
     let primary_succ = succs.first().copied().unwrap_or(ENTRY_NONE);
     let primary_pred = preds.first().copied().unwrap_or(ENTRY_NONE);
-    let digest = entry_digest(
+    let digest = entry_digest_with(
+        hasher,
         key,
         block.bb_addr,
         &body,
@@ -174,8 +176,9 @@ fn aggressive_segment(
     cfg: &Cfg,
     key: &SignatureKey,
     block: &BlockInfo,
+    hasher: &mut CubeHash,
 ) -> Result<Segment, TableBuildError> {
-    let body = bb_body_hash(cfg.block_bytes(module, block));
+    let body = bb_body_hash_with(hasher, cfg.block_bytes(module, block));
     let succs: Vec<u32> = block.successors.iter().map(|&a| addr32(a)).collect::<Result<_, _>>()?;
     let preds: Vec<u32> =
         block.predecessors.iter().map(|&a| addr32(a)).collect::<Result<_, _>>()?;
@@ -184,7 +187,8 @@ fn aggressive_segment(
     let primary_pred = preds.first().copied().unwrap_or(ENTRY_NONE);
     let bound_targets = (if s0 == ENTRY_NONE { 0u64 } else { s0 as u64 })
         | (if s1 == ENTRY_NONE { 0u64 } else { (s1 as u64) << 32 });
-    let digest = entry_digest(
+    let digest = entry_digest_with(
+        hasher,
         key,
         block.bb_addr,
         &body,
@@ -238,17 +242,19 @@ pub fn build_table(
     mode: ValidationMode,
     cpu: &Aes128,
 ) -> Result<SignatureTable, TableBuildError> {
-    // 1. Logical segments keyed by BB address.
+    // 1. Logical segments keyed by BB address. One reusable hasher serves
+    //    every block's body hash and entry digest (allocation-free path).
+    let mut hasher = CubeHash::new();
     let mut segments: Vec<(u64, Segment)> = Vec::new();
     match mode {
         ValidationMode::Standard => {
             for block in cfg.blocks() {
-                segments.push((block.bb_addr, standard_segment(module, cfg, key, block)?));
+                segments.push((block.bb_addr, standard_segment(module, cfg, key, block, &mut hasher)?));
             }
         }
         ValidationMode::Aggressive => {
             for block in cfg.blocks() {
-                segments.push((block.bb_addr, aggressive_segment(module, cfg, key, block)?));
+                segments.push((block.bb_addr, aggressive_segment(module, cfg, key, block, &mut hasher)?));
             }
         }
         ValidationMode::CfiOnly => {

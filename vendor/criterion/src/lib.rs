@@ -1,0 +1,223 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build container has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This shim keeps the workspace's
+//! `cargo bench` targets compiling and running: each benchmark measures
+//! median-of-samples wall time with a warmup phase and prints a
+//! `name  time: X ns/iter (throughput)` line. There are no HTML reports,
+//! no statistical regression analysis and no saved baselines.
+//!
+//! Environment knobs:
+//! * `CRITERION_SAMPLE_MS` — per-sample budget in milliseconds (default 20).
+//! * `CRITERION_SAMPLES` — samples per benchmark (default 11; the
+//!   reported time is the median sample).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units of work per iteration, reported alongside the timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the timed iterations of one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_budget: Duration,
+    samples: usize,
+    /// Median ns/iter of the collected samples, populated by `iter`.
+    measured_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns-per-iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that fills the
+        // per-sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.sample_budget / 4 || iters >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
+                let budget_ns = self.sample_budget.as_nanos() as f64;
+                iters = ((budget_ns / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.measured_ns = samples[samples.len() / 2];
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn run_one(
+    name: &str,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_budget: Duration::from_millis(env_u64("CRITERION_SAMPLE_MS", 20)),
+        samples: env_u64("CRITERION_SAMPLES", sample_count as u64).max(1) as usize,
+        measured_ns: f64::NAN,
+    };
+    f(&mut b);
+    let mut line = format!("{name:<44} time: {:>12.1} ns/iter", b.measured_ns);
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / (b.measured_ns * 1e-9);
+        match t {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("   thrpt: {:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.0} elem/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// The top-level benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, 11, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.to_string(),
+            throughput: None,
+            sample_count: 11,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput reported for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id);
+        run_one(&name, self.throughput, self.sample_count, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, N: fmt::Display, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id);
+        run_one(&name, self.throughput, self.sample_count, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $config;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,142 @@
+//! Value-generation strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+
+/// Something that can generate values of one type from the test RNG.
+///
+/// Unlike the real crate there is no value tree and no shrinking: a
+/// strategy is just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// A type-erased variant generator, as built by `prop_oneof!`.
+pub type VariantFn<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// The strategy built by `prop_oneof!`: a uniform choice among variants
+/// that all produce the same value type (erased behind closures so the
+/// variants may be heterogeneous strategy types).
+pub struct Union<V> {
+    variants: Vec<VariantFn<V>>,
+}
+
+impl<V> Union<V> {
+    /// Wraps the variant generators (`prop_oneof!` builds this list).
+    pub fn new(variants: Vec<VariantFn<V>>) -> Self {
+        assert!(!variants.is_empty(), "prop_oneof! needs at least one variant");
+        Union { variants }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.variants.len() as u64) as usize;
+        (self.variants[idx])(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Ranges wider than u64 do not occur in practice here.
+                let off = rng.below(span.min(u64::MAX as u128) as u64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let off = rng.below(span.min(u64::MAX as u128) as u64) as i128;
+                (start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.gen_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
