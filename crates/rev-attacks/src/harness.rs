@@ -73,11 +73,8 @@ fn attack_writes(kind: AttackKind, map: &VictimMap, write: &mut dyn FnMut(u64, &
 pub fn mount(kind: AttackKind, config: RevConfig) -> AttackOutcome {
     // Table tampering is only observable when the SC re-reads the table,
     // so that scenario runs with a miss-prone (tiny) SC.
-    let config = if kind == AttackKind::TableTamper {
-        config.with_sc_capacity(256)
-    } else {
-        config
-    };
+    let config =
+        if kind == AttackKind::TableTamper { config.with_sc_capacity(256) } else { config };
     let (program, map) = victim_program();
     let mut sim = RevSimulator::new(program, config).expect("victim builds");
     let warm = sim.run(WARMUP);
@@ -87,13 +84,8 @@ pub fn mount(kind: AttackKind, config: RevConfig) -> AttackOutcome {
         warm.rev.violation
     );
     if kind == AttackKind::TableTamper {
-        let ranges: Vec<(u64, usize)> = sim
-            .monitor()
-            .sag()
-            .tables()
-            .iter()
-            .map(|t| (t.base(), t.image().len()))
-            .collect();
+        let ranges: Vec<(u64, usize)> =
+            sim.monitor().sag().tables().iter().map(|t| (t.base(), t.image().len())).collect();
         sim.inject(move |mem| {
             for &(base, len) in &ranges {
                 for off in (16..len as u64).step_by(16) {
@@ -156,10 +148,7 @@ mod tests {
         let out = mount(kind, RevConfig::paper_default());
         assert!(out.detected, "{kind} not detected");
         let got = out.violation.expect("violation present").kind;
-        assert!(
-            expect.contains(&got),
-            "{kind}: expected one of {expect:?}, got {got:?}"
-        );
+        assert!(expect.contains(&got), "{kind}: expected one of {expect:?}, got {got:?}");
         assert!(!out.tainted, "{kind}: tainted store escaped containment");
     }
 

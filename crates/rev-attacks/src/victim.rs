@@ -82,17 +82,37 @@ fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
     // vtable dispatch: handler = vtable[r15 & 1]
     b.push(Instruction::AndI { rd: Reg::R23, rs: Reg::R15, imm: 1 });
     b.push(Instruction::Li { rd: Reg::R21, imm: 3 });
-    b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R23, rs1: Reg::R23, rs2: Reg::R21 });
+    b.push(Instruction::Alu {
+        op: rev_isa::AluOp::Shl,
+        rd: Reg::R23,
+        rs1: Reg::R23,
+        rs2: Reg::R21,
+    });
     b.li_data(Reg::R22, vtable_off);
-    b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R22, rs1: Reg::R22, rs2: Reg::R23 });
+    b.push(Instruction::Alu {
+        op: rev_isa::AluOp::Add,
+        rd: Reg::R22,
+        rs1: Reg::R22,
+        rs2: Reg::R23,
+    });
     b.push(Instruction::Load { rd: Reg::R21, rbase: Reg::R22, off: 0 });
     b.call_ind(Reg::R21, &[handler_a, handler_b]);
     // jump-table dispatch: arms[r15 & 3]
     b.push(Instruction::AndI { rd: Reg::R23, rs: Reg::R15, imm: 3 });
     b.push(Instruction::Li { rd: Reg::R21, imm: 3 });
-    b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R23, rs1: Reg::R23, rs2: Reg::R21 });
+    b.push(Instruction::Alu {
+        op: rev_isa::AluOp::Shl,
+        rd: Reg::R23,
+        rs1: Reg::R23,
+        rs2: Reg::R21,
+    });
     b.li_data(Reg::R22, jt_off);
-    b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R22, rs1: Reg::R22, rs2: Reg::R23 });
+    b.push(Instruction::Alu {
+        op: rev_isa::AluOp::Add,
+        rd: Reg::R22,
+        rs1: Reg::R22,
+        rs2: Reg::R23,
+    });
     b.push(Instruction::Load { rd: Reg::R21, rbase: Reg::R22, off: 0 });
     b.jmp_ind(Reg::R21, &arms);
     let merge = b.new_label();
@@ -222,12 +242,8 @@ pub fn victim_program() -> (Program, VictimMap) {
     let mut canary = None;
     let (victim, mut map) = build_victim(&mut canary);
     let libc = build_libc(canary.expect("set by build_victim"));
-    map.libc_privileged_addr = libc
-        .functions()
-        .iter()
-        .find(|f| f.name == "privileged")
-        .expect("privileged exists")
-        .entry;
+    map.libc_privileged_addr =
+        libc.functions().iter().find(|f| f.name == "privileged").expect("privileged exists").entry;
     let mut pb = Program::builder();
     pb.module(victim);
     pb.module(libc);

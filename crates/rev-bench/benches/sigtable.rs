@@ -31,8 +31,7 @@ fn bench_lookup(c: &mut Criterion) {
     let cfg = Cfg::analyze(&module, BbLimits::default()).expect("analyzes");
     let key = SignatureKey::from_seed(1);
     let cpu = Aes128::new([3; 16]);
-    let table =
-        build_table(&module, &cfg, &key, ValidationMode::Standard, &cpu).expect("builds");
+    let table = build_table(&module, &cfg, &key, ValidationMode::Standard, &cpu).expect("builds");
     let addrs: Vec<u64> = cfg.blocks().iter().map(|b| b.bb_addr).take(256).collect();
     c.bench_function("table_lookup_chain_walk", |b| {
         let mut i = 0usize;

@@ -7,8 +7,10 @@ use rev_core::{RevConfig, ValidationMode};
 
 fn main() {
     let opts = BenchOptions::from_args();
-    let configs =
-        [SweepConfig::new("cfi-only", RevConfig::paper_default().with_mode(ValidationMode::CfiOnly))];
+    let configs = [SweepConfig::new(
+        "cfi-only",
+        RevConfig::paper_default().with_mode(ValidationMode::CfiOnly),
+    )];
     let mut t = TablePrinter::new(
         vec!["benchmark", "base IPC", "cfi-only IPC", "ovh %", "computed/branches %"],
         opts.csv,

@@ -8,8 +8,10 @@ fn main() {
     let m = CostModel::paper_default();
     println!("REV area/power model (32 nm, 3 GHz core)");
     println!("=========================================");
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "SC size", "area mm2", "power W", "core area %", "core pwr %", "chip pwr %");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "SC size", "area mm2", "power W", "core area %", "core pwr %", "chip pwr %"
+    );
     for kib in [8usize, 16, 32, 64, 128, 256] {
         let r = m.evaluate(kib << 10, false);
         println!(

@@ -13,11 +13,18 @@ fn main() {
         println!("== {} ==", p.name);
         println!(
             "base: ipc {:.3} cycles {} mispred {:.3} uniq {} wrongpath {}",
-            base.ipc(), base.cycles, base.mispredict_rate(), base.unique_branches(), base.wrong_path_fetched
+            base.ipc(),
+            base.cycles,
+            base.mispredict_rate(),
+            base.unique_branches(),
+            base.wrong_path_fetched
         );
         println!(
             "rev : ipc {:.3} cycles {} mispred {:.3} uniq {}",
-            c.ipc(), c.cycles, c.mispredict_rate(), c.unique_branches()
+            c.ipc(),
+            c.cycles,
+            c.mispredict_rate(),
+            c.unique_branches()
         );
         println!(
             "stalls: validation {} defer_full {}  (of {} cycles)",

@@ -10,7 +10,10 @@ use rev_core::{RevConfig, ValidationMode};
 fn main() {
     let opts = BenchOptions::from_args();
     let configs = [
-        SweepConfig::new("aggr-32K", RevConfig::paper_default().with_mode(ValidationMode::Aggressive)),
+        SweepConfig::new(
+            "aggr-32K",
+            RevConfig::paper_default().with_mode(ValidationMode::Aggressive),
+        ),
         SweepConfig::new("aggr-64K", RevConfig::paper_64k().with_mode(ValidationMode::Aggressive)),
     ];
     let mut t = TablePrinter::new(
@@ -25,12 +28,7 @@ fn main() {
         let b = overhead_pct(base_ipc, r.revs[1].cpu.ipc());
         o32.push(a);
         o64.push(b);
-        t.row(vec![
-            r.name.clone(),
-            format!("{base_ipc:.3}"),
-            format!("{a:.2}"),
-            format!("{b:.2}"),
-        ]);
+        t.row(vec![r.name.clone(), format!("{base_ipc:.3}"), format!("{a:.2}"), format!("{b:.2}")]);
     }
     t.print();
     println!();

@@ -17,7 +17,10 @@ fn main() {
             r.name.clone(),
             c.committed_instrs.to_string(),
             c.committed_branches.to_string(),
-            format!("{:.1}", c.committed_branches as f64 / c.committed_instrs.max(1) as f64 * 100.0),
+            format!(
+                "{:.1}",
+                c.committed_branches as f64 / c.committed_instrs.max(1) as f64 * 100.0
+            ),
         ]);
     }
     t.print();

@@ -48,7 +48,8 @@ fn main() {
     let (rev32, rev64, agg32, agg64, cfi) = (0, 1, 2, 3, 4);
 
     println!("=== Sec. VIII BB statistics ===");
-    let mut t = TablePrinter::new(vec!["benchmark", "static BBs", "instrs/BB", "succ/BB"], opts.csv);
+    let mut t =
+        TablePrinter::new(vec!["benchmark", "static BBs", "instrs/BB", "succ/BB"], opts.csv);
     for r in &runs {
         t.row(vec![
             r.name.clone(),
@@ -74,7 +75,8 @@ fn main() {
     println!();
 
     println!("=== Figure 7: IPC overhead % ===");
-    let ovh = |r: &rev_bench::ProfileRun, i: usize| overhead_pct(r.base.cpu.ipc(), r.revs[i].cpu.ipc());
+    let ovh =
+        |r: &rev_bench::ProfileRun, i: usize| overhead_pct(r.base.cpu.ipc(), r.revs[i].cpu.ipc());
     let mut t = TablePrinter::new(vec!["benchmark", "ovh 32K %", "ovh 64K %"], opts.csv);
     for r in &runs {
         t.row(vec![
@@ -220,8 +222,12 @@ fn main() {
     println!("=== Timing ===");
     println!("jobs:                {}", opts.jobs);
     println!("attacks phase:       {:>9.2?}", t_attacks);
-    println!("sweep phase:         {:>9.2?}  ({} profiles x (base + {} configs))",
-        t_sweep, runs.len(), configs.len());
+    println!(
+        "sweep phase:         {:>9.2?}  ({} profiles x (base + {} configs))",
+        t_sweep,
+        runs.len(),
+        configs.len()
+    );
     println!("table-sizes phase:   {:>9.2?}", t_tables);
     println!("total wall clock:    {:>9.2?}", t_start.elapsed());
 }

@@ -24,7 +24,11 @@ fn main() {
             "n/a".to_string() // tampering only matters to the validator
         } else {
             let u = mount_unprotected(kind);
-            if u.tainted { "yes".to_string() } else { "NO (?)".to_string() }
+            if u.tainted {
+                "yes".to_string()
+            } else {
+                "NO (?)".to_string()
+            }
         };
         let out = mount(kind, RevConfig::paper_default());
         t.row(vec![

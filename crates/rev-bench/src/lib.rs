@@ -34,6 +34,9 @@ pub struct BenchOptions {
     /// Worker threads for the sweep fan-out (defaults to the host's
     /// available parallelism; `--jobs 1` forces the serial path).
     pub jobs: usize,
+    /// Run the static lint gate (`rev-lint`) over every table before
+    /// simulating; refuse to run anything that fails at error severity.
+    pub preflight: bool,
 }
 
 /// The host's available parallelism (1 if it cannot be determined).
@@ -50,6 +53,7 @@ impl Default for BenchOptions {
             only: Vec::new(),
             csv: false,
             jobs: default_jobs(),
+            preflight: false,
         }
     }
 }
@@ -86,13 +90,14 @@ impl BenchOptions {
                     opts.only.push(args.next().expect("--bench needs a name"));
                 }
                 "--csv" => opts.csv = true,
+                "--preflight" => opts.preflight = true,
                 "--jobs" => {
                     let v = args.next().expect("--jobs needs a value");
                     let n: usize = v.parse().expect("--jobs must be an integer");
                     opts.jobs = if n == 0 { default_jobs() } else { n };
                 }
                 other => panic!(
-                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs)"
+                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight)"
                 ),
             }
         }
@@ -149,9 +154,25 @@ pub fn program_for(profile: &SpecProfile) -> Program {
 /// Static CFG statistics for a generated program's first module.
 pub fn cfg_stats_for(program: &Program) -> CfgStats {
     let module = &program.modules()[0];
-    Cfg::analyze(module, BbLimits::default())
-        .expect("generated programs analyze")
-        .stats()
+    Cfg::analyze(module, BbLimits::default()).expect("generated programs analyze").stats()
+}
+
+/// The `--preflight` gate: statically lints the tables a built simulator
+/// is about to consume and refuses to run anything failing at error
+/// severity.
+///
+/// # Panics
+///
+/// Panics with the rendered diagnostics when the gate fails.
+pub fn preflight(sim: &RevSimulator) {
+    let report =
+        rev_lint::lint_tables(sim.program(), sim.monitor().sag().tables(), sim.config().bb_limits);
+    assert!(
+        report.passes_gate(),
+        "preflight: static lint found {} error(s); refusing to simulate:\n{}",
+        report.error_count(),
+        report.render_text()
+    );
 }
 
 /// Runs one benchmark under `config` and its matching baseline.
@@ -159,6 +180,9 @@ pub fn run_benchmark(profile: &SpecProfile, opts: &BenchOptions, config: RevConf
     let program = program_for(profile);
     let cfg = cfg_stats_for(&program);
     let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    if opts.preflight {
+        preflight(&sim);
+    }
     let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
     sim.warmup(opts.warmup);
     let rev = sim.run(opts.instructions);
@@ -171,6 +195,9 @@ pub fn run_benchmark(profile: &SpecProfile, opts: &BenchOptions, config: RevConf
 pub fn run_rev_only(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> RevReport {
     let program = program_for(profile);
     let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    if opts.preflight {
+        preflight(&sim);
+    }
     sim.warmup(opts.warmup);
     sim.run(opts.instructions)
 }
@@ -496,6 +523,7 @@ mod tests {
             only: vec!["mcf".into()],
             csv: false,
             jobs: 1,
+            preflight: true,
         };
         let serial = sweep(&opts);
         opts.jobs = 4;

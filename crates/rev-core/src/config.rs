@@ -114,9 +114,8 @@ mod tests {
 
     #[test]
     fn builder_style_updates() {
-        let c = RevConfig::paper_default()
-            .with_mode(ValidationMode::CfiOnly)
-            .with_sc_capacity(8 << 10);
+        let c =
+            RevConfig::paper_default().with_mode(ValidationMode::CfiOnly).with_sc_capacity(8 << 10);
         assert_eq!(c.mode, ValidationMode::CfiOnly);
         assert_eq!(c.sc_capacity, 8 << 10);
     }

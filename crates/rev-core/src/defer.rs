@@ -61,12 +61,7 @@ impl DeferredStoreBuffer {
     /// Releases every store with `seq < boundary_seq` (the just-validated
     /// block's stores), in order, into `sink`.
     pub fn release_until<F: FnMut(DeferredStore)>(&mut self, boundary_seq: u64, mut sink: F) {
-        while self
-            .entries
-            .front()
-            .map(|s| s.seq < boundary_seq)
-            .unwrap_or(false)
-        {
+        while self.entries.front().map(|s| s.seq < boundary_seq).unwrap_or(false) {
             let s = self.entries.pop_front().expect("checked");
             self.total_released += 1;
             sink(s);

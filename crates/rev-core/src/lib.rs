@@ -56,11 +56,11 @@ pub use config::{Containment, RevConfig};
 pub use cost::{CostModel, CostReport};
 pub use defer::{DeferredStore, DeferredStoreBuffer};
 pub use profile::{profile_indirect_targets, IndirectProfile};
-pub use rev_monitor::{RevMonitor, SYSCALL_REV_DISABLE, SYSCALL_REV_ENABLE};
+pub use rev_monitor::{DynBlockTriple, RevMonitor, SYSCALL_REV_DISABLE, SYSCALL_REV_ENABLE};
 pub use sag::{Sag, SagEntry};
 pub use sc::{ScEntry, ScProbe, ScStats, ScVariant, SignatureCache};
 pub use shadow::{ShadowMemory, ShadowStats};
-pub use sim::{BaselineReport, RevReport, RevSimulator, SimBuildError};
+pub use sim::{analyze_and_link, BaselineReport, RevReport, RevSimulator, SimBuildError};
 pub use stats::RevStats;
 
 // Re-export the pieces users need alongside the simulator.

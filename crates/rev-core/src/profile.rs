@@ -82,9 +82,19 @@ mod tests {
         b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
         b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R1, imm: 1 });
         b.push(Instruction::Li { rd: Reg::R3, imm: 3 });
-        b.push(Instruction::Alu { op: rev_isa::AluOp::Shl, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 });
+        b.push(Instruction::Alu {
+            op: rev_isa::AluOp::Shl,
+            rd: Reg::R2,
+            rs1: Reg::R2,
+            rs2: Reg::R3,
+        });
         b.li_data(Reg::R4, table);
-        b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R4, rs1: Reg::R4, rs2: Reg::R2 });
+        b.push(Instruction::Alu {
+            op: rev_isa::AluOp::Add,
+            rd: Reg::R4,
+            rs1: Reg::R4,
+            rs2: Reg::R2,
+        });
         b.push(Instruction::Load { rd: Reg::R5, rbase: Reg::R4, off: 0 });
         // Raw computed jump with an EMPTY static target annotation.
         b.jmp_ind(Reg::R5, &[]);

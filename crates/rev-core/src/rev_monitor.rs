@@ -7,16 +7,16 @@ use crate::sag::Sag;
 use crate::sc::{ScProbe, ScVariant, SignatureCache};
 use crate::shadow::ShadowMemory;
 use crate::stats::RevStats;
-use rev_crypto::{
-    bb_body_hash_with, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash, SignatureKey,
-};
 use rev_cpu::{
     CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreCommit, Violation, ViolationKind,
+};
+use rev_crypto::{
+    bb_body_hash_with, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash, SignatureKey,
 };
 use rev_isa::InstrClass;
 use rev_mem::{Hierarchy, MainMemory, Request, Requester};
 use rev_sigtable::{EntryKind, ValidationMode};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Service number of the REV-disable system call (paper Sec. VII: "The
 /// second system call is used to enable or disable the REV mechanism and
@@ -31,10 +31,18 @@ pub const SYSCALL_REV_ENABLE: u16 = 0xff;
 /// A fetched-but-not-yet-validated basic block.
 #[derive(Debug, Clone, Copy)]
 struct PendingBb {
+    start: u64,
     bb_addr: u64,
     body: BodyHash,
     chg_ready: u64,
 }
+
+/// A dynamically discovered basic block, exactly as the hardware sees it:
+/// the entry leader's address, the terminating instruction's address (the
+/// paper's "address of the BB") and the CHG body hash over the fetched
+/// bytes. `rev-lint`'s differential oracle compares these against the
+/// statically predicted set.
+pub type DynBlockTriple = (u64, u64, [u8; 32]);
 
 type DigestKey = (u64, [u8; 32], u64, u64, usize);
 
@@ -69,6 +77,10 @@ pub struct RevMonitor {
     /// derivation (reset between uses; avoids both the digest allocation
     /// and the 10·r initialization rounds per block).
     hasher: CubeHash,
+    /// When `Some`, every validated block is recorded as a
+    /// (leader, terminator, body-hash) triple — the differential oracle's
+    /// dynamic side. `None` (the default) costs one branch per validation.
+    trace: Option<BTreeSet<DynBlockTriple>>,
     violated: bool,
     enabled: bool,
     /// After re-enabling, skip gating until the next terminator passes so
@@ -99,6 +111,7 @@ impl RevMonitor {
             body_cache: HashMap::new(),
             digest_cache: HashMap::new(),
             hasher: CubeHash::new(),
+            trace: None,
             violated: false,
             enabled: true,
             resync: false,
@@ -156,6 +169,21 @@ impl RevMonitor {
     /// Current deferred-store occupancy (inspection).
     pub fn deferred_stores(&self) -> usize {
         self.defer.len()
+    }
+
+    /// Switches on dynamic block-trace recording: every block that
+    /// validates from now on is remembered as a [`DynBlockTriple`].
+    /// CFI-only mode computes no hashes, so nothing is recorded there.
+    pub fn enable_block_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(BTreeSet::new());
+        }
+    }
+
+    /// The recorded dynamic blocks, or `None` if tracing was never
+    /// enabled.
+    pub fn block_trace(&self) -> Option<&BTreeSet<DynBlockTriple>> {
+        self.trace.as_ref()
     }
 
     /// Models the paper's second REV system call (Secs. IV.E, VII):
@@ -281,11 +309,8 @@ impl RevMonitor {
             t = out.complete_at;
             self.stats.fill_touches += 1;
         }
-        let mut variants: Vec<ScVariant> = lookup
-            .variants
-            .iter()
-            .map(|v| ScVariant::from_sig(v, self.config.sc_mru))
-            .collect();
+        let mut variants: Vec<ScVariant> =
+            lookup.variants.iter().map(|v| ScVariant::from_sig(v, self.config.sc_mru)).collect();
         if lookup.parse_failure {
             // Tampered table: install an empty, poisoned entry. No digest
             // can ever match it, so validation fails closed.
@@ -319,8 +344,7 @@ impl RevMonitor {
             // a popular function's return is never walked.
             let relevant = match mode {
                 ValidationMode::Standard => {
-                    v.kind == EntryKind::Computed
-                        || (naive_returns && v.kind == EntryKind::Return)
+                    v.kind == EntryKind::Computed || (naive_returns && v.kind == EntryKind::Return)
                 }
                 ValidationMode::Aggressive => v.kind != EntryKind::Return,
                 ValidationMode::CfiOnly => v.kind == EntryKind::Computed,
@@ -372,12 +396,8 @@ impl RevMonitor {
             self.stats.stores_discarded += self.shadow.stats().stores_buffered;
             self.shadow.discard();
         }
-        let v = Violation {
-            kind,
-            bb_addr: q.bb_addr,
-            actual_target: q.actual_target,
-            cycle: q.cycle,
-        };
+        let v =
+            Violation { kind, bb_addr: q.bb_addr, actual_target: q.actual_target, cycle: q.cycle };
         self.stats.violation = Some(v);
         CommitGate::Violation(v)
     }
@@ -386,10 +406,7 @@ impl RevMonitor {
     /// a store there is (attempted) self-modification and must flush the
     /// memoized CHG outputs so subsequent fetches re-hash the new bytes.
     fn store_touches_code(&self, addr: u64) -> bool {
-        self.sag
-            .tables()
-            .iter()
-            .any(|t| addr + 8 > t.module_base() && addr < t.module_end())
+        self.sag.tables().iter().any(|t| addr + 8 > t.module_base() && addr < t.module_end())
     }
 
     fn release_stores(&mut self, mem: &mut Hierarchy, boundary_seq: u64, cycle: u64) {
@@ -399,9 +416,8 @@ impl RevMonitor {
         let tables = self.sag.tables();
         self.defer.release_until(boundary_seq, |s| {
             committed.write_u64(s.addr, s.value);
-            touched_code |= tables
-                .iter()
-                .any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
+            touched_code |=
+                tables.iter().any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
             mem.data_access(Request {
                 addr: s.addr,
                 is_write: true,
@@ -470,12 +486,7 @@ impl RevMonitor {
                 .iter()
                 .enumerate()
                 .map(|(i, v)| {
-                    (
-                        i,
-                        v.digest,
-                        Self::bound_succ_value(mode, v),
-                        v.bound_pred.unwrap_or(0),
-                    )
+                    (i, v.digest, Self::bound_succ_value(mode, v), v.bound_pred.unwrap_or(0))
                 })
                 .collect()
         };
@@ -512,11 +523,8 @@ impl RevMonitor {
             )
         };
 
-        let has_successors = self
-            .sc
-            .entry(pb.bb_addr)
-            .map(|e| !e.variants[vi].succs.is_empty())
-            .unwrap_or(false);
+        let has_successors =
+            self.sc.entry(pb.bb_addr).map(|e| !e.variants[vi].succs.is_empty()).unwrap_or(false);
         let naive_returns = self.config.naive_return_validation;
         let target_checked = match mode {
             // Aggressive: every branch target verified. Terminal blocks
@@ -537,11 +545,8 @@ impl RevMonitor {
                 if has_spills {
                     self.sc.stats_mut().partial_misses += 1;
                     if self.prefetch_spills_for(mem, pb.bb_addr, q.actual_target, q.cycle) {
-                        let ready = self
-                            .sc
-                            .entry(pb.bb_addr)
-                            .map(|e| e.ready_at)
-                            .unwrap_or(q.cycle + 1);
+                        let ready =
+                            self.sc.entry(pb.bb_addr).map(|e| e.ready_at).unwrap_or(q.cycle + 1);
                         self.stats.stall_spill += ready.max(q.cycle + 1) - q.cycle;
                         return CommitGate::StallUntil(ready.max(q.cycle + 1));
                     }
@@ -595,10 +600,7 @@ impl RevMonitor {
             }
             self.ret_latch = None;
         }
-        if kind == EntryKind::Return
-            && mode == ValidationMode::Standard
-            && !naive_returns
-        {
+        if kind == EntryKind::Return && mode == ValidationMode::Standard && !naive_returns {
             // Latch the return's address; the next validated block checks it.
             self.ret_latch = Some(pb.bb_addr);
         }
@@ -608,6 +610,9 @@ impl RevMonitor {
         let mru = self.config.sc_mru;
         if let Some(e) = self.sc.entry_mut(pb.bb_addr) {
             e.variants[vi].touch_succ(q.actual_target, mru);
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            trace.insert((pb.start, pb.bb_addr, pb.body.0));
         }
         self.release_stores(mem, q.seq, q.cycle);
         self.chg.retire(ChgTag(q.seq));
@@ -701,6 +706,7 @@ impl ExecMonitor for RevMonitor {
             self.pending.insert(
                 event.seq,
                 PendingBb {
+                    start: event.addr,
                     bb_addr: event.addr,
                     body: BodyHash([0; 32]),
                     chg_ready: event.cycle,
@@ -786,7 +792,7 @@ impl ExecMonitor for RevMonitor {
             }
         }
 
-        self.pending.insert(event.seq, PendingBb { bb_addr, body, chg_ready });
+        self.pending.insert(event.seq, PendingBb { start: bb_start, bb_addr, body, chg_ready });
         true
     }
 

@@ -24,6 +24,9 @@ pub struct SagEntry {
 #[derive(Debug)]
 pub struct Sag {
     tables: Vec<SignatureTable>,
+    /// Table indices sorted by module base, so `resolve` can binary-search
+    /// instead of scanning every registered table per lookup.
+    by_base: Vec<usize>,
     resident: Vec<(SagEntry, u64)>, // (entry, lru tick)
     capacity: usize,
     miss_penalty: u64,
@@ -37,6 +40,7 @@ impl Sag {
     pub fn new(capacity: usize, miss_penalty: u64) -> Self {
         Sag {
             tables: Vec::new(),
+            by_base: Vec::new(),
             resident: Vec::new(),
             capacity: capacity.max(1),
             miss_penalty,
@@ -49,8 +53,10 @@ impl Sag {
     /// first `capacity` registered tables start resident.
     pub fn register(&mut self, table: SignatureTable) {
         let idx = self.tables.len();
-        let entry =
-            SagEntry { table_idx: idx, lo: table.module_base(), hi: table.module_end() };
+        let entry = SagEntry { table_idx: idx, lo: table.module_base(), hi: table.module_end() };
+        let base = table.module_base();
+        let pos = self.by_base.partition_point(|&i| self.tables[i].module_base() <= base);
+        self.by_base.insert(pos, idx);
         self.tables.push(table);
         if self.resident.len() < self.capacity {
             self.tick += 1;
@@ -75,19 +81,18 @@ impl Sag {
     pub fn resolve(&mut self, addr: u64) -> Option<(usize, u64)> {
         self.tick += 1;
         let tick = self.tick;
-        if let Some((e, lru)) = self
-            .resident
-            .iter_mut()
-            .find(|(e, _)| (e.lo..e.hi).contains(&addr))
+        if let Some((e, lru)) = self.resident.iter_mut().find(|(e, _)| (e.lo..e.hi).contains(&addr))
         {
             *lru = tick;
             return Some((e.table_idx, 0));
         }
-        // Not resident: is it registered at all?
-        let idx = self
-            .tables
-            .iter()
-            .position(|t| (t.module_base()..t.module_end()).contains(&addr))?;
+        // Not resident: is it registered at all? Binary-search the
+        // base-sorted index for the last module starting at or below `addr`.
+        let pos = self.by_base.partition_point(|&i| self.tables[i].module_base() <= addr);
+        let idx = pos
+            .checked_sub(1)
+            .map(|p| self.by_base[p])
+            .filter(|&i| addr < self.tables[i].module_end())?;
         self.misses += 1;
         let entry = SagEntry {
             table_idx: idx,
@@ -146,6 +151,36 @@ mod tests {
         assert_eq!(sag.resolve(0x1001), Some((0, 0)));
         assert_eq!(sag.resolve(0x8000), Some((1, 0)));
         assert_eq!(sag.resolve(0x4000), None);
+    }
+
+    #[test]
+    fn abutting_ranges_resolve_unchanged() {
+        // Two modules whose code ranges abut: the boundary address must
+        // resolve to the higher module, the address just below it to the
+        // lower one — regardless of registration order, and identically to
+        // the old linear scan.
+        let a = table_for("a", 0x1000);
+        let b_base = a.module_end();
+        let b = table_for("b", b_base);
+        assert_eq!(a.module_end(), b.module_base(), "ranges must abut for this test");
+
+        // Capacity 1 forces every other lookup through the non-resident
+        // (binary-search) path rather than the resident register window.
+        let mut sag = Sag::new(1, 100);
+        sag.register(a);
+        sag.register(b);
+        assert_eq!(sag.resolve(b_base).map(|(i, _)| i), Some(1));
+        assert_eq!(sag.resolve(b_base - 1).map(|(i, _)| i), Some(0));
+        assert_eq!(sag.resolve(0x1000).map(|(i, _)| i), Some(0));
+
+        // Reverse registration order: indices swap, resolution targets don't.
+        let a = table_for("a", 0x1000);
+        let b = table_for("b", b_base);
+        let mut sag = Sag::new(1, 100);
+        sag.register(b);
+        sag.register(a);
+        assert_eq!(sag.resolve(b_base - 1).map(|(i, _)| i), Some(1));
+        assert_eq!(sag.resolve(b_base).map(|(i, _)| i), Some(0));
     }
 
     #[test]

@@ -113,8 +113,11 @@ impl fmt::Display for RevReport {
             self.rev.stores_released, self.rev.stores_discarded, self.rev.defer_peak
         )?;
         if let Some(v) = self.rev.violation {
-            write!(f, "
-VIOLATION      : {v}")?;
+            write!(
+                f,
+                "
+VIOLATION      : {v}"
+            )?;
         }
         Ok(())
     }
@@ -131,19 +134,23 @@ pub struct BaselineReport {
     pub mem: MemStats,
 }
 
-/// The trusted toolchain: analyzes every module, stitches cross-module
-/// return linkage (paper Sec. IV.B), and builds each module's encrypted
-/// signature table.
-fn link_modules(
+/// The trusted toolchain's analysis front half: analyzes every module and
+/// stitches cross-module return linkage (paper Sec. IV.B). The returned
+/// CFGs are exactly the ones table generation consumes — `rev-lint`'s
+/// static verifier calls this too, so linter and linker can never drift on
+/// block boundaries or return-site sets.
+///
+/// # Errors
+///
+/// Returns [`SimBuildError`] if a module fails static analysis.
+pub fn analyze_and_link(
     program: &Program,
-    config: &RevConfig,
-    key_generation: u64,
-) -> Result<(Vec<SignatureTable>, Vec<TableStats>), SimBuildError> {
-    let cpu_master = Aes128::new(CPU_MASTER_KEY);
+    limits: rev_prog::BbLimits,
+) -> Result<Vec<Cfg>, SimBuildError> {
     // Pass 1: analyze every module.
     let mut cfgs: Vec<Cfg> = Vec::new();
     for module in program.modules() {
-        let cfg = Cfg::analyze(module, config.bb_limits)
+        let cfg = Cfg::analyze(module, limits)
             .map_err(|source| SimBuildError::Cfg { module: module.name().to_string(), source })?;
         cfgs.push(cfg);
     }
@@ -168,18 +175,26 @@ fn link_modules(
     for (idx, ret_bb, site) in stitches {
         cfgs[idx].add_return_linkage(ret_bb, site);
     }
+    Ok(cfgs)
+}
+
+/// The trusted toolchain: analyzes every module, stitches cross-module
+/// return linkage (paper Sec. IV.B), and builds each module's encrypted
+/// signature table.
+fn link_modules(
+    program: &Program,
+    config: &RevConfig,
+    key_generation: u64,
+) -> Result<(Vec<SignatureTable>, Vec<TableStats>), SimBuildError> {
+    let cpu_master = Aes128::new(CPU_MASTER_KEY);
+    let cfgs = analyze_and_link(program, config.bb_limits)?;
     // Pass 3: build each module's encrypted table.
     let mut tables: Vec<SignatureTable> = Vec::new();
     let mut table_stats = Vec::new();
     for (module, cfg) in program.modules().iter().zip(&cfgs) {
-        let key = SignatureKey::from_seed(
-            module.base() ^ 0x5eed ^ key_generation.rotate_left(17),
-        );
+        let key = SignatureKey::from_seed(module.base() ^ 0x5eed ^ key_generation.rotate_left(17));
         let table = build_table(module, cfg, &key, config.mode, &cpu_master)
-            .map_err(|source| SimBuildError::Table {
-                module: module.name().to_string(),
-                source,
-            })?;
+            .map_err(|source| SimBuildError::Table { module: module.name().to_string(), source })?;
         table_stats.push(table.stats());
         tables.push(table);
     }
@@ -189,13 +204,8 @@ fn link_modules(
 /// First address past every loadable segment, page aligned with a guard
 /// gap — where the loader places the signature tables.
 fn table_region_base(program: &Program) -> u64 {
-    let highest = program
-        .segments()
-        .iter()
-        .map(|s| s.end())
-        .max()
-        .unwrap_or(0)
-        .max(program.initial_sp());
+    let highest =
+        program.segments().iter().map(|s| s.end()).max().unwrap_or(0).max(program.initial_sp());
     (highest + 0xffff) & !0xfff
 }
 
@@ -300,6 +310,12 @@ impl RevSimulator {
     /// The REV monitor (SC, deferral buffer, committed memory).
     pub fn monitor(&self) -> &RevMonitor {
         &self.monitor
+    }
+
+    /// Mutable monitor access — used by `rev-lint`'s differential oracle
+    /// to switch on dynamic block-trace recording before a run.
+    pub fn monitor_mut(&mut self) -> &mut RevMonitor {
+        &mut self.monitor
     }
 
     /// The pipeline (core + oracle + hierarchy).

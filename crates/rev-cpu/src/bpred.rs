@@ -167,7 +167,11 @@ mod tests {
     use super::*;
 
     fn bp() -> BranchPredictor {
-        BranchPredictor::new(PredictorConfig { gshare_entries: 1024, btb_entries: 64, ras_depth: 4 })
+        BranchPredictor::new(PredictorConfig {
+            gshare_entries: 1024,
+            btb_entries: 64,
+            ras_depth: 4,
+        })
     }
 
     #[test]

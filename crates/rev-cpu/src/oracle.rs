@@ -149,8 +149,7 @@ impl Oracle {
     pub fn step(&mut self) -> Result<DynOp, OracleError> {
         let pc = self.state.pc;
         let bytes = self.mem.read_bytes(pc, rev_isa::MAX_INSTR_LEN);
-        let (insn, len) =
-            decode(&bytes).map_err(|_| OracleError::IllegalInstruction { pc })?;
+        let (insn, len) = decode(&bytes).map_err(|_| OracleError::IllegalInstruction { pc })?;
         let next_seq = pc + len as u64;
         let mut op = DynOp {
             addr: pc,
@@ -333,10 +332,8 @@ mod tests {
             b.push(Instruction::Halt);
         });
         assert_eq!(oracle.state().reg(Reg::R1), 5);
-        let branches: Vec<&DynOp> = ops
-            .iter()
-            .filter(|o| matches!(o.insn, Instruction::Branch { .. }))
-            .collect();
+        let branches: Vec<&DynOp> =
+            ops.iter().filter(|o| matches!(o.insn, Instruction::Branch { .. })).collect();
         assert_eq!(branches.len(), 5);
         assert!(branches[0].taken);
         assert!(!branches[4].taken);

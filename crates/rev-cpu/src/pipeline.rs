@@ -182,7 +182,7 @@ pub struct Pipeline {
     wrong_path_stuck: bool,
     fetch_stopped: bool, // oracle halted or faulted
     oracle_fault: Option<u64>,
-    cur_line: Option<(u64, u64)>, // (line addr, ready cycle)
+    cur_line: Option<(u64, u64)>,        // (line addr, ready cycle)
     prefetched_line: Option<(u64, u64)>, // (line addr, prefetch done cycle)
     head_retry_at: u64,
     stats: CpuStats,
@@ -275,10 +275,7 @@ impl Pipeline {
             }
             if self.stats.committed_instrs >= max_instrs {
                 monitor.on_run_end(&mut self.mem, self.now);
-                return RunResult {
-                    outcome: RunOutcome::BudgetReached,
-                    stats: self.stats.clone(),
-                };
+                return RunResult { outcome: RunOutcome::BudgetReached, stats: self.stats.clone() };
             }
             if self.pipeline_empty() {
                 monitor.on_run_end(&mut self.mem, self.now);
@@ -438,12 +435,7 @@ impl Pipeline {
     }
 
     fn squash_after(&mut self, seq: u64) {
-        while self
-            .rob
-            .back()
-            .map(|s| s.seq > seq)
-            .unwrap_or(false)
-        {
+        while self.rob.back().map(|s| s.seq > seq).unwrap_or(false) {
             let s = self.rob.pop_back().expect("non-empty");
             if s.writes_reg {
                 self.in_flight_writers -= 1;
@@ -630,19 +622,14 @@ impl Pipeline {
             if (front.is_load() || front.is_store()) && lsq_occupancy >= self.config.lsq_size {
                 break;
             }
-            if front.writes_reg
-                && self.in_flight_writers + 64 >= self.config.phys_regs
-            {
+            if front.writes_reg && self.in_flight_writers + 64 >= self.config.phys_regs {
                 break;
             }
             let mut slot = self.fetch_queue.pop_front().expect("front exists");
             // Rename: resolve source producers.
             reads_of(&slot.insn, &mut self.reads_buf);
-            slot.srcs = self
-                .reads_buf
-                .iter()
-                .filter_map(|&r| self.last_writer[r as usize])
-                .collect();
+            slot.srcs =
+                self.reads_buf.iter().filter_map(|&r| self.last_writer[r as usize]).collect();
             if let Some(w) = write_of(&slot.insn) {
                 self.last_writer[w as usize] = Some(slot.seq);
             }
@@ -803,7 +790,7 @@ impl Pipeline {
                 checkpoint,
                 history_at_predict,
                 writes_reg: write_of(&insn).is_some(),
-            recovery_done: false,
+                recovery_done: false,
             });
             if write_of(&insn).is_some() {
                 self.in_flight_writers += 1;
@@ -907,11 +894,7 @@ mod tests {
         assert_eq!(r.outcome, RunOutcome::Halted);
         assert_eq!(r.stats.committed_cond_branches, 200);
         // Loop branch should become nearly perfectly predicted.
-        assert!(
-            r.stats.mispredict_rate() < 0.10,
-            "mispredict rate {}",
-            r.stats.mispredict_rate()
-        );
+        assert!(r.stats.mispredict_rate() < 0.10, "mispredict rate {}", r.stats.mispredict_rate());
         assert_eq!(p.oracle().state().reg(Reg::R3), 400);
     }
 

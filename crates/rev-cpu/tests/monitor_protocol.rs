@@ -149,9 +149,7 @@ fn refused_stores_stall_commit_forever_is_detected_as_deadlock() {
     });
     let mut pl = pipeline(&p);
     let mut m = ProtocolMonitor { refuse_stores: true, ..Default::default() };
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        pl.run(&mut m, 1_000)
-    }));
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pl.run(&mut m, 1_000)));
     assert!(result.is_err(), "a permanently refused store must trip the deadlock guard");
     let _ = m.refuse_store_polls;
 }

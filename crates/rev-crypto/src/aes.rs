@@ -52,12 +52,8 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     for (i, slot) in sbox.iter_mut().enumerate() {
         let x = gf_inv(i as u8);
         // Affine transform: b ^ rot(b,1..4) ^ 0x63 where rot is left-rotate.
-        let s = x
-            ^ x.rotate_left(1)
-            ^ x.rotate_left(2)
-            ^ x.rotate_left(3)
-            ^ x.rotate_left(4)
-            ^ 0x63;
+        let s =
+            x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
         *slot = s;
         inv[s as usize] = i as u8;
     }
@@ -247,8 +243,7 @@ fn mix_columns(s: &mut [u8; 16]) {
 fn inv_mix_columns(s: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [s[4 * c], s[4 * c + 1], s[4 * c + 2], s[4 * c + 3]];
-        s[4 * c] =
-            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        s[4 * c] = gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
         s[4 * c + 1] =
             gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
         s[4 * c + 2] =

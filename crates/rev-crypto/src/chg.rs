@@ -101,9 +101,7 @@ impl ChgPipeline {
     /// Unknown tags (never enqueued or already retired/flushed) report
     /// `false`.
     pub fn is_ready(&self, tag: ChgTag, cycle: u64) -> bool {
-        self.in_flight
-            .iter()
-            .any(|e| e.tag == tag && e.ready_at <= cycle)
+        self.in_flight.iter().any(|e| e.tag == tag && e.ready_at <= cycle)
     }
 
     /// Returns the ready cycle for `tag`, if it is in flight.

@@ -122,14 +122,8 @@ impl CubeHashParams {
 
     fn validate(&self) {
         assert!(self.rounds >= 1, "CubeHash requires at least one round");
-        assert!(
-            (1..=128).contains(&self.block_bytes),
-            "block_bytes must be in 1..=128"
-        );
-        assert!(
-            (1..=64).contains(&self.digest_bytes),
-            "digest_bytes must be in 1..=64"
-        );
+        assert!((1..=128).contains(&self.block_bytes), "block_bytes must be in 1..=128");
+        assert!((1..=64).contains(&self.digest_bytes), "digest_bytes must be in 1..=64");
     }
 }
 
@@ -395,11 +389,7 @@ mod tests {
         let mut flipped = base.clone();
         flipped[0] ^= 1;
         let d1 = CubeHash::digest(&flipped);
-        let differing_bits: u32 = d0
-            .iter()
-            .zip(d1.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum();
+        let differing_bits: u32 = d0.iter().zip(d1.iter()).map(|(a, b)| (a ^ b).count_ones()).sum();
         // 256-bit digest: expect ~128 differing bits; accept a wide band.
         assert!(
             (64..=192).contains(&differing_bits),
@@ -416,7 +406,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
-        let _ = CubeHash::with_params(CubeHashParams { rounds: 0, block_bytes: 32, digest_bytes: 32 });
+        let _ =
+            CubeHash::with_params(CubeHashParams { rounds: 0, block_bytes: 32, digest_bytes: 32 });
     }
 
     #[test]

@@ -150,11 +150,7 @@ mod tests {
         assert_ne!(base, entry_digest(&key, 0x1008, &b, 0x2000, 0x3000), "bb addr");
         assert_ne!(base, entry_digest(&key, 0x1000, &b, 0x2008, 0x3000), "target");
         assert_ne!(base, entry_digest(&key, 0x1000, &b, 0x2000, 0x3008), "pred");
-        assert_ne!(
-            base,
-            entry_digest(&key, 0x1000, &body(&[1, 2, 4]), 0x2000, 0x3000),
-            "body"
-        );
+        assert_ne!(base, entry_digest(&key, 0x1000, &body(&[1, 2, 4]), 0x2000, 0x3000), "body");
         assert_ne!(
             base,
             entry_digest(&SignatureKey::from_seed(2), 0x1000, &b, 0x2000, 0x3000),
@@ -166,10 +162,7 @@ mod tests {
     fn digest_is_deterministic() {
         let key = SignatureKey::from_seed(9);
         let b = body(b"block");
-        assert_eq!(
-            entry_digest(&key, 7, &b, 8, 9),
-            entry_digest(&key, 7, &b, 8, 9)
-        );
+        assert_eq!(entry_digest(&key, 7, &b, 8, 9), entry_digest(&key, 7, &b, 8, 9));
     }
 
     #[test]

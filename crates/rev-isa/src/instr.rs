@@ -442,7 +442,12 @@ impl Instruction {
             Instruction::Halt => out.push(OP_HALT),
             Instruction::Ret => out.push(OP_RET),
             Instruction::Alu { op, rd, rs1, rs2 } => {
-                out.extend_from_slice(&[OP_ALU_BASE + op.code(), rd.into(), rs1.into(), rs2.into()]);
+                out.extend_from_slice(&[
+                    OP_ALU_BASE + op.code(),
+                    rd.into(),
+                    rs1.into(),
+                    rs2.into(),
+                ]);
             }
             Instruction::AddI { rd, rs, imm } => enc_ri(out, OP_ADDI, rd, rs, imm),
             Instruction::AndI { rd, rs, imm } => enc_ri(out, OP_ANDI, rd, rs, imm),
@@ -455,15 +460,26 @@ impl Instruction {
             }
             Instruction::Mov { rd, rs } => out.extend_from_slice(&[OP_MOV, rd.into(), rs.into()]),
             Instruction::Fpu { op, fd, fs1, fs2 } => {
-                out.extend_from_slice(&[OP_FPU_BASE + op.code(), fd.into(), fs1.into(), fs2.into()]);
+                out.extend_from_slice(&[
+                    OP_FPU_BASE + op.code(),
+                    fd.into(),
+                    fs1.into(),
+                    fs2.into(),
+                ]);
             }
             Instruction::FMov { fd, fs } => out.extend_from_slice(&[OP_FMOV, fd.into(), fs.into()]),
-            Instruction::CvtIF { fd, rs } => out.extend_from_slice(&[OP_CVTIF, fd.into(), rs.into()]),
-            Instruction::CvtFI { rd, fs } => out.extend_from_slice(&[OP_CVTFI, rd.into(), fs.into()]),
+            Instruction::CvtIF { fd, rs } => {
+                out.extend_from_slice(&[OP_CVTIF, fd.into(), rs.into()])
+            }
+            Instruction::CvtFI { rd, fs } => {
+                out.extend_from_slice(&[OP_CVTFI, rd.into(), fs.into()])
+            }
             Instruction::Load { rd, rbase, off } => enc_mem(out, OP_LOAD, rd.into(), rbase, off),
             Instruction::Store { rs, rbase, off } => enc_mem(out, OP_STORE, rs.into(), rbase, off),
             Instruction::LoadF { fd, rbase, off } => enc_mem(out, OP_LOADF, fd.into(), rbase, off),
-            Instruction::StoreF { fs, rbase, off } => enc_mem(out, OP_STOREF, fs.into(), rbase, off),
+            Instruction::StoreF { fs, rbase, off } => {
+                enc_mem(out, OP_STOREF, fs.into(), rbase, off)
+            }
             Instruction::Branch { cond, rs1, rs2, disp } => {
                 out.push(OP_BRANCH_BASE + cond.code());
                 out.push(rs1.into());
@@ -494,7 +510,9 @@ impl Instruction {
     pub fn class(&self) -> InstrClass {
         match self {
             Instruction::Nop | Instruction::Halt => InstrClass::Other,
-            Instruction::Alu { op: AluOp::Mul, .. } | Instruction::MulI { .. } => InstrClass::IntMul,
+            Instruction::Alu { op: AluOp::Mul, .. } | Instruction::MulI { .. } => {
+                InstrClass::IntMul
+            }
             Instruction::Alu { .. }
             | Instruction::AddI { .. }
             | Instruction::AndI { .. }
@@ -655,10 +673,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Instruction, usize), DecodeError> {
         OP_RET => (Instruction::Ret, 1),
         o if (OP_ALU_BASE..OP_ALU_BASE + 9).contains(&o) => {
             let aop = AluOp::from_code(o - OP_ALU_BASE).expect("range checked");
-            (
-                Instruction::Alu { op: aop, rd: reg(1)?, rs1: reg(2)?, rs2: reg(3)? },
-                4,
-            )
+            (Instruction::Alu { op: aop, rd: reg(1)?, rs1: reg(2)?, rs2: reg(3)? }, 4)
         }
         OP_ADDI => (Instruction::AddI { rd: reg(1)?, rs: reg(2)?, imm: i32_at(3)? }, 7),
         OP_ANDI => (Instruction::AndI { rd: reg(1)?, rs: reg(2)?, imm: i32_at(3)? }, 7),
@@ -666,18 +681,12 @@ pub fn decode(bytes: &[u8]) -> Result<(Instruction, usize), DecodeError> {
         OP_MULI => (Instruction::MulI { rd: reg(1)?, rs: reg(2)?, imm: i32_at(3)? }, 7),
         OP_LI => {
             let s = bytes.get(2..10).ok_or(DecodeError::Truncated)?;
-            (
-                Instruction::Li { rd: reg(1)?, imm: u64::from_le_bytes(s.try_into().expect("8")) },
-                10,
-            )
+            (Instruction::Li { rd: reg(1)?, imm: u64::from_le_bytes(s.try_into().expect("8")) }, 10)
         }
         OP_MOV => (Instruction::Mov { rd: reg(1)?, rs: reg(2)? }, 3),
         o if (OP_FPU_BASE..OP_FPU_BASE + 4).contains(&o) => {
             let fop = FpuOp::from_code(o - OP_FPU_BASE).expect("range checked");
-            (
-                Instruction::Fpu { op: fop, fd: freg(1)?, fs1: freg(2)?, fs2: freg(3)? },
-                4,
-            )
+            (Instruction::Fpu { op: fop, fd: freg(1)?, fs1: freg(2)?, fs2: freg(3)? }, 4)
         }
         OP_FMOV => (Instruction::FMov { fd: freg(1)?, fs: freg(2)? }, 3),
         OP_CVTIF => (Instruction::CvtIF { fd: freg(1)?, rs: reg(2)? }, 3),
@@ -691,10 +700,7 @@ pub fn decode(bytes: &[u8]) -> Result<(Instruction, usize), DecodeError> {
             if bytes.len() < 8 {
                 return Err(DecodeError::Truncated);
             }
-            (
-                Instruction::Branch { cond, rs1: reg(1)?, rs2: reg(2)?, disp: i32_at(3)? },
-                8,
-            )
+            (Instruction::Branch { cond, rs1: reg(1)?, rs2: reg(2)?, disp: i32_at(3)? }, 8)
         }
         OP_JMP => {
             if bytes.len() < 6 {
@@ -840,13 +846,8 @@ mod tests {
         assert!(Instruction::Halt.is_bb_terminator());
         assert!(Instruction::Syscall { num: 0 }.is_bb_terminator());
         assert!(Instruction::Jmp { disp: 0 }.is_bb_terminator());
-        assert!(Instruction::Branch {
-            cond: BranchCond::Eq,
-            rs1: Reg::R0,
-            rs2: Reg::R0,
-            disp: 0
-        }
-        .is_bb_terminator());
+        assert!(Instruction::Branch { cond: BranchCond::Eq, rs1: Reg::R0, rs2: Reg::R0, disp: 0 }
+            .is_bb_terminator());
         assert!(!Instruction::Nop.is_bb_terminator());
         assert!(!Instruction::Load { rd: Reg::R1, rbase: Reg::R2, off: 0 }.is_bb_terminator());
     }
@@ -930,7 +931,8 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let insn = Instruction::Branch { cond: BranchCond::Lt, rs1: Reg::R1, rs2: Reg::R2, disp: -4 };
+        let insn =
+            Instruction::Branch { cond: BranchCond::Lt, rs1: Reg::R1, rs2: Reg::R2, disp: -4 };
         assert_eq!(insn.to_string(), "blt r1, r2, -4");
         assert_eq!(Instruction::JmpInd { rt: Reg::R5 }.to_string(), "jmp *r5");
     }

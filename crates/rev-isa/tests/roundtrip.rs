@@ -48,10 +48,26 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         Just(Instruction::Ret),
         (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
             .prop_map(|(op, rd, rs1, rs2)| Instruction::Alu { op, rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AddI { rd, rs, imm }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AndI { rd, rs, imm }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::XorI { rd, rs, imm }),
-        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::MulI { rd, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AddI {
+            rd,
+            rs,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::AndI {
+            rd,
+            rs,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::XorI {
+            rd,
+            rs,
+            imm
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rs, imm)| Instruction::MulI {
+            rd,
+            rs,
+            imm
+        }),
         (arb_reg(), any::<u64>()).prop_map(|(rd, imm)| Instruction::Li { rd, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instruction::Mov { rd, rs }),
         (arb_fpu_op(), arb_freg(), arb_freg(), arb_freg())
@@ -59,14 +75,26 @@ fn arb_instruction() -> impl Strategy<Value = Instruction> {
         (arb_freg(), arb_freg()).prop_map(|(fd, fs)| Instruction::FMov { fd, fs }),
         (arb_freg(), arb_reg()).prop_map(|(fd, rs)| Instruction::CvtIF { fd, rs }),
         (arb_reg(), arb_freg()).prop_map(|(rd, fs)| Instruction::CvtFI { rd, fs }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rd, rbase, off)| Instruction::Load { rd, rbase, off }),
-        (arb_reg(), arb_reg(), any::<i32>())
-            .prop_map(|(rs, rbase, off)| Instruction::Store { rs, rbase, off }),
-        (arb_freg(), arb_reg(), any::<i32>())
-            .prop_map(|(fd, rbase, off)| Instruction::LoadF { fd, rbase, off }),
-        (arb_freg(), arb_reg(), any::<i32>())
-            .prop_map(|(fs, rbase, off)| Instruction::StoreF { fs, rbase, off }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rd, rbase, off)| Instruction::Load {
+            rd,
+            rbase,
+            off
+        }),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(rs, rbase, off)| Instruction::Store {
+            rs,
+            rbase,
+            off
+        }),
+        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(fd, rbase, off)| Instruction::LoadF {
+            fd,
+            rbase,
+            off
+        }),
+        (arb_freg(), arb_reg(), any::<i32>()).prop_map(|(fs, rbase, off)| Instruction::StoreF {
+            fs,
+            rbase,
+            off
+        }),
         (arb_cond(), arb_reg(), arb_reg(), any::<i32>())
             .prop_map(|(cond, rs1, rs2, disp)| Instruction::Branch { cond, rs1, rs2, disp }),
         any::<i32>().prop_map(|disp| Instruction::Jmp { disp }),

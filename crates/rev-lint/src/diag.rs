@@ -1,0 +1,430 @@
+//! Structured lint diagnostics: severities, the lint catalogue, and the
+//! report container with its human-text and JSON renderers.
+//!
+//! Every finding carries a stable code (`REV-Lxxx`) so CI gates and tests
+//! can match on codes instead of message strings. The JSON renderer is
+//! hand-rolled (the build environment is offline; no serde) but emits a
+//! stable, machine-parseable shape:
+//!
+//! ```json
+//! {"diagnostics":[{"severity":"error","code":"REV-L001",...}],
+//!  "summary":{"error":1,"warning":0,"info":0}}
+//! ```
+
+use std::fmt;
+
+/// Diagnostic severity, ordered so `Error` compares greatest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational finding (e.g. cold code); never fails a gate.
+    Info,
+    /// Suspicious but not provably unsound (e.g. orphan entries).
+    Warning,
+    /// The table or program is unsound: simulation must be refused.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The lint catalogue. Codes are stable; see DESIGN.md "Static validation
+/// (rev-lint)" for the prose catalogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// REV-L000: static analysis or table generation itself failed.
+    AnalysisFailed,
+    /// REV-L001: a statically reachable block has no digest-matching
+    /// (or tag/target-matching, in CFI mode) table entry.
+    CoverageMissing,
+    /// REV-L002: a table entry matches no statically predicted block.
+    OrphanEntry,
+    /// REV-L003: two table entries carry the same identity.
+    DuplicateEntry,
+    /// REV-L010: a block exceeds the artificial-split limits.
+    SplitLimitExceeded,
+    /// REV-L011: a natural terminator sits in a block's interior.
+    SplitInteriorTerminator,
+    /// REV-L020: two tables' module base/limit ranges overlap.
+    SagOverlap,
+    /// REV-L021: a table's range matches no loaded module.
+    SagNoModule,
+    /// REV-L022: a module's code range is covered by no table.
+    ModuleUntabled,
+    /// REV-L023: a module is statically unreachable from the entry.
+    ModuleUnreachable,
+    /// REV-L030: a computed jump/call has an empty target set.
+    IndirectEmptyTargets,
+    /// REV-L031: a computed target escapes every module (or lands off a
+    /// block boundary).
+    IndirectEscapingTarget,
+    /// REV-L040: a return's latched-validation successor block (or its
+    /// predecessor linkage) is missing.
+    ReturnSiteMissing,
+    /// REV-L041: a return-terminated block has no return sites (the
+    /// function is never called).
+    ReturnNeverCalled,
+    /// REV-L050: a code range intersects writable memory (self-modifying
+    /// or overlapping-code hazard).
+    CodeInWritableMemory,
+    /// REV-L070: a table entry (or chain) fails to decode.
+    ChainParseFailure,
+    /// REV-L060: a dynamically discovered block was not statically
+    /// predicted — the differential oracle's failure case.
+    OracleDynamicNotStatic,
+    /// REV-L061: statically predicted blocks never executed (cold code).
+    OracleColdCode,
+}
+
+impl Lint {
+    /// Every catalogued lint, in code order.
+    pub const ALL: [Lint; 18] = [
+        Lint::AnalysisFailed,
+        Lint::CoverageMissing,
+        Lint::OrphanEntry,
+        Lint::DuplicateEntry,
+        Lint::SplitLimitExceeded,
+        Lint::SplitInteriorTerminator,
+        Lint::SagOverlap,
+        Lint::SagNoModule,
+        Lint::ModuleUntabled,
+        Lint::ModuleUnreachable,
+        Lint::IndirectEmptyTargets,
+        Lint::IndirectEscapingTarget,
+        Lint::ReturnSiteMissing,
+        Lint::ReturnNeverCalled,
+        Lint::CodeInWritableMemory,
+        Lint::OracleDynamicNotStatic,
+        Lint::OracleColdCode,
+        Lint::ChainParseFailure,
+    ];
+
+    /// The stable diagnostic code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::AnalysisFailed => "REV-L000",
+            Lint::CoverageMissing => "REV-L001",
+            Lint::OrphanEntry => "REV-L002",
+            Lint::DuplicateEntry => "REV-L003",
+            Lint::SplitLimitExceeded => "REV-L010",
+            Lint::SplitInteriorTerminator => "REV-L011",
+            Lint::SagOverlap => "REV-L020",
+            Lint::SagNoModule => "REV-L021",
+            Lint::ModuleUntabled => "REV-L022",
+            Lint::ModuleUnreachable => "REV-L023",
+            Lint::IndirectEmptyTargets => "REV-L030",
+            Lint::IndirectEscapingTarget => "REV-L031",
+            Lint::ReturnSiteMissing => "REV-L040",
+            Lint::ReturnNeverCalled => "REV-L041",
+            Lint::CodeInWritableMemory => "REV-L050",
+            Lint::OracleDynamicNotStatic => "REV-L060",
+            Lint::OracleColdCode => "REV-L061",
+            Lint::ChainParseFailure => "REV-L070",
+        }
+    }
+
+    /// Short kebab-case lint name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::AnalysisFailed => "analysis-failed",
+            Lint::CoverageMissing => "coverage-missing",
+            Lint::OrphanEntry => "orphan-entry",
+            Lint::DuplicateEntry => "duplicate-entry",
+            Lint::SplitLimitExceeded => "split-limit-exceeded",
+            Lint::SplitInteriorTerminator => "split-interior-terminator",
+            Lint::SagOverlap => "sag-overlap",
+            Lint::SagNoModule => "sag-no-module",
+            Lint::ModuleUntabled => "module-untabled",
+            Lint::ModuleUnreachable => "module-unreachable",
+            Lint::IndirectEmptyTargets => "indirect-empty-targets",
+            Lint::IndirectEscapingTarget => "indirect-escaping-target",
+            Lint::ReturnSiteMissing => "return-site-missing",
+            Lint::ReturnNeverCalled => "return-never-called",
+            Lint::CodeInWritableMemory => "code-in-writable-memory",
+            Lint::OracleDynamicNotStatic => "oracle-dynamic-not-static",
+            Lint::OracleColdCode => "oracle-cold-code",
+            Lint::ChainParseFailure => "chain-parse-failure",
+        }
+    }
+
+    /// The lint's fixed severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::AnalysisFailed
+            | Lint::CoverageMissing
+            | Lint::SplitLimitExceeded
+            | Lint::SplitInteriorTerminator
+            | Lint::SagOverlap
+            | Lint::SagNoModule
+            | Lint::ModuleUntabled
+            | Lint::IndirectEmptyTargets
+            | Lint::IndirectEscapingTarget
+            | Lint::ReturnSiteMissing
+            | Lint::CodeInWritableMemory
+            | Lint::ChainParseFailure
+            | Lint::OracleDynamicNotStatic => Severity::Error,
+            Lint::OrphanEntry
+            | Lint::DuplicateEntry
+            | Lint::ModuleUnreachable
+            | Lint::ReturnNeverCalled => Severity::Warning,
+            Lint::OracleColdCode => Severity::Info,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Which catalogue entry fired.
+    pub lint: Lint,
+    /// Module name the finding concerns, if any.
+    pub module: Option<String>,
+    /// Address the finding anchors to (BB address, target, or base).
+    pub addr: Option<u64>,
+    /// Human-readable statement of the problem.
+    pub message: String,
+    /// Suggested fix, when one is mechanical.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with just a message.
+    pub fn new<S: Into<String>>(lint: Lint, message: S) -> Self {
+        Diagnostic { lint, module: None, addr: None, message: message.into(), hint: None }
+    }
+
+    /// Attaches the module name.
+    pub fn module<S: Into<String>>(mut self, module: S) -> Self {
+        self.module = Some(module.into());
+        self
+    }
+
+    /// Attaches the anchor address.
+    pub fn addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Attaches a fix hint.
+    pub fn hint<S: Into<String>>(mut self, hint: S) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+
+    /// The finding's severity (fixed per lint).
+    pub fn severity(&self) -> Severity {
+        self.lint.severity()
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity(), self.lint.code())?;
+        if let Some(m) = &self.module {
+            write!(f, " {m}")?;
+        }
+        if let Some(a) = self.addr {
+            write!(f, " @ {a:#x}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        if let Some(h) = &self.hint {
+            write!(f, " (fix: {h})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of findings plus renderers and gate predicates.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// All findings, in emission order until [`Report::sort`].
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Appends a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Appends every finding from `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Number of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity() == severity).count()
+    }
+
+    /// Number of error-severity findings — the preflight gate quantity.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// `true` when no error-severity finding exists (warnings and info
+    /// pass the gate).
+    pub fn passes_gate(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Findings with a given code (test helper).
+    pub fn with_lint(&self, lint: Lint) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.lint == lint).collect()
+    }
+
+    /// Orders findings by severity (errors first), then module, address
+    /// and code — a stable presentation order.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity()
+                .cmp(&a.severity())
+                .then_with(|| a.module.cmp(&b.module))
+                .then_with(|| a.addr.cmp(&b.addr))
+                .then_with(|| a.lint.code().cmp(b.lint.code()))
+        });
+    }
+
+    /// Human-readable rendering: one line per finding plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+
+    /// Machine-readable rendering (single line of JSON).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"diagnostics\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"severity\":\"{}\",\"code\":\"{}\",\"name\":\"{}\"",
+                d.severity(),
+                d.lint.code(),
+                d.lint.name()
+            ));
+            if let Some(m) = &d.module {
+                out.push_str(&format!(",\"module\":\"{}\"", json_escape(m)));
+            }
+            if let Some(a) = d.addr {
+                out.push_str(&format!(",\"addr\":\"{a:#x}\""));
+            }
+            out.push_str(&format!(",\"message\":\"{}\"", json_escape(&d.message)));
+            if let Some(h) = &d.hint {
+                out.push_str(&format!(",\"hint\":\"{}\"", json_escape(h)));
+            }
+            out.push('}');
+        }
+        out.push_str(&format!(
+            "],\"summary\":{{\"error\":{},\"warning\":{},\"info\":{}}}}}",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut codes: Vec<&str> = Lint::ALL.iter().map(|l| l.code()).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(codes.len(), n, "duplicate lint codes");
+        assert_eq!(Lint::CoverageMissing.code(), "REV-L001");
+        assert_eq!(Lint::OracleDynamicNotStatic.code(), "REV-L060");
+    }
+
+    #[test]
+    fn severity_ordering_and_gate() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+        let mut r = Report::new();
+        assert!(r.passes_gate());
+        r.push(Diagnostic::new(Lint::OrphanEntry, "x"));
+        assert!(r.passes_gate(), "warnings pass the gate");
+        r.push(Diagnostic::new(Lint::CoverageMissing, "y").addr(0x10).module("m"));
+        assert!(!r.passes_gate());
+        assert_eq!(r.error_count(), 1);
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(Lint::CoverageMissing, "block \"a\"\nmissing")
+                .module("mod\\1")
+                .addr(0x1234)
+                .hint("rebuild"),
+        );
+        let j = r.render_json();
+        assert!(j.contains("\"code\":\"REV-L001\""));
+        assert!(j.contains("\"addr\":\"0x1234\""));
+        assert!(j.contains("block \\\"a\\\"\\nmissing"));
+        assert!(j.contains("mod\\\\1"));
+        assert!(j.contains("\"summary\":{\"error\":1,\"warning\":0,\"info\":0}"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Lint::OracleColdCode, "cold"));
+        r.push(Diagnostic::new(Lint::OrphanEntry, "orphan"));
+        r.push(Diagnostic::new(Lint::CoverageMissing, "missing"));
+        r.sort();
+        assert_eq!(r.diagnostics[0].lint, Lint::CoverageMissing);
+        assert_eq!(r.diagnostics[2].lint, Lint::OracleColdCode);
+    }
+}

@@ -1,0 +1,160 @@
+//! `rev-lint` — static whole-program verifier for REV guest programs and
+//! signature tables.
+//!
+//! ```text
+//! rev-lint [--all | --profile NAME ...] [--scale F] [--mode MODE]
+//!          [--format text|json] [--oracle] [--instructions N]
+//! ```
+//!
+//! Exit status is nonzero iff any diagnostic at `error` severity was
+//! emitted — this is the gate `scripts/check.sh` relies on.
+
+use rev_core::{RevConfig, RevSimulator};
+use rev_lint::{lint_tables, oracle, Report};
+use rev_sigtable::ValidationMode;
+use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
+
+struct Options {
+    profiles: Vec<&'static SpecProfile>,
+    scale: f64,
+    mode: ValidationMode,
+    json: bool,
+    oracle: bool,
+    instructions: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rev-lint [--all | --profile NAME ...] [--scale F] \
+         [--mode standard|aggressive|cfi-only] [--format text|json] \
+         [--oracle] [--instructions N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        profiles: Vec::new(),
+        scale: 0.05,
+        mode: ValidationMode::Standard,
+        json: false,
+        oracle: false,
+        instructions: 200_000,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut all = false;
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("rev-lint: {flag} needs a value");
+                usage();
+            })
+        };
+        match arg.as_str() {
+            "--all" => all = true,
+            "--profile" => {
+                let name = value("--profile");
+                match SpecProfile::by_name(&name) {
+                    Some(p) => opts.profiles.push(p),
+                    None => {
+                        eprintln!("rev-lint: unknown profile {name:?}");
+                        usage();
+                    }
+                }
+            }
+            "--scale" => {
+                opts.scale = value("--scale").parse().unwrap_or_else(|_| usage());
+            }
+            "--mode" => match value("--mode").as_str() {
+                "standard" => opts.mode = ValidationMode::Standard,
+                "aggressive" => opts.mode = ValidationMode::Aggressive,
+                "cfi-only" | "cfi" => opts.mode = ValidationMode::CfiOnly,
+                other => {
+                    eprintln!("rev-lint: unknown mode {other:?}");
+                    usage();
+                }
+            },
+            "--format" => match value("--format").as_str() {
+                "json" => opts.json = true,
+                "text" => opts.json = false,
+                other => {
+                    eprintln!("rev-lint: unknown format {other:?}");
+                    usage();
+                }
+            },
+            "--oracle" => opts.oracle = true,
+            "--instructions" => {
+                opts.instructions = value("--instructions").parse().unwrap_or_else(|_| usage());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("rev-lint: unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    if all || opts.profiles.is_empty() {
+        opts.profiles = ALL_PROFILES.iter().collect();
+    }
+    opts
+}
+
+/// Lints one profile, returning its (possibly oracle-augmented) report.
+fn lint_profile(profile: &SpecProfile, opts: &Options) -> Report {
+    let program = generate(&profile.scaled(opts.scale));
+    let config = RevConfig::paper_default().with_mode(opts.mode);
+    let mut sim = match RevSimulator::new(program, config) {
+        Ok(sim) => sim,
+        Err(e) => {
+            let mut report = Report::new();
+            report.push(rev_lint::Diagnostic::new(
+                rev_lint::Lint::AnalysisFailed,
+                format!("simulator build failed: {e}"),
+            ));
+            return report;
+        }
+    };
+    let tables: Vec<_> = sim.monitor().sag().tables().to_vec();
+    let mut report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+    if opts.oracle {
+        report.merge(oracle::run_oracle(&mut sim, opts.instructions).report);
+    }
+    report.sort();
+    report
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut total_errors = 0usize;
+    let mut first = true;
+    if opts.json {
+        println!("{{\"profiles\":[");
+    }
+    for profile in &opts.profiles {
+        let report = lint_profile(profile, &opts);
+        total_errors += report.error_count();
+        if opts.json {
+            if !first {
+                println!(",");
+            }
+            print!("{{\"profile\":\"{}\",\"report\":{}}}", profile.name, report.render_json());
+        } else {
+            println!("== {} ==", profile.name);
+            if report.diagnostics.is_empty() {
+                println!("clean");
+            } else {
+                print!("{}", report.render_text());
+            }
+            println!();
+        }
+        first = false;
+    }
+    if opts.json {
+        println!("\n],\"errors\":{total_errors}}}");
+    } else {
+        println!("{} profile(s), {} error(s)", opts.profiles.len(), total_errors);
+    }
+    if total_errors > 0 {
+        std::process::exit(1);
+    }
+}

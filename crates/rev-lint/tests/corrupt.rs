@@ -1,0 +1,87 @@
+//! Fault-injection: deliberately corrupted tables must trip the audit
+//! lints, with the expected codes visible in the JSON rendering.
+
+use rev_core::{RevConfig, RevSimulator};
+use rev_crypto::Aes128;
+use rev_lint::{lint_tables, Lint};
+use rev_sigtable::{RawEntry, ValidationMode};
+use rev_workloads::{generate, SpecProfile};
+
+fn built_simulator() -> RevSimulator {
+    let profile = SpecProfile::by_name("mcf").expect("profile exists").scaled(0.01);
+    RevSimulator::new(generate(&profile), RevConfig::paper_default()).expect("clean build")
+}
+
+#[test]
+fn untampered_tables_pass_the_gate() {
+    let sim = built_simulator();
+    let tables = sim.monitor().sag().tables().to_vec();
+    let report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+    assert!(report.passes_gate(), "seed tables must lint clean:\n{}", report.render_text());
+}
+
+#[test]
+fn dropped_entry_is_flagged_as_coverage_missing() {
+    let sim = built_simulator();
+    let mut tables = sim.monitor().sag().tables().to_vec();
+    let table = &mut tables[0];
+
+    // Pick a chain-terminal primary whose digest appears exactly once, so
+    // wiping it provably removes that block's only digest witness (the
+    // walk still terminates cleanly at the Invalid entry — this models a
+    // generator that silently dropped an entry, not a decode error).
+    let entries = table.decode_entries();
+    let digest_of = |e: &Option<RawEntry>| match e {
+        Some(RawEntry::Primary { digest, .. }) => Some(*digest),
+        _ => None,
+    };
+    let idx = entries
+        .iter()
+        .position(|e| {
+            let Some(d) = digest_of(e) else { return false };
+            e.as_ref().expect("primary").next().is_none()
+                && entries.iter().filter(|o| digest_of(o) == Some(d)).count() == 1
+        })
+        .expect("a uniquely-digested terminal primary exists");
+
+    let mut wiped = RawEntry::Invalid.pack(ValidationMode::Standard);
+    Aes128::new(*table.key().as_bytes()).encrypt_tweaked(idx as u64, &mut wiped);
+    let off = 16 + idx * 16;
+    table.image_mut()[off..off + 16].copy_from_slice(&wiped);
+
+    let report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+    assert!(!report.passes_gate(), "dropped entry must fail the gate");
+    assert!(
+        !report.with_lint(Lint::CoverageMissing).is_empty(),
+        "expected REV-L001, got:\n{}",
+        report.render_text()
+    );
+    let json = report.render_json();
+    assert!(json.contains("\"REV-L001\""), "JSON must carry the lint code: {json}");
+    assert!(json.contains("\"severity\":\"error\""));
+}
+
+#[test]
+fn shifted_base_limit_is_flagged_by_sag_sanity() {
+    let sim = built_simulator();
+    let mut tables = sim.monitor().sag().tables().to_vec();
+    let table = &mut tables[0];
+    // Model a loader that programmed the SAG limit registers 16 bytes off.
+    table.set_module_range(table.module_base() + 16, table.module_end() + 16);
+
+    let report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+    assert!(!report.passes_gate(), "shifted range must fail the gate");
+    assert!(
+        !report.with_lint(Lint::SagNoModule).is_empty(),
+        "expected REV-L021, got:\n{}",
+        report.render_text()
+    );
+    assert!(
+        !report.with_lint(Lint::ModuleUntabled).is_empty(),
+        "expected REV-L022, got:\n{}",
+        report.render_text()
+    );
+    let json = report.render_json();
+    assert!(json.contains("\"REV-L021\""));
+    assert!(json.contains("\"REV-L022\""));
+}

@@ -1,0 +1,46 @@
+//! The differential oracle over every workload profile: each dynamically
+//! discovered (leader, terminator, hash) triple must have been statically
+//! predicted, and the static lint pass must hold the gate.
+
+use rev_core::{RevConfig, RevSimulator};
+use rev_lint::{lint_tables, run_oracle, Lint};
+use rev_workloads::{generate, ALL_PROFILES};
+
+/// Small enough to keep the full sweep quick, large enough to exercise
+/// indirect branches, jump tables, and cross-module returns.
+const SCALE: f64 = 0.02;
+const INSTRUCTIONS: u64 = 30_000;
+
+#[test]
+fn every_profile_lints_clean_and_dynamic_is_subset_of_static() {
+    for profile in ALL_PROFILES {
+        let program = generate(&profile.scaled(SCALE));
+        let mut sim = RevSimulator::new(program, RevConfig::paper_default())
+            .unwrap_or_else(|e| panic!("{}: build failed: {e}", profile.name));
+
+        let tables = sim.monitor().sag().tables().to_vec();
+        let report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+        assert!(
+            report.passes_gate(),
+            "{}: static lint failed:\n{}",
+            profile.name,
+            report.render_text()
+        );
+
+        let outcome = run_oracle(&mut sim, INSTRUCTIONS);
+        assert!(outcome.dynamic_blocks > 0, "{}: no blocks executed", profile.name);
+        assert!(
+            outcome.dynamic_subset_of_static(),
+            "{}: dynamic blocks escaped static prediction:\n{}",
+            profile.name,
+            outcome.report.render_text()
+        );
+        assert!(
+            outcome.report.with_lint(Lint::OracleDynamicNotStatic).is_empty()
+                && outcome.report.passes_gate(),
+            "{}: oracle reported errors:\n{}",
+            profile.name,
+            outcome.report.render_text()
+        );
+    }
+}

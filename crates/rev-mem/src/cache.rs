@@ -143,16 +143,13 @@ impl Cache {
 
         self.stats.misses += 1;
         // Victim: invalid line if any, else true LRU.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("non-empty set")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set")
+        });
         let victim = set[victim_idx];
         let evicted_dirty = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;

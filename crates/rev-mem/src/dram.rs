@@ -111,11 +111,8 @@ impl Dram {
         if row_hit {
             self.stats.row_hits += 1;
         }
-        let access_latency = if row_hit {
-            self.config.row_hit_latency
-        } else {
-            self.config.first_chunk_latency
-        };
+        let access_latency =
+            if row_hit { self.config.row_hit_latency } else { self.config.first_chunk_latency };
         // One line = burst_bytes; extra beats beyond the first chunk.
         let beats = (self.config.burst_bytes / 16).saturating_sub(1);
         let done = start + access_latency + beats * self.config.burst_beat;

@@ -141,13 +141,21 @@ impl MemStats {
     /// L1 miss rate for a requester class.
     pub fn l1_miss_rate(&self, r: Requester) -> f64 {
         let a = self.l1_accesses[r.idx()];
-        if a == 0 { 0.0 } else { self.l1_misses[r.idx()] as f64 / a as f64 }
+        if a == 0 {
+            0.0
+        } else {
+            self.l1_misses[r.idx()] as f64 / a as f64
+        }
     }
 
     /// L2 miss rate for a requester class.
     pub fn l2_miss_rate(&self, r: Requester) -> f64 {
         let a = self.l2_accesses[r.idx()];
-        if a == 0 { 0.0 } else { self.l2_misses[r.idx()] as f64 / a as f64 }
+        if a == 0 {
+            0.0
+        } else {
+            self.l2_misses[r.idx()] as f64 / a as f64
+        }
     }
 }
 
@@ -164,12 +172,8 @@ impl Ports {
     /// Claims the earliest-free port at or after `cycle`, holding it for
     /// `hold` cycles. Returns (start, contended).
     fn claim(&mut self, cycle: u64, hold: u64) -> (u64, bool) {
-        let (idx, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &f)| f)
-            .expect("at least one port");
+        let (idx, &free) =
+            self.free_at.iter().enumerate().min_by_key(|(_, &f)| f).expect("at least one port");
         let start = cycle.max(free);
         self.free_at[idx] = start + hold;
         (start, start > cycle)
@@ -267,7 +271,13 @@ impl Hierarchy {
         }
     }
 
-    fn l2_and_below(&mut self, addr: u64, is_write: bool, cycle: u64, requester: Requester) -> (u64, bool, Option<bool>) {
+    fn l2_and_below(
+        &mut self,
+        addr: u64,
+        is_write: bool,
+        cycle: u64,
+        requester: Requester,
+    ) -> (u64, bool, Option<bool>) {
         self.stats.l2_accesses[requester.idx()] += 1;
         let priority_penalty = requester.idx() as u64;
         let (start, contended) = self.l2_ports.claim(cycle, 1);
@@ -369,7 +379,8 @@ impl Hierarchy {
             };
         }
         self.stats.l1_misses[r.idx()] += 1;
-        let (done, l2_hit, row) = self.l2_and_below(addr, false, start + self.config.l1i.latency, r);
+        let (done, l2_hit, row) =
+            self.l2_and_below(addr, false, start + self.config.l1i.latency, r);
         AccessOutcome {
             complete_at: done,
             l1_hit: false,

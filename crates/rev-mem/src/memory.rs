@@ -48,16 +48,12 @@ impl MainMemory {
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
     }
 
     /// Reads one byte (unmapped memory reads zero).
     pub fn read_u8(&self, addr: u64) -> u8 {
-        self.page(addr)
-            .map(|p| p[(addr as usize) & (PAGE_SIZE - 1)])
-            .unwrap_or(0)
+        self.page(addr).map(|p| p[(addr as usize) & (PAGE_SIZE - 1)]).unwrap_or(0)
     }
 
     /// Writes one byte.

@@ -45,7 +45,12 @@ impl Tlb {
     /// Creates an empty TLB.
     pub fn new(config: TlbConfig) -> Self {
         assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
-        Tlb { config, entries: Vec::with_capacity(config.entries), tick: 0, stats: TlbStats::default() }
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            tick: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Returns the configuration.

@@ -102,7 +102,8 @@ fn parse_int(line: usize, tok: &str) -> Result<i64, AsmError> {
 
 /// Parses `off(base)` memory operands.
 fn parse_mem(line: usize, tok: &str) -> Result<(i32, Reg), AsmError> {
-    let open = tok.find('(').ok_or_else(|| err(line, format!("expected off(base), got '{tok}'")))?;
+    let open =
+        tok.find('(').ok_or_else(|| err(line, format!("expected off(base), got '{tok}'")))?;
     let close =
         tok.find(')').ok_or_else(|| err(line, format!("unclosed memory operand '{tok}'")))?;
     let off = if open == 0 { 0 } else { parse_int(line, &tok[..open])? as i32 };
@@ -305,10 +306,8 @@ pub fn assemble(name: &str, base: u64, source: &str) -> Result<Module, AsmError>
                         None => (rest.trim(), ""),
                     };
                     let rt = parse_reg(line_no, reg_tok)?;
-                    let targets: Vec<Label> = split_operands(targets_tok)
-                        .iter()
-                        .map(|t| a.label(t))
-                        .collect();
+                    let targets: Vec<Label> =
+                        split_operands(targets_tok).iter().map(|t| a.label(t)).collect();
                     if mnemonic == "jmp" {
                         a.b.jmp_ind(rt, &targets);
                     } else {

@@ -340,10 +340,7 @@ impl ModuleBuilder {
         // Indirect target sets keyed by instruction address.
         let mut indirect_targets: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for (item_idx, labels) in &self.indirect {
-            let targets = labels
-                .iter()
-                .map(|l| label_addr(*l))
-                .collect::<Result<Vec<u64>, _>>()?;
+            let targets = labels.iter().map(|l| label_addr(*l)).collect::<Result<Vec<u64>, _>>()?;
             indirect_targets.entry(addrs[*item_idx]).or_default().extend(targets);
         }
         for (item_idx, abs) in &self.indirect_abs {
@@ -457,7 +454,7 @@ mod tests {
 
         let slot = u64::from_le_bytes(m.data()[tab..tab + 8].try_into().unwrap());
         assert_eq!(slot, 0x100 + 10); // after the 10-byte li
-        // li operand must equal data_base + tab
+                                      // li operand must equal data_base + tab
         let (insn, _) = m.decode_at(0x100).unwrap();
         match insn {
             Instruction::Li { imm, .. } => assert_eq!(imm, m.data_base()),

@@ -200,9 +200,8 @@ impl Cfg {
         {
             let mut addr = module.base();
             while addr < module.code_end() {
-                let (insn, len) = module
-                    .decode_at(addr)
-                    .map_err(|source| CfgError::Decode { addr, source })?;
+                let (insn, len) =
+                    module.decode_at(addr).map_err(|source| CfgError::Decode { addr, source })?;
                 insns.insert(addr, (insn, len));
                 addr += len as u64;
             }
@@ -241,56 +240,54 @@ impl Cfg {
         }
 
         // Successor starts of a terminator at `addr`.
-        let successors_of = |addr: u64,
-                             insn: Instruction,
-                             len: usize|
-         -> Result<(TermKind, Vec<u64>), CfgError> {
-            let next = addr + len as u64;
-            Ok(match insn {
-                Instruction::Branch { disp, .. } => {
-                    let taken = check_target(addr, next.wrapping_add(disp as i64 as u64))?;
-                    let mut succ = vec![taken];
-                    if insns.contains_key(&next) && next != taken {
-                        succ.push(next);
+        let successors_of =
+            |addr: u64, insn: Instruction, len: usize| -> Result<(TermKind, Vec<u64>), CfgError> {
+                let next = addr + len as u64;
+                Ok(match insn {
+                    Instruction::Branch { disp, .. } => {
+                        let taken = check_target(addr, next.wrapping_add(disp as i64 as u64))?;
+                        let mut succ = vec![taken];
+                        if insns.contains_key(&next) && next != taken {
+                            succ.push(next);
+                        }
+                        (TermKind::CondBranch, succ)
                     }
-                    (TermKind::CondBranch, succ)
-                }
-                Instruction::Jmp { disp } => (
-                    TermKind::Jump,
-                    vec![check_target(addr, next.wrapping_add(disp as i64 as u64))?],
-                ),
-                Instruction::Call { disp } => (
-                    TermKind::CallDirect,
-                    vec![check_target(addr, next.wrapping_add(disp as i64 as u64))?],
-                ),
-                Instruction::JmpInd { .. } | Instruction::CallInd { .. } => {
-                    let targets = module
-                        .indirect_targets(addr)
-                        .ok_or(CfgError::MissingIndirectTargets { addr })?;
-                    let kind = if matches!(insn, Instruction::JmpInd { .. }) {
-                        TermKind::JumpIndirect
-                    } else {
-                        TermKind::CallIndirect
-                    };
-                    (kind, targets.to_vec())
-                }
-                Instruction::Ret => {
-                    // Successors = return sites of the enclosing function.
-                    let sites = module
-                        .function_at(addr)
-                        .and_then(|f| ret_sites.get(&f.entry))
-                        .cloned()
-                        .unwrap_or_default();
-                    (TermKind::Return, sites)
-                }
-                Instruction::Syscall { .. } => {
-                    let succ = if insns.contains_key(&next) { vec![next] } else { vec![] };
-                    (TermKind::Syscall, succ)
-                }
-                Instruction::Halt => (TermKind::Halt, vec![]),
-                _ => unreachable!("not a terminator"),
-            })
-        };
+                    Instruction::Jmp { disp } => (
+                        TermKind::Jump,
+                        vec![check_target(addr, next.wrapping_add(disp as i64 as u64))?],
+                    ),
+                    Instruction::Call { disp } => (
+                        TermKind::CallDirect,
+                        vec![check_target(addr, next.wrapping_add(disp as i64 as u64))?],
+                    ),
+                    Instruction::JmpInd { .. } | Instruction::CallInd { .. } => {
+                        let targets = module
+                            .indirect_targets(addr)
+                            .ok_or(CfgError::MissingIndirectTargets { addr })?;
+                        let kind = if matches!(insn, Instruction::JmpInd { .. }) {
+                            TermKind::JumpIndirect
+                        } else {
+                            TermKind::CallIndirect
+                        };
+                        (kind, targets.to_vec())
+                    }
+                    Instruction::Ret => {
+                        // Successors = return sites of the enclosing function.
+                        let sites = module
+                            .function_at(addr)
+                            .and_then(|f| ret_sites.get(&f.entry))
+                            .cloned()
+                            .unwrap_or_default();
+                        (TermKind::Return, sites)
+                    }
+                    Instruction::Syscall { .. } => {
+                        let succ = if insns.contains_key(&next) { vec![next] } else { vec![] };
+                        (TermKind::Syscall, succ)
+                    }
+                    Instruction::Halt => (TermKind::Halt, vec![]),
+                    _ => unreachable!("not a terminator"),
+                })
+            };
 
         // Seed leaders: entry points that static analysis can name.
         let mut worklist: VecDeque<u64> = VecDeque::new();
@@ -381,10 +378,8 @@ impl Cfg {
 
         // Predecessor linkage: for each edge B -> s, the block starting at s
         // records B's BB address.
-        let edges: Vec<(u64, u64)> = blocks
-            .iter()
-            .flat_map(|b| b.successors.iter().map(move |&s| (s, b.bb_addr)))
-            .collect();
+        let edges: Vec<(u64, u64)> =
+            blocks.iter().flat_map(|b| b.successors.iter().map(move |&s| (s, b.bb_addr))).collect();
         for (succ_start, pred_bb_addr) in edges {
             if let Some(&id) = by_start.get(&succ_start) {
                 let preds = &mut blocks[id.0 as usize].predecessors;
@@ -535,11 +530,8 @@ mod tests {
         assert_eq!(entry.successors.len(), 2);
         // Both paths converge on the halt block.
         let halt_start = *entry.successors.iter().max().unwrap();
-        let halt_blocks: Vec<_> = cfg
-            .blocks()
-            .iter()
-            .filter(|b| b.term == TermKind::Halt)
-            .collect();
+        let halt_blocks: Vec<_> =
+            cfg.blocks().iter().filter(|b| b.term == TermKind::Halt).collect();
         // Two leaders share the halt terminator: the branch target and the
         // fall-through run — here the branch target IS the halt instruction
         // and the fall-through block covers addi2+halt.
@@ -562,18 +554,10 @@ mod tests {
         });
         let cfg = Cfg::analyze(&m, BbLimits::default()).unwrap();
         // The halt instruction terminates two distinct blocks.
-        let halt_addr = cfg
-            .blocks()
-            .iter()
-            .find(|b| b.term == TermKind::Halt)
-            .unwrap()
-            .bb_addr;
+        let halt_addr = cfg.blocks().iter().find(|b| b.term == TermKind::Halt).unwrap().bb_addr;
         assert_eq!(cfg.blocks_by_bb_addr(halt_addr).len(), 2);
-        let starts: Vec<u64> = cfg
-            .blocks_by_bb_addr(halt_addr)
-            .iter()
-            .map(|id| cfg.block(*id).start)
-            .collect();
+        let starts: Vec<u64> =
+            cfg.blocks_by_bb_addr(halt_addr).iter().map(|id| cfg.block(*id).start).collect();
         assert!(starts.contains(&0x1000));
     }
 
@@ -668,6 +652,85 @@ mod tests {
         let first = cfg.block_by_start(0x1000).unwrap();
         assert_eq!(first.term, TermKind::Artificial);
         assert_eq!(first.num_stores, 2);
+    }
+
+    #[test]
+    fn split_hits_instr_and_store_limit_same_instruction() {
+        // The third instruction is a store and also the max_instrs-th
+        // instruction: both limits trip at once and must charge exactly one
+        // artificial split, never two.
+        let m = build(|b| {
+            b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+            b.push(Instruction::AddI { rd: Reg::R2, rs: Reg::R2, imm: 2 });
+            b.push(Instruction::Store { rs: Reg::R1, rbase: Reg::R29, off: 0 });
+            b.push(Instruction::Nop);
+            b.push(Instruction::Halt);
+        });
+        let limits = BbLimits { max_instrs: 3, max_stores: 1 };
+        let cfg = Cfg::analyze(&m, limits).unwrap();
+        let first = cfg.block_by_start(0x1000).unwrap();
+        assert_eq!(first.term, TermKind::Artificial);
+        assert_eq!(first.len(), 3);
+        assert_eq!(first.num_stores, 1);
+        assert_eq!(first.successors.len(), 1);
+        let cont = cfg.block_by_start(first.successors[0]).unwrap();
+        assert_eq!(cont.start, first.end, "split falls through contiguously");
+        assert_eq!(cont.len(), 2, "nop + halt remain in one continuation");
+        assert_eq!(cont.term, TermKind::Halt);
+        assert!(cont.predecessors.contains(&first.bb_addr));
+    }
+
+    #[test]
+    fn natural_terminator_exactly_at_split_boundary() {
+        // The max_instrs-th instruction IS a terminator: the natural
+        // terminator must win (the front end checks it before the counter),
+        // so no artificial block appears and no duplicate boundary exists.
+        let m = build(|b| {
+            let out = b.new_label();
+            b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+            b.push(Instruction::AddI { rd: Reg::R2, rs: Reg::R2, imm: 2 });
+            b.push(Instruction::AddI { rd: Reg::R3, rs: Reg::R3, imm: 3 });
+            b.jmp(out);
+            b.bind(out);
+            b.push(Instruction::Halt);
+        });
+        let limits = BbLimits { max_instrs: 4, max_stores: 8 };
+        let cfg = Cfg::analyze(&m, limits).unwrap();
+        let first = cfg.block_by_start(0x1000).unwrap();
+        assert_eq!(first.len(), 4, "terminator included in the block");
+        assert_eq!(first.term, TermKind::Jump);
+        assert!(
+            cfg.blocks().iter().all(|b| b.term != TermKind::Artificial),
+            "no artificial split may coincide with a natural terminator"
+        );
+    }
+
+    #[test]
+    fn two_leaders_one_terminator_are_distinct_blocks() {
+        // A jump into the middle of the entry run creates a second leader
+        // for the same halt terminator: REV needs two table entries with
+        // the same BB address but different bodies (paper Sec. V.B).
+        let m = build(|b| {
+            let mid = b.new_label();
+            b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R0, imm: 1 });
+            b.bind(mid);
+            b.push(Instruction::AddI { rd: Reg::R2, rs: Reg::R0, imm: 2 });
+            b.push(Instruction::Halt);
+            b.jmp(mid);
+        });
+        let cfg = Cfg::analyze(&m, BbLimits::default()).unwrap();
+        let halt_addr = cfg.blocks().iter().find(|b| b.term == TermKind::Halt).unwrap().bb_addr;
+        let ids = cfg.blocks_by_bb_addr(halt_addr);
+        assert_eq!(ids.len(), 2, "one block per leader");
+        let (a, b) = (cfg.block(ids[0]), cfg.block(ids[1]));
+        assert_eq!(a.bb_addr, b.bb_addr);
+        assert_ne!(a.start, b.start, "distinct leaders");
+        assert_ne!(
+            cfg.block_bytes(&m, a),
+            cfg.block_bytes(&m, b),
+            "distinct bodies ⇒ distinct digests ⇒ two table entries"
+        );
+        assert_ne!(a.len(), b.len());
     }
 
     #[test]

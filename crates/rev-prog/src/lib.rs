@@ -47,7 +47,7 @@ mod program;
 
 pub use asm::{assemble, AsmError};
 pub use builder::{BuildError, FuncId, Label, ModuleBuilder};
-pub use disasm::disassemble;
 pub use cfg::{BbLimits, BlockId, BlockInfo, Cfg, CfgError, CfgStats, TermKind};
+pub use disasm::disassemble;
 pub use module::{Function, Module};
 pub use program::{Program, ProgramBuilder, Segment, STACK_SIZE_DEFAULT};

@@ -183,9 +183,7 @@ impl ProgramBuilder {
             .chain(self.extra.iter().map(Segment::end))
             .max()
             .expect("non-empty");
-        let stack_base = self
-            .stack_base
-            .unwrap_or_else(|| (highest + 0x1_0000) & !0xfff);
+        let stack_base = self.stack_base.unwrap_or_else(|| (highest + 0x1_0000) & !0xfff);
         Program {
             modules: std::mem::take(&mut self.modules),
             entry,

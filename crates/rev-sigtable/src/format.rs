@@ -243,9 +243,7 @@ impl RawEntry {
             return None;
         }
         let u32_at = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
-        let next24 = |i: usize| {
-            u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], 0])
-        };
+        let next24 = |i: usize| u32::from_le_bytes([bytes[i], bytes[i + 1], bytes[i + 2], 0]);
         match mode {
             ValidationMode::Standard => {
                 let ty = bytes[0] & 0b11;
@@ -306,11 +304,7 @@ impl RawEntry {
                 if target == 0 && meta == 0 {
                     return Some(RawEntry::Invalid);
                 }
-                Some(RawEntry::Cfi {
-                    target,
-                    src_tag: (meta & 0xfff) as u16,
-                    next: meta >> 12,
-                })
+                Some(RawEntry::Cfi { target, src_tag: (meta & 0xfff) as u16, next: meta >> 12 })
             }
         }
     }

@@ -160,6 +160,22 @@ impl SignatureTable {
         self.base = base;
     }
 
+    /// Overrides the SAG base/limit pair for this table. This is a
+    /// fault-injection hook: `rev-lint`'s corrupted-table tests shift the
+    /// range to prove the SAG sanity lints fire; it is never called on the
+    /// trusted linker path.
+    pub fn set_module_range(&mut self, base: u64, end: u64) {
+        self.module_base = base;
+        self.module_end = end;
+    }
+
+    /// Mutable access to the encrypted image — the second fault-injection
+    /// hook: tamper tests overwrite ciphertext blocks in place (dropped or
+    /// rewritten entries) to prove the audit lints fire.
+    pub fn image_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.image
+    }
+
     /// The table's RAM base address (0 until loaded).
     pub fn base(&self) -> u64 {
         self.base
@@ -175,7 +191,11 @@ impl SignatureTable {
         slot_index(bb_addr, self.slots)
     }
 
-    fn decrypt_entry(&self, encrypted_region_read: &mut dyn FnMut(u64, usize) -> Vec<u8>, idx: usize) -> Option<RawEntry> {
+    fn decrypt_entry(
+        &self,
+        encrypted_region_read: &mut dyn FnMut(u64, usize) -> Vec<u8>,
+        idx: usize,
+    ) -> Option<RawEntry> {
         let esize = self.mode.entry_size();
         let byte_off = idx * esize;
         // Determine the covering 16-byte blocks.
@@ -254,11 +274,8 @@ impl SignatureTable {
                     if let Some(v) = current.take() {
                         out.variants.push(v);
                     }
-                    let succ_list: Vec<u64> = succs
-                        .iter()
-                        .filter(|&&s| s != u32::MAX)
-                        .map(|&s| s as u64)
-                        .collect();
+                    let succ_list: Vec<u64> =
+                        succs.iter().filter(|&&s| s != u32::MAX).map(|&s| s as u64).collect();
                     let preds: Vec<u64> =
                         (*pred != u32::MAX).then_some(*pred as u64).into_iter().collect();
                     current = Some(SigVariant {
@@ -315,6 +332,21 @@ impl SignatureTable {
             out.variants.push(v);
         }
         out
+    }
+
+    /// Decrypts and decodes every entry in the table's own image, in index
+    /// order. `None` marks an entry that fails to parse after decryption.
+    /// This is the offline audit path (`rev-lint` walks the raw entry
+    /// region to find orphans, duplicates, and broken chains); the runtime
+    /// lookup path never decodes more than one chain.
+    pub fn decode_entries(&self) -> Vec<Option<RawEntry>> {
+        let base = self.base;
+        let image = &self.image;
+        let mut read = move |addr: u64, len: usize| -> Vec<u8> {
+            let off = (addr - base) as usize;
+            image.get(off..off + len).map(|s| s.to_vec()).unwrap_or_default()
+        };
+        (0..self.total_entries).map(|i| self.decrypt_entry(&mut read, i)).collect()
     }
 
     /// Convenience lookup against the table's own image (no simulated
@@ -379,8 +411,7 @@ mod tests {
                 .filter(|v| {
                     let succ = v.bound_succs.first().copied().unwrap_or(0);
                     let pred = v.bound_pred.unwrap_or(0);
-                    v.digest
-                        == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
+                    v.digest == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
                 })
                 .count();
             assert_eq!(matching, 1, "block at {:#x}", block.bb_addr);
@@ -401,8 +432,7 @@ mod tests {
                 .find(|v| {
                     let succ = v.bound_succs.first().copied().unwrap_or(0);
                     let pred = v.bound_pred.unwrap_or(0);
-                    v.digest
-                        == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
+                    v.digest == Some(entry_digest(&key, block.bb_addr, &body, succ, pred).0)
                 })
                 .expect("variant found");
             // Standard mode stores successors only where REV validates
@@ -432,16 +462,15 @@ mod tests {
         let key = SignatureKey::from_seed(12);
         let t = build_table(&m, &cfg, &key, ValidationMode::CfiOnly, &cpu()).unwrap();
         for block in cfg.blocks() {
-            if !matches!(block.term, TermKind::JumpIndirect | TermKind::CallIndirect | TermKind::Return) {
+            if !matches!(
+                block.term,
+                TermKind::JumpIndirect | TermKind::CallIndirect | TermKind::Return
+            ) {
                 continue;
             }
             let lookup = t.lookup(block.bb_addr);
             let tag = (block.bb_addr & 0xfff) as u16;
-            let v = lookup
-                .variants
-                .iter()
-                .find(|v| v.tag == Some(tag))
-                .expect("cfi variant");
+            let v = lookup.variants.iter().find(|v| v.tag == Some(tag)).expect("cfi variant");
             for &s in &block.successors {
                 assert!(v.allows_target(s));
             }

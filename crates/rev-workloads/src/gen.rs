@@ -143,9 +143,8 @@ impl<'p> Generator<'p> {
         // dispatch cycles over the roots (1 = uniform, 0 = one hot root).
         let alpha = 3.0 * (1.0 - self.p.root_spread);
         let roots = sizes[0];
-        let root_slots: Vec<Label> = (0..ROOT_TABLE_SLOTS)
-            .map(|_| fn_labels[self.rng.zipf(roots, alpha)])
-            .collect();
+        let root_slots: Vec<Label> =
+            (0..ROOT_TABLE_SLOTS).map(|_| fn_labels[self.rng.zipf(roots, alpha)]).collect();
         let mut unique_roots: Vec<Label> = root_slots.clone();
         unique_roots.sort_unstable();
         unique_roots.dedup();
@@ -159,17 +158,8 @@ impl<'p> Generator<'p> {
         let dispatch = self.b.new_label();
         self.b.bind(dispatch);
         self.advance_lcg();
-        self.b.push(Instruction::Alu {
-            op: AluOp::Shr,
-            rd: R_T0,
-            rs1: R_LCG,
-            rs2: Reg::R0,
-        });
-        self.b.push(Instruction::AndI {
-            rd: R_T0,
-            rs: R_T0,
-            imm: (ROOT_TABLE_SLOTS - 1) as i32,
-        });
+        self.b.push(Instruction::Alu { op: AluOp::Shr, rd: R_T0, rs1: R_LCG, rs2: Reg::R0 });
+        self.b.push(Instruction::AndI { rd: R_T0, rs: R_T0, imm: (ROOT_TABLE_SLOTS - 1) as i32 });
         self.b.push(Instruction::Li { rd: R_T2, imm: 3 });
         self.b.push(Instruction::Alu { op: AluOp::Shl, rd: R_T0, rs1: R_T0, rs2: R_T2 });
         self.b.li_data(R_T1, root_table);
@@ -226,12 +216,7 @@ impl<'p> Generator<'p> {
         if strided {
             self.b.push(Instruction::AddI { rd: R_STRIDE, rs: R_STRIDE, imm: 8 });
             self.b.push(Instruction::AndI { rd: R_STRIDE, rs: R_STRIDE, imm: self.mem_mask });
-            self.b.push(Instruction::Alu {
-                op: AluOp::Add,
-                rd: R_T0,
-                rs1: R_DATA,
-                rs2: R_STRIDE,
-            });
+            self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T0, rs1: R_DATA, rs2: R_STRIDE });
         } else {
             let shift = 3 + self.rng.below(20) as i64;
             self.b.push(Instruction::Li { rd: R_T2, imm: shift as u64 });
@@ -259,23 +244,13 @@ impl<'p> Generator<'p> {
 
     fn emit_alu(&mut self) {
         match self.rng.below(4) {
-            0 => self.b.push(Instruction::Alu {
-                op: AluOp::Xor,
-                rd: R_T1,
-                rs1: R_T1,
-                rs2: R_LCG,
-            }),
+            0 => self.b.push(Instruction::Alu { op: AluOp::Xor, rd: R_T1, rs1: R_T1, rs2: R_LCG }),
             1 => self.b.push(Instruction::AddI {
                 rd: R_T1,
                 rs: R_T1,
                 imm: self.rng.below(1000) as i32,
             }),
-            2 => self.b.push(Instruction::Alu {
-                op: AluOp::Add,
-                rd: R_T1,
-                rs1: R_T1,
-                rs2: R_T0,
-            }),
+            2 => self.b.push(Instruction::Alu { op: AluOp::Add, rd: R_T1, rs1: R_T1, rs2: R_T0 }),
             _ => self.b.push(Instruction::MulI { rd: R_T1, rs: R_T1, imm: 3 }),
         }
     }
@@ -381,11 +356,7 @@ impl<'p> Generator<'p> {
                     self.b.call(fn_labels[c]);
                     break;
                 }
-                let share = if i == 0 {
-                    primary_p
-                } else {
-                    (1.0 - primary_p) / (k - 1) as f64
-                };
+                let share = if i == 0 { primary_p } else { (1.0 - primary_p) / (k - 1) as f64 };
                 cum += share;
                 let bound = (cum * 256.0).min(255.0) as u64;
                 let next = self.b.new_label();

@@ -36,4 +36,3 @@ mod rng;
 
 pub use gen::generate;
 pub use profiles::{SpecProfile, WorkloadClass, ALL_PROFILES};
-

@@ -131,24 +131,348 @@ macro_rules! profile {
 /// The 18 modeled SPEC CPU 2006 benchmarks (15 named in the paper's
 /// figures plus astar, namd and lbm for suite breadth).
 pub static ALL_PROFILES: &[SpecProfile] = &[
-    profile!("astar",      Int, bbs=25000, ipb=6.5,  loc=0.99, rs=0.15, chaos=0.25, jt=0.03/4,  loops=0.25/6,  mem=4096,  stride=0.55, ld=0.28, st=0.10, fp=0.02, calls=1/3, ind=0.2, seed=101),
-    profile!("bzip2",      Int, bbs=28000, ipb=7.0,  loc=0.995, rs=0.1, chaos=0.15, jt=0.01/4,  loops=0.35/8,  mem=2048,  stride=0.8, ld=0.26, st=0.12, fp=0.00, calls=1/2, ind=0.05, seed=102),
-    profile!("cactusADM",  Fp,  bbs=45000, ipb=9.5,  loc=0.993, rs=0.08, chaos=0.05, jt=0.01/4,  loops=0.45/12, mem=8192,  stride=0.9, ld=0.30, st=0.14, fp=0.30, calls=1/2, ind=0.05, seed=103),
-    profile!("calculix",   Fp,  bbs=60000, ipb=9.0,  loc=0.99, rs=0.1, chaos=0.08, jt=0.02/4,  loops=0.40/10, mem=4096,  stride=0.85, ld=0.28, st=0.12, fp=0.28, calls=1/3, ind=0.05, seed=104),
-    profile!("dealII",     Fp,  bbs=55000, ipb=8.5,  loc=0.994, rs=0.08, chaos=0.10, jt=0.03/6,  loops=0.35/8,  mem=4096,  stride=0.8, ld=0.27, st=0.12, fp=0.25, calls=2/3, ind=0.15, seed=105),
-    profile!("gamess",     Fp,  bbs=92000, ipb=10.0, loc=0.994, rs=0.08, chaos=0.08, jt=0.04/8,  loops=0.40/10, mem=2048,  stride=0.85, ld=0.28, st=0.12, fp=0.30, calls=2/4, ind=0.10, seed=106),
-    profile!("gcc",        Int, bbs=85000, ipb=6.5,  loc=0.986, rs=0.4, chaos=0.15, jt=0.04/8,  loops=0.15/4,  mem=2048,  stride=0.75, ld=0.26, st=0.12, fp=0.00, calls=2/4, ind=0.25, seed=107),
-    profile!("gobmk",      Int, bbs=70000, ipb=6.8,  loc=0.962, rs=0.45, chaos=0.22, jt=0.04/6,  loops=0.15/4,  mem=2048,  stride=0.6, ld=0.25, st=0.12, fp=0.00, calls=2/4, ind=0.20, seed=108),
-    profile!("h264ref",    Int, bbs=50000, ipb=7.5,  loc=0.989, rs=0.15, chaos=0.18, jt=0.04/6,  loops=0.35/8,  mem=2048,  stride=0.8, ld=0.28, st=0.14, fp=0.04, calls=2/3, ind=0.20, seed=109),
-    profile!("hmmer",      Int, bbs=30000, ipb=7.2,  loc=0.985, rs=0.2, chaos=0.12, jt=0.02/4,  loops=0.45/12, mem=1024,  stride=0.85, ld=0.30, st=0.12, fp=0.02, calls=1/2, ind=0.05, seed=110),
-    profile!("lbm",        Fp,  bbs=25000, ipb=9.8,  loc=0.997, rs=0.05, chaos=0.03, jt=0.01/4,  loops=0.50/16, mem=16384, stride=0.92, ld=0.30, st=0.16, fp=0.32, calls=1/2, ind=0.02, seed=111),
-    profile!("leslie3d",   Fp,  bbs=40000, ipb=9.3,  loc=0.992, rs=0.08, chaos=0.05, jt=0.01/4,  loops=0.45/12, mem=8192,  stride=0.9, ld=0.30, st=0.14, fp=0.30, calls=1/2, ind=0.03, seed=112),
-    profile!("libquantum", Int, bbs=22000, ipb=7.8,  loc=0.993, rs=0.05, chaos=0.08, jt=0.01/4,  loops=0.50/16, mem=8192,  stride=0.92, ld=0.28, st=0.12, fp=0.05, calls=1/2, ind=0.02, seed=113),
-    profile!("mcf",        Int, bbs=20266, ipb=5.5,  loc=0.982, rs=0.15, chaos=0.28, jt=0.02/4,  loops=0.20/4,  mem=32768, stride=0.2, ld=0.32, st=0.10, fp=0.00, calls=1/3, ind=0.10, seed=114),
-    profile!("milc",       Fp,  bbs=35000, ipb=9.0,  loc=0.992, rs=0.08, chaos=0.05, jt=0.01/4,  loops=0.45/12, mem=8192,  stride=0.85, ld=0.30, st=0.14, fp=0.30, calls=1/2, ind=0.03, seed=115),
-    profile!("namd",       Fp,  bbs=42000, ipb=9.6,  loc=0.99, rs=0.1, chaos=0.06, jt=0.01/4,  loops=0.45/12, mem=4096,  stride=0.85, ld=0.29, st=0.13, fp=0.30, calls=1/2, ind=0.05, seed=116),
-    profile!("sjeng",      Int, bbs=32000, ipb=6.6,  loc=0.995, rs=0.08, chaos=0.25, jt=0.04/6,  loops=0.20/4,  mem=1024,  stride=0.6, ld=0.25, st=0.11, fp=0.00, calls=2/3, ind=0.15, seed=117),
-    profile!("soplex",     Int, bbs=36000, ipb=7.8,  loc=0.988, rs=0.18, chaos=0.15, jt=0.01/4,  loops=0.35/8,  mem=4096,  stride=0.85, ld=0.30, st=0.12, fp=0.15, calls=1/2, ind=0.05, seed=118),
+    profile!(
+        "astar",
+        Int,
+        bbs = 25000,
+        ipb = 6.5,
+        loc = 0.99,
+        rs = 0.15,
+        chaos = 0.25,
+        jt = 0.03 / 4,
+        loops = 0.25 / 6,
+        mem = 4096,
+        stride = 0.55,
+        ld = 0.28,
+        st = 0.10,
+        fp = 0.02,
+        calls = 1 / 3,
+        ind = 0.2,
+        seed = 101
+    ),
+    profile!(
+        "bzip2",
+        Int,
+        bbs = 28000,
+        ipb = 7.0,
+        loc = 0.995,
+        rs = 0.1,
+        chaos = 0.15,
+        jt = 0.01 / 4,
+        loops = 0.35 / 8,
+        mem = 2048,
+        stride = 0.8,
+        ld = 0.26,
+        st = 0.12,
+        fp = 0.00,
+        calls = 1 / 2,
+        ind = 0.05,
+        seed = 102
+    ),
+    profile!(
+        "cactusADM",
+        Fp,
+        bbs = 45000,
+        ipb = 9.5,
+        loc = 0.993,
+        rs = 0.08,
+        chaos = 0.05,
+        jt = 0.01 / 4,
+        loops = 0.45 / 12,
+        mem = 8192,
+        stride = 0.9,
+        ld = 0.30,
+        st = 0.14,
+        fp = 0.30,
+        calls = 1 / 2,
+        ind = 0.05,
+        seed = 103
+    ),
+    profile!(
+        "calculix",
+        Fp,
+        bbs = 60000,
+        ipb = 9.0,
+        loc = 0.99,
+        rs = 0.1,
+        chaos = 0.08,
+        jt = 0.02 / 4,
+        loops = 0.40 / 10,
+        mem = 4096,
+        stride = 0.85,
+        ld = 0.28,
+        st = 0.12,
+        fp = 0.28,
+        calls = 1 / 3,
+        ind = 0.05,
+        seed = 104
+    ),
+    profile!(
+        "dealII",
+        Fp,
+        bbs = 55000,
+        ipb = 8.5,
+        loc = 0.994,
+        rs = 0.08,
+        chaos = 0.10,
+        jt = 0.03 / 6,
+        loops = 0.35 / 8,
+        mem = 4096,
+        stride = 0.8,
+        ld = 0.27,
+        st = 0.12,
+        fp = 0.25,
+        calls = 2 / 3,
+        ind = 0.15,
+        seed = 105
+    ),
+    profile!(
+        "gamess",
+        Fp,
+        bbs = 92000,
+        ipb = 10.0,
+        loc = 0.994,
+        rs = 0.08,
+        chaos = 0.08,
+        jt = 0.04 / 8,
+        loops = 0.40 / 10,
+        mem = 2048,
+        stride = 0.85,
+        ld = 0.28,
+        st = 0.12,
+        fp = 0.30,
+        calls = 2 / 4,
+        ind = 0.10,
+        seed = 106
+    ),
+    profile!(
+        "gcc",
+        Int,
+        bbs = 85000,
+        ipb = 6.5,
+        loc = 0.986,
+        rs = 0.4,
+        chaos = 0.15,
+        jt = 0.04 / 8,
+        loops = 0.15 / 4,
+        mem = 2048,
+        stride = 0.75,
+        ld = 0.26,
+        st = 0.12,
+        fp = 0.00,
+        calls = 2 / 4,
+        ind = 0.25,
+        seed = 107
+    ),
+    profile!(
+        "gobmk",
+        Int,
+        bbs = 70000,
+        ipb = 6.8,
+        loc = 0.962,
+        rs = 0.45,
+        chaos = 0.22,
+        jt = 0.04 / 6,
+        loops = 0.15 / 4,
+        mem = 2048,
+        stride = 0.6,
+        ld = 0.25,
+        st = 0.12,
+        fp = 0.00,
+        calls = 2 / 4,
+        ind = 0.20,
+        seed = 108
+    ),
+    profile!(
+        "h264ref",
+        Int,
+        bbs = 50000,
+        ipb = 7.5,
+        loc = 0.989,
+        rs = 0.15,
+        chaos = 0.18,
+        jt = 0.04 / 6,
+        loops = 0.35 / 8,
+        mem = 2048,
+        stride = 0.8,
+        ld = 0.28,
+        st = 0.14,
+        fp = 0.04,
+        calls = 2 / 3,
+        ind = 0.20,
+        seed = 109
+    ),
+    profile!(
+        "hmmer",
+        Int,
+        bbs = 30000,
+        ipb = 7.2,
+        loc = 0.985,
+        rs = 0.2,
+        chaos = 0.12,
+        jt = 0.02 / 4,
+        loops = 0.45 / 12,
+        mem = 1024,
+        stride = 0.85,
+        ld = 0.30,
+        st = 0.12,
+        fp = 0.02,
+        calls = 1 / 2,
+        ind = 0.05,
+        seed = 110
+    ),
+    profile!(
+        "lbm",
+        Fp,
+        bbs = 25000,
+        ipb = 9.8,
+        loc = 0.997,
+        rs = 0.05,
+        chaos = 0.03,
+        jt = 0.01 / 4,
+        loops = 0.50 / 16,
+        mem = 16384,
+        stride = 0.92,
+        ld = 0.30,
+        st = 0.16,
+        fp = 0.32,
+        calls = 1 / 2,
+        ind = 0.02,
+        seed = 111
+    ),
+    profile!(
+        "leslie3d",
+        Fp,
+        bbs = 40000,
+        ipb = 9.3,
+        loc = 0.992,
+        rs = 0.08,
+        chaos = 0.05,
+        jt = 0.01 / 4,
+        loops = 0.45 / 12,
+        mem = 8192,
+        stride = 0.9,
+        ld = 0.30,
+        st = 0.14,
+        fp = 0.30,
+        calls = 1 / 2,
+        ind = 0.03,
+        seed = 112
+    ),
+    profile!(
+        "libquantum",
+        Int,
+        bbs = 22000,
+        ipb = 7.8,
+        loc = 0.993,
+        rs = 0.05,
+        chaos = 0.08,
+        jt = 0.01 / 4,
+        loops = 0.50 / 16,
+        mem = 8192,
+        stride = 0.92,
+        ld = 0.28,
+        st = 0.12,
+        fp = 0.05,
+        calls = 1 / 2,
+        ind = 0.02,
+        seed = 113
+    ),
+    profile!(
+        "mcf",
+        Int,
+        bbs = 20266,
+        ipb = 5.5,
+        loc = 0.982,
+        rs = 0.15,
+        chaos = 0.28,
+        jt = 0.02 / 4,
+        loops = 0.20 / 4,
+        mem = 32768,
+        stride = 0.2,
+        ld = 0.32,
+        st = 0.10,
+        fp = 0.00,
+        calls = 1 / 3,
+        ind = 0.10,
+        seed = 114
+    ),
+    profile!(
+        "milc",
+        Fp,
+        bbs = 35000,
+        ipb = 9.0,
+        loc = 0.992,
+        rs = 0.08,
+        chaos = 0.05,
+        jt = 0.01 / 4,
+        loops = 0.45 / 12,
+        mem = 8192,
+        stride = 0.85,
+        ld = 0.30,
+        st = 0.14,
+        fp = 0.30,
+        calls = 1 / 2,
+        ind = 0.03,
+        seed = 115
+    ),
+    profile!(
+        "namd",
+        Fp,
+        bbs = 42000,
+        ipb = 9.6,
+        loc = 0.99,
+        rs = 0.1,
+        chaos = 0.06,
+        jt = 0.01 / 4,
+        loops = 0.45 / 12,
+        mem = 4096,
+        stride = 0.85,
+        ld = 0.29,
+        st = 0.13,
+        fp = 0.30,
+        calls = 1 / 2,
+        ind = 0.05,
+        seed = 116
+    ),
+    profile!(
+        "sjeng",
+        Int,
+        bbs = 32000,
+        ipb = 6.6,
+        loc = 0.995,
+        rs = 0.08,
+        chaos = 0.25,
+        jt = 0.04 / 6,
+        loops = 0.20 / 4,
+        mem = 1024,
+        stride = 0.6,
+        ld = 0.25,
+        st = 0.11,
+        fp = 0.00,
+        calls = 2 / 3,
+        ind = 0.15,
+        seed = 117
+    ),
+    profile!(
+        "soplex",
+        Int,
+        bbs = 36000,
+        ipb = 7.8,
+        loc = 0.988,
+        rs = 0.18,
+        chaos = 0.15,
+        jt = 0.01 / 4,
+        loops = 0.35 / 8,
+        mem = 4096,
+        stride = 0.85,
+        ld = 0.30,
+        st = 0.12,
+        fp = 0.15,
+        calls = 1 / 2,
+        ind = 0.05,
+        seed = 118
+    ),
 ];
 
 #[cfg(test)]

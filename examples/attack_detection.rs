@@ -13,17 +13,18 @@ use rev_core::RevConfig;
 
 fn main() {
     println!("{:-<78}", "");
-    println!(
-        "{:<28} {:>14} {:>10} {:>22}",
-        "attack", "unprotected", "REV", "detection"
-    );
+    println!("{:<28} {:>14} {:>10} {:>22}", "attack", "unprotected", "REV", "detection");
     println!("{:-<78}", "");
     for kind in AttackKind::ALL {
         let unprot = if kind == AttackKind::TableTamper {
             "n/a".to_string()
         } else {
             let u = mount_unprotected(kind);
-            if u.tainted { "compromised".into() } else { "survived?".to_string() }
+            if u.tainted {
+                "compromised".into()
+            } else {
+                "survived?".to_string()
+            }
         };
         let out = mount(kind, RevConfig::paper_default());
         let verdict = if out.detected && !out.tainted {

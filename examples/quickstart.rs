@@ -18,12 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.push(Instruction::Li { rd: Reg::R2, imm: 100 }); // limit
     b.bind(top);
     b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 }); // i += 1
-    b.push(Instruction::Alu {
-        op: rev_isa::AluOp::Add,
-        rd: Reg::R3,
-        rs1: Reg::R3,
-        rs2: Reg::R1,
-    }); // sum += i
+    b.push(Instruction::Alu { op: rev_isa::AluOp::Add, rd: Reg::R3, rs1: Reg::R3, rs2: Reg::R1 }); // sum += i
     b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
     b.li_data(Reg::R5, result_cell);
     b.push(Instruction::Store { rs: Reg::R3, rbase: Reg::R5, off: 0 });

@@ -30,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let program = generate(&profile);
         let mut sim = RevSimulator::new(program, RevConfig::paper_default().with_mode(mode))?;
         let base = base_ipc
-            .get_or_insert_with(|| {
-                sim.run_baseline_with_warmup(100_000, instructions).cpu.ipc()
-            })
+            .get_or_insert_with(|| sim.run_baseline_with_warmup(100_000, instructions).cpu.ipc())
             .to_owned();
         sim.warmup(100_000);
         let rev = sim.run(instructions);

@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
-# Full local gate: release build, all tests, clippy with warnings denied.
+# Full local gate: formatting, release build, all tests, clippy with
+# warnings denied, and the rev-lint static verifier over every workload
+# profile (JSON mode; any error-severity diagnostic fails the gate via
+# rev-lint's exit status).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
 
 echo "==> cargo build --release"
 cargo build --release --workspace
@@ -11,5 +17,8 @@ cargo test -q --workspace
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rev-lint --all (static table verification)"
+cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
 
 echo "==> OK"

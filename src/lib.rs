@@ -27,21 +27,21 @@
 //! # }
 //! ```
 
-/// The synthetic byte-encoded ISA.
-pub use rev_isa as isa;
-/// Programs, modules, the assembler and static CFG analysis.
-pub use rev_prog as prog;
-/// CubeHash, AES-128 and the CHG model.
-pub use rev_crypto as crypto;
-/// Encrypted reference signature tables.
-pub use rev_sigtable as sigtable;
-/// The memory hierarchy.
-pub use rev_mem as mem;
-/// The out-of-order core.
-pub use rev_cpu as cpu;
-/// The REV mechanism and top-level simulator.
-pub use rev_core as core;
-/// SPEC CPU 2006 statistical workloads.
-pub use rev_workloads as workloads;
 /// The Table 1 attack framework.
 pub use rev_attacks as attacks;
+/// The REV mechanism and top-level simulator.
+pub use rev_core as core;
+/// The out-of-order core.
+pub use rev_cpu as cpu;
+/// CubeHash, AES-128 and the CHG model.
+pub use rev_crypto as crypto;
+/// The synthetic byte-encoded ISA.
+pub use rev_isa as isa;
+/// The memory hierarchy.
+pub use rev_mem as mem;
+/// Programs, modules, the assembler and static CFG analysis.
+pub use rev_prog as prog;
+/// Encrypted reference signature tables.
+pub use rev_sigtable as sigtable;
+/// SPEC CPU 2006 statistical workloads.
+pub use rev_workloads as workloads;

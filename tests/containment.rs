@@ -27,8 +27,7 @@ fn every_attack_is_contained_in_every_hash_mode() {
 fn cfi_only_catches_control_flow_attacks() {
     // CFI-only gives up hash checking but must still catch pure
     // control-flow hijacks (its design point, paper Sec. V.D).
-    for kind in
-        [AttackKind::ReturnOriented, AttackKind::JumpOriented, AttackKind::VtableCompromise]
+    for kind in [AttackKind::ReturnOriented, AttackKind::JumpOriented, AttackKind::VtableCompromise]
     {
         let out = mount(kind, RevConfig::paper_default().with_mode(ValidationMode::CfiOnly));
         assert!(out.detected, "{kind} undetected in CFI-only mode");

@@ -99,16 +99,31 @@ fn build(segs: &[Seg]) -> Program {
                 b.push(Instruction::AndI { rd: Reg::R2, rs: Reg::R27, imm: mask as i32 });
                 // Clamp to arm count via min: r2 = r2 < k ? r2 : 0
                 b.push(Instruction::Li { rd: Reg::R3, imm: *k as u64 });
-                b.push(Instruction::Alu { op: AluOp::Slt, rd: Reg::R4, rs1: Reg::R2, rs2: Reg::R3 });
+                b.push(Instruction::Alu {
+                    op: AluOp::Slt,
+                    rd: Reg::R4,
+                    rs1: Reg::R2,
+                    rs2: Reg::R3,
+                });
                 b.push(Instruction::MulI { rd: Reg::R2, rs: Reg::R2, imm: 1 });
                 let inb = b.new_label();
                 b.branch(BranchCond::Ne, Reg::R4, Reg::R0, inb);
                 b.push(Instruction::Li { rd: Reg::R2, imm: 0 });
                 b.bind(inb);
                 b.push(Instruction::Li { rd: Reg::R3, imm: 3 });
-                b.push(Instruction::Alu { op: AluOp::Shl, rd: Reg::R2, rs1: Reg::R2, rs2: Reg::R3 });
+                b.push(Instruction::Alu {
+                    op: AluOp::Shl,
+                    rd: Reg::R2,
+                    rs1: Reg::R2,
+                    rs2: Reg::R3,
+                });
                 b.li_data(Reg::R4, table);
-                b.push(Instruction::Alu { op: AluOp::Add, rd: Reg::R4, rs1: Reg::R4, rs2: Reg::R2 });
+                b.push(Instruction::Alu {
+                    op: AluOp::Add,
+                    rd: Reg::R4,
+                    rs1: Reg::R4,
+                    rs2: Reg::R2,
+                });
                 b.push(Instruction::Load { rd: Reg::R4, rbase: Reg::R4, off: 0 });
                 b.jmp_ind(Reg::R4, &arms);
                 for arm in &arms {

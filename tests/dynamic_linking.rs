@@ -80,10 +80,7 @@ fn dlopen_then_call_validates_cleanly() {
     // return back into the host.
     let r2 = sim.run(120_000);
     assert!(r2.rev.violation.is_none(), "{:?}", r2.rev.violation);
-    assert!(
-        sim.pipeline().oracle().state().reg(Reg::R9) > 0,
-        "the plugin actually ran"
-    );
+    assert!(sim.pipeline().oracle().state().reg(Reg::R9) > 0, "the plugin actually ran");
     assert!(r2.rev.return_checks > 0, "cross-module returns were validated");
 }
 
@@ -142,10 +139,9 @@ fn stale_table_after_rekey_is_useless_to_an_attacker() {
     let _ = base;
     let r = sim.run(200_000);
     match r.outcome {
-        RunOutcome::Violation(v) => assert!(matches!(
-            v.kind,
-            ViolationKind::HashMismatch | ViolationKind::TableCorrupt
-        )),
+        RunOutcome::Violation(v) => {
+            assert!(matches!(v.kind, ViolationKind::HashMismatch | ViolationKind::TableCorrupt))
+        }
         other => panic!("rollback must not validate: {other:?}"),
     }
 }

@@ -55,11 +55,9 @@ fn rev_never_beats_baseline_and_overhead_is_bounded() {
 fn bigger_sc_never_hurts() {
     let p = SpecProfile::by_name("gcc").expect("profile").scaled(0.05);
     let run = |bytes: usize| {
-        let mut sim = RevSimulator::new(
-            generate(&p),
-            RevConfig::paper_default().with_sc_capacity(bytes),
-        )
-        .expect("builds");
+        let mut sim =
+            RevSimulator::new(generate(&p), RevConfig::paper_default().with_sc_capacity(bytes))
+                .expect("builds");
         let r = sim.run(150_000);
         (r.cpu.ipc(), r.rev.sc.misses())
     };
@@ -116,8 +114,8 @@ fn committed_memory_matches_architectural_state_after_halt() {
 #[test]
 fn determinism_across_identical_runs() {
     let run = || {
-        let mut sim = RevSimulator::new(spec_program("astar"), RevConfig::paper_default())
-            .expect("builds");
+        let mut sim =
+            RevSimulator::new(spec_program("astar"), RevConfig::paper_default()).expect("builds");
         let r = sim.run(60_000);
         (
             r.cpu.cycles,
@@ -149,8 +147,8 @@ fn cfi_only_table_is_smallest_aggressive_largest() {
 #[test]
 fn unique_branches_reflect_working_set_differences() {
     let unique = |name: &str| {
-        let mut sim = RevSimulator::new(spec_program(name), RevConfig::paper_default())
-            .expect("builds");
+        let mut sim =
+            RevSimulator::new(spec_program(name), RevConfig::paper_default()).expect("builds");
         sim.run(120_000).cpu.unique_branches()
     };
     let gcc = unique("gcc");

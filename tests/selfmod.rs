@@ -63,8 +63,8 @@ fn jit_program(sanctioned: bool) -> Program {
 
 #[test]
 fn unsanctioned_self_modification_is_caught() {
-    let mut sim = RevSimulator::new(jit_program(false), RevConfig::paper_default())
-        .expect("builds");
+    let mut sim =
+        RevSimulator::new(jit_program(false), RevConfig::paper_default()).expect("builds");
     let report = sim.run(10_000);
     match report.outcome {
         RunOutcome::Violation(v) => assert_eq!(v.kind, ViolationKind::HashMismatch),
@@ -77,8 +77,7 @@ fn unsanctioned_self_modification_is_caught() {
 
 #[test]
 fn sanctioned_jit_window_runs_clean() {
-    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default())
-        .expect("builds");
+    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default()).expect("builds");
     let report = sim.run(10_000);
     assert_eq!(report.outcome, RunOutcome::Halted, "{:?}", report.rev.violation);
     assert!(report.rev.violation.is_none());
@@ -92,8 +91,7 @@ fn sanctioned_jit_window_runs_clean() {
 
 #[test]
 fn monitor_reports_enablement_state() {
-    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default())
-        .expect("builds");
+    let mut sim = RevSimulator::new(jit_program(true), RevConfig::paper_default()).expect("builds");
     assert!(sim.monitor().is_enabled());
     let _ = sim.run(10_000);
     assert!(sim.monitor().is_enabled(), "re-enabled by the second syscall");
@@ -104,8 +102,8 @@ fn external_disable_enable_api() {
     // The OS-facing API (not program-initiated): disabling validation
     // makes even code injection invisible — which is exactly why the
     // paper insists the two system calls themselves must be secured.
-    let mut sim = RevSimulator::new(jit_program(false), RevConfig::paper_default())
-        .expect("builds");
+    let mut sim =
+        RevSimulator::new(jit_program(false), RevConfig::paper_default()).expect("builds");
     sim.set_rev_enabled(false);
     let report = sim.run(10_000);
     assert_eq!(report.outcome, RunOutcome::Halted);

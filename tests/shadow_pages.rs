@@ -88,9 +88,7 @@ fn shadow_and_defer_agree_on_final_state_for_clean_runs() {
         let report = sim.run(10_000);
         assert_eq!(report.outcome, RunOutcome::Halted);
         let base = sim.pipeline().oracle().state().reg(Reg::R5) - 16 * 8;
-        (0..16u64)
-            .map(|i| sim.monitor().committed().read_u64(base + i * 8))
-            .collect::<Vec<_>>()
+        (0..16u64).map(|i| sim.monitor().committed().read_u64(base + i * 8)).collect::<Vec<_>>()
     };
     assert_eq!(run(Containment::DeferredStores), run(Containment::ShadowPages));
 }
@@ -110,8 +108,5 @@ fn shadow_mode_ipc_close_to_defer_mode() {
     };
     let defer = run(Containment::DeferredStores);
     let shadow = run(Containment::ShadowPages);
-    assert!(
-        (defer - shadow).abs() / defer < 0.10,
-        "defer {defer:.3} vs shadow {shadow:.3}"
-    );
+    assert!((defer - shadow).abs() / defer < 0.10, "defer {defer:.3} vs shadow {shadow:.3}");
 }
