@@ -5,20 +5,22 @@
 //! every configuration.
 
 use rev_bench::{
-    mean, overhead_pct, parallel_map, program_for, sweep_configs, BenchOptions, SweepConfig,
-    TablePrinter,
+    mean, overhead_pct, parallel_map, program_for, record_attacks, snapshot_from_runs,
+    sweep_configs, write_snapshot, BenchOptions, Narrator, SweepConfig, TablePrinter,
 };
 use rev_core::{CostModel, RevConfig, RevSimulator, ValidationMode};
 use rev_mem::Requester;
+use rev_trace::Snapshot;
 use std::time::Instant;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let narrator = Narrator::new(opts.quiet);
     let t_start = Instant::now();
+    let mut snap = Snapshot::new();
 
     println!("=== Table 1: attacks and detection ===");
-    for kind in rev_attacks::AttackKind::ALL {
-        let out = rev_attacks::mount(kind, RevConfig::paper_default());
+    for (kind, out) in record_attacks(&mut snap) {
         println!(
             "  {:<28} detected: {:<5} via {:<32} tainted: {}",
             kind.to_string(),
@@ -180,7 +182,7 @@ fn main() {
         TablePrinter::new(vec!["benchmark", "standard %", "aggressive %", "cfi-only %"], opts.csv);
     let profiles = opts.profiles();
     let size_rows = parallel_map(opts.jobs, &profiles, |worker, p| {
-        eprintln!("[tables w{worker:02}] {} ...", p.name);
+        narrator.note(&format!("[tables w{worker:02}] {} ...", p.name));
         let ratio = |mode: ValidationMode| {
             let program = program_for(p);
             let sim =
@@ -214,20 +216,25 @@ fn main() {
         r.chip_power_overhead * 100.0
     );
     println!("[paper: ~8% core area, ~7.2% core power, <5.5% chip power]");
-    println!();
 
-    // Timing summary (goes last so the result tables above stay
-    // byte-identical across hosts and job counts; these lines are the
-    // "modulo timing" part).
-    println!("=== Timing ===");
-    println!("jobs:                {}", opts.jobs);
-    println!("attacks phase:       {:>9.2?}", t_attacks);
-    println!(
+    // Measurement snapshot: everything above, machine-readable and
+    // schema-versioned, for `rev-trace compare` regression gating.
+    snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+    let json_path = opts.json.clone().unwrap_or_else(|| "BENCH_rev.json".into());
+    write_snapshot(&snap, &json_path, &narrator);
+
+    // Timing narration goes to stderr: stdout (and the snapshot) stay
+    // byte-identical across hosts and `--jobs` counts; wall-clock is the
+    // "modulo timing" part.
+    narrator.note("=== Timing ===");
+    narrator.note(&format!("jobs:                {}", opts.jobs));
+    narrator.note(&format!("attacks phase:       {t_attacks:>9.2?}"));
+    narrator.note(&format!(
         "sweep phase:         {:>9.2?}  ({} profiles x (base + {} configs))",
         t_sweep,
         runs.len(),
         configs.len()
-    );
-    println!("table-sizes phase:   {:>9.2?}", t_tables);
-    println!("total wall clock:    {:>9.2?}", t_start.elapsed());
+    ));
+    narrator.note(&format!("table-sizes phase:   {t_tables:>9.2?}"));
+    narrator.note(&format!("total wall clock:    {:>9.2?}", t_start.elapsed()));
 }

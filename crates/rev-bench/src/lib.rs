@@ -9,12 +9,17 @@
 //!   static BB counts),
 //! * `--quick` — shorthand for `--scale 0.05 --instructions 200000`,
 //! * `--bench NAME` (repeatable) — restrict to specific benchmarks,
-//! * `--csv` — machine-readable output.
+//! * `--csv` — CSV tables on stdout instead of aligned text,
+//! * `--json PATH` — write the schema-versioned measurement snapshot
+//!   (`rev-trace` format; see `docs/METRICS.md`) to `PATH`,
+//! * `--quiet` — suppress worker progress and timing narration on stderr.
 
 use rev_core::{BaselineReport, RevConfig, RevReport, RevSimulator};
 use rev_prog::{BbLimits, Cfg, CfgStats, Program};
 use rev_sigtable::TableStats;
+use rev_trace::{AttackRecord, Json, MetricRegistry, MetricSink, Snapshot};
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -37,6 +42,11 @@ pub struct BenchOptions {
     /// Run the static lint gate (`rev-lint`) over every table before
     /// simulating; refuse to run anything that fails at error severity.
     pub preflight: bool,
+    /// Where to write the JSON measurement snapshot (`BENCH_rev.json`);
+    /// `None` keeps a binary's default.
+    pub json: Option<String>,
+    /// Suppress worker progress and timing narration on stderr.
+    pub quiet: bool,
 }
 
 /// The host's available parallelism (1 if it cannot be determined).
@@ -54,6 +64,8 @@ impl Default for BenchOptions {
             csv: false,
             jobs: default_jobs(),
             preflight: false,
+            json: None,
+            quiet: false,
         }
     }
 }
@@ -91,13 +103,17 @@ impl BenchOptions {
                 }
                 "--csv" => opts.csv = true,
                 "--preflight" => opts.preflight = true,
+                "--json" => {
+                    opts.json = Some(args.next().expect("--json needs a path"));
+                }
+                "--quiet" => opts.quiet = true,
                 "--jobs" => {
                     let v = args.next().expect("--jobs needs a value");
                     let n: usize = v.parse().expect("--jobs must be an integer");
                     opts.jobs = if n == 0 { default_jobs() } else { n };
                 }
                 other => panic!(
-                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight)"
+                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight, --json, --quiet)"
                 ),
             }
         }
@@ -275,6 +291,36 @@ where
     merged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Serialized progress narration on stderr.
+///
+/// Worker threads announce what they are about to simulate; routing every
+/// line through one locked writer keeps lines whole under any `--jobs`
+/// count and gives `--quiet` a single switch. Measurement output never
+/// goes through here — stdout stays byte-identical across job counts and
+/// hosts, narration is the "modulo timing" channel.
+#[derive(Debug)]
+pub struct Narrator {
+    quiet: bool,
+    out: Mutex<()>,
+}
+
+impl Narrator {
+    /// Creates a narrator; `quiet` swallows every line.
+    pub fn new(quiet: bool) -> Self {
+        Narrator { quiet, out: Mutex::new(()) }
+    }
+
+    /// Writes one progress line to stderr (no-op when quiet).
+    pub fn note(&self, line: &str) {
+        if self.quiet {
+            return;
+        }
+        let _guard = self.out.lock().unwrap();
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{line}");
+    }
+}
+
 /// One labelled REV configuration inside a [`sweep_configs`] fan-out.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -326,10 +372,11 @@ pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<Profil
     let slots = configs.len() + 1;
     let items: Vec<(usize, usize)> =
         (0..profiles.len()).flat_map(|p| (0..slots).map(move |s| (p, s))).collect();
+    let narrator = Narrator::new(opts.quiet);
     let outs = parallel_map(opts.jobs, &items, |worker, &(p, s)| {
         let profile = &profiles[p];
         let label = if s == 0 { "base" } else { configs[s - 1].label.as_str() };
-        eprintln!("[sweep w{worker:02}] {} {} ...", profile.name, label);
+        narrator.note(&format!("[sweep w{worker:02}] {} {} ...", profile.name, label));
         if s == 0 {
             let program = program_for(profile);
             let cfg = cfg_stats_for(&program);
@@ -383,6 +430,72 @@ pub fn sweep(opts: &BenchOptions) -> Vec<SweepRow> {
             }
         })
         .collect()
+}
+
+/// Builds the schema-versioned measurement snapshot (`BENCH_rev.json`)
+/// from a [`sweep_configs`] fan-out.
+///
+/// Per profile the snapshot carries one registry per simulated
+/// configuration — `base` (cpu + mem), each [`SweepConfig`] label
+/// (cpu + rev + mem) — plus a `static` registry (table + cfg metrics,
+/// which depend only on the workload and the standard-mode table build).
+/// Registries serialize with sorted keys and meta in insertion order, so
+/// the rendered file is byte-identical for any `--jobs` value.
+pub fn snapshot_from_runs(
+    snap: &mut Snapshot,
+    opts: &BenchOptions,
+    configs: &[SweepConfig],
+    runs: &[ProfileRun],
+) {
+    snap.meta_entry("instructions", Json::Int(opts.instructions as i64));
+    snap.meta_entry("warmup", Json::Int(opts.warmup as i64));
+    snap.meta_entry("scale", Json::Float(opts.scale));
+    snap.meta_entry(
+        "configs",
+        Json::Arr(configs.iter().map(|c| Json::Str(c.label.clone())).collect()),
+    );
+    for run in runs {
+        let mut base = MetricRegistry::new();
+        run.base.cpu.export_metrics(&mut base);
+        run.base.mem.export_metrics(&mut base);
+        snap.add_metrics(&run.name, "base", base);
+        for (cfg, rev) in configs.iter().zip(&run.revs) {
+            let mut reg = MetricRegistry::new();
+            rev.cpu.export_metrics(&mut reg);
+            rev.rev.export_metrics(&mut reg);
+            rev.mem.export_metrics(&mut reg);
+            snap.add_metrics(&run.name, &cfg.label, reg);
+        }
+        let mut st = MetricRegistry::new();
+        run.table.export_metrics(&mut st);
+        run.cfg.export_metrics(&mut st);
+        snap.add_metrics(&run.name, "static", st);
+    }
+}
+
+/// Mounts every attack from `rev-attacks` under the paper-default
+/// configuration and records the outcomes into `snap` (Table 1's data;
+/// `rev-trace compare` flags any detection flip as a regression).
+pub fn record_attacks(
+    snap: &mut Snapshot,
+) -> Vec<(rev_attacks::AttackKind, rev_attacks::AttackOutcome)> {
+    let mut outs = Vec::new();
+    for kind in rev_attacks::AttackKind::ALL {
+        let out = rev_attacks::mount(kind, RevConfig::paper_default());
+        snap.attacks.push(AttackRecord {
+            kind: kind.to_string(),
+            detected: out.detected,
+            violation: out.violation.map(|v| v.kind.to_string()),
+        });
+        outs.push((kind, out));
+    }
+    outs
+}
+
+/// Writes a rendered snapshot to `path`, narrating the destination.
+pub fn write_snapshot(snap: &Snapshot, path: &str, narrator: &Narrator) {
+    std::fs::write(path, snap.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    narrator.note(&format!("[snapshot] wrote {path}"));
 }
 
 /// A simple fixed-width table printer (or CSV when `csv` is set).
@@ -522,6 +635,8 @@ mod tests {
             scale: 0.05,
             only: vec!["mcf".into()],
             csv: false,
+            json: None,
+            quiet: true,
             jobs: 1,
             preflight: true,
         };

@@ -8,6 +8,10 @@
 //! model: SRAM area/power scale linearly with capacity, logic blocks are
 //! fixed costs calibrated to the paper's bottom line at the default 32 KiB
 //! SC, and everything re-scales for ablation over SC sizes.
+//!
+//! `reproduce_all` prints the Sec. VI numbers after the sweep tables;
+//! they are analytical (no simulation), so they are not part of the
+//! `BENCH_rev.json` measurement snapshot.
 
 /// Cost-model constants (calibrated to the paper's 32 nm estimates).
 #[derive(Debug, Clone, Copy, PartialEq)]

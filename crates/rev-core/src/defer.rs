@@ -7,7 +7,12 @@
 //! released; on a validation failure the buffer is discarded wholesale —
 //! compromised code never taints memory. Loads probe the buffer for
 //! forwarding (the paper extends the store queue past commit).
+//!
+//! Observability: each release can emit an [`EventKind::DeferRelease`] on
+//! an attached [`TraceBus`]; occupancy shows up as the `rev.defer.peak`
+//! counter and `rev.defer.occupancy` histogram (see `docs/METRICS.md`).
 
+use rev_trace::{EventKind, TraceBus, TraceEvent};
 use std::collections::VecDeque;
 
 /// One committed-but-unvalidated store.
@@ -29,12 +34,19 @@ pub struct DeferredStoreBuffer {
     peak: usize,
     total_released: u64,
     total_discarded: u64,
+    trace: TraceBus,
 }
 
 impl DeferredStoreBuffer {
     /// Creates a buffer with the given capacity.
     pub fn new(capacity: usize) -> Self {
         DeferredStoreBuffer { capacity, ..Default::default() }
+    }
+
+    /// Attaches a trace bus; releases emit [`EventKind::DeferRelease`]
+    /// events through it.
+    pub fn set_trace(&mut self, trace: TraceBus) {
+        self.trace = trace;
     }
 
     /// Whether another store fits (commit back-pressure otherwise).
@@ -59,11 +71,21 @@ impl DeferredStoreBuffer {
     }
 
     /// Releases every store with `seq < boundary_seq` (the just-validated
-    /// block's stores), in order, into `sink`.
-    pub fn release_until<F: FnMut(DeferredStore)>(&mut self, boundary_seq: u64, mut sink: F) {
+    /// block's stores), in order, into `sink`. `cycle` stamps the trace
+    /// events (the validation cycle that freed the stores).
+    pub fn release_until<F: FnMut(DeferredStore)>(
+        &mut self,
+        boundary_seq: u64,
+        cycle: u64,
+        mut sink: F,
+    ) {
         while self.entries.front().map(|s| s.seq < boundary_seq).unwrap_or(false) {
             let s = self.entries.pop_front().expect("checked");
             self.total_released += 1;
+            self.trace.emit_with(|| TraceEvent {
+                cycle,
+                kind: EventKind::DeferRelease { seq: s.seq, addr: s.addr },
+            });
             sink(s);
         }
     }
@@ -124,7 +146,7 @@ mod tests {
         b.push(st(2, 0x20, 2));
         b.push(st(5, 0x30, 3)); // belongs to the next block
         let mut out = Vec::new();
-        b.release_until(4, |s| out.push(s.seq));
+        b.release_until(4, 0, |s| out.push(s.seq));
         assert_eq!(out, vec![1, 2]);
         assert_eq!(b.len(), 1);
         assert_eq!(b.total_released(), 2);
@@ -139,7 +161,7 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.total_discarded(), 2);
         let mut out = Vec::new();
-        b.release_until(100, |s| out.push(s));
+        b.release_until(100, 0, |s| out.push(s));
         assert!(out.is_empty(), "discarded stores must never release");
     }
 
@@ -149,7 +171,7 @@ mod tests {
         b.push(st(1, 0x40, 9));
         assert!(b.forwards(0x40));
         assert!(!b.forwards(0x48));
-        b.release_until(2, |_| {});
+        b.release_until(2, 0, |_| {});
         assert!(!b.forwards(0x40));
     }
 

@@ -16,6 +16,7 @@ use rev_crypto::{
 use rev_isa::InstrClass;
 use rev_mem::{Hierarchy, MainMemory, Request, Requester};
 use rev_sigtable::{EntryKind, ValidationMode};
+use rev_trace::{EventKind, TraceBus, TraceEvent, Verdict};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Service number of the REV-disable system call (paper Sec. VII: "The
@@ -81,6 +82,8 @@ pub struct RevMonitor {
     /// (leader, terminator, body-hash) triple — the differential oracle's
     /// dynamic side. `None` (the default) costs one branch per validation.
     trace: Option<BTreeSet<DynBlockTriple>>,
+    /// Observability event bus (disabled by default: one branch per site).
+    bus: TraceBus,
     violated: bool,
     enabled: bool,
     /// After re-enabling, skip gating until the next terminator passes so
@@ -112,6 +115,7 @@ impl RevMonitor {
             digest_cache: HashMap::new(),
             hasher: CubeHash::new(),
             trace: None,
+            bus: TraceBus::disabled(),
             violated: false,
             enabled: true,
             resync: false,
@@ -169,6 +173,14 @@ impl RevMonitor {
     /// Current deferred-store occupancy (inspection).
     pub fn deferred_stores(&self) -> usize {
         self.defer.len()
+    }
+
+    /// Attaches an observability bus: CHG issues, SC probes, deferred
+    /// releases and validation verdicts emit [`TraceEvent`]s through it.
+    pub fn set_trace(&mut self, bus: TraceBus) {
+        self.sc.set_trace(bus.clone());
+        self.defer.set_trace(bus.clone());
+        self.bus = bus;
     }
 
     /// Switches on dynamic block-trace recording: every block that
@@ -317,6 +329,7 @@ impl RevMonitor {
             variants.clear();
         }
         self.sc.install(bb_addr, t, variants);
+        self.stats.fill_latency.record(t - cycle);
         Some(t)
     }
 
@@ -399,6 +412,19 @@ impl RevMonitor {
         let v =
             Violation { kind, bb_addr: q.bb_addr, actual_target: q.actual_target, cycle: q.cycle };
         self.stats.violation = Some(v);
+        self.bus.emit_with(|| {
+            let verdict = match kind {
+                ViolationKind::HashMismatch => Verdict::HashMismatch,
+                ViolationKind::IllegalTarget => Verdict::IllegalTarget,
+                ViolationKind::ReturnMismatch => Verdict::ReturnMismatch,
+                ViolationKind::NoTable => Verdict::NoTable,
+                ViolationKind::TableCorrupt => Verdict::TableCorrupt,
+            };
+            TraceEvent {
+                cycle: q.cycle,
+                kind: EventKind::ValidationVerdict { bb_addr: q.bb_addr, verdict },
+            }
+        });
         CommitGate::Violation(v)
     }
 
@@ -414,7 +440,7 @@ impl RevMonitor {
         let mut released = 0u64;
         let mut touched_code = false;
         let tables = self.sag.tables();
-        self.defer.release_until(boundary_seq, |s| {
+        self.defer.release_until(boundary_seq, cycle, |s| {
             committed.write_u64(s.addr, s.value);
             touched_code |=
                 tables.iter().any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
@@ -619,6 +645,10 @@ impl RevMonitor {
         self.pending.remove(&q.seq);
         self.stats.validations += 1;
         self.stats.defer_peak = self.stats.defer_peak.max(self.defer.peak());
+        self.bus.emit_with(|| TraceEvent {
+            cycle: q.cycle,
+            kind: EventKind::ValidationVerdict { bb_addr: pb.bb_addr, verdict: Verdict::Validated },
+        });
         if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_DISABLE } = q.insn {
             // The disable syscall itself validated; everything after it
             // runs unvalidated until the enable syscall (trusted
@@ -668,6 +698,10 @@ impl RevMonitor {
         }
         self.pending.remove(&q.seq);
         self.stats.validations += 1;
+        self.bus.emit_with(|| TraceEvent {
+            cycle: q.cycle,
+            kind: EventKind::ValidationVerdict { bb_addr: pb.bb_addr, verdict: Verdict::Validated },
+        });
         CommitGate::Proceed
     }
 }
@@ -764,6 +798,10 @@ impl ExecMonitor for RevMonitor {
             self.chg.flush_all();
         }
         let chg_ready = self.chg.enqueue(ChgTag(event.seq), event.cycle);
+        self.bus.emit_with(|| TraceEvent {
+            cycle: event.cycle,
+            kind: EventKind::ChgIssue { seq: event.seq, ready_at: chg_ready },
+        });
 
         // SC probe along the predicted path. Fills are only initiated for
         // correct-path fetches: the paper cancels SC fetches issued along
@@ -836,6 +874,7 @@ impl ExecMonitor for RevMonitor {
                     addr: store.addr,
                     value: store.value,
                 });
+                self.stats.defer_occupancy.record(self.defer.len() as u64);
             }
             Containment::ShadowPages => {
                 if self.store_touches_code(store.addr) {

@@ -6,8 +6,14 @@
 //! most-recently-used successor/predecessor window per variant; transfers
 //! outside the MRU window are **partial misses** that fetch only the
 //! missing spill records from RAM.
+//!
+//! Observability: every probe can emit an [`EventKind::ScProbe`] on an
+//! attached [`TraceBus`], and [`ScStats`] surfaces as the `rev.sc.*`
+//! metrics (Fig. 10's hit/partial/complete breakdown — see
+//! `docs/METRICS.md`).
 
 use rev_sigtable::{EntryKind, SigVariant};
+use rev_trace::{EventKind, ProbeOutcome, TraceBus, TraceEvent};
 
 /// SC traffic counters (feeds the paper's Fig. 10).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -152,6 +158,7 @@ pub struct SignatureCache {
     assoc: usize,
     tick: u64,
     stats: ScStats,
+    trace: TraceBus,
 }
 
 impl SignatureCache {
@@ -171,7 +178,14 @@ impl SignatureCache {
             assoc,
             tick: 0,
             stats: ScStats::default(),
+            trace: TraceBus::disabled(),
         }
+    }
+
+    /// Attaches a trace bus; every probe emits an
+    /// [`EventKind::ScProbe`] event through it.
+    pub fn set_trace(&mut self, trace: TraceBus) {
+        self.trace = trace;
     }
 
     /// Number of sets.
@@ -206,11 +220,26 @@ impl SignatureCache {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(bb_addr);
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.bb_addr == bb_addr) {
-            e.lru = tick;
-            return if e.ready_at <= cycle { ScProbe::Hit } else { ScProbe::Filling(e.ready_at) };
-        }
-        ScProbe::Miss
+        let result = match self.sets[set].iter_mut().find(|e| e.bb_addr == bb_addr) {
+            Some(e) => {
+                e.lru = tick;
+                if e.ready_at <= cycle {
+                    ScProbe::Hit
+                } else {
+                    ScProbe::Filling(e.ready_at)
+                }
+            }
+            None => ScProbe::Miss,
+        };
+        self.trace.emit_with(|| {
+            let outcome = match result {
+                ScProbe::Hit => ProbeOutcome::Hit,
+                ScProbe::Filling(_) => ProbeOutcome::Filling,
+                ScProbe::Miss => ProbeOutcome::Miss,
+            };
+            TraceEvent { cycle, kind: EventKind::ScProbe { bb_addr, outcome } }
+        });
+        result
     }
 
     /// Returns the entry for `bb_addr`, if resident.

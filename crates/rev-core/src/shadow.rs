@@ -8,6 +8,9 @@
 //! > the program's original pages. Also, while execution is going on, no
 //! > output operation (that is, DMA) is allowed out of a shadow page."
 //!
+//! [`ShadowStats`] exports as the `rev.shadow.*` metrics via the run's
+//! [`RevStats`](crate::stats::RevStats) sink (see `docs/METRICS.md`).
+//!
 //! Compared to the per-block deferred-store buffer, shadowing is coarser:
 //! nothing at all becomes architectural until the *whole* execution
 //! authenticates, and a single violation discards every update the program

@@ -16,6 +16,7 @@ use rev_crypto::{Aes128, SignatureKey};
 use rev_mem::{MainMemory, MemConfig, MemStats};
 use rev_prog::{Cfg, CfgError, Program};
 use rev_sigtable::{build_table, SignatureTable, TableBuildError, TableStats};
+use rev_trace::TraceBus;
 use std::fmt;
 
 /// The CPU-internal master key used to wrap per-module table keys (models
@@ -323,6 +324,19 @@ impl RevSimulator {
         &self.pipeline
     }
 
+    /// Switches on event tracing with a ring buffer of `capacity` events
+    /// and returns a handle to drain it. Every tap site — fetch, commit,
+    /// SC probe, CHG issue, deferred release, DRAM access, validation
+    /// verdict — feeds the same ring. Costs one branch per site while
+    /// enabled-but-idle; the default (never calling this) costs one
+    /// `Option` check per site.
+    pub fn enable_tracing(&mut self, capacity: usize) -> TraceBus {
+        let bus = TraceBus::with_capacity(capacity);
+        self.pipeline.set_trace(bus.clone());
+        self.monitor.set_trace(bus.clone());
+        bus
+    }
+
     /// Runs `instrs` committed instructions to warm the caches, branch
     /// predictor, TLBs and SC, then clears every statistic — the
     /// measurement-window methodology of the paper's simulations (which
@@ -568,6 +582,51 @@ mod tests {
         let sim = RevSimulator::new(demo_program(), RevConfig::paper_default()).unwrap();
         assert_eq!(sim.table_stats().len(), 1);
         assert!(sim.table_stats()[0].ratio_to_code() > 0.0);
+    }
+
+    #[test]
+    fn tracing_captures_the_validation_protocol() {
+        use rev_trace::{EventKind, Verdict};
+        let mut sim = RevSimulator::new(demo_program(), RevConfig::paper_default()).unwrap();
+        let bus = sim.enable_tracing(1 << 16);
+        let report = sim.run(100_000);
+        assert_eq!(report.outcome, RunOutcome::Halted);
+        let events = bus.drain();
+        assert!(!events.is_empty());
+        let mut fetches = 0u64;
+        let mut commits = 0u64;
+        let mut probes = 0u64;
+        let mut chg = 0u64;
+        let mut releases = 0u64;
+        let mut validated = 0u64;
+        for e in &events {
+            match e.kind {
+                EventKind::Fetch { .. } => fetches += 1,
+                EventKind::Commit { .. } => commits += 1,
+                EventKind::ScProbe { .. } => probes += 1,
+                EventKind::ChgIssue { .. } => chg += 1,
+                EventKind::DeferRelease { .. } => releases += 1,
+                EventKind::ValidationVerdict { verdict, .. } => {
+                    assert_eq!(verdict, Verdict::Validated);
+                    validated += 1;
+                }
+                EventKind::DramAccess { .. } => {}
+            }
+        }
+        assert!(fetches > 0 && commits > 0 && probes > 0 && chg > 0);
+        assert_eq!(validated, report.rev.validations, "one verdict per validation");
+        assert_eq!(releases, report.rev.stores_released, "one event per released store");
+    }
+
+    #[test]
+    fn tracing_disabled_emits_nothing() {
+        let mut sim = RevSimulator::new(demo_program(), RevConfig::paper_default()).unwrap();
+        let report = sim.run(100_000);
+        assert_eq!(report.outcome, RunOutcome::Halted);
+        // No bus was ever attached; nothing to drain anywhere. The real
+        // assertion is in the overhead check (scripts/check.sh): the
+        // disabled path is a single Option test per site.
+        assert!(report.rev.validations > 0);
     }
 
     #[test]

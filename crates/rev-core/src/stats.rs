@@ -3,6 +3,7 @@
 use crate::sc::ScStats;
 use crate::shadow::ShadowStats;
 use rev_cpu::Violation;
+use rev_trace::{Histogram, MetricRegistry, MetricSink};
 
 /// Counters accumulated by the REV monitor over one run.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +29,12 @@ pub struct RevStats {
     pub stores_discarded: u64,
     /// Peak deferred-buffer occupancy.
     pub defer_peak: usize,
+    /// Deferred-buffer occupancy distribution, sampled at each store push
+    /// (sizes the hardware buffer beyond the single peak number).
+    pub defer_occupancy: Histogram,
+    /// SC fill latency distribution in cycles (table-walk start to entry
+    /// ready), the delay an unlucky commit-time miss exposes.
+    pub fill_latency: Histogram,
     /// Artificial BB splits applied by the front end.
     pub artificial_splits: u64,
     /// Return-latch validations performed (delayed return checks).
@@ -48,5 +55,35 @@ impl RevStats {
     /// Total SC misses (partial + complete).
     pub fn sc_misses(&self) -> u64 {
         self.sc.misses()
+    }
+}
+
+impl MetricSink for RevStats {
+    fn export_metrics(&self, reg: &mut MetricRegistry) {
+        reg.counter("rev.validations", self.validations);
+        reg.counter("rev.digest_checks", self.digest_checks);
+        reg.counter("rev.return_checks", self.return_checks);
+        reg.counter("rev.sc.hits", self.sc.hits);
+        reg.counter("rev.sc.partial_misses", self.sc.partial_misses);
+        reg.counter("rev.sc.complete_misses", self.sc.complete_misses);
+        reg.counter("rev.sc.evictions", self.sc.evictions);
+        reg.gauge("rev.sc.miss_rate", self.sc.miss_rate());
+        reg.counter("rev.sc.commit_misses", self.commit_misses);
+        reg.counter("rev.fill.touches", self.fill_touches);
+        reg.histogram("rev.fill.latency", self.fill_latency.clone());
+        reg.counter("rev.spill_fetches", self.spill_fetches);
+        reg.counter("rev.sag_refills", self.sag_refills);
+        reg.counter("rev.stores.released", self.stores_released);
+        reg.counter("rev.stores.discarded", self.stores_discarded);
+        reg.counter("rev.defer.peak", self.defer_peak as u64);
+        reg.histogram("rev.defer.occupancy", self.defer_occupancy.clone());
+        reg.counter("rev.artificial_splits", self.artificial_splits);
+        reg.counter("rev.stall.chg", self.stall_chg);
+        reg.counter("rev.stall.fill", self.stall_fill);
+        reg.counter("rev.stall.spill", self.stall_spill);
+        reg.counter("rev.shadow.pages_created", self.shadow.pages_created);
+        reg.counter("rev.shadow.stores_buffered", self.shadow.stores_buffered);
+        reg.counter("rev.shadow.pages_promoted", self.shadow.pages_promoted);
+        reg.counter("rev.shadow.pages_discarded", self.shadow.pages_discarded);
     }
 }

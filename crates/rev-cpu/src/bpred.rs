@@ -4,6 +4,10 @@
 //! Table 2 specifies a "32K Gshare" (32 768 two-bit counters, 15-bit
 //! global history). The RAS top-of-stack is checkpointed per branch and
 //! restored on misprediction recovery.
+//!
+//! Prediction outcomes accumulate in
+//! [`CpuStats`](crate::stats::CpuStats) and export as the
+//! `cpu.branches.*` metrics (Figs. 8/9 — see `docs/METRICS.md`).
 
 /// Predictor configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -5,7 +5,9 @@
 //! clobber return addresses genuinely divert the oracle's control flow, and
 //! REV's job is to catch the divergence. The timing pipeline consumes the
 //! oracle's [`DynOp`] stream for correct-path instructions and reads raw
-//! bytes for wrong-path fetch.
+//! bytes for wrong-path fetch; each consumed op surfaces as a `Fetch`
+//! (and later `Commit`) trace event when the pipeline's `TraceBus` is
+//! enabled (see `docs/METRICS.md`).
 
 use rev_isa::{decode, Instruction, Reg, REG_SP};
 use rev_mem::MainMemory;

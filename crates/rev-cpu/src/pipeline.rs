@@ -9,6 +9,7 @@ use crate::oracle::{DynOp, Oracle};
 use crate::stats::CpuStats;
 use rev_isa::{decode, FReg, InstrClass, Instruction, Reg, MAX_INSTR_LEN, REG_SP};
 use rev_mem::{Hierarchy, MemConfig, Request, Requester};
+use rev_trace::{EventKind, TraceBus, TraceEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Why a run ended.
@@ -187,6 +188,7 @@ pub struct Pipeline {
     head_retry_at: u64,
     stats: CpuStats,
     stats_start_cycle: u64,
+    trace: TraceBus,
     fpu_free: Vec<u64>,
     alu_free: Vec<u64>,
     reads_buf: Vec<u8>,
@@ -221,8 +223,16 @@ impl Pipeline {
             head_retry_at: 0,
             stats: CpuStats::default(),
             stats_start_cycle: 0,
+            trace: TraceBus::disabled(),
             reads_buf: Vec::with_capacity(4),
         }
+    }
+
+    /// Attaches a trace bus: fetch and commit events flow through it, and
+    /// the memory hierarchy gets a clone for DRAM-access events.
+    pub fn set_trace(&mut self, trace: TraceBus) {
+        self.mem.set_trace(trace.clone());
+        self.trace = trace;
     }
 
     /// The memory hierarchy (stats inspection).
@@ -349,6 +359,10 @@ impl Pipeline {
                 }
             }
             let slot = self.rob.pop_front().expect("head exists");
+            self.trace.emit_with(|| TraceEvent {
+                cycle: self.now,
+                kind: EventKind::Commit { seq: slot.seq, addr: slot.addr },
+            });
             self.head_retry_at = 0;
             self.done_set.remove(&slot.seq);
             if slot.writes_reg {
@@ -773,6 +787,10 @@ impl Pipeline {
                 predicted_next,
                 wrong_path: self.wrong_path_mode,
             };
+            self.trace.emit_with(|| TraceEvent {
+                cycle: self.now,
+                kind: EventKind::Fetch { seq, addr, wrong_path: self.wrong_path_mode },
+            });
             let is_boundary = monitor.on_fetch(&mut self.mem, &event);
 
             self.fetch_queue.push_back(Slot {

@@ -1,6 +1,7 @@
 //! Run statistics — the counters behind the paper's Figures 6–9.
 
 use rev_isa::InstrClass;
+use rev_trace::{MetricRegistry, MetricSink};
 use std::collections::HashSet;
 
 /// Committed-instruction mix by class.
@@ -95,6 +96,29 @@ impl CpuStats {
     /// Number of unique committed branch addresses.
     pub fn unique_branches(&self) -> usize {
         self.unique_branch_addrs.len()
+    }
+}
+
+impl MetricSink for CpuStats {
+    fn export_metrics(&self, reg: &mut MetricRegistry) {
+        reg.counter("cpu.cycles", self.cycles);
+        reg.counter("cpu.instructions", self.committed_instrs);
+        reg.gauge("cpu.ipc", self.ipc());
+        reg.counter("cpu.branches.committed", self.committed_branches);
+        reg.counter("cpu.branches.conditional", self.committed_cond_branches);
+        reg.counter("cpu.branches.computed", self.committed_computed);
+        reg.counter("cpu.branches.mispredicts", self.mispredicts);
+        reg.gauge("cpu.branches.mispredict_rate", self.mispredict_rate());
+        reg.counter("cpu.branches.unique", self.unique_branches() as u64);
+        reg.counter("cpu.wrong_path_fetched", self.wrong_path_fetched);
+        reg.counter("cpu.stall.validation", self.validation_stall_cycles);
+        reg.counter("cpu.stall.defer_full", self.defer_full_stall_cycles);
+        reg.counter("cpu.mix.int_alu", self.mix.int_alu);
+        reg.counter("cpu.mix.fp", self.mix.fp);
+        reg.counter("cpu.mix.loads", self.mix.loads);
+        reg.counter("cpu.mix.stores", self.mix.stores);
+        reg.counter("cpu.mix.branches", self.mix.branches);
+        reg.counter("cpu.mix.other", self.mix.other);
     }
 }
 

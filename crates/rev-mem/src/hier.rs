@@ -14,6 +14,7 @@
 use crate::cache::{Cache, CacheConfig};
 use crate::dram::{Dram, DramConfig};
 use crate::tlb::{Tlb, TlbConfig};
+use rev_trace::{EventKind, MetricRegistry, MetricSink, TraceBus, TraceEvent};
 
 /// Who issued a memory request (in decreasing priority order).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -36,6 +37,16 @@ impl Requester {
     /// Index for stats arrays.
     pub fn idx(self) -> usize {
         self as usize
+    }
+
+    /// Lowercase label used in metric names (`docs/METRICS.md`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Requester::Data => "data",
+            Requester::SigFetch => "sigfetch",
+            Requester::IFetch => "ifetch",
+            Requester::Prefetch => "prefetch",
+        }
     }
 }
 
@@ -159,6 +170,23 @@ impl MemStats {
     }
 }
 
+impl MetricSink for MemStats {
+    fn export_metrics(&self, reg: &mut MetricRegistry) {
+        for r in Requester::ALL {
+            let c = r.label();
+            reg.counter(&format!("mem.l1.accesses.{c}"), self.l1_accesses[r.idx()]);
+            reg.counter(&format!("mem.l1.misses.{c}"), self.l1_misses[r.idx()]);
+            reg.counter(&format!("mem.l2.accesses.{c}"), self.l2_accesses[r.idx()]);
+            reg.counter(&format!("mem.l2.misses.{c}"), self.l2_misses[r.idx()]);
+            reg.counter(&format!("mem.dram.accesses.{c}"), self.dram_accesses[r.idx()]);
+            reg.counter(&format!("mem.tlb.walks.{c}"), self.tlb_walks[r.idx()]);
+        }
+        // Fig. 11 reports miss statistics for SC fill traffic specifically.
+        reg.gauge("mem.l1.miss_rate.sigfetch", self.l1_miss_rate(Requester::SigFetch));
+        reg.gauge("mem.l2.miss_rate.sigfetch", self.l2_miss_rate(Requester::SigFetch));
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Ports {
     free_at: Vec<u64>,
@@ -207,6 +235,7 @@ pub struct Hierarchy {
     l1d_ports: Ports,
     l2_ports: Ports,
     stats: MemStats,
+    trace: TraceBus,
 }
 
 impl Hierarchy {
@@ -225,7 +254,14 @@ impl Hierarchy {
             l1d_ports: Ports::new(config.l1d_ports),
             l2_ports: Ports::new(config.l2_ports),
             stats: MemStats::default(),
+            trace: TraceBus::disabled(),
         }
+    }
+
+    /// Attaches a trace bus; DRAM accesses emit
+    /// [`EventKind::DramAccess`] events through it.
+    pub fn set_trace(&mut self, trace: TraceBus) {
+        self.trace = trace;
     }
 
     /// Returns the configuration.
@@ -292,6 +328,10 @@ impl Hierarchy {
         } else {
             self.stats.l2_misses[requester.idx()] += 1;
             self.stats.dram_accesses[requester.idx()] += 1;
+            self.trace.emit_with(|| TraceEvent {
+                cycle: start,
+                kind: EventKind::DramAccess { addr, requester: requester.idx() as u8 },
+            });
             let before_rows = self.dram.stats().row_hits;
             let done = self.dram.access(addr, start + self.config.l2.latency);
             let row_hit = self.dram.stats().row_hits > before_rows;

@@ -176,6 +176,16 @@ pub struct CfgStats {
     pub code_bytes: usize,
 }
 
+impl rev_trace::MetricSink for CfgStats {
+    fn export_metrics(&self, reg: &mut rev_trace::MetricRegistry) {
+        reg.counter("cfg.blocks", self.blocks as u64);
+        reg.gauge("cfg.avg_instrs", self.avg_instrs);
+        reg.gauge("cfg.avg_successors", self.avg_successors);
+        reg.counter("cfg.computed_terminators", self.computed_terminators as u64);
+        reg.counter("cfg.code_bytes", self.code_bytes as u64);
+    }
+}
+
 /// The control-flow graph of one module.
 #[derive(Debug, Clone)]
 pub struct Cfg {

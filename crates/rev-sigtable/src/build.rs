@@ -36,6 +36,17 @@ impl TableStats {
     }
 }
 
+impl rev_trace::MetricSink for TableStats {
+    fn export_metrics(&self, reg: &mut rev_trace::MetricRegistry) {
+        reg.counter("table.primaries", self.primaries as u64);
+        reg.counter("table.spills", self.spills as u64);
+        reg.counter("table.slots", self.slots as u64);
+        reg.counter("table.image_bytes", self.image_bytes as u64);
+        reg.counter("table.code_bytes", self.code_bytes as u64);
+        reg.gauge("table.ratio_to_code", self.ratio_to_code());
+    }
+}
+
 /// Errors during table construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TableBuildError {

@@ -1,0 +1,268 @@
+//! The trace event bus: cycle-stamped events from every simulation layer
+//! into one bounded ring buffer.
+//!
+//! The bus is **zero-overhead when disabled**: a disabled [`TraceBus`] is
+//! a `None` handle, so every tap site costs one pointer test and the
+//! event payload is never even constructed (tap sites go through
+//! [`TraceBus::emit_with`], which takes a closure). When enabled, events
+//! land in a fixed-capacity ring that overwrites its oldest entries —
+//! tracing a 10⁶-instruction run never allocates beyond the ring.
+//!
+//! Components hold cheap clones of the same bus (`Arc` internally):
+//! `RevSimulator::enable_tracing` wires one ring through the pipeline
+//! (fetch/commit), the REV monitor (CHG issue, validation verdicts), the
+//! signature cache (probes), the deferred-store buffer (releases) and the
+//! memory hierarchy (DRAM accesses).
+
+use std::sync::{Arc, Mutex};
+
+/// SC probe outcome, as seen by the event bus (mirrors
+/// `rev_core::sc::ScProbe` without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// Entry present and ready.
+    Hit,
+    /// Entry present but still filling.
+    Filling,
+    /// No entry.
+    Miss,
+}
+
+/// Validation verdict classes (mirrors `rev_cpu::ViolationKind` plus the
+/// success case, without the dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The block validated.
+    Validated,
+    /// Basic-block hash mismatch.
+    HashMismatch,
+    /// Illegal computed-branch target.
+    IllegalTarget,
+    /// Return-address validation failed.
+    ReturnMismatch,
+    /// No signature table covers the address.
+    NoTable,
+    /// The signature table failed to parse (tampering).
+    TableCorrupt,
+}
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instruction was fetched (`rev-cpu/pipeline.rs`).
+    Fetch {
+        /// Fetch sequence number.
+        seq: u64,
+        /// Instruction address.
+        addr: u64,
+        /// Whether the fetch was beyond an unresolved misprediction.
+        wrong_path: bool,
+    },
+    /// A correct-path instruction committed (`rev-cpu/pipeline.rs`).
+    Commit {
+        /// Fetch sequence number.
+        seq: u64,
+        /// Instruction address.
+        addr: u64,
+    },
+    /// The signature cache was probed (`rev-core/sc.rs`).
+    ScProbe {
+        /// The probing BB (terminator) address.
+        bb_addr: u64,
+        /// What the probe found.
+        outcome: ProbeOutcome,
+    },
+    /// A basic block's bytes entered the CHG hash pipeline
+    /// (`rev-core/rev_monitor.rs`).
+    ChgIssue {
+        /// Fetch sequence of the block's terminator.
+        seq: u64,
+        /// Cycle the hash will be ready.
+        ready_at: u64,
+    },
+    /// A deferred store was released to committed memory after its block
+    /// validated (`rev-core/defer.rs`).
+    DeferRelease {
+        /// Fetch sequence of the store.
+        seq: u64,
+        /// Store address.
+        addr: u64,
+    },
+    /// A terminator finished validation (`rev-core/rev_monitor.rs`).
+    ValidationVerdict {
+        /// BB (terminator) address.
+        bb_addr: u64,
+        /// Outcome.
+        verdict: Verdict,
+    },
+    /// An access reached DRAM (`rev-mem/hier.rs`).
+    DramAccess {
+        /// Line address.
+        addr: u64,
+        /// Requester class index (`rev_mem::Requester::idx`).
+        requester: u8,
+    },
+}
+
+/// One cycle-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct Ring {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    head: usize, // next write position once full
+    dropped: u64,
+}
+
+impl Ring {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.dropped += 1;
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        self.buf.clear();
+        self.head = 0;
+        out
+    }
+}
+
+/// A handle to the (shared) event ring. `Clone` is cheap; a disabled bus
+/// is a null handle and every emit through it is a single branch.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBus {
+    ring: Option<Arc<Mutex<Ring>>>,
+}
+
+impl TraceBus {
+    /// A disabled bus — the default everywhere; emits are no-ops.
+    pub fn disabled() -> Self {
+        TraceBus { ring: None }
+    }
+
+    /// An enabled bus with a ring of `capacity` events (oldest events are
+    /// overwritten once full).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        TraceBus {
+            ring: Some(Arc::new(Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity.min(4096)),
+                capacity,
+                head: 0,
+                dropped: 0,
+            }))),
+        }
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Emits an event, constructing it only if the bus is enabled — the
+    /// tap-site pattern that keeps the disabled path free:
+    ///
+    /// ```
+    /// # use rev_trace::{TraceBus, TraceEvent, EventKind};
+    /// # let bus = TraceBus::disabled();
+    /// # let (cycle, seq, addr) = (1, 2, 3);
+    /// bus.emit_with(|| TraceEvent { cycle, kind: EventKind::Commit { seq, addr } });
+    /// ```
+    #[inline]
+    pub fn emit_with<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if let Some(ring) = &self.ring {
+            ring.lock().expect("trace ring poisoned").push(f());
+        }
+    }
+
+    /// Takes all buffered events in arrival order, emptying the ring.
+    /// Returns an empty vec on a disabled bus.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        match &self.ring {
+            Some(ring) => ring.lock().expect("trace ring poisoned").drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        match &self.ring {
+            Some(ring) => ring.lock().expect("trace ring poisoned").buf.len(),
+            None => 0,
+        }
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        match &self.ring {
+            Some(ring) => ring.lock().expect("trace ring poisoned").dropped,
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent { cycle, kind: EventKind::Commit { seq: cycle, addr: 0x1000 + cycle } }
+    }
+
+    #[test]
+    fn disabled_bus_is_inert() {
+        let bus = TraceBus::disabled();
+        let mut constructed = false;
+        bus.emit_with(|| {
+            constructed = true;
+            ev(1)
+        });
+        assert!(!constructed, "payload must not be constructed when disabled");
+        assert!(bus.drain().is_empty());
+        assert!(!bus.is_enabled());
+    }
+
+    #[test]
+    fn clones_share_one_ring() {
+        let bus = TraceBus::with_capacity(16);
+        let tap_a = bus.clone();
+        let tap_b = bus.clone();
+        tap_a.emit_with(|| ev(1));
+        tap_b.emit_with(|| ev(2));
+        let events: Vec<u64> = bus.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(events, vec![1, 2]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let bus = TraceBus::with_capacity(3);
+        for c in 1..=5 {
+            bus.emit_with(|| ev(c));
+        }
+        assert_eq!(bus.dropped(), 2);
+        let cycles: Vec<u64> = bus.drain().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4, 5], "oldest overwritten, order kept");
+        assert_eq!(bus.len(), 0, "drain empties the ring");
+    }
+}

@@ -1,0 +1,37 @@
+//! `rev-trace` — the observability layer of the REV simulator.
+//!
+//! The paper's whole evaluation (Figs. 8–12) is a story told in
+//! counters: SC hit rates, CHG latency hiding, deferred-store occupancy,
+//! validation stall cycles. This crate gives those counters one home and
+//! three faces:
+//!
+//! * [`event`] — a zero-overhead-when-disabled **trace event bus**. Tap
+//!   sites across `rev-cpu`, `rev-core`, and `rev-mem` emit cycle-stamped
+//!   events ([`TraceEvent`]) into a shared ring buffer; when tracing is
+//!   off (the default) each tap is a single branch and the payload is
+//!   never constructed.
+//! * [`metrics`] — a typed **metrics registry** ([`MetricRegistry`]:
+//!   counters, gauges, log2-bucket histograms). Component stats structs
+//!   implement [`MetricSink`] to project their hot-path fields into the
+//!   registry under the names documented in `docs/METRICS.md`.
+//! * [`snapshot`] — schema-versioned, deterministic **JSON baselines**
+//!   ([`Snapshot`], rendered as `BENCH_rev.json`) and a regression
+//!   [`compare`] used by the `rev-trace compare` subcommand and
+//!   `scripts/check.sh`.
+//!
+//! This crate is a dependency *leaf*: it knows nothing about the
+//! simulator crates, which all depend on it. Event payload enums
+//! ([`Verdict`], [`ProbeOutcome`]) therefore mirror — rather than
+//! import — the simulator's types.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod snapshot;
+
+pub use event::{EventKind, ProbeOutcome, TraceBus, TraceEvent, Verdict};
+pub use json::Json;
+pub use metrics::{Histogram, MetricRegistry, MetricSink, MetricValue, HISTOGRAM_BUCKETS};
+pub use snapshot::{compare, AttackRecord, CompareReport, Snapshot, SCHEMA};

@@ -1,0 +1,113 @@
+//! The `rev-trace` CLI: inspect and diff `BENCH_rev.json` baseline
+//! snapshots.
+//!
+//! ```text
+//! rev-trace compare <baseline.json> <candidate.json> [--threshold PCT]
+//! rev-trace show <snapshot.json>
+//! ```
+//!
+//! `compare` exits 0 when clean, **1 when a gate metric regressed**
+//! beyond the threshold (default 2%) or an attack-detection outcome
+//! flipped, and 2 on usage or I/O errors — `scripts/check.sh` consumes
+//! the exit code as a soft gate.
+
+use rev_trace::snapshot::{compare, format_report, Snapshot};
+use rev_trace::MetricValue;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  rev-trace compare <baseline.json> <candidate.json> [--threshold PCT]
+  rev-trace show <snapshot.json>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("show") => cmd_show(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Snapshot::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut threshold = 0.02;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(pct) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--threshold needs a percentage, e.g. --threshold 2.0");
+                    return ExitCode::from(2);
+                };
+                threshold = pct / 100.0;
+            }
+            _ => paths.push(a.as_str()),
+        }
+    }
+    let [baseline, candidate] = paths[..] else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (base, cand) = match (load(baseline), load(candidate)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("rev-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = compare(&base, &cand, threshold);
+    print!("{}", format_report(&report, threshold));
+    if report.has_regressions() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_show(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let snap = match load(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rev-trace: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (k, v) in &snap.meta {
+        println!("meta {k} = {}", v.render());
+    }
+    for a in &snap.attacks {
+        println!(
+            "attack {} detected={} violation={}",
+            a.kind,
+            a.detected,
+            a.violation.as_deref().unwrap_or("-")
+        );
+    }
+    for (profile, configs) in &snap.profiles {
+        for (config, reg) in configs {
+            for (name, value) in reg.iter() {
+                let shown = match value {
+                    MetricValue::Counter(c) => format!("{c}"),
+                    MetricValue::Gauge(g) => format!("{g:?}"),
+                    MetricValue::Histogram(h) => {
+                        format!("hist(count={} mean={:.2} max={})", h.count, h.mean(), h.max)
+                    }
+                };
+                println!("{profile}/{config} {name} = {shown}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,58 @@
+//! Exit-code contract of the `rev-trace` binary: 0 clean, 1 regression,
+//! 2 usage/IO error.
+
+use std::process::Command;
+
+fn snapshot_with_ipc(ipc: f64) -> String {
+    format!(
+        r#"{{
+  "schema": "rev-trace/1",
+  "meta": {{}},
+  "attacks": [],
+  "profiles": {{ "mcf": {{ "REV-32K": {{ "cpu.cycles": 1000, "cpu.ipc": {ipc:?} }} }} }}
+}}"#
+    )
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rev-trace-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("temp snapshot written");
+    path
+}
+
+#[test]
+fn compare_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_rev-trace");
+    let base = write_temp("base.json", &snapshot_with_ipc(2.0));
+    let same = write_temp("same.json", &snapshot_with_ipc(2.0));
+    let worse = write_temp("worse.json", &snapshot_with_ipc(1.8));
+
+    let clean = Command::new(bin).args(["compare"]).arg(&base).arg(&same).output().unwrap();
+    assert_eq!(clean.status.code(), Some(0), "identical snapshots: exit 0");
+
+    let regressed = Command::new(bin).args(["compare"]).arg(&base).arg(&worse).output().unwrap();
+    assert_eq!(regressed.status.code(), Some(1), "10% IPC drop: exit 1");
+    let report = String::from_utf8_lossy(&regressed.stdout);
+    assert!(report.contains("REGRESSION"), "report names the regression: {report}");
+
+    let loose = Command::new(bin)
+        .args(["compare", "--threshold", "15"])
+        .arg(&base)
+        .arg(&worse)
+        .output()
+        .unwrap();
+    assert_eq!(loose.status.code(), Some(0), "10% drop under a 15% threshold: exit 0");
+
+    let usage = Command::new(bin).args(["compare"]).arg(&base).output().unwrap();
+    assert_eq!(usage.status.code(), Some(2), "missing operand: exit 2");
+
+    let missing = Command::new(bin)
+        .args(["compare", "/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2), "unreadable input: exit 2");
+
+    for p in [base, same, worse] {
+        let _ = std::fs::remove_file(p);
+    }
+}

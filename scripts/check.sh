@@ -18,7 +18,39 @@ cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> rev-lint --all (static table verification)"
 cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
+
+# Soft gates (warn, never fail): regenerate the quick-mode measurement
+# snapshot, diff it against the committed baseline with rev-trace, and
+# sanity-check that the tracing-disabled sweep's wall clock has not
+# drifted (>2% over the recorded reference + 25% host-noise allowance).
+echo "==> rev-trace compare vs baselines/quick.json (soft gate)"
+snap="$(mktemp /tmp/bench_rev.XXXXXX.json)"
+t0=$(date +%s.%N)
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --json "$snap" >/dev/null
+t1=$(date +%s.%N)
+if ! cargo run --release -q -p rev-trace -- compare baselines/quick.json "$snap"; then
+    echo "WARN: measurements drifted from baselines/quick.json (soft gate)."
+    echo "      If intentional, regenerate with:"
+    echo "      cargo run --release -p rev-bench --bin reproduce_all -- --quick --quiet --json baselines/quick.json"
+fi
+if [ -f baselines/quick.time ]; then
+    python3 - "$t0" "$t1" <<'EOF' || true
+import sys
+t0, t1 = float(sys.argv[1]), float(sys.argv[2])
+ref = float(open("baselines/quick.time").read())
+now = t1 - t0
+limit = ref * 1.02 * 1.25  # 2% overhead budget + host-noise allowance
+print(f"    quick sweep wall clock: {now:.1f}s (reference {ref:.1f}s)")
+if now > limit:
+    print(f"WARN: wall clock exceeds {limit:.1f}s — tracing taps may have grown a hot-path cost (soft gate).")
+EOF
+fi
+rm -f "$snap"
 
 echo "==> OK"

@@ -1,15 +1,38 @@
 #!/usr/bin/env python3
-"""Assembles EXPERIMENTS.md from reproduce_all_output.txt + ablation logs.
+"""Assembles EXPERIMENTS.md from reproduce_all's output + ablation logs.
 
 Run from the repository root after:
   cargo run --release -p rev-bench --bin reproduce_all > reproduce_all_output.txt
+
+which also writes the machine-readable snapshot BENCH_rev.json; when that
+file is present, Table 1 is rendered from its `attacks` array instead of
+being scraped from the text (same data, sturdier source). Ablation logs
+(ablation_*.txt) are picked up if regenerated, else the previous pass's
+text is kept.
 """
+import json
 import re
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 out = (ROOT / "reproduce_all_output.txt").read_text()
+
+
+def table1():
+    """Table 1 from the JSON snapshot when available, else the text dump."""
+    snap_path = ROOT / "BENCH_rev.json"
+    if not snap_path.exists():
+        return section("=== Table 1")
+    snap = json.loads(snap_path.read_text())
+    assert snap["schema"] == "rev-trace/1", snap["schema"]
+    lines = []
+    for a in snap["attacks"]:
+        lines.append(
+            f"  {a['kind']:<28} detected: {str(a['detected']).lower():<5} "
+            f"via {a['violation'] or '-'}"
+        )
+    return "\n".join(lines)
 
 def section(name, stop="==="):
     start = out.index(name)
@@ -38,6 +61,20 @@ which attacks are caught and how, which benchmarks pay for REV and why
 (SC working sets, Figs. 8–11), how the modes rank, and where the averages
 land.
 
+**Regenerating.** One command produces everything below (tables on
+stdout, plus the machine-readable `BENCH_rev.json` snapshot documented in
+`docs/METRICS.md`); a second assembles this file:
+
+```sh
+cargo run --release -p rev-bench --bin reproduce_all > reproduce_all_output.txt
+python3 scripts/make_experiments.py > EXPERIMENTS.md
+```
+
+Table 1 is rendered from the snapshot's `attacks` array. To check a new
+pass against the committed quick-mode reference, run
+`cargo run --release -p rev-trace -- compare baselines/quick.json BENCH_rev.json`
+(`scripts/check.sh` does this automatically as a soft gate).
+
 ## Table 1 — attacks, detection, containment
 
 Paper: qualitative table of six attack classes and the REV check that
@@ -45,14 +82,15 @@ catches each. Measured (plus table tampering from Sec. VII; "unprotected"
 runs demonstrate the attacks genuinely compromise a machine without REV):
 
 ```
-{section("=== Table 1")}
+{table1()}
 ```
 
-Matches the paper mechanism-for-mechanism: code injection → BB hash;
+(Rendered from `BENCH_rev.json`'s `attacks` array.) Matches the paper
+mechanism-for-mechanism: code injection → BB hash;
 ROP/return-to-libc → return linkage (the delayed return check);
 JOP/vtable → computed-target membership. In every case the malicious
-store was quarantined and discarded: validated memory was never tainted
-(requirement R5).
+store was quarantined and discarded — the harness's taint canaries stayed
+clean in both containment modes (requirement R5).
 
 ## Table 2 — machine configuration
 
