@@ -1,7 +1,7 @@
 //! Mounting attacks and adjudicating detection + containment.
 
 use crate::victim::{victim_program, VictimMap, TAINT_VALUE};
-use crate::AttackKind;
+use crate::{AttackError, AttackKind};
 use rev_core::{RevConfig, RevSimulator, Violation};
 use rev_cpu::{CpuConfig, NullMonitor, Oracle, Pipeline};
 use rev_isa::{Instruction, Reg};
@@ -70,19 +70,23 @@ fn attack_writes(kind: AttackKind, map: &VictimMap, write: &mut dyn FnMut(u64, &
 }
 
 /// Mounts `kind` against the victim on a REV-protected machine.
-pub fn mount(kind: AttackKind, config: RevConfig) -> AttackOutcome {
+///
+/// # Errors
+///
+/// Returns [`AttackError`] if the victim fails to assemble, the
+/// simulator rejects the configuration, or the victim violates during
+/// warmup (a broken scenario, not a detected attack).
+pub fn mount(kind: AttackKind, config: RevConfig) -> Result<AttackOutcome, AttackError> {
     // Table tampering is only observable when the SC re-reads the table,
     // so that scenario runs with a miss-prone (tiny) SC.
     let config =
         if kind == AttackKind::TableTamper { config.with_sc_capacity(256) } else { config };
-    let (program, map) = victim_program();
-    let mut sim = RevSimulator::new(program, config).expect("victim builds");
+    let (program, map) = victim_program()?;
+    let mut sim = RevSimulator::new(program, config)?;
     let warm = sim.run(WARMUP);
-    assert!(
-        warm.rev.violation.is_none(),
-        "victim must run clean before the attack: {:?}",
-        warm.rev.violation
-    );
+    if let Some(v) = warm.rev.violation {
+        return Err(AttackError::DirtyWarmup(v));
+    }
     if kind == AttackKind::TableTamper {
         let ranges: Vec<(u64, usize)> =
             sim.monitor().sag().tables().iter().map(|t| (t.base(), t.image().len())).collect();
@@ -101,20 +105,24 @@ pub fn mount(kind: AttackKind, config: RevConfig) -> AttackOutcome {
     }
     let report = sim.run(WARMUP + TOTAL);
     let violation = report.rev.violation;
-    AttackOutcome {
+    Ok(AttackOutcome {
         kind,
         detected: violation.is_some(),
         violation,
         tainted: sim.monitor().committed().read_u64(map.canary_addr) != 0,
         committed: report.cpu.committed_instrs,
-    }
+    })
 }
 
 /// Mounts `kind` against the victim on an **unprotected** machine (no
 /// REV): demonstrates that the attacks genuinely work — the canary gets
 /// tainted — when nothing validates the execution.
-pub fn mount_unprotected(kind: AttackKind) -> AttackOutcome {
-    let (program, map) = victim_program();
+///
+/// # Errors
+///
+/// Returns [`AttackError`] if the victim fails to assemble.
+pub fn mount_unprotected(kind: AttackKind) -> Result<AttackOutcome, AttackError> {
+    let (program, map) = victim_program()?;
     let memory = MainMemory::with_segments(&program.segments());
     let oracle = Oracle::new(memory.clone(), program.entry(), program.initial_sp());
     let mut pipeline =
@@ -130,13 +138,13 @@ pub fn mount_unprotected(kind: AttackKind) -> AttackOutcome {
         }
     }
     let result = pipeline.run(&mut monitor, WARMUP + TOTAL);
-    AttackOutcome {
+    Ok(AttackOutcome {
         kind,
         detected: false,
         violation: None,
         tainted: monitor.committed().read_u64(map.canary_addr) != 0,
         committed: result.stats.committed_instrs,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +153,7 @@ mod tests {
     use rev_core::ViolationKind;
 
     fn check(kind: AttackKind, expect: &[ViolationKind]) {
-        let out = mount(kind, RevConfig::paper_default());
+        let out = mount(kind, RevConfig::paper_default()).expect("scenario mounts");
         assert!(out.detected, "{kind} not detected");
         let got = out.violation.expect("violation present").kind;
         assert!(expect.contains(&got), "{kind}: expected one of {expect:?}, got {got:?}");
@@ -193,7 +201,8 @@ mod tests {
 
     #[test]
     fn table_tamper_detected() {
-        let out = mount(AttackKind::TableTamper, RevConfig::paper_default());
+        let out =
+            mount(AttackKind::TableTamper, RevConfig::paper_default()).expect("scenario mounts");
         assert!(out.detected);
         assert!(matches!(
             out.violation.unwrap().kind,
@@ -212,7 +221,7 @@ mod tests {
             AttackKind::VtableCompromise,
             AttackKind::ReturnToLibc,
         ] {
-            let out = mount_unprotected(kind);
+            let out = mount_unprotected(kind).expect("scenario mounts");
             assert!(out.tainted, "{kind} failed to compromise the unprotected machine");
         }
     }

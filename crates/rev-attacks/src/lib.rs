@@ -16,7 +16,7 @@
 //! use rev_attacks::{mount, AttackKind};
 //! use rev_core::RevConfig;
 //!
-//! let outcome = mount(AttackKind::ReturnOriented, RevConfig::paper_default());
+//! let outcome = mount(AttackKind::ReturnOriented, RevConfig::paper_default()).unwrap();
 //! assert!(outcome.detected);
 //! assert!(!outcome.tainted);
 //! ```
@@ -28,6 +28,58 @@ pub use harness::{mount, mount_unprotected, AttackOutcome};
 pub use victim::{victim_program, VictimMap, INJECT_REGION, TAINT_VALUE};
 
 use std::fmt;
+
+/// Structured harness errors: mounting an attack propagates build and
+/// configuration failures as values instead of panicking, so sweeps over
+/// many configurations (and chaos campaigns driving this harness) can
+/// report a broken scenario and move on.
+#[derive(Debug)]
+pub enum AttackError {
+    /// A victim module failed to assemble.
+    Assemble {
+        /// Module name (`"victim"` or `"libc"`).
+        module: &'static str,
+        /// Underlying assembler error.
+        source: rev_prog::BuildError,
+    },
+    /// An assembled module is missing a symbol the attacks target.
+    MissingSymbol {
+        /// Module name.
+        module: &'static str,
+        /// The absent symbol.
+        symbol: &'static str,
+    },
+    /// Simulator construction rejected the program or configuration.
+    Sim(rev_core::SimError),
+    /// The victim raised a violation during warmup, before any attack
+    /// was mounted — the scenario's baseline is broken.
+    DirtyWarmup(rev_core::Violation),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Assemble { module, source } => {
+                write!(f, "victim module '{module}' failed to assemble: {source}")
+            }
+            AttackError::MissingSymbol { module, symbol } => {
+                write!(f, "victim module '{module}' is missing symbol '{symbol}'")
+            }
+            AttackError::Sim(e) => write!(f, "victim simulator failed to build: {e}"),
+            AttackError::DirtyWarmup(v) => {
+                write!(f, "victim violated during warmup, before any attack: {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttackError {}
+
+impl From<rev_core::SimError> for AttackError {
+    fn from(e: rev_core::SimError) -> Self {
+        AttackError::Sim(e)
+    }
+}
 
 /// The attack classes of the paper's Table 1 (plus table tampering from
 /// Sec. VII's security discussion).

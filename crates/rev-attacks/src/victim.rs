@@ -12,6 +12,7 @@
 //! * A second module (`libc`) provides a privileged function for
 //!   return-to-libc, exercising REV's cross-module SAG path.
 
+use crate::AttackError;
 use rev_isa::{BranchCond, Instruction, Reg};
 use rev_prog::{Module, ModuleBuilder, Program};
 
@@ -53,7 +54,7 @@ const VICTIM_BASE: u64 = 0x1000;
 const LIBC_BASE: u64 = 0x8_0000;
 const PATCH_MARKER_IMM: i32 = 41;
 
-fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
+fn build_victim(canary_guess: &mut Option<u64>) -> Result<(Module, VictimMap), AttackError> {
     let mut b = ModuleBuilder::new("victim", VICTIM_BASE);
 
     // Data cells. Layout: flag at +0, evil at +8, canary at +16 (the
@@ -174,17 +175,17 @@ fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
     b.push(Instruction::Ret);
     b.end_function(f);
 
-    let module = b.finish().expect("victim assembles");
+    let module = b.finish().map_err(|source| AttackError::Assemble { module: "victim", source })?;
 
     // Resolve addresses.
     let data_base = module.data_base();
-    let find_fn = |name: &str| {
+    let find_fn = |name: &'static str| {
         module
             .functions()
             .iter()
             .find(|f| f.name == name)
-            .unwrap_or_else(|| panic!("function {name}"))
-            .entry
+            .map(|f| f.entry)
+            .ok_or(AttackError::MissingSymbol { module: "victim", symbol: name })
     };
     // Locate the patch marker.
     let patch_addr = module
@@ -194,7 +195,7 @@ fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
             matches!(insn, Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm } if *imm == PATCH_MARKER_IMM)
         })
         .map(|(addr, _, _)| addr)
-        .expect("patch marker present");
+        .ok_or(AttackError::MissingSymbol { module: "victim", symbol: "patch marker" })?;
 
     let map = VictimMap {
         flag_addr: data_base + flag_off as u64,
@@ -202,17 +203,17 @@ fn build_victim(canary_guess: &mut Option<u64>) -> (Module, VictimMap) {
         canary_addr: data_base + canary_off as u64,
         vtable_slot_addr: data_base + vtable_off as u64,
         jt_slot_addr: data_base + jt_off as u64,
-        gadget_addr: find_fn("gadget"),
-        lonely_addr: find_fn("lonely"),
+        gadget_addr: find_fn("gadget")?,
+        lonely_addr: find_fn("lonely")?,
         libc_privileged_addr: 0, // filled after libc builds
         patch_addr,
         inject_region: INJECT_REGION,
     };
     *canary_guess = Some(map.canary_addr);
-    (module, map)
+    Ok((module, map))
 }
 
-fn build_libc(canary_addr: u64) -> Module {
+fn build_libc(canary_addr: u64) -> Result<Module, AttackError> {
     let mut b = ModuleBuilder::new("libc", LIBC_BASE);
     let helper = b.new_label();
     // libc_api: entry at LIBC_BASE — called cross-module by the victim.
@@ -234,21 +235,33 @@ fn build_libc(canary_addr: u64) -> Module {
     b.push(Instruction::Store { rs: Reg::R9, rbase: Reg::R10, off: 0 });
     b.push(Instruction::Ret);
     b.end_function(f);
-    b.finish().expect("libc assembles")
+    b.finish().map_err(|source| AttackError::Assemble { module: "libc", source })
 }
 
 /// Builds the two-module victim program and its attack-surface map.
-pub fn victim_program() -> (Program, VictimMap) {
+///
+/// # Errors
+///
+/// Returns [`AttackError`] if either module fails to assemble or an
+/// expected symbol is missing — the harness propagates this instead of
+/// panicking, so sweeps over many configurations degrade gracefully.
+pub fn victim_program() -> Result<(Program, VictimMap), AttackError> {
     let mut canary = None;
-    let (victim, mut map) = build_victim(&mut canary);
-    let libc = build_libc(canary.expect("set by build_victim"));
-    map.libc_privileged_addr =
-        libc.functions().iter().find(|f| f.name == "privileged").expect("privileged exists").entry;
+    let (victim, mut map) = build_victim(&mut canary)?;
+    let canary_addr =
+        canary.ok_or(AttackError::MissingSymbol { module: "victim", symbol: "canary" })?;
+    let libc = build_libc(canary_addr)?;
+    map.libc_privileged_addr = libc
+        .functions()
+        .iter()
+        .find(|f| f.name == "privileged")
+        .map(|f| f.entry)
+        .ok_or(AttackError::MissingSymbol { module: "libc", symbol: "privileged" })?;
     let mut pb = Program::builder();
     pb.module(victim);
     pb.module(libc);
     pb.entry(VICTIM_BASE);
-    (pb.build(), map)
+    Ok((pb.build(), map))
 }
 
 #[cfg(test)]
@@ -259,7 +272,7 @@ mod tests {
 
     #[test]
     fn victim_runs_clean_without_attack() {
-        let (p, map) = victim_program();
+        let (p, map) = victim_program().unwrap();
         let mem = MainMemory::with_segments(&p.segments());
         let mut oracle = Oracle::new(mem, p.entry(), p.initial_sp());
         for _ in 0..20_000 {
@@ -272,7 +285,7 @@ mod tests {
 
     #[test]
     fn overflow_hijacks_control_when_armed() {
-        let (p, map) = victim_program();
+        let (p, map) = victim_program().unwrap();
         let mut mem = MainMemory::with_segments(&p.segments());
         mem.write_u64(map.flag_addr, 1);
         mem.write_u64(map.evil_addr, map.gadget_addr);
@@ -290,7 +303,7 @@ mod tests {
 
     #[test]
     fn map_addresses_are_consistent() {
-        let (p, map) = victim_program();
+        let (p, map) = victim_program().unwrap();
         assert_eq!(map.canary_addr, map.flag_addr + 16);
         assert!(p.module_containing(map.gadget_addr).is_some());
         assert!(p.module_containing(map.libc_privileged_addr).unwrap().name() == "libc");

@@ -23,14 +23,20 @@ fn main() {
         let unprot = if kind == AttackKind::TableTamper {
             "n/a".to_string() // tampering only matters to the validator
         } else {
-            let u = mount_unprotected(kind);
+            let u = mount_unprotected(kind).expect("victim builds");
             if u.tainted {
                 "yes".to_string()
             } else {
                 "NO (?)".to_string()
             }
         };
-        let out = mount(kind, RevConfig::paper_default());
+        let out = match mount(kind, RevConfig::paper_default()) {
+            Ok(out) => out,
+            Err(e) => {
+                eprintln!("[table1] {kind} failed to mount: {e}");
+                std::process::exit(2);
+            }
+        };
         t.row(vec![
             kind.to_string(),
             unprot,

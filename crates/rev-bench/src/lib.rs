@@ -481,7 +481,8 @@ pub fn record_attacks(
 ) -> Vec<(rev_attacks::AttackKind, rev_attacks::AttackOutcome)> {
     let mut outs = Vec::new();
     for kind in rev_attacks::AttackKind::ALL {
-        let out = rev_attacks::mount(kind, RevConfig::paper_default());
+        let out = rev_attacks::mount(kind, RevConfig::paper_default())
+            .unwrap_or_else(|e| panic!("attack scenario {kind} failed to mount: {e}"));
         snap.attacks.push(AttackRecord {
             kind: kind.to_string(),
             detected: out.detected,

@@ -1,0 +1,586 @@
+//! # rev-chaos — deterministic fault-injection campaigns against REV
+//!
+//! The paper's security argument (Table 1, Sec. VII) assumes the REV
+//! hardware itself is reliable. This crate stress-tests that assumption:
+//! it mounts seeded fault-injection campaigns across every validator
+//! structure — encrypted signature-table lines crossing the DRAM
+//! interface, resident SC entries, CHG output digests, the delayed
+//! return-address latch, deferred-store-buffer entries, and SAG
+//! base/limit registers — and adjudicates how the machine degrades.
+//!
+//! Every injection run is one fresh simulation of the `rev-attacks`
+//! victim with a single armed [`FaultSpec`]. The run's outcome is
+//! classified against a fault-free calibration run of the same
+//! configuration:
+//!
+//! * **detected** — the fault fired and REV raised a violation (a
+//!   fail-closed kill; for faults in validator state this is the
+//!   machine correctly refusing to vouch for the execution),
+//! * **contained** — the fault fired (or never armed a reachable site)
+//!   and the run's committed-instruction count, halt status and
+//!   committed-memory digest all match the calibration reference — the
+//!   transient either healed (re-fetch retry, see
+//!   `RevConfig::sigline_retries`) or landed in dont-care bits,
+//! * **silent-corruption** — no violation, yet architectural state
+//!   diverged from the reference: the validator vouched for a run it
+//!   should have killed,
+//! * **false-positive** — a violation with zero faults fired: the
+//!   validator killed a healthy run.
+//!
+//! Campaigns are deterministic end to end: the injection plan is a pure
+//! function of `(seed, calibration visit counts)`, each run is
+//! single-threaded simulation, and reports render through `rev-trace`'s
+//! canonical JSON — byte-identical across repeat runs and `--jobs`
+//! values.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use rev_attacks::AttackError;
+use rev_bench::{parallel_map, Narrator};
+use rev_core::{RevConfig, RevSimulator, RunOutcome, Violation, ViolationKind};
+use rev_trace::{
+    EventKind, FaultInjector, FaultKind, FaultLayer, FaultSpec, Histogram, Json, MetricRegistry,
+    TraceEvent, Verdict, FAULT_LAYERS,
+};
+
+/// Schema tag stamped into every campaign report.
+pub const SCHEMA: &str = "rev-chaos/1";
+
+/// Trace-ring capacity per injection run: large enough that the window
+/// between a fault strike and its kill verdict survives ring wrap.
+const RING_CAPACITY: usize = 1 << 17;
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness
+// ---------------------------------------------------------------------------
+
+/// splitmix64: decorrelates `(seed, lane)` into an xorshift state.
+fn mix(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Minimal xorshift64 stream; state is never zero thanks to [`mix`]'s
+/// final avalanche plus the fallback below.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64, lane: u64) -> Self {
+        let s = mix(seed, lane);
+        Rng(if s == 0 { 0x9e37_79b9_7f4a_7c15 } else { s })
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration and errors
+// ---------------------------------------------------------------------------
+
+/// Parameters of one fault-injection campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Seed for the injection plan (kinds, triggers, bit positions).
+    pub seed: u64,
+    /// Number of injections to plan (round-robin over `layers`).
+    pub faults: usize,
+    /// Committed-instruction budget per run (calibration and injections).
+    pub instructions: u64,
+    /// Signature-cache capacity in bytes. Kept deliberately small so the
+    /// SC keeps missing and every layer (table walks, installs, refills)
+    /// stays hot within the budget.
+    pub sc_capacity: usize,
+    /// Layers under test, in plan round-robin order (deduplicated).
+    pub layers: Vec<FaultLayer>,
+    /// Worker threads for the injection fan-out. Purely a wall-clock
+    /// knob: reports are byte-identical for every value.
+    pub jobs: usize,
+    /// Per-run event tracing. Required for detection-latency
+    /// measurement; verdicts and committed counts are identical either
+    /// way (see the tracing-equivalence test).
+    pub tracing: bool,
+}
+
+impl CampaignConfig {
+    /// The quick campaign wired into `scripts/check.sh` (≤ 5 s).
+    pub fn quick(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            faults: 60,
+            instructions: 20_000,
+            sc_capacity: 512,
+            layers: FaultLayer::ALL.to_vec(),
+            jobs: 1,
+            tracing: true,
+        }
+    }
+
+    /// The full campaign of the acceptance criteria (≥ 200 injections,
+    /// all layers).
+    pub fn full(seed: u64) -> Self {
+        CampaignConfig { faults: 240, ..CampaignConfig::quick(seed) }
+    }
+
+    /// The REV configuration every campaign run simulates under.
+    pub fn rev_config(&self) -> RevConfig {
+        RevConfig::paper_default().with_sc_capacity(self.sc_capacity)
+    }
+}
+
+/// Campaign-level failures (not fault outcomes — those are data).
+#[derive(Debug)]
+pub enum ChaosError {
+    /// The victim harness failed to build or simulate.
+    Attack(AttackError),
+    /// The fault-free calibration run itself violated: the baseline is
+    /// broken and no injection can be adjudicated against it.
+    DirtyBaseline(Violation),
+    /// The campaign has no layers to inject into.
+    NoLayers,
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Attack(e) => write!(f, "victim harness failed: {e}"),
+            ChaosError::DirtyBaseline(v) => {
+                write!(f, "fault-free calibration run violated: {v}")
+            }
+            ChaosError::NoLayers => f.write_str("campaign has no fault layers selected"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+impl From<AttackError> for ChaosError {
+    fn from(e: AttackError) -> Self {
+        ChaosError::Attack(e)
+    }
+}
+
+impl From<rev_core::SimError> for ChaosError {
+    fn from(e: rev_core::SimError) -> Self {
+        ChaosError::Attack(AttackError::Sim(e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+/// Reference state from the fault-free run: per-layer injection-site
+/// visit counts (the trigger space) plus the architectural fingerprint
+/// injected runs are compared against.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    /// Site visits per layer (`FaultLayer::idx` order) over the whole
+    /// budget; triggers are drawn from `1..=visits[layer]` so every
+    /// planned fault is guaranteed to strike.
+    pub visits: [u64; FAULT_LAYERS],
+    /// Committed instructions at run end.
+    pub committed: u64,
+    /// `MainMemory::content_digest` of committed memory below the
+    /// signature-table region.
+    pub digest: u64,
+    /// Whether the run halted (vs exhausting its budget).
+    pub halted: bool,
+    /// Lowest signature-table base: the digest limit, excluding the
+    /// table region (whose bytes injection legitimately perturbs).
+    pub table_lo: u64,
+}
+
+fn build_sim(cfg: &CampaignConfig) -> Result<RevSimulator, ChaosError> {
+    let (program, _map) = rev_attacks::victim_program()?;
+    Ok(RevSimulator::new(program, cfg.rev_config())?)
+}
+
+fn min_table_base(sim: &RevSimulator) -> u64 {
+    sim.monitor().sag().tables().iter().map(|t| t.base()).min().unwrap_or(u64::MAX)
+}
+
+/// Runs the victim once with a counting (never-firing) injector and
+/// captures the reference fingerprint.
+///
+/// # Errors
+///
+/// [`ChaosError::Attack`] if the victim fails to build,
+/// [`ChaosError::DirtyBaseline`] if the clean run violates.
+pub fn calibrate(cfg: &CampaignConfig) -> Result<Calibration, ChaosError> {
+    let mut sim = build_sim(cfg)?;
+    let counter = FaultInjector::counter();
+    sim.set_fault_injector(counter.clone());
+    let report = sim.run(cfg.instructions);
+    if let Some(v) = report.rev.violation {
+        return Err(ChaosError::DirtyBaseline(v));
+    }
+    let table_lo = min_table_base(&sim);
+    Ok(Calibration {
+        visits: counter.visits(),
+        committed: report.cpu.committed_instrs,
+        digest: sim.monitor().committed().content_digest(table_lo),
+        halted: matches!(report.outcome, RunOutcome::Halted),
+        table_lo,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+/// Draws the campaign's injection plan: a pure function of
+/// `(cfg.seed, cfg.layers, calibration visits)`, computed in full before
+/// any worker runs so `--jobs` cannot influence it. Layers the
+/// calibration never visited are skipped (second return value).
+pub fn plan_campaign(cfg: &CampaignConfig, calib: &Calibration) -> (Vec<FaultSpec>, u64) {
+    let mut specs = Vec::with_capacity(cfg.faults);
+    let mut skipped = 0u64;
+    for i in 0..cfg.faults {
+        let layer = cfg.layers[i % cfg.layers.len()];
+        let visits = calib.visits[layer.idx()];
+        if visits == 0 {
+            skipped += 1;
+            continue;
+        }
+        let mut rng = Rng::new(cfg.seed, i as u64);
+        let kind = match layer {
+            // DRAM line transfers: mostly transients (SEUs), with a
+            // stuck-cell minority that defeats the re-fetch retry.
+            FaultLayer::SigLine => {
+                if rng.next().is_multiple_of(3) {
+                    FaultKind::Persistent
+                } else {
+                    FaultKind::Transient
+                }
+            }
+            // Register files don't heal: model stuck-at bits.
+            FaultLayer::SagRegister => {
+                if rng.next().is_multiple_of(2) {
+                    FaultKind::StuckAt0
+                } else {
+                    FaultKind::StuckAt1
+                }
+            }
+            _ => FaultKind::Transient,
+        };
+        let trigger = 1 + rng.next() % visits;
+        let bit = (rng.next() % 128) as u32;
+        specs.push(FaultSpec { layer, kind, trigger, bit });
+    }
+    (specs, skipped)
+}
+
+// ---------------------------------------------------------------------------
+// Injection runs and adjudication
+// ---------------------------------------------------------------------------
+
+/// How one injection run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Fault fired and REV raised a violation (fail-closed).
+    Detected,
+    /// No violation and the architectural fingerprint matches the
+    /// calibration reference.
+    Contained,
+    /// No violation but the fingerprint diverged: REV vouched for a
+    /// corrupted execution.
+    SilentCorruption,
+    /// A violation with zero fired faults: REV killed a healthy run.
+    FalsePositive,
+}
+
+impl Outcome {
+    /// Every outcome, in report order.
+    pub const ALL: [Outcome; 4] =
+        [Outcome::Detected, Outcome::Contained, Outcome::SilentCorruption, Outcome::FalsePositive];
+
+    /// Lowercase label used in metric names and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Detected => "detected",
+            Outcome::Contained => "contained",
+            Outcome::SilentCorruption => "silent_corruption",
+            Outcome::FalsePositive => "false_positive",
+        }
+    }
+}
+
+/// The adjudicated result of one injection run.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectionRecord {
+    /// The armed fault.
+    pub spec: FaultSpec,
+    /// How many times it struck.
+    pub fired: u64,
+    /// Adjudicated outcome.
+    pub outcome: Outcome,
+    /// The violation kind, when REV killed the run.
+    pub violation: Option<ViolationKind>,
+    /// Committed instructions at run end.
+    pub committed: u64,
+    /// Detection latency in committed instructions (strike → kill
+    /// verdict), when the run was detected and tracing was on.
+    pub latency: Option<u64>,
+    /// Signature-line re-fetch retries the monitor spent this run.
+    pub retries: u64,
+    /// Fills that recovered after retrying (transients healed).
+    pub recoveries: u64,
+}
+
+/// Detection latency in committed instructions: the number of `Commit`
+/// events between the last `FaultFired` strike and the final violating
+/// `ValidationVerdict` in the drained ring. `None` when either endpoint
+/// is absent (no strike, no kill, or the strike aged out of the ring).
+pub fn detection_latency(events: &[TraceEvent]) -> Option<u64> {
+    let strike = events.iter().rposition(|e| matches!(e.kind, EventKind::FaultFired { .. }))?;
+    let kill = events.iter().rposition(|e| {
+        matches!(e.kind, EventKind::ValidationVerdict { verdict, .. } if verdict != Verdict::Validated)
+    })?;
+    if kill < strike {
+        return None;
+    }
+    let commits =
+        events[strike..=kill].iter().filter(|e| matches!(e.kind, EventKind::Commit { .. })).count();
+    Some(commits as u64)
+}
+
+/// Runs the victim once with `spec` armed and adjudicates the outcome
+/// against `calib`.
+///
+/// # Errors
+///
+/// [`ChaosError::Attack`] if the victim fails to build.
+pub fn run_injection(
+    cfg: &CampaignConfig,
+    spec: FaultSpec,
+    calib: &Calibration,
+) -> Result<InjectionRecord, ChaosError> {
+    let mut sim = build_sim(cfg)?;
+    // Tracing first: the injector picks up the bus when installed.
+    let bus = if cfg.tracing { Some(sim.enable_tracing(RING_CAPACITY)) } else { None };
+    let injector = FaultInjector::armed(spec);
+    sim.set_fault_injector(injector.clone());
+    let report = sim.run(cfg.instructions);
+
+    let fired = injector.fired();
+    let violation = report.rev.violation.map(|v| v.kind);
+    let committed = report.cpu.committed_instrs;
+    let outcome = match violation {
+        Some(_) if fired > 0 => Outcome::Detected,
+        Some(_) => Outcome::FalsePositive,
+        None => {
+            let digest = sim.monitor().committed().content_digest(calib.table_lo);
+            let halted = matches!(report.outcome, RunOutcome::Halted);
+            if committed == calib.committed && digest == calib.digest && halted == calib.halted {
+                Outcome::Contained
+            } else {
+                Outcome::SilentCorruption
+            }
+        }
+    };
+    let latency = if outcome == Outcome::Detected {
+        bus.as_ref().and_then(|b| detection_latency(&b.drain()))
+    } else {
+        None
+    };
+    Ok(InjectionRecord {
+        spec,
+        fired,
+        outcome,
+        violation,
+        committed,
+        latency,
+        retries: report.rev.sigline_retries,
+        recoveries: report.rev.sigline_recoveries,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Campaigns
+// ---------------------------------------------------------------------------
+
+/// A finished campaign: configuration, reference, and every adjudicated
+/// injection in plan order.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// The campaign parameters.
+    pub config: CampaignConfig,
+    /// The fault-free reference.
+    pub calibration: Calibration,
+    /// Planned injections dropped because their layer had no visits.
+    pub skipped: u64,
+    /// Adjudicated injections, in deterministic plan order.
+    pub records: Vec<InjectionRecord>,
+}
+
+impl CampaignReport {
+    /// Number of injections with the given outcome.
+    pub fn count(&self, outcome: Outcome) -> u64 {
+        self.records.iter().filter(|r| r.outcome == outcome).count() as u64
+    }
+
+    /// Whether the campaign is clean: zero silent-corruption and zero
+    /// false-positive outcomes (the `scripts/check.sh` gate).
+    pub fn clean(&self) -> bool {
+        self.count(Outcome::SilentCorruption) == 0 && self.count(Outcome::FalsePositive) == 0
+    }
+
+    /// Exports the campaign into the `chaos.*` metric namespace
+    /// (documented in `docs/METRICS.md`).
+    pub fn metrics(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        reg.counter("chaos.injections", self.records.len() as u64);
+        reg.counter("chaos.skipped", self.skipped);
+        for o in Outcome::ALL {
+            reg.counter(&format!("chaos.outcome.{}", o.label()), self.count(o));
+        }
+        reg.counter("chaos.retries", self.records.iter().map(|r| r.retries).sum());
+        reg.counter("chaos.recoveries", self.records.iter().map(|r| r.recoveries).sum());
+        let mut latency = Histogram::new();
+        for r in &self.records {
+            if let Some(l) = r.latency {
+                latency.record(l);
+            }
+        }
+        reg.histogram("chaos.latency", latency);
+        for &layer in &self.config.layers {
+            let of_layer = || self.records.iter().filter(move |r| r.spec.layer == layer);
+            reg.counter(&format!("chaos.{}.injections", layer.label()), of_layer().count() as u64);
+            for o in Outcome::ALL {
+                let n = of_layer().filter(|r| r.outcome == o).count() as u64;
+                reg.counter(&format!("chaos.{}.{}", layer.label(), o.label()), n);
+            }
+        }
+        reg
+    }
+
+    /// Renders the canonical campaign report. Byte-identical for a given
+    /// `(seed, faults, layers, instructions, sc_capacity)` regardless of
+    /// `jobs`, repeat runs, or tracing overhead.
+    pub fn to_json(&self) -> Json {
+        let meta = Json::obj(vec![
+            ("seed", Json::Int(self.config.seed as i64)),
+            ("faults", Json::Int(self.config.faults as i64)),
+            ("instructions", Json::Int(self.config.instructions as i64)),
+            ("sc_capacity", Json::Int(self.config.sc_capacity as i64)),
+            (
+                "layers",
+                Json::Arr(self.config.layers.iter().map(|l| Json::Str(l.label().into())).collect()),
+            ),
+        ]);
+        let calibration = Json::obj(vec![
+            ("committed", Json::Int(self.calibration.committed as i64)),
+            ("digest", Json::Str(format!("{:#018x}", self.calibration.digest))),
+            ("halted", Json::Bool(self.calibration.halted)),
+            (
+                "visits",
+                Json::obj(
+                    FaultLayer::ALL
+                        .iter()
+                        .map(|l| (l.label(), Json::Int(self.calibration.visits[l.idx()] as i64)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let mut summary = vec![
+            ("injections", Json::Int(self.records.len() as i64)),
+            ("skipped", Json::Int(self.skipped as i64)),
+        ];
+        for o in Outcome::ALL {
+            summary.push((o.label(), Json::Int(self.count(o) as i64)));
+        }
+        summary.push((
+            "retries",
+            Json::Int(self.records.iter().map(|r| r.retries).sum::<u64>() as i64),
+        ));
+        summary.push((
+            "recoveries",
+            Json::Int(self.records.iter().map(|r| r.recoveries).sum::<u64>() as i64),
+        ));
+        let injections = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("layer", Json::Str(r.spec.layer.label().into())),
+                    ("kind", Json::Str(r.spec.kind.label().into())),
+                    ("trigger", Json::Int(r.spec.trigger as i64)),
+                    ("bit", Json::Int(r.spec.bit as i64)),
+                    ("outcome", Json::Str(r.outcome.label().into())),
+                    ("violation", r.violation.map_or(Json::Null, |k| Json::Str(k.to_string()))),
+                    ("fired", Json::Int(r.fired as i64)),
+                    ("committed", Json::Int(r.committed as i64)),
+                    ("latency", r.latency.map_or(Json::Null, |l| Json::Int(l as i64))),
+                    ("retries", Json::Int(r.retries as i64)),
+                    ("recoveries", Json::Int(r.recoveries as i64)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("schema", Json::Str(SCHEMA.into())),
+            ("meta", meta),
+            ("calibration", calibration),
+            ("summary", Json::obj(summary)),
+            ("injections", Json::Arr(injections)),
+            ("metrics", self.metrics().to_json()),
+        ])
+    }
+}
+
+/// Runs a full campaign: calibrate, plan, fan the injections out over
+/// `cfg.jobs` workers (input-order results), adjudicate.
+///
+/// # Errors
+///
+/// [`ChaosError`] when the victim fails to build, the baseline is dirty,
+/// or no layers are selected. Individual fault outcomes are never
+/// errors — they are the campaign's data.
+pub fn run_campaign(
+    cfg: &CampaignConfig,
+    narrator: &Narrator,
+) -> Result<CampaignReport, ChaosError> {
+    let mut cfg = cfg.clone();
+    let mut seen = [false; FAULT_LAYERS];
+    cfg.layers.retain(|l| !std::mem::replace(&mut seen[l.idx()], true));
+    if cfg.layers.is_empty() {
+        return Err(ChaosError::NoLayers);
+    }
+    let calib = calibrate(&cfg)?;
+    narrator.note(&format!(
+        "calibration: {} committed, visits per layer {:?}",
+        calib.committed,
+        FaultLayer::ALL.map(|l| format!("{}={}", l.label(), calib.visits[l.idx()])),
+    ));
+    let (plan, skipped) = plan_campaign(&cfg, &calib);
+    narrator.note(&format!(
+        "plan: {} injections across {} layers ({} skipped, no visits)",
+        plan.len(),
+        cfg.layers.len(),
+        skipped,
+    ));
+    let results = parallel_map(cfg.jobs, &plan, |_worker, spec| run_injection(&cfg, *spec, &calib));
+    let mut records = Vec::with_capacity(results.len());
+    for r in results {
+        records.push(r?);
+    }
+    let report = CampaignReport { config: cfg, calibration: calib, skipped, records };
+    narrator.note(&format!(
+        "outcomes: {} detected / {} contained / {} silent / {} false-positive",
+        report.count(Outcome::Detected),
+        report.count(Outcome::Contained),
+        report.count(Outcome::SilentCorruption),
+        report.count(Outcome::FalsePositive),
+    ));
+    Ok(report)
+}

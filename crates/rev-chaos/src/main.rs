@@ -1,0 +1,153 @@
+//! `rev-chaos` CLI: deterministic fault-injection campaigns.
+//!
+//! ```text
+//! rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]
+//!           [--layer LABEL]... [--jobs N] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit status: `0` when the campaign is clean (zero silent-corruption,
+//! zero false-positive), `1` when it is not, `2` on usage or harness
+//! errors. Output (stdout table and `--json` report) is byte-identical
+//! for a given seed/plan regardless of `--jobs`.
+
+use std::process::ExitCode;
+
+use rev_bench::Narrator;
+use rev_chaos::{run_campaign, CampaignConfig, Outcome};
+use rev_trace::FaultLayer;
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]\n\
+         \x20                [--layer LABEL|all]... [--jobs N] [--json PATH] [--quiet]"
+    );
+    eprint!("layers:");
+    for l in FaultLayer::ALL {
+        eprint!(" {}", l.label());
+    }
+    eprintln!();
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut quiet = false;
+    let mut seed: u64 = 0xc4a05;
+    let mut faults: Option<usize> = None;
+    let mut instructions: Option<u64> = None;
+    let mut jobs: usize = 1;
+    let mut json: Option<String> = None;
+    let mut layers: Vec<FaultLayer> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--quiet" => quiet = true,
+            "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
+                Ok(Ok(v)) => seed = v,
+                _ => return usage("--seed needs an unsigned integer"),
+            },
+            "--faults" => match value("--faults").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) if v > 0 => faults = Some(v),
+                _ => return usage("--faults needs a positive integer"),
+            },
+            "--instructions" => match value("--instructions").map(|v| v.parse::<u64>()) {
+                Ok(Ok(v)) if v > 0 => instructions = Some(v),
+                _ => return usage("--instructions needs a positive integer"),
+            },
+            "--jobs" => match value("--jobs").map(|v| v.parse::<usize>()) {
+                Ok(Ok(v)) if v > 0 => jobs = v,
+                _ => return usage("--jobs needs a positive integer"),
+            },
+            "--json" => match value("--json") {
+                Ok(v) => json = Some(v.clone()),
+                Err(e) => return usage(&e),
+            },
+            "--layer" => match value("--layer") {
+                Ok(v) if v == "all" => layers.extend(FaultLayer::ALL),
+                Ok(v) => match FaultLayer::parse(v) {
+                    Some(l) => layers.push(l),
+                    None => return usage(&format!("unknown layer '{v}'")),
+                },
+                Err(e) => return usage(&e),
+            },
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let mut cfg = if quick { CampaignConfig::quick(seed) } else { CampaignConfig::full(seed) };
+    if let Some(f) = faults {
+        cfg.faults = f;
+    }
+    if let Some(n) = instructions {
+        cfg.instructions = n;
+    }
+    if !layers.is_empty() {
+        cfg.layers = layers;
+    }
+    cfg.jobs = jobs;
+
+    let narrator = Narrator::new(quiet);
+    let report = match run_campaign(&cfg, &narrator) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "campaign seed={} injections={} skipped={}",
+        cfg.seed,
+        report.records.len(),
+        report.skipped
+    );
+    println!(
+        "{:<14} {:>10} {:>9} {:>9} {:>7} {:>6}",
+        "layer", "injections", "detected", "contained", "silent", "false"
+    );
+    for &layer in &report.config.layers {
+        let of = |o: Outcome| {
+            report.records.iter().filter(|r| r.spec.layer == layer && r.outcome == o).count()
+        };
+        println!(
+            "{:<14} {:>10} {:>9} {:>9} {:>7} {:>6}",
+            layer.label(),
+            report.records.iter().filter(|r| r.spec.layer == layer).count(),
+            of(Outcome::Detected),
+            of(Outcome::Contained),
+            of(Outcome::SilentCorruption),
+            of(Outcome::FalsePositive),
+        );
+    }
+    println!(
+        "totals: detected={} contained={} silent_corruption={} false_positive={} retries={} recoveries={}",
+        report.count(Outcome::Detected),
+        report.count(Outcome::Contained),
+        report.count(Outcome::SilentCorruption),
+        report.count(Outcome::FalsePositive),
+        report.records.iter().map(|r| r.retries).sum::<u64>(),
+        report.records.iter().map(|r| r.recoveries).sum::<u64>(),
+    );
+
+    if let Some(path) = json {
+        let text = report.to_json().render_pretty(2) + "\n";
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("CHAOS GATE FAILED: silent-corruption or false-positive outcomes present");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,238 @@
+//! Integration tests for the chaos engine: transient recovery, bounded
+//! escalation, parity containment, detection-latency accounting,
+//! tracing equivalence, and campaign determinism.
+
+use rev_attacks::victim_program;
+use rev_bench::Narrator;
+use rev_chaos::{calibrate, plan_campaign, run_campaign, run_injection, CampaignConfig, Outcome};
+use rev_core::{RevConfig, RevSimulator, ViolationKind};
+use rev_trace::{EventKind, FaultKind, FaultLayer, FaultSpec, MetricValue, Verdict};
+
+fn small_cfg(seed: u64) -> CampaignConfig {
+    CampaignConfig { seed, instructions: 12_000, ..CampaignConfig::quick(seed) }
+}
+
+/// Acceptance: transient single-bit signature-line faults recover via
+/// the bounded re-fetch retry without a kill verdict.
+#[test]
+fn transient_sigline_fault_recovers_without_kill() {
+    let cfg = small_cfg(1);
+    let calib = calibrate(&cfg).expect("clean baseline");
+    let visits = calib.visits[FaultLayer::SigLine.idx()];
+    assert!(visits > 0, "budget must exercise table-line reads");
+    let mut recovered = 0u64;
+    for trigger in 1..=visits.min(6) {
+        let spec =
+            FaultSpec { layer: FaultLayer::SigLine, kind: FaultKind::Transient, trigger, bit: 9 };
+        let rec = run_injection(&cfg, spec, &calib).expect("injection runs");
+        assert_eq!(rec.fired, 1, "trigger {trigger} must strike exactly once");
+        assert_eq!(
+            rec.outcome,
+            Outcome::Contained,
+            "transient sig-line flip must heal, got {:?} (violation {:?})",
+            rec.outcome,
+            rec.violation,
+        );
+        assert!(rec.violation.is_none(), "no kill verdict for a healed transient");
+        recovered += rec.recoveries;
+    }
+    assert!(recovered > 0, "at least one strike must be healed by an observable re-fetch");
+}
+
+/// A stuck DRAM cell defeats the re-fetch: the monitor spends its retry
+/// budget (`sigline_retries = 2`) and then escalates to a kill verdict.
+#[test]
+fn persistent_sigline_fault_escalates_after_bounded_retries() {
+    let cfg = small_cfg(2);
+    let calib = calibrate(&cfg).expect("clean baseline");
+    let visits = calib.visits[FaultLayer::SigLine.idx()];
+    let retry_budget = u64::from(cfg.rev_config().sigline_retries);
+    let mut detected = 0;
+    for trigger in 1..=visits.min(6) {
+        let spec =
+            FaultSpec { layer: FaultLayer::SigLine, kind: FaultKind::Persistent, trigger, bit: 9 };
+        let rec = run_injection(&cfg, spec, &calib).expect("injection runs");
+        assert!(
+            matches!(rec.outcome, Outcome::Detected | Outcome::Contained),
+            "persistent flip must be killed or land in dont-care bits, got {:?}",
+            rec.outcome,
+        );
+        if rec.outcome == Outcome::Detected {
+            detected += 1;
+            assert!(
+                matches!(
+                    rec.violation,
+                    Some(ViolationKind::TableCorrupt | ViolationKind::HashMismatch)
+                ),
+                "kill verdict must blame the table, got {:?}",
+                rec.violation,
+            );
+            assert!(
+                rec.retries >= retry_budget,
+                "escalation only after the retry budget: {} < {retry_budget}",
+                rec.retries,
+            );
+            assert_eq!(rec.recoveries, 0, "a stuck cell never heals");
+        }
+    }
+    assert!(detected > 0, "a persistent table-line fault must eventually kill a run");
+}
+
+/// Deferred-store-buffer corruption is caught by the release-time parity
+/// check before the store reaches committed memory.
+#[test]
+fn defer_store_corruption_raises_parity_error() {
+    let cfg = small_cfg(3);
+    let calib = calibrate(&cfg).expect("clean baseline");
+    let visits = calib.visits[FaultLayer::DeferStore.idx()];
+    assert!(visits > 4);
+    let spec = FaultSpec {
+        layer: FaultLayer::DeferStore,
+        kind: FaultKind::Transient,
+        trigger: visits / 2,
+        bit: 5,
+    };
+    let rec = run_injection(&cfg, spec, &calib).expect("injection runs");
+    assert_eq!(rec.outcome, Outcome::Detected);
+    assert_eq!(rec.violation, Some(ViolationKind::ParityError));
+    assert_eq!(rec.fired, 1);
+    let latency = rec.latency.expect("detected run with tracing measures latency");
+    assert!(
+        latency <= 64,
+        "parity check fires when the block validates, not {latency} instructions later"
+    );
+}
+
+/// Satellite: `TableTamper` detection latency. After the in-RAM table is
+/// tampered, the kill verdict lands within the post-commit validation
+/// window (S = 16 committed instructions of the first failed re-fetch),
+/// and the retry metric matches the TraceBus event distance.
+#[test]
+fn table_tamper_detected_within_validation_window() {
+    let (program, _map) = victim_program().expect("victim builds");
+    let config = RevConfig::paper_default().with_sc_capacity(256);
+    let mut sim = RevSimulator::new(program, config).expect("sim builds");
+    let warm = sim.run(30_000);
+    assert!(warm.rev.violation.is_none(), "victim must be clean before tampering");
+    let bus = sim.enable_tracing(1 << 18);
+    let ranges: Vec<(u64, usize)> =
+        sim.monitor().sag().tables().iter().map(|t| (t.base(), t.image().len())).collect();
+    sim.inject(move |mem| {
+        for &(base, len) in &ranges {
+            for off in (16..len as u64).step_by(16) {
+                let b = mem.read_u8(base + off);
+                mem.write_u8(base + off, b ^ 0xa5);
+            }
+        }
+    });
+    let report = sim.run(330_000);
+    let v = report.rev.violation.expect("tampering must be detected");
+    assert!(matches!(v.kind, ViolationKind::TableCorrupt | ViolationKind::HashMismatch));
+
+    let events = bus.drain();
+    let first_retry = events
+        .iter()
+        .position(|e| matches!(e.kind, EventKind::SigRetry { .. }))
+        .expect("tampered fill must be retried before the kill");
+    let kill = events
+        .iter()
+        .rposition(|e| {
+            matches!(e.kind, EventKind::ValidationVerdict { verdict, .. } if verdict != Verdict::Validated)
+        })
+        .expect("the kill verdict is traced");
+    assert!(kill > first_retry);
+    assert_eq!(events[kill].cycle, v.cycle, "traced verdict is the reported violation");
+    let window = events[first_retry..=kill]
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Commit { .. }))
+        .count();
+    assert!(window <= 16, "kill must land within the validation window, saw {window} commits");
+    let traced_retries =
+        events.iter().filter(|e| matches!(e.kind, EventKind::SigRetry { .. })).count() as u64;
+    assert_eq!(
+        report.rev.sigline_retries, traced_retries,
+        "retry counter must match the TraceBus event distance"
+    );
+}
+
+/// Satellite: tracing-enabled vs disabled equivalence extends to chaos
+/// runs — same verdicts, same committed counts, same strike counts.
+#[test]
+fn tracing_equivalence_under_injection() {
+    let cfg = small_cfg(4);
+    let calib = calibrate(&cfg).expect("clean baseline");
+    for layer in FaultLayer::ALL {
+        let visits = calib.visits[layer.idx()];
+        assert!(visits > 0, "{} never visited", layer.label());
+        let kind = match layer {
+            FaultLayer::SigLine => FaultKind::Persistent,
+            FaultLayer::SagRegister => FaultKind::StuckAt1,
+            _ => FaultKind::Transient,
+        };
+        let spec = FaultSpec { layer, kind, trigger: visits / 2 + 1, bit: 7 };
+        let traced = run_injection(&cfg, spec, &calib).expect("traced run");
+        let mut untraced_cfg = cfg.clone();
+        untraced_cfg.tracing = false;
+        let untraced = run_injection(&untraced_cfg, spec, &calib).expect("untraced run");
+        assert_eq!(traced.outcome, untraced.outcome, "{}", layer.label());
+        assert_eq!(traced.violation, untraced.violation, "{}", layer.label());
+        assert_eq!(traced.committed, untraced.committed, "{}", layer.label());
+        assert_eq!(traced.fired, untraced.fired, "{}", layer.label());
+        assert_eq!(traced.retries, untraced.retries, "{}", layer.label());
+        assert_eq!(traced.recoveries, untraced.recoveries, "{}", layer.label());
+    }
+}
+
+/// The campaign report is byte-identical across repeat runs and `--jobs`
+/// values, and the plan is a pure function of the seed.
+#[test]
+fn campaign_json_is_deterministic_across_runs_and_jobs() {
+    let quiet = Narrator::new(true);
+    let mut cfg = small_cfg(5);
+    cfg.faults = 12;
+    cfg.instructions = 8_000;
+    let a = run_campaign(&cfg, &quiet).expect("campaign a");
+    let b = run_campaign(&cfg, &quiet).expect("campaign b");
+    assert_eq!(a.to_json().render(), b.to_json().render(), "repeat runs must agree");
+    let mut cfg_jobs = cfg.clone();
+    cfg_jobs.jobs = 3;
+    let c = run_campaign(&cfg_jobs, &quiet).expect("campaign c");
+    assert_eq!(a.to_json().render(), c.to_json().render(), "--jobs must not leak into the report");
+
+    let calib = calibrate(&cfg).expect("clean baseline");
+    let (plan_a, _) = plan_campaign(&cfg, &calib);
+    let (plan_b, _) = plan_campaign(&cfg, &calib);
+    assert_eq!(plan_a, plan_b);
+    let mut reseeded = cfg.clone();
+    reseeded.seed = 6;
+    let (plan_c, _) = plan_campaign(&reseeded, &calib);
+    assert_ne!(plan_a, plan_c, "the seed must actually steer the plan");
+}
+
+/// Acceptance: a full campaign — all six layers, ≥ 200 injections, fixed
+/// seed — reports zero silent-corruption and zero false-positive
+/// outcomes under the default `Containment::DeferredStores`.
+#[test]
+fn full_campaign_has_no_silent_corruption_and_no_false_positives() {
+    let quiet = Narrator::new(true);
+    let cfg = CampaignConfig { faults: 204, instructions: 12_000, ..CampaignConfig::full(0xfeed) };
+    let report = run_campaign(&cfg, &quiet).expect("campaign runs");
+    assert_eq!(report.skipped, 0, "every layer must be exercised by the budget");
+    assert!(report.records.len() >= 200);
+    assert_eq!(report.count(Outcome::SilentCorruption), 0, "validator vouched for corruption");
+    assert_eq!(report.count(Outcome::FalsePositive), 0, "validator killed a healthy run");
+    assert!(report.count(Outcome::Detected) > 0);
+    assert!(report.count(Outcome::Contained) > 0);
+    assert!(report.clean());
+
+    // The chaos.latency histogram aggregates exactly the per-record
+    // latencies measured from the TraceBus.
+    let measured = report.records.iter().filter(|r| r.latency.is_some()).count() as u64;
+    let reg = report.metrics();
+    match reg.get("chaos.latency") {
+        Some(MetricValue::Histogram(h)) => {
+            assert_eq!(h.count, measured, "histogram must hold every measured latency")
+        }
+        other => panic!("chaos.latency must be a histogram, got {other:?}"),
+    }
+}

@@ -52,9 +52,64 @@ pub struct RevConfig {
     /// delayed validation precisely to avoid this walk; enabling this
     /// reproduces the cost it avoids.
     pub naive_return_validation: bool,
+    /// Bounded re-fetch budget for signature-line integrity failures: a
+    /// reference line that fails its post-decrypt check is re-read from
+    /// RAM up to this many extra times (a transient DRAM fault heals; a
+    /// real tamper or stuck fault re-fails and escalates to the kill
+    /// verdict). 0 restores fail-on-first-mismatch.
+    pub sigline_retries: u32,
 }
 
+/// A rejected [`RevConfig`] parameter: user-supplied geometry the REV
+/// hardware model cannot run with. Produced by [`RevConfig::validate`] so
+/// misconfiguration surfaces at build time as a structured error instead
+/// of a constructor panic mid-build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevConfigError {
+    /// The offending field.
+    pub parameter: &'static str,
+    /// The rejected value.
+    pub value: u64,
+    /// What the field must satisfy.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for RevConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "REV config: {} = {} but {}", self.parameter, self.value, self.requirement)
+    }
+}
+
+impl std::error::Error for RevConfigError {}
+
 impl RevConfig {
+    /// Rejects geometry the model cannot run with: a zero-way or
+    /// non-power-of-two-set SC, a zero-capacity deferred-store buffer or
+    /// CHG. `RevSimulator` calls this before constructing the monitor.
+    pub fn validate(&self) -> Result<(), RevConfigError> {
+        let err =
+            |parameter, value, requirement| Err(RevConfigError { parameter, value, requirement });
+        if self.sc_assoc < 1 {
+            return err("sc_assoc", self.sc_assoc as u64, "must be at least 1");
+        }
+        let entries = self.sc_capacity / self.mode.entry_size();
+        let num_sets = (entries / self.sc_assoc).max(1);
+        if !num_sets.is_power_of_two() {
+            return err(
+                "sc_capacity",
+                self.sc_capacity as u64,
+                "must imply a power-of-two SC set count",
+            );
+        }
+        if self.defer_capacity < 1 {
+            return err("defer_capacity", self.defer_capacity as u64, "must be at least 1");
+        }
+        if self.chg.capacity < 1 {
+            return err("chg.capacity", self.chg.capacity as u64, "must be at least 1");
+        }
+        Ok(())
+    }
+
     /// The paper's evaluated configuration: standard validation, 32 KiB
     /// 4-way SC, 16-cycle CHG.
     pub fn paper_default() -> Self {
@@ -71,6 +126,7 @@ impl RevConfig {
             sag_miss_penalty: 400,
             containment: Containment::DeferredStores,
             naive_return_validation: false,
+            sigline_retries: 2,
         }
     }
 

@@ -12,7 +12,7 @@
 //! an attached [`TraceBus`]; occupancy shows up as the `rev.defer.peak`
 //! counter and `rev.defer.occupancy` histogram (see `docs/METRICS.md`).
 
-use rev_trace::{EventKind, TraceBus, TraceEvent};
+use rev_trace::{EventKind, FaultInjector, TraceBus, TraceEvent};
 use std::collections::VecDeque;
 
 /// One committed-but-unvalidated store.
@@ -26,15 +26,45 @@ pub struct DeferredStore {
     pub value: u64,
 }
 
+/// A deferred store whose parity check failed at release: the buffer
+/// entry was corrupted between commit and validation. Releasing it would
+/// write unverifiable data to committed memory, so the monitor escalates
+/// to a `ParityError` violation instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParityViolation {
+    /// Fetch sequence of the corrupted store.
+    pub seq: u64,
+    /// Its (possibly corrupted) effective address.
+    pub addr: u64,
+}
+
+/// Byte-fold parity over a store's fields, computed when the store enters
+/// the buffer and re-checked at release — the cheap hardware ECC stand-in
+/// that keeps buffer corruption from becoming silent memory corruption.
+fn parity(s: &DeferredStore) -> u8 {
+    let mut p = 0u8;
+    for b in s.seq.to_le_bytes() {
+        p ^= b;
+    }
+    for b in s.addr.to_le_bytes() {
+        p ^= b;
+    }
+    for b in s.value.to_le_bytes() {
+        p ^= b;
+    }
+    p
+}
+
 /// FIFO buffer of committed-but-unvalidated stores.
 #[derive(Debug, Clone, Default)]
 pub struct DeferredStoreBuffer {
-    entries: VecDeque<DeferredStore>,
+    entries: VecDeque<(DeferredStore, u8)>, // (store, parity at entry)
     capacity: usize,
     peak: usize,
     total_released: u64,
     total_discarded: u64,
     trace: TraceBus,
+    fault: FaultInjector,
 }
 
 impl DeferredStoreBuffer {
@@ -47,6 +77,14 @@ impl DeferredStoreBuffer {
     /// events through it.
     pub fn set_trace(&mut self, trace: TraceBus) {
         self.trace = trace;
+    }
+
+    /// Attaches a fault injector; pushes become
+    /// [`rev_trace::FaultLayer::DeferStore`] corruption sites (the entry
+    /// is corrupted *after* its parity is computed, so the release-time
+    /// check catches the damage).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// Whether another store fits (commit back-pressure otherwise).
@@ -63,24 +101,40 @@ impl DeferredStoreBuffer {
     pub fn push(&mut self, store: DeferredStore) {
         assert!(self.has_room(), "deferred-store buffer overflow");
         debug_assert!(
-            self.entries.back().map(|s| s.seq <= store.seq).unwrap_or(true),
+            self.entries.back().map(|(s, _)| s.seq <= store.seq).unwrap_or(true),
             "stores arrive in commit order"
         );
-        self.entries.push_back(store);
+        let p = parity(&store);
+        let mut store = store;
+        if self.fault.is_enabled() {
+            // Corruption strikes the buffered copy after parity was
+            // latched — exactly what a bit flip inside the SRAM buffer
+            // looks like to the release-time check.
+            self.fault.corrupt_store(&mut store.addr, &mut store.value);
+        }
+        self.entries.push_back((store, p));
         self.peak = self.peak.max(self.entries.len());
     }
 
     /// Releases every store with `seq < boundary_seq` (the just-validated
     /// block's stores), in order, into `sink`. `cycle` stamps the trace
     /// events (the validation cycle that freed the stores).
+    ///
+    /// Each store's parity is re-checked on the way out; a mismatch stops
+    /// the release immediately and returns the corrupted store's identity
+    /// so the monitor can raise a `ParityError` violation (the remaining
+    /// buffer is left for `discard_all`).
     pub fn release_until<F: FnMut(DeferredStore)>(
         &mut self,
         boundary_seq: u64,
         cycle: u64,
         mut sink: F,
-    ) {
-        while self.entries.front().map(|s| s.seq < boundary_seq).unwrap_or(false) {
-            let s = self.entries.pop_front().expect("checked");
+    ) -> Result<(), ParityViolation> {
+        while self.entries.front().map(|(s, _)| s.seq < boundary_seq).unwrap_or(false) {
+            let (s, p) = self.entries.pop_front().expect("checked");
+            if parity(&s) != p {
+                return Err(ParityViolation { seq: s.seq, addr: s.addr });
+            }
             self.total_released += 1;
             self.trace.emit_with(|| TraceEvent {
                 cycle,
@@ -88,6 +142,7 @@ impl DeferredStoreBuffer {
             });
             sink(s);
         }
+        Ok(())
     }
 
     /// Discards everything (validation failed: taint containment).
@@ -102,7 +157,7 @@ impl DeferredStoreBuffer {
     /// Whether any buffered store targets `addr` (store-to-load forwarding
     /// from the post-commit extension).
     pub fn forwards(&self, addr: u64) -> bool {
-        self.entries.iter().any(|s| s.addr == addr)
+        self.entries.iter().any(|(s, _)| s.addr == addr)
     }
 
     /// Current occupancy.
@@ -146,7 +201,7 @@ mod tests {
         b.push(st(2, 0x20, 2));
         b.push(st(5, 0x30, 3)); // belongs to the next block
         let mut out = Vec::new();
-        b.release_until(4, 0, |s| out.push(s.seq));
+        b.release_until(4, 0, |s| out.push(s.seq)).unwrap();
         assert_eq!(out, vec![1, 2]);
         assert_eq!(b.len(), 1);
         assert_eq!(b.total_released(), 2);
@@ -161,7 +216,7 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.total_discarded(), 2);
         let mut out = Vec::new();
-        b.release_until(100, 0, |s| out.push(s));
+        b.release_until(100, 0, |s| out.push(s)).unwrap();
         assert!(out.is_empty(), "discarded stores must never release");
     }
 
@@ -171,7 +226,7 @@ mod tests {
         b.push(st(1, 0x40, 9));
         assert!(b.forwards(0x40));
         assert!(!b.forwards(0x48));
-        b.release_until(2, 0, |_| {});
+        b.release_until(2, 0, |_| {}).unwrap();
         assert!(!b.forwards(0x40));
     }
 
@@ -191,5 +246,24 @@ mod tests {
         let mut b = DeferredStoreBuffer::new(1);
         b.push(st(1, 0, 0));
         b.push(st(2, 8, 0));
+    }
+
+    #[test]
+    fn corrupted_entry_fails_parity_at_release() {
+        use rev_trace::{FaultInjector, FaultKind, FaultLayer, FaultSpec};
+        let mut b = DeferredStoreBuffer::new(4);
+        b.set_fault_injector(FaultInjector::armed(FaultSpec {
+            layer: FaultLayer::DeferStore,
+            kind: FaultKind::Transient,
+            trigger: 2,
+            bit: 5,
+        }));
+        b.push(st(1, 0x10, 7)); // clean
+        b.push(st(2, 0x20, 7)); // bit 5 of the value flips in the buffer
+        let mut out = Vec::new();
+        let err = b.release_until(10, 0, |s| out.push(s.seq)).unwrap_err();
+        assert_eq!(out, vec![1], "clean store released before the check trips");
+        assert_eq!(err, ParityViolation { seq: 2, addr: 0x20 });
+        assert_eq!(b.discard_all(), 0, "corrupted store already popped");
     }
 }

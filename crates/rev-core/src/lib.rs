@@ -52,7 +52,7 @@ mod shadow;
 mod sim;
 mod stats;
 
-pub use config::{Containment, RevConfig};
+pub use config::{Containment, RevConfig, RevConfigError};
 pub use cost::{CostModel, CostReport};
 pub use defer::{DeferredStore, DeferredStoreBuffer};
 pub use profile::{profile_indirect_targets, IndirectProfile};
@@ -60,7 +60,7 @@ pub use rev_monitor::{DynBlockTriple, RevMonitor, SYSCALL_REV_DISABLE, SYSCALL_R
 pub use sag::{Sag, SagEntry};
 pub use sc::{ScEntry, ScProbe, ScStats, ScVariant, SignatureCache};
 pub use shadow::{ShadowMemory, ShadowStats};
-pub use sim::{analyze_and_link, BaselineReport, RevReport, RevSimulator, SimBuildError};
+pub use sim::{analyze_and_link, BaselineReport, RevReport, RevSimulator, SimBuildError, SimError};
 pub use stats::RevStats;
 
 // Re-export the pieces users need alongside the simulator.

@@ -16,7 +16,7 @@ use rev_crypto::{
 use rev_isa::InstrClass;
 use rev_mem::{Hierarchy, MainMemory, Request, Requester};
 use rev_sigtable::{EntryKind, ValidationMode};
-use rev_trace::{EventKind, TraceBus, TraceEvent, Verdict};
+use rev_trace::{EventKind, FaultInjector, FaultLayer, TraceBus, TraceEvent, Verdict};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Service number of the REV-disable system call (paper Sec. VII: "The
@@ -84,6 +84,16 @@ pub struct RevMonitor {
     trace: Option<BTreeSet<DynBlockTriple>>,
     /// Observability event bus (disabled by default: one branch per site).
     bus: TraceBus,
+    /// Fault-injection handle (disabled by default: one branch per site).
+    /// Clones of it sit inside the SC, SAG, deferred buffer and committed
+    /// memory; the monitor itself uses it for the CHG-digest and
+    /// return-latch corruption sites.
+    fault: FaultInjector,
+    /// Commit-level re-validation budget already spent per pending
+    /// terminator sequence (the transient-fault recovery path: a failed
+    /// check evicts the SC entry and re-walks the table before the kill
+    /// verdict).
+    retry_attempts: HashMap<u64, u32>,
     violated: bool,
     enabled: bool,
     /// After re-enabling, skip gating until the next terminator passes so
@@ -116,6 +126,8 @@ impl RevMonitor {
             hasher: CubeHash::new(),
             trace: None,
             bus: TraceBus::disabled(),
+            fault: FaultInjector::disabled(),
+            retry_attempts: HashMap::new(),
             violated: false,
             enabled: true,
             resync: false,
@@ -162,6 +174,7 @@ impl RevMonitor {
         self.digest_cache.clear();
         self.body_cache.clear();
         self.pending.clear();
+        self.retry_attempts.clear();
         self.ret_latch = None;
         self.cur_start = None;
         self.cur_bytes.clear();
@@ -180,7 +193,38 @@ impl RevMonitor {
     pub fn set_trace(&mut self, bus: TraceBus) {
         self.sc.set_trace(bus.clone());
         self.defer.set_trace(bus.clone());
+        self.fault.set_trace(bus.clone());
         self.bus = bus;
+    }
+
+    /// Threads a fault injector through every corruption site: the
+    /// committed-memory read path (signature-line transfers, window-gated
+    /// to the loaded tables), the SC install path, the SAG register file,
+    /// the deferred-store buffer, and the monitor's own CHG-digest and
+    /// return-latch sites. All clones share one state, so a single armed
+    /// [`rev_trace::FaultSpec`] strikes exactly once per run.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for t in self.sag.tables() {
+            lo = lo.min(t.base());
+            hi = hi.max(t.base() + t.image().len() as u64);
+        }
+        if lo < hi {
+            fault.set_window(lo, hi);
+        }
+        fault.set_trace(self.bus.clone());
+        self.sc.set_fault_injector(fault.clone());
+        self.sag.set_fault_injector(fault.clone());
+        self.defer.set_fault_injector(fault.clone());
+        self.committed.set_fault_injector(fault.clone());
+        self.fault = fault;
+    }
+
+    /// The attached fault injector (disabled unless a chaos campaign
+    /// armed one).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
     }
 
     /// Switches on dynamic block-trace recording: every block that
@@ -209,6 +253,7 @@ impl RevMonitor {
         }
         self.enabled = enabled;
         self.pending.clear();
+        self.retry_attempts.clear();
         self.ret_latch = None;
         self.cur_start = None;
         self.cur_bytes.clear();
@@ -419,6 +464,7 @@ impl RevMonitor {
                 ViolationKind::ReturnMismatch => Verdict::ReturnMismatch,
                 ViolationKind::NoTable => Verdict::NoTable,
                 ViolationKind::TableCorrupt => Verdict::TableCorrupt,
+                ViolationKind::ParityError => Verdict::ParityError,
             };
             TraceEvent {
                 cycle: q.cycle,
@@ -435,12 +481,22 @@ impl RevMonitor {
         self.sag.tables().iter().any(|t| addr + 8 > t.module_base() && addr < t.module_end())
     }
 
-    fn release_stores(&mut self, mem: &mut Hierarchy, boundary_seq: u64, cycle: u64) {
+    /// Releases validated stores into committed memory. `Err` means a
+    /// buffered store failed its parity re-check — the buffer was
+    /// corrupted after commit — and the caller must escalate to a
+    /// [`ViolationKind::ParityError`] instead of letting the damaged
+    /// value become architectural.
+    fn release_stores(
+        &mut self,
+        mem: &mut Hierarchy,
+        boundary_seq: u64,
+        cycle: u64,
+    ) -> Result<(), crate::defer::ParityViolation> {
         let committed = &mut self.committed;
         let mut released = 0u64;
         let mut touched_code = false;
         let tables = self.sag.tables();
-        self.defer.release_until(boundary_seq, cycle, |s| {
+        let result = self.defer.release_until(boundary_seq, cycle, |s| {
             committed.write_u64(s.addr, s.value);
             touched_code |=
                 tables.iter().any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
@@ -456,6 +512,34 @@ impl RevMonitor {
         if touched_code {
             self.body_cache.clear();
         }
+        result
+    }
+
+    /// Bounded transient-fault recovery: a signature check that fails at
+    /// commit may be a one-shot fault in the encrypted line's DRAM
+    /// transfer rather than a tamper. Evict the suspect SC entry and let
+    /// the re-probe trigger a fresh table walk, up to
+    /// `config.sigline_retries` times per terminator; a genuine tamper
+    /// (or persistent fault) re-fails and falls through to the kill
+    /// verdict. Returns the stall gate while budget remains.
+    fn try_sigline_retry(&mut self, q: &CommitQuery, bb_addr: u64) -> Option<CommitGate> {
+        if self.config.sigline_retries == 0 {
+            return None;
+        }
+        let attempts = self.retry_attempts.entry(q.seq).or_insert(0);
+        if *attempts >= self.config.sigline_retries {
+            self.retry_attempts.remove(&q.seq);
+            return None;
+        }
+        *attempts += 1;
+        let attempt = *attempts;
+        self.sc.evict(bb_addr);
+        self.stats.sigline_retries += 1;
+        self.bus.emit_with(|| TraceEvent {
+            cycle: q.cycle,
+            kind: EventKind::SigRetry { bb_addr, attempt },
+        });
+        Some(CommitGate::StallUntil(q.cycle + 1))
     }
 
     fn commit_standard(&mut self, mem: &mut Hierarchy, q: &CommitQuery) -> CommitGate {
@@ -517,7 +601,11 @@ impl RevMonitor {
                 .collect()
         };
         if candidates.is_empty() {
-            // Poisoned (tampered) or genuinely empty chain.
+            // Poisoned (tampered) or genuinely empty chain — possibly a
+            // transient fault on the line's DRAM transfer; re-fetch first.
+            if let Some(gate) = self.try_sigline_retry(q, pb.bb_addr) {
+                return gate;
+            }
             return self.violation(ViolationKind::TableCorrupt, q);
         }
         let mut matched: Option<usize> = None;
@@ -531,8 +619,16 @@ impl RevMonitor {
             }
         }
         let Some(vi) = matched else {
+            if let Some(gate) = self.try_sigline_retry(q, pb.bb_addr) {
+                return gate;
+            }
             return self.violation(ViolationKind::HashMismatch, q);
         };
+        if self.retry_attempts.remove(&q.seq).is_some() {
+            // The re-fetched line checked out: the earlier failure was a
+            // transient fault, healed without a kill verdict.
+            self.stats.sigline_recoveries += 1;
+        }
 
         // Gate 4: explicit target validation.
         let (kind, succ_resident, succ_known, pred_resident_latch, pred_known_latch, has_spills) = {
@@ -628,7 +724,13 @@ impl RevMonitor {
         }
         if kind == EntryKind::Return && mode == ValidationMode::Standard && !naive_returns {
             // Latch the return's address; the next validated block checks it.
-            self.ret_latch = Some(pb.bb_addr);
+            let mut r = pb.bb_addr;
+            if self.fault.is_enabled() {
+                // A flipped latch bit makes the *next* block's predecessor
+                // check fail closed (ReturnMismatch) — never forge a pass.
+                self.fault.corrupt_u64(FaultLayer::RetLatch, &mut r);
+            }
+            self.ret_latch = Some(r);
         }
 
         // Validated: update the MRU successor window, release the block's
@@ -640,7 +742,9 @@ impl RevMonitor {
         if let Some(trace) = self.trace.as_mut() {
             trace.insert((pb.start, pb.bb_addr, pb.body.0));
         }
-        self.release_stores(mem, q.seq, q.cycle);
+        if self.release_stores(mem, q.seq, q.cycle).is_err() {
+            return self.violation(ViolationKind::ParityError, q);
+        }
         self.chg.retire(ChgTag(q.seq));
         self.pending.remove(&q.seq);
         self.stats.validations += 1;
@@ -654,7 +758,9 @@ impl RevMonitor {
             // runs unvalidated until the enable syscall (trusted
             // self-modifying code, paper Sec. IV.E). Release the
             // quarantine first — the block that asked was genuine.
-            self.release_stores(mem, q.seq + 1, q.cycle);
+            if self.release_stores(mem, q.seq + 1, q.cycle).is_err() {
+                return self.violation(ViolationKind::ParityError, q);
+            }
             self.set_enabled(false);
         }
         CommitGate::Proceed
@@ -786,9 +892,17 @@ impl ExecMonitor for RevMonitor {
         let bb_addr = event.addr;
         let end = event.addr + event.len as u64;
         let bytes = std::mem::take(&mut self.cur_bytes);
-        let body = self.body_hash(bb_start, end, &bytes);
+        let mut body = self.body_hash(bb_start, end, &bytes);
         self.cur_bytes = bytes;
         self.cur_bytes.clear();
+        if self.fault.is_enabled() {
+            // CHG output-register fault: corrupt this block's in-flight
+            // hash only (the memo cache keeps the true value, so the
+            // damage is transient). The digest check at commit fails
+            // closed; re-fetch retries cannot heal a wrong hash, so the
+            // fault escalates to the HashMismatch kill verdict.
+            rev_crypto::apply_chg_fault(&self.fault, &mut body);
+        }
 
         // CHG: the hash is ready `latency` cycles after the last byte
         // enters the pipeline.
@@ -836,6 +950,7 @@ impl ExecMonitor for RevMonitor {
 
     fn on_flush(&mut self, from_seq: u64) {
         self.pending.retain(|&seq, _| seq < from_seq);
+        self.retry_attempts.retain(|&seq, _| seq < from_seq);
         self.chg.flush_from(ChgTag(from_seq));
         // Fetch resumes at a block boundary (mispredicts happen only on
         // terminators), so the tracker restarts cleanly.

@@ -8,6 +8,7 @@
 //! penalty.
 
 use rev_sigtable::SignatureTable;
+use rev_trace::{FaultInjector, FaultLayer};
 
 /// One resident SAG register triple.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +33,7 @@ pub struct Sag {
     miss_penalty: u64,
     tick: u64,
     misses: u64,
+    fault: FaultInjector,
 }
 
 impl Sag {
@@ -46,7 +48,14 @@ impl Sag {
             miss_penalty,
             tick: 0,
             misses: 0,
+            fault: FaultInjector::disabled(),
         }
+    }
+
+    /// Attaches a fault injector; every resolve becomes a
+    /// [`FaultLayer::SagRegister`] stuck-at site (chaos campaigns).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// Registers a module's table (the trusted linker/loader path). The
@@ -81,6 +90,24 @@ impl Sag {
     pub fn resolve(&mut self, addr: u64) -> Option<(usize, u64)> {
         self.tick += 1;
         let tick = self.tick;
+        if self.fault.is_enabled() {
+            // Stuck-at fault in the first resident base/limit register
+            // pair: the forced bit re-asserts on every resolve. The
+            // registered-table array (the OS's truth) is untouched, so
+            // a corrupted window mis-routes or misses — it cannot forge
+            // coverage the binary-search fallback would not confirm.
+            if let Some((bit, forced)) = self.fault.stuck_at(FaultLayer::SagRegister) {
+                if let Some((e, _)) = self.resident.first_mut() {
+                    let (reg, b) = if bit < 64 { (&mut e.lo, bit) } else { (&mut e.hi, bit - 64) };
+                    let mask = 1u64 << (b % 64);
+                    if forced {
+                        *reg |= mask;
+                    } else {
+                        *reg &= !mask;
+                    }
+                }
+            }
+        }
         if let Some((e, lru)) = self.resident.iter_mut().find(|(e, _)| (e.lo..e.hi).contains(&addr))
         {
             *lru = tick;

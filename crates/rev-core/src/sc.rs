@@ -13,7 +13,7 @@
 //! `docs/METRICS.md`).
 
 use rev_sigtable::{EntryKind, SigVariant};
-use rev_trace::{EventKind, ProbeOutcome, TraceBus, TraceEvent};
+use rev_trace::{EventKind, FaultInjector, FaultLayer, ProbeOutcome, TraceBus, TraceEvent};
 
 /// SC traffic counters (feeds the paper's Fig. 10).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -159,6 +159,7 @@ pub struct SignatureCache {
     tick: u64,
     stats: ScStats,
     trace: TraceBus,
+    fault: FaultInjector,
 }
 
 impl SignatureCache {
@@ -179,6 +180,7 @@ impl SignatureCache {
             tick: 0,
             stats: ScStats::default(),
             trace: TraceBus::disabled(),
+            fault: FaultInjector::disabled(),
         }
     }
 
@@ -186,6 +188,12 @@ impl SignatureCache {
     /// [`EventKind::ScProbe`] event through it.
     pub fn set_trace(&mut self, trace: TraceBus) {
         self.trace = trace;
+    }
+
+    /// Attaches a fault injector; installs become
+    /// [`FaultLayer::ScEntry`] corruption sites (chaos campaigns).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
     }
 
     /// Number of sets.
@@ -255,7 +263,19 @@ impl SignatureCache {
     }
 
     /// Installs an entry (fill completion), evicting LRU on conflict.
-    pub fn install(&mut self, bb_addr: u64, ready_at: u64, variants: Vec<ScVariant>) {
+    /// With a fault injector attached, every install is a
+    /// [`FaultLayer::ScEntry`] site: on the trigger visit one bit of the
+    /// first digest-carrying variant is flipped as the entry lands in the
+    /// array (modeling SRAM corruption of the decrypted signature).
+    pub fn install(&mut self, bb_addr: u64, ready_at: u64, mut variants: Vec<ScVariant>) {
+        if self.fault.is_enabled() {
+            let mut d = variants.iter().find_map(|v| v.digest).unwrap_or(0);
+            if self.fault.corrupt_u32(FaultLayer::ScEntry, &mut d) {
+                if let Some(v) = variants.iter_mut().find(|v| v.digest.is_some()) {
+                    v.digest = Some(d);
+                }
+            }
+        }
         self.tick += 1;
         let tick = self.tick;
         let assoc = self.assoc;
@@ -268,16 +288,32 @@ impl SignatureCache {
             return;
         }
         if set.len() >= assoc {
-            let lru_idx = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.lru)
-                .map(|(i, _)| i)
-                .expect("full set");
+            // A zero-way SC (ruled out by `RevConfig::validate`) degrades
+            // to never caching instead of panicking.
+            let lru_idx = set.iter().enumerate().min_by_key(|(_, e)| e.lru).map(|(i, _)| i);
+            let Some(lru_idx) = lru_idx else {
+                debug_assert!(false, "SC set has at least one way");
+                return;
+            };
             set.swap_remove(lru_idx);
             self.stats.evictions += 1;
         }
         set.push(ScEntry { bb_addr, ready_at, variants, lru: tick });
+    }
+
+    /// Drops the entry for `bb_addr`, if resident. This is the monitor's
+    /// re-fetch retry path: a failed integrity check evicts the suspect
+    /// entry so the next probe re-reads the reference line from RAM.
+    /// Returns `true` if an entry was dropped. (Not counted in
+    /// [`ScStats::evictions`], which tracks capacity pressure.)
+    pub fn evict(&mut self, bb_addr: u64) -> bool {
+        let set = self.set_of(bb_addr);
+        if let Some(i) = self.sets[set].iter().position(|e| e.bb_addr == bb_addr) {
+            self.sets[set].swap_remove(i);
+            true
+        } else {
+            false
+        }
     }
 
     /// Drops every entry (used when the OS re-keys or swaps tables).

@@ -23,9 +23,12 @@ use std::fmt;
 /// the paper's TPM-like in-CPU key store, Secs. VII/IX).
 const CPU_MASTER_KEY: [u8; 16] = [0xc3; 16];
 
-/// Errors building a simulator.
+/// Structured simulator errors: everything that can go wrong assembling
+/// or re-linking a simulation, surfaced as a value instead of a panic so
+/// harnesses (chaos campaigns, attack sweeps, fuzzers) degrade
+/// gracefully on bad input.
 #[derive(Debug)]
-pub enum SimBuildError {
+pub enum SimError {
     /// Static analysis failed on a module.
     Cfg {
         /// Module name.
@@ -40,22 +43,45 @@ pub enum SimBuildError {
         /// Underlying error.
         source: TableBuildError,
     },
+    /// The REV configuration is unrunnable (rejected by
+    /// [`RevConfig::validate`]).
+    Config(crate::config::RevConfigError),
+    /// The memory-hierarchy configuration is unrunnable (rejected by
+    /// [`MemConfig::validate`]).
+    Mem(rev_mem::MemConfigError),
 }
 
-impl fmt::Display for SimBuildError {
+/// Former name of [`SimError`], kept for source compatibility.
+pub type SimBuildError = SimError;
+
+impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimBuildError::Cfg { module, source } => {
+            SimError::Cfg { module, source } => {
                 write!(f, "static analysis of module '{module}' failed: {source}")
             }
-            SimBuildError::Table { module, source } => {
+            SimError::Table { module, source } => {
                 write!(f, "table generation for module '{module}' failed: {source}")
             }
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::Mem(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for SimBuildError {}
+impl std::error::Error for SimError {}
+
+impl From<crate::config::RevConfigError> for SimError {
+    fn from(e: crate::config::RevConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<rev_mem::MemConfigError> for SimError {
+    fn from(e: rev_mem::MemConfigError) -> Self {
+        SimError::Mem(e)
+    }
+}
 
 /// A REV run's full report.
 #[derive(Debug, Clone)]
@@ -267,6 +293,8 @@ impl RevSimulator {
         cpu_config: CpuConfig,
         mem_config: MemConfig,
     ) -> Result<Self, SimBuildError> {
+        config.validate()?;
+        mem_config.validate()?;
         let (tables, table_stats) = link_modules(&program, &config, 0)?;
 
         // Trusted loader: program image + tables into RAM.
@@ -335,6 +363,15 @@ impl RevSimulator {
         self.pipeline.set_trace(bus.clone());
         self.monitor.set_trace(bus.clone());
         bus
+    }
+
+    /// Arms a fault injector across every corruption site (signature-line
+    /// transfers, SC installs, SAG registers, the deferred-store buffer,
+    /// the CHG output and the return latch) — the entry point `rev-chaos`
+    /// campaigns use. Call after [`Self::enable_tracing`] if the faults
+    /// should emit `FaultFired` events.
+    pub fn set_fault_injector(&mut self, fault: rev_trace::FaultInjector) {
+        self.monitor.set_fault_injector(fault);
     }
 
     /// Runs `instrs` committed instructions to warm the caches, branch
@@ -611,6 +648,10 @@ mod tests {
                     validated += 1;
                 }
                 EventKind::DramAccess { .. } => {}
+                // Fault-injection events: absent on a clean run.
+                EventKind::FaultFired { .. } | EventKind::SigRetry { .. } => {
+                    panic!("no faults armed in this run")
+                }
             }
         }
         assert!(fetches > 0 && commits > 0 && probes > 0 && chg > 0);

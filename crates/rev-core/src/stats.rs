@@ -47,6 +47,12 @@ pub struct RevStats {
     pub stall_spill: u64,
     /// Shadow-page counters (zero unless `Containment::ShadowPages`).
     pub shadow: ShadowStats,
+    /// Signature-line re-fetches after a failed integrity check (the
+    /// transient-fault recovery path, `RevConfig::sigline_retries`).
+    pub sigline_retries: u64,
+    /// Integrity failures that healed on a re-fetch (the line validated
+    /// after re-reading — a transient fault, not a tamper).
+    pub sigline_recoveries: u64,
     /// The violation that ended the run, if any.
     pub violation: Option<Violation>,
 }
@@ -78,6 +84,8 @@ impl MetricSink for RevStats {
         reg.counter("rev.defer.peak", self.defer_peak as u64);
         reg.histogram("rev.defer.occupancy", self.defer_occupancy.clone());
         reg.counter("rev.artificial_splits", self.artificial_splits);
+        reg.counter("rev.sigline.retries", self.sigline_retries);
+        reg.counter("rev.sigline.recoveries", self.sigline_recoveries);
         reg.counter("rev.stall.chg", self.stall_chg);
         reg.counter("rev.stall.fill", self.stall_fill);
         reg.counter("rev.stall.spill", self.stall_spill);

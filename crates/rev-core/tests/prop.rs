@@ -37,7 +37,7 @@ proptest! {
             buf.push(DeferredStore { seq: s, addr: s * 8, value: s });
         }
         let mut released = Vec::new();
-        buf.release_until(boundary, 0, |s| released.push(s.seq));
+        buf.release_until(boundary, 0, |s| released.push(s.seq)).unwrap();
         // Released = exactly those below the boundary, in order.
         let expect: Vec<u64> = sorted.iter().copied().filter(|&s| s < boundary).collect();
         prop_assert_eq!(&released, &expect);
@@ -48,7 +48,7 @@ proptest! {
             let n = buf.discard_all();
             prop_assert_eq!(n, sorted.len() - released.len());
             let mut late = Vec::new();
-            buf.release_until(u64::MAX, 0, |s| late.push(s.seq));
+            buf.release_until(u64::MAX, 0, |s| late.push(s.seq)).unwrap();
             prop_assert!(late.is_empty());
         }
     }
@@ -68,7 +68,7 @@ proptest! {
         }
         prop_assert!(!buf.forwards(0x0));
         let mid = sorted[sorted.len() / 2];
-        buf.release_until(mid + 1, 0, |_| {});
+        buf.release_until(mid + 1, 0, |_| {}).unwrap();
         for &s in &sorted {
             prop_assert_eq!(buf.forwards(0x1000 + s * 8), s > mid);
         }

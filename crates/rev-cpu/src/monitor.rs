@@ -84,6 +84,9 @@ pub enum ViolationKind {
     /// The in-RAM signature table failed to parse after decryption
     /// (tampering).
     TableCorrupt,
+    /// A deferred store failed its parity check at release (the
+    /// post-commit buffer was corrupted between commit and validation).
+    ParityError,
 }
 
 impl fmt::Display for ViolationKind {
@@ -94,6 +97,7 @@ impl fmt::Display for ViolationKind {
             ViolationKind::ReturnMismatch => "return-address validation failed",
             ViolationKind::NoTable => "no signature table for executing module",
             ViolationKind::TableCorrupt => "signature table corrupt",
+            ViolationKind::ParityError => "deferred-store buffer parity error",
         };
         f.write_str(s)
     }

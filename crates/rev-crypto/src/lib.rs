@@ -42,6 +42,6 @@ pub use aes::{Aes128, BLOCK_LEN};
 pub use chg::{ChgConfig, ChgPipeline, ChgTag};
 pub use cubehash::{CubeHash, CubeHashParams, Digest, MAX_DIGEST_BYTES};
 pub use sig::{
-    bb_body_hash, bb_body_hash_with, entry_digest, entry_digest_with, BodyHash, EntryDigest,
-    SignatureKey,
+    apply_chg_fault, bb_body_hash, bb_body_hash_with, entry_digest, entry_digest_with, BodyHash,
+    EntryDigest, SignatureKey,
 };

@@ -134,6 +134,15 @@ pub fn entry_digest_with(
     EntryDigest(u32::from_le_bytes(tail))
 }
 
+/// Chaos-campaign injection site for CHG output corruption: consults the
+/// injector at [`rev_trace::FaultLayer::ChgDigest`] and, on the trigger
+/// visit, flips one bit of `hash` — modeling a transient fault in the
+/// hash generator's output latch. Returns `true` when the digest was
+/// altered. A disabled injector makes this a single branch.
+pub fn apply_chg_fault(fault: &rev_trace::FaultInjector, hash: &mut BodyHash) -> bool {
+    fault.corrupt_bytes(rev_trace::FaultLayer::ChgDigest, &mut hash.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -142,14 +142,17 @@ impl Cache {
         }
 
         self.stats.misses += 1;
-        // Victim: invalid line if any, else true LRU.
-        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, l)| l.lru)
-                .map(|(i, _)| i)
-                .expect("non-empty set")
-        });
+        // Victim: invalid line if any, else true LRU. A zero-way set
+        // (ruled out by `MemConfig::validate`) degrades to an
+        // allocate-nothing miss instead of panicking.
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .or_else(|| set.iter().enumerate().min_by_key(|(_, l)| l.lru).map(|(i, _)| i));
+        let Some(victim_idx) = victim_idx else {
+            debug_assert!(false, "cache set has at least one way");
+            return CacheAccess { hit: false, evicted_dirty: None };
+        };
         let victim = set[victim_idx];
         let evicted_dirty = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;

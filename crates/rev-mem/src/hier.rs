@@ -106,6 +106,74 @@ pub struct MemConfig {
     pub l2_ports: usize,
 }
 
+/// A rejected [`MemConfig`] parameter: user-supplied geometry that the
+/// model cannot run with. Produced by [`MemConfig::validate`] so
+/// misconfiguration surfaces as a structured error at build time instead
+/// of a panic mid-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfigError {
+    /// Dotted path of the offending field (e.g. `"l1d.line_bytes"`).
+    pub parameter: String,
+    /// The rejected value.
+    pub value: u64,
+    /// What the field must satisfy.
+    pub requirement: &'static str,
+}
+
+impl std::fmt::Display for MemConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "memory config: {} = {} but {}", self.parameter, self.value, self.requirement)
+    }
+}
+
+impl std::error::Error for MemConfigError {}
+
+fn check(
+    ok: bool,
+    parameter: &str,
+    value: u64,
+    requirement: &'static str,
+) -> Result<(), MemConfigError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(MemConfigError { parameter: parameter.to_string(), value, requirement })
+    }
+}
+
+fn validate_cache(name: &str, c: &CacheConfig) -> Result<(), MemConfigError> {
+    check(
+        c.line_bytes.is_power_of_two(),
+        &format!("{name}.line_bytes"),
+        c.line_bytes as u64,
+        "must be a power of two",
+    )?;
+    check(c.assoc >= 1, &format!("{name}.assoc"), c.assoc as u64, "must be at least 1")?;
+    let per_way = c.assoc * c.line_bytes;
+    check(
+        per_way > 0 && c.size_bytes.is_multiple_of(per_way),
+        &format!("{name}.size_bytes"),
+        c.size_bytes as u64,
+        "must divide evenly into assoc * line_bytes sets",
+    )?;
+    check(
+        (c.size_bytes / per_way).is_power_of_two(),
+        &format!("{name}.size_bytes"),
+        c.size_bytes as u64,
+        "must imply a power-of-two set count",
+    )
+}
+
+fn validate_tlb(name: &str, t: &TlbConfig) -> Result<(), MemConfigError> {
+    check(t.entries >= 1, &format!("{name}.entries"), t.entries as u64, "must be at least 1")?;
+    check(
+        t.page_bytes.is_power_of_two(),
+        &format!("{name}.page_bytes"),
+        t.page_bytes,
+        "must be a power of two",
+    )
+}
+
 impl MemConfig {
     /// The paper's Table 2 configuration.
     pub fn paper_default() -> Self {
@@ -122,6 +190,34 @@ impl MemConfig {
             l1d_ports: 2,
             l2_ports: 1,
         }
+    }
+
+    /// Rejects geometry the model cannot run with (zero ports, zero-way
+    /// caches, non-power-of-two line/bank/page sizes). `RevSimulator`
+    /// calls this before constructing the hierarchy, so a malformed
+    /// user-supplied config becomes a structured build error rather than
+    /// a constructor panic.
+    pub fn validate(&self) -> Result<(), MemConfigError> {
+        validate_cache("l1i", &self.l1i)?;
+        validate_cache("l1d", &self.l1d)?;
+        validate_cache("l2", &self.l2)?;
+        validate_tlb("itlb", &self.itlb)?;
+        validate_tlb("dtlb", &self.dtlb)?;
+        validate_tlb("l2tlb", &self.l2tlb)?;
+        check(
+            self.dram.banks.is_power_of_two(),
+            "dram.banks",
+            self.dram.banks as u64,
+            "must be a power of two",
+        )?;
+        check(
+            self.dram.row_bytes >= 1,
+            "dram.row_bytes",
+            self.dram.row_bytes,
+            "must be at least 1",
+        )?;
+        check(self.l1d_ports >= 1, "l1d_ports", self.l1d_ports as u64, "must be at least 1")?;
+        check(self.l2_ports >= 1, "l2_ports", self.l2_ports as u64, "must be at least 1")
     }
 }
 
@@ -198,10 +294,14 @@ impl Ports {
     }
 
     /// Claims the earliest-free port at or after `cycle`, holding it for
-    /// `hold` cycles. Returns (start, contended).
+    /// `hold` cycles. Returns (start, contended). A zero-port bank (ruled
+    /// out by [`MemConfig::validate`]) degrades to an uncontended pass-
+    /// through instead of panicking.
     fn claim(&mut self, cycle: u64, hold: u64) -> (u64, bool) {
-        let (idx, &free) =
-            self.free_at.iter().enumerate().min_by_key(|(_, &f)| f).expect("at least one port");
+        let Some((idx, &free)) = self.free_at.iter().enumerate().min_by_key(|(_, &f)| f) else {
+            debug_assert!(false, "port bank has at least one port");
+            return (cycle, false);
+        };
         let start = cycle.max(free);
         self.free_at[idx] = start + hold;
         (start, start > cycle)

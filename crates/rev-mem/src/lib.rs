@@ -25,6 +25,6 @@ mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use hier::{AccessOutcome, Hierarchy, MemConfig, MemStats, Request, Requester};
+pub use hier::{AccessOutcome, Hierarchy, MemConfig, MemConfigError, MemStats, Request, Requester};
 pub use memory::MainMemory;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

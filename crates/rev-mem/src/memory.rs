@@ -6,6 +6,7 @@
 //! state. Pages are allocated lazily.
 
 use rev_prog::Segment;
+use rev_trace::FaultInjector;
 use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
@@ -26,6 +27,9 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 #[derive(Debug, Clone, Default)]
 pub struct MainMemory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    /// Fault filter applied to [`Self::read_bytes`] transfers (window-
+    /// gated to the signature-table region; disabled by default).
+    fault: FaultInjector,
 }
 
 impl MainMemory {
@@ -80,11 +84,52 @@ impl MainMemory {
         }
     }
 
-    /// Returns `len` bytes starting at `addr`.
+    /// Returns `len` bytes starting at `addr`. This is the bulk-transfer
+    /// path signature-table line fetches use, so an attached
+    /// [`FaultInjector`] filters the returned bytes (the stored pages are
+    /// never altered — the fault models corruption *in flight*).
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0; len];
         self.read_into(addr, &mut buf);
+        if self.fault.is_enabled() {
+            self.fault.filter_read(addr, &mut buf);
+        }
         buf
+    }
+
+    /// Attaches a fault injector to the bulk-read path (chaos campaigns).
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
+    }
+
+    /// A deterministic digest of all resident content strictly below
+    /// `limit` (FNV-1a over sorted page indices and bytes; all-zero pages
+    /// are skipped so lazily-materialized zero pages don't perturb it).
+    /// Chaos campaigns compare a faulted run's committed memory against a
+    /// fault-free reference with the signature-table region masked off.
+    pub fn content_digest(&self, limit: u64) -> u64 {
+        let mut idxs: Vec<u64> =
+            self.pages.keys().copied().filter(|&i| (i << PAGE_SHIFT) < limit).collect();
+        idxs.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        for idx in idxs {
+            let page = &self.pages[&idx];
+            if page.iter().all(|&b| b == 0) {
+                continue;
+            }
+            for b in idx.to_le_bytes() {
+                mix(b);
+            }
+            let end = (PAGE_SIZE as u64).min(limit.saturating_sub(idx << PAGE_SHIFT)) as usize;
+            for &b in &page[..end] {
+                mix(b);
+            }
+        }
+        h
     }
 
     /// Writes a byte slice starting at `addr`.

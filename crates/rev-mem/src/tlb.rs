@@ -82,14 +82,14 @@ impl Tlb {
             return true;
         }
         self.stats.misses += 1;
-        if self.entries.len() == self.config.entries {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(i, _)| i)
-                .expect("non-empty");
+        if self.entries.len() >= self.config.entries {
+            // A zero-entry TLB (ruled out by `MemConfig::validate`)
+            // degrades to an always-miss TLB instead of panicking.
+            let lru = self.entries.iter().enumerate().min_by_key(|(_, (_, t))| *t).map(|(i, _)| i);
+            let Some(lru) = lru else {
+                debug_assert!(false, "TLB has at least one entry");
+                return false;
+            };
             self.entries.swap_remove(lru);
         }
         self.entries.push((vpn, self.tick));

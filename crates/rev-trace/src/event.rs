@@ -44,6 +44,9 @@ pub enum Verdict {
     NoTable,
     /// The signature table failed to parse (tampering).
     TableCorrupt,
+    /// A deferred store failed its parity check at release
+    /// (`rev-core/defer.rs` buffer corruption).
+    ParityError,
 }
 
 /// What happened.
@@ -101,6 +104,22 @@ pub enum EventKind {
         addr: u64,
         /// Requester class index (`rev_mem::Requester::idx`).
         requester: u8,
+    },
+    /// An armed fault struck (`rev-trace/fault.rs`). The cycle stamp is 0:
+    /// injection sites don't know the clock; ring *order* places the
+    /// strike relative to commits.
+    FaultFired {
+        /// Layer index (`crate::FaultLayer::idx`).
+        layer: u8,
+    },
+    /// The REV monitor re-fetched a signature line after a failed
+    /// integrity check, modeling transient-fault recovery
+    /// (`rev-core/rev_monitor.rs`).
+    SigRetry {
+        /// BB (terminator) address whose reference line is re-read.
+        bb_addr: u64,
+        /// 1-based retry attempt for this fill.
+        attempt: u32,
     },
 }
 

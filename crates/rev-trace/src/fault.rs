@@ -1,0 +1,480 @@
+//! Deterministic single-fault injection: the substrate `rev-chaos`
+//! campaigns arm and the simulator layers consult.
+//!
+//! Mirrors the [`crate::event::TraceBus`] design: a [`FaultInjector`] is a
+//! cheap-to-clone handle that is `None` when disabled, so every injection
+//! site in the hot path costs one pointer test. Components receive a clone
+//! of the same handle (`RevSimulator::set_fault_injector` threads one
+//! through committed memory, the SC, the SAG, the deferred-store buffer
+//! and the REV monitor) and call the `corrupt_*` filters at their
+//! fault-site; the injector counts every visit per [`FaultLayer`] and
+//! flips the armed bit exactly when the site's visit count reaches the
+//! spec's `trigger`.
+//!
+//! Visit counting is keyed to *architectural* site visits (table-line
+//! reads, SC installs, CHG digests, latch updates, store pushes, SAG
+//! resolves), none of which depend on cycle timing or on whether tracing
+//! is enabled — so a `(seed, trigger)` pair lands on the same dynamic
+//! event in every run. A calibration pass with [`FaultInjector::counter`]
+//! measures how many times each site is visited; campaign schedulers draw
+//! triggers from `1..=visits` so an armed fault always fires.
+
+use crate::event::{EventKind, TraceBus, TraceEvent};
+use std::sync::{Arc, Mutex};
+
+/// Number of fault layers (size of per-layer count arrays).
+pub const FAULT_LAYERS: usize = 6;
+
+/// Where a fault strikes (the hardware structure being corrupted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultLayer {
+    /// A bit flip in an encrypted signature-table line while it crosses
+    /// the DRAM interface (`rev-mem/memory.rs` read path, window-gated
+    /// to the table region).
+    SigLine,
+    /// Corruption of a resident signature-cache entry's stored digest
+    /// (`rev-core/sc.rs` install path).
+    ScEntry,
+    /// A bit flip in a CHG output digest (`rev-core/rev_monitor.rs`,
+    /// applied via `rev-crypto`'s fault helper).
+    ChgDigest,
+    /// A flip of the delayed return-address latch (`rev-core/rev_monitor.rs`).
+    RetLatch,
+    /// Corruption of a deferred-store-buffer entry (`rev-core/defer.rs`).
+    DeferStore,
+    /// A stuck-at fault in a resident SAG base/limit register pair
+    /// (`rev-core/sag.rs` resolve path).
+    SagRegister,
+}
+
+impl FaultLayer {
+    /// Every layer, in index order.
+    pub const ALL: [FaultLayer; FAULT_LAYERS] = [
+        FaultLayer::SigLine,
+        FaultLayer::ScEntry,
+        FaultLayer::ChgDigest,
+        FaultLayer::RetLatch,
+        FaultLayer::DeferStore,
+        FaultLayer::SagRegister,
+    ];
+
+    /// Index into per-layer arrays.
+    pub fn idx(self) -> usize {
+        self as usize
+    }
+
+    /// Lowercase label used in metric names and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultLayer::SigLine => "sigline",
+            FaultLayer::ScEntry => "sc_entry",
+            FaultLayer::ChgDigest => "chg_digest",
+            FaultLayer::RetLatch => "ret_latch",
+            FaultLayer::DeferStore => "defer_store",
+            FaultLayer::SagRegister => "sag_register",
+        }
+    }
+
+    /// Parses a label back into a layer (CLI `--layer` flag).
+    pub fn parse(s: &str) -> Option<Self> {
+        FaultLayer::ALL.into_iter().find(|l| l.label() == s)
+    }
+}
+
+/// How a fault behaves over time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// One-shot bit flip: strikes once, the underlying storage is intact
+    /// afterwards (a transient DRAM/SEU event — recoverable by re-read).
+    Transient,
+    /// The flipped bit stays wrong on every later access (a stuck DRAM
+    /// cell — re-reads see the same corruption).
+    Persistent,
+    /// Register bit forced to 0 from the trigger onwards.
+    StuckAt0,
+    /// Register bit forced to 1 from the trigger onwards.
+    StuckAt1,
+}
+
+impl FaultKind {
+    /// Lowercase label for JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Persistent => "persistent",
+            FaultKind::StuckAt0 => "stuck_at_0",
+            FaultKind::StuckAt1 => "stuck_at_1",
+        }
+    }
+}
+
+/// One armed fault: strike `layer` on its `trigger`-th site visit
+/// (1-based), flipping/forcing `bit` (interpreted modulo the site's
+/// natural width), with `kind` persistence semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultSpec {
+    /// Target structure.
+    pub layer: FaultLayer,
+    /// Persistence model.
+    pub kind: FaultKind,
+    /// 1-based site-visit count at which the fault strikes.
+    pub trigger: u64,
+    /// Bit position (reduced modulo the site's width at strike time).
+    pub bit: u32,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    spec: Option<FaultSpec>,
+    /// Table-region byte window `[lo, hi)` gating [`FaultLayer::SigLine`]
+    /// visits; reads outside it are not signature-line transfers.
+    window: Option<(u64, u64)>,
+    visits: [u64; FAULT_LAYERS],
+    fired: u64,
+    /// Persistent sig-line overlay: (absolute byte address, xor mask)
+    /// re-applied to every later read covering it.
+    sticky: Option<(u64, u8)>,
+    trace: TraceBus,
+}
+
+impl InjectorState {
+    /// Counts a visit at a scalar corrupt site; `true` when this visit is
+    /// the armed trigger for `layer`.
+    fn scalar_trigger(&mut self, layer: FaultLayer) -> bool {
+        self.visits[layer.idx()] += 1;
+        match self.spec {
+            Some(s) => {
+                s.layer == layer
+                    && matches!(s.kind, FaultKind::Transient | FaultKind::Persistent)
+                    && self.visits[layer.idx()] == s.trigger
+            }
+            None => false,
+        }
+    }
+
+    fn record_fire(&mut self, layer: FaultLayer) {
+        self.fired += 1;
+        self.trace.emit_with(|| TraceEvent {
+            cycle: 0,
+            kind: EventKind::FaultFired { layer: layer.idx() as u8 },
+        });
+    }
+}
+
+/// A handle to the (shared) fault state. `Clone` is cheap; a disabled
+/// injector is a null handle and every site check through it is a single
+/// branch.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Option<Arc<Mutex<InjectorState>>>,
+}
+
+impl FaultInjector {
+    /// A disabled injector — the default everywhere; all filters are
+    /// no-ops.
+    pub fn disabled() -> Self {
+        FaultInjector { inner: None }
+    }
+
+    /// A counting-only injector: visits are tallied per layer but nothing
+    /// ever fires. Campaigns run one of these first to calibrate trigger
+    /// ranges.
+    pub fn counter() -> Self {
+        Self::with_spec(None)
+    }
+
+    /// An injector armed with one fault.
+    pub fn armed(spec: FaultSpec) -> Self {
+        Self::with_spec(Some(spec))
+    }
+
+    fn with_spec(spec: Option<FaultSpec>) -> Self {
+        FaultInjector {
+            inner: Some(Arc::new(Mutex::new(InjectorState {
+                spec,
+                window: None,
+                visits: [0; FAULT_LAYERS],
+                fired: 0,
+                sticky: None,
+                trace: TraceBus::disabled(),
+            }))),
+        }
+    }
+
+    /// Whether any state is attached (armed or counting).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<std::sync::MutexGuard<'_, InjectorState>> {
+        self.inner.as_ref().map(|m| m.lock().expect("fault injector poisoned"))
+    }
+
+    /// Attaches a trace bus; fires emit [`EventKind::FaultFired`].
+    pub fn set_trace(&self, trace: TraceBus) {
+        if let Some(mut st) = self.lock() {
+            st.trace = trace;
+        }
+    }
+
+    /// Declares the signature-table byte window `[lo, hi)`; only reads
+    /// overlapping it count as [`FaultLayer::SigLine`] site visits.
+    pub fn set_window(&self, lo: u64, hi: u64) {
+        if let Some(mut st) = self.lock() {
+            st.window = Some((lo, hi));
+        }
+    }
+
+    /// The armed spec, if any.
+    pub fn spec(&self) -> Option<FaultSpec> {
+        self.lock().and_then(|st| st.spec)
+    }
+
+    /// Per-layer site-visit counts (index by [`FaultLayer::idx`]).
+    pub fn visits(&self) -> [u64; FAULT_LAYERS] {
+        self.lock().map(|st| st.visits).unwrap_or([0; FAULT_LAYERS])
+    }
+
+    /// Number of times the armed fault struck (0 or 1 for every kind —
+    /// persistent overlays count their first strike only).
+    pub fn fired(&self) -> u64 {
+        self.lock().map(|st| st.fired).unwrap_or(0)
+    }
+
+    /// Signature-line transfer filter: call on every table-region read.
+    /// Applies the persistent overlay (if set) and, on the trigger visit,
+    /// flips `bit mod (8·len)` of `buf`. Returns `true` when `buf` was
+    /// altered.
+    pub fn filter_read(&self, addr: u64, buf: &mut [u8]) -> bool {
+        let Some(mut st) = self.lock() else { return false };
+        let Some((lo, hi)) = st.window else { return false };
+        let len = buf.len() as u64;
+        if len == 0 || addr >= hi || addr.saturating_add(len) <= lo {
+            return false;
+        }
+        st.visits[FaultLayer::SigLine.idx()] += 1;
+        let mut altered = false;
+        if let Some((sa, mask)) = st.sticky {
+            if sa >= addr && sa < addr + len {
+                buf[(sa - addr) as usize] ^= mask;
+                altered = true;
+            }
+        }
+        if let Some(s) = st.spec {
+            if s.layer == FaultLayer::SigLine
+                && matches!(s.kind, FaultKind::Transient | FaultKind::Persistent)
+                && st.visits[FaultLayer::SigLine.idx()] == s.trigger
+            {
+                let bitpos = s.bit as usize % (buf.len() * 8);
+                let mask = 1u8 << (bitpos % 8);
+                buf[bitpos / 8] ^= mask;
+                if s.kind == FaultKind::Persistent {
+                    st.sticky = Some((addr + (bitpos / 8) as u64, mask));
+                }
+                st.record_fire(FaultLayer::SigLine);
+                altered = true;
+            }
+        }
+        altered
+    }
+
+    /// Scalar 64-bit corrupt site (return-address latch). Flips
+    /// `bit mod 64` on the trigger visit.
+    pub fn corrupt_u64(&self, layer: FaultLayer, value: &mut u64) -> bool {
+        let Some(mut st) = self.lock() else { return false };
+        if !st.scalar_trigger(layer) {
+            return false;
+        }
+        let bit = st.spec.map(|s| s.bit).unwrap_or(0) % 64;
+        *value ^= 1u64 << bit;
+        st.record_fire(layer);
+        true
+    }
+
+    /// Scalar 32-bit corrupt site (SC entry digest). Flips `bit mod 32`
+    /// on the trigger visit.
+    pub fn corrupt_u32(&self, layer: FaultLayer, value: &mut u32) -> bool {
+        let Some(mut st) = self.lock() else { return false };
+        if !st.scalar_trigger(layer) {
+            return false;
+        }
+        let bit = st.spec.map(|s| s.bit).unwrap_or(0) % 32;
+        *value ^= 1u32 << bit;
+        st.record_fire(layer);
+        true
+    }
+
+    /// Byte-buffer corrupt site (CHG digest). Flips `bit mod (8·len)` on
+    /// the trigger visit.
+    pub fn corrupt_bytes(&self, layer: FaultLayer, bytes: &mut [u8]) -> bool {
+        let Some(mut st) = self.lock() else { return false };
+        if !st.scalar_trigger(layer) || bytes.is_empty() {
+            return false;
+        }
+        let bitpos = st.spec.map(|s| s.bit).unwrap_or(0) as usize % (bytes.len() * 8);
+        bytes[bitpos / 8] ^= 1u8 << (bitpos % 8);
+        st.record_fire(layer);
+        true
+    }
+
+    /// Deferred-store corrupt site: `bit < 64` flips the value, `64..128`
+    /// flips the address.
+    pub fn corrupt_store(&self, addr: &mut u64, value: &mut u64) -> bool {
+        let Some(mut st) = self.lock() else { return false };
+        if !st.scalar_trigger(FaultLayer::DeferStore) {
+            return false;
+        }
+        let bit = st.spec.map(|s| s.bit).unwrap_or(0) % 128;
+        if bit < 64 {
+            *value ^= 1u64 << bit;
+        } else {
+            *addr ^= 1u64 << (bit - 64);
+        }
+        st.record_fire(FaultLayer::DeferStore);
+        true
+    }
+
+    /// Stuck-at register site (SAG base/limit pair): counts a visit and,
+    /// once the trigger is reached, returns `Some((bit, forced_value))`
+    /// for the caller to apply (`bit < 64` → base/lo register, `64..128`
+    /// → limit/hi register). The first activation is recorded as the
+    /// fire.
+    pub fn stuck_at(&self, layer: FaultLayer) -> Option<(u32, bool)> {
+        let mut st = self.lock()?;
+        st.visits[layer.idx()] += 1;
+        let s = st.spec?;
+        if s.layer != layer || st.visits[layer.idx()] < s.trigger {
+            return None;
+        }
+        let forced = match s.kind {
+            FaultKind::StuckAt0 => false,
+            FaultKind::StuckAt1 => true,
+            _ => return None,
+        };
+        if st.fired == 0 {
+            st.record_fire(layer);
+        }
+        Some((s.bit % 128, forced))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(layer: FaultLayer, kind: FaultKind, trigger: u64, bit: u32) -> FaultSpec {
+        FaultSpec { layer, kind, trigger, bit }
+    }
+
+    #[test]
+    fn disabled_injector_is_inert() {
+        let inj = FaultInjector::disabled();
+        let mut v = 7u64;
+        assert!(!inj.corrupt_u64(FaultLayer::RetLatch, &mut v));
+        assert_eq!(v, 7);
+        assert_eq!(inj.fired(), 0);
+        assert_eq!(inj.visits(), [0; FAULT_LAYERS]);
+        assert!(!inj.is_enabled());
+    }
+
+    #[test]
+    fn counter_tallies_without_firing() {
+        let inj = FaultInjector::counter();
+        inj.set_window(0x1000, 0x2000);
+        let mut buf = [0u8; 16];
+        for i in 0..3 {
+            assert!(!inj.filter_read(0x1000 + i * 16, &mut buf));
+        }
+        let mut v = 0u64;
+        inj.corrupt_u64(FaultLayer::RetLatch, &mut v);
+        assert_eq!(inj.visits()[FaultLayer::SigLine.idx()], 3);
+        assert_eq!(inj.visits()[FaultLayer::RetLatch.idx()], 1);
+        assert_eq!(inj.fired(), 0);
+        assert_eq!(buf, [0u8; 16]);
+    }
+
+    #[test]
+    fn transient_sigline_flips_exactly_once() {
+        let inj = FaultInjector::armed(spec(FaultLayer::SigLine, FaultKind::Transient, 2, 9));
+        inj.set_window(0x1000, 0x2000);
+        let mut buf = [0u8; 4];
+        assert!(!inj.filter_read(0x1000, &mut buf), "visit 1: below trigger");
+        assert!(inj.filter_read(0x1000, &mut buf), "visit 2: fires");
+        assert_eq!(buf, [0, 1 << 1, 0, 0], "bit 9 = byte 1, bit 1");
+        buf = [0u8; 4];
+        assert!(!inj.filter_read(0x1000, &mut buf), "transient: gone on re-read");
+        assert_eq!(inj.fired(), 1);
+    }
+
+    #[test]
+    fn persistent_sigline_sticks_to_the_address() {
+        let inj = FaultInjector::armed(spec(FaultLayer::SigLine, FaultKind::Persistent, 1, 0));
+        inj.set_window(0x1000, 0x2000);
+        let mut buf = [0u8; 4];
+        assert!(inj.filter_read(0x1010, &mut buf));
+        assert_eq!(buf[0], 1);
+        let mut again = [0u8; 8];
+        assert!(inj.filter_read(0x1010, &mut again), "overlay re-applies");
+        assert_eq!(again[0], 1);
+        let mut elsewhere = [0u8; 8];
+        assert!(!inj.filter_read(0x1800, &mut elsewhere), "other lines untouched");
+        assert_eq!(inj.fired(), 1, "persistent overlay counts one fire");
+    }
+
+    #[test]
+    fn reads_outside_window_are_not_sigline_visits() {
+        let inj = FaultInjector::armed(spec(FaultLayer::SigLine, FaultKind::Transient, 1, 0));
+        inj.set_window(0x1000, 0x2000);
+        let mut buf = [0u8; 4];
+        assert!(!inj.filter_read(0x4000, &mut buf));
+        assert_eq!(inj.visits()[FaultLayer::SigLine.idx()], 0);
+        assert_eq!(inj.fired(), 0);
+    }
+
+    #[test]
+    fn stuck_at_activates_and_stays() {
+        let inj = FaultInjector::armed(spec(FaultLayer::SagRegister, FaultKind::StuckAt1, 2, 70));
+        assert_eq!(inj.stuck_at(FaultLayer::SagRegister), None, "visit 1");
+        assert_eq!(inj.stuck_at(FaultLayer::SagRegister), Some((70, true)), "visit 2");
+        assert_eq!(inj.stuck_at(FaultLayer::SagRegister), Some((70, true)), "sticks");
+        assert_eq!(inj.fired(), 1, "activation recorded once");
+    }
+
+    #[test]
+    fn store_corruption_routes_bit_to_value_or_addr() {
+        let inj = FaultInjector::armed(spec(FaultLayer::DeferStore, FaultKind::Transient, 1, 3));
+        let (mut a, mut v) = (0u64, 0u64);
+        assert!(inj.corrupt_store(&mut a, &mut v));
+        assert_eq!((a, v), (0, 8));
+        let inj = FaultInjector::armed(spec(FaultLayer::DeferStore, FaultKind::Transient, 1, 64));
+        let (mut a, mut v) = (0u64, 0u64);
+        assert!(inj.corrupt_store(&mut a, &mut v));
+        assert_eq!((a, v), (1, 0));
+    }
+
+    #[test]
+    fn fires_emit_trace_events() {
+        let inj = FaultInjector::armed(spec(FaultLayer::RetLatch, FaultKind::Transient, 1, 0));
+        let bus = TraceBus::with_capacity(8);
+        inj.set_trace(bus.clone());
+        let mut v = 0u64;
+        inj.corrupt_u64(FaultLayer::RetLatch, &mut v);
+        let events = bus.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(
+            events[0].kind,
+            EventKind::FaultFired { layer: FaultLayer::RetLatch.idx() as u8 }
+        );
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let inj = FaultInjector::armed(spec(FaultLayer::ScEntry, FaultKind::Transient, 2, 0));
+        let tap = inj.clone();
+        let mut d = 0u32;
+        tap.corrupt_u32(FaultLayer::ScEntry, &mut d);
+        assert!(inj.corrupt_u32(FaultLayer::ScEntry, &mut d), "trigger seen across clones");
+        assert_eq!(inj.fired(), 1);
+    }
+}

@@ -18,6 +18,10 @@
 //!   ([`Snapshot`], rendered as `BENCH_rev.json`) and a regression
 //!   [`compare`] used by the `rev-trace compare` subcommand and
 //!   `scripts/check.sh`.
+//! * [`fault`] — a deterministic, seeded **fault-injection substrate**
+//!   ([`FaultInjector`]): the same null-handle pattern as the event bus,
+//!   consulted at injection sites across the simulator layers and driven
+//!   by `rev-chaos` campaigns (see `docs/FAULTS.md`).
 //!
 //! This crate is a dependency *leaf*: it knows nothing about the
 //! simulator crates, which all depend on it. Event payload enums
@@ -27,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod fault;
 pub mod json;
 pub mod metrics;
 pub mod snapshot;
 
 pub use event::{EventKind, ProbeOutcome, TraceBus, TraceEvent, Verdict};
+pub use fault::{FaultInjector, FaultKind, FaultLayer, FaultSpec, FAULT_LAYERS};
 pub use json::Json;
 pub use metrics::{Histogram, MetricRegistry, MetricSink, MetricValue, HISTOGRAM_BUCKETS};
 pub use snapshot::{compare, AttackRecord, CompareReport, Snapshot, SCHEMA};

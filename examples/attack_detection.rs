@@ -19,14 +19,14 @@ fn main() {
         let unprot = if kind == AttackKind::TableTamper {
             "n/a".to_string()
         } else {
-            let u = mount_unprotected(kind);
+            let u = mount_unprotected(kind).expect("victim builds");
             if u.tainted {
                 "compromised".into()
             } else {
                 "survived?".to_string()
             }
         };
-        let out = mount(kind, RevConfig::paper_default());
+        let out = mount(kind, RevConfig::paper_default()).expect("scenario mounts");
         let verdict = if out.detected && !out.tainted {
             "caught+contained"
         } else if out.detected {

@@ -24,6 +24,20 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 echo "==> rev-lint --all (static table verification)"
 cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
 
+# Chaos gate (hard): a quick seeded fault-injection campaign must report
+# zero silent-corruption and zero false-positive outcomes (rev-chaos
+# exits 1 otherwise). The byte-identical JSON is diffed against the
+# committed baseline as a soft drift check.
+echo "==> rev-chaos --quick (fault-injection gate)"
+chaos="$(mktemp /tmp/chaos_rev.XXXXXX.json)"
+cargo run --release -q -p rev-chaos -- --quick --seed 7 --quiet --json "$chaos" >/dev/null
+if ! diff -q baselines/chaos_quick.json "$chaos" >/dev/null; then
+    echo "WARN: campaign drifted from baselines/chaos_quick.json (soft gate)."
+    echo "      If intentional, regenerate with:"
+    echo "      cargo run --release -p rev-chaos -- --quick --seed 7 --quiet --json baselines/chaos_quick.json"
+fi
+rm -f "$chaos"
+
 # Soft gates (warn, never fail): regenerate the quick-mode measurement
 # snapshot, diff it against the committed baseline with rev-trace, and
 # sanity-check that the tracing-disabled sweep's wall clock has not

@@ -16,7 +16,7 @@ fn every_attack_is_contained_in_every_hash_mode() {
             AttackKind::JumpOriented,
             AttackKind::VtableCompromise,
         ] {
-            let out = mount(kind, RevConfig::paper_default().with_mode(mode));
+            let out = mount(kind, RevConfig::paper_default().with_mode(mode)).expect("mounts");
             assert!(out.detected, "{kind} undetected in {mode} mode");
             assert!(!out.tainted, "{kind} tainted memory in {mode} mode");
         }
@@ -29,7 +29,8 @@ fn cfi_only_catches_control_flow_attacks() {
     // control-flow hijacks (its design point, paper Sec. V.D).
     for kind in [AttackKind::ReturnOriented, AttackKind::JumpOriented, AttackKind::VtableCompromise]
     {
-        let out = mount(kind, RevConfig::paper_default().with_mode(ValidationMode::CfiOnly));
+        let out = mount(kind, RevConfig::paper_default().with_mode(ValidationMode::CfiOnly))
+            .expect("mounts");
         assert!(out.detected, "{kind} undetected in CFI-only mode");
         assert_eq!(out.violation.unwrap().kind, ViolationKind::IllegalTarget, "{kind}");
     }
@@ -44,7 +45,8 @@ fn cfi_only_misses_pure_code_substitution() {
     let out = mount(
         AttackKind::DirectCodeInjection,
         RevConfig::paper_default().with_mode(ValidationMode::CfiOnly),
-    );
+    )
+    .expect("mounts");
     assert!(
         !out.detected,
         "CFI-only unexpectedly detected a pure code substitution: {:?}",
@@ -54,7 +56,7 @@ fn cfi_only_misses_pure_code_substitution() {
 
 #[test]
 fn detection_happens_promptly_after_the_attack_fires() {
-    let out = mount(AttackKind::ReturnOriented, RevConfig::paper_default());
+    let out = mount(AttackKind::ReturnOriented, RevConfig::paper_default()).expect("mounts");
     assert!(out.detected);
     // The overflow arms on the next process() call; detection must land
     // within the post-attack window, not at its very end.
@@ -67,7 +69,7 @@ fn detection_happens_promptly_after_the_attack_fires() {
 
 #[test]
 fn victim_runs_clean_indefinitely_without_attack() {
-    let (program, map) = victim_program();
+    let (program, map) = victim_program().expect("victim builds");
     let mut sim = RevSimulator::new(program, RevConfig::paper_default()).expect("builds");
     let report = sim.run(400_000);
     assert_eq!(report.outcome, RunOutcome::BudgetReached);
@@ -81,6 +83,6 @@ fn victim_runs_clean_indefinitely_without_attack() {
 fn violation_halts_validation_permanently() {
     // After a violation, continuing the run must not release quarantined
     // stores or validate further blocks.
-    let out = mount(AttackKind::JumpOriented, RevConfig::paper_default());
+    let out = mount(AttackKind::JumpOriented, RevConfig::paper_default()).expect("mounts");
     assert!(out.detected && !out.tainted);
 }

@@ -50,7 +50,7 @@ fn violation_discards_the_entire_execution_including_pre_attack_stores() {
     // The semantic difference from the deferred-store buffer: under
     // shadowing, even stores from *validated* blocks never became
     // architectural, so a violation wipes them too.
-    let (program, map) = victim_program();
+    let (program, map) = victim_program().expect("victim builds");
     let mut sim = RevSimulator::new(program, shadow_config()).expect("builds");
     let warm = sim.run(30_000);
     assert!(warm.rev.violation.is_none());
