@@ -1,0 +1,153 @@
+//! Simulator-throughput benchmark: committed instructions per host second
+//! and host nanoseconds per instruction, per workload profile.
+//!
+//! This measures the *simulator*, not the modeled hardware — the numbers
+//! feed the ROADMAP's "as fast as the hardware allows" axis and the
+//! `scripts/check.sh` soft regression gate, not any paper figure. Each
+//! profile runs once under the paper-default REV configuration with the
+//! wall clock taken around the measurement window only (generation, table
+//! build, and warmup excluded). Runs are serial (`--jobs` would have every
+//! run contend for the same cores and time noise, not work).
+//!
+//! ```text
+//! usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]
+//!             [--bench NAME]... [--json PATH] [--check BASELINE]
+//!             [--band PCT] [--csv] [--quiet]
+//! ```
+//!
+//! * `--json PATH` — write/merge the `perf` registries into `PATH`. If
+//!   the file already holds a `rev-trace/1` snapshot (e.g. the
+//!   `BENCH_rev.json` that `reproduce_all` wrote), its existing profiles
+//!   and attack records are preserved and each profile gains/replaces a
+//!   `perf` configuration; otherwise a fresh snapshot is created.
+//! * `--check BASELINE` — compare `perf.instrs_per_sec` against a
+//!   committed baseline snapshot with a ±`--band` percent tolerance
+//!   (default 15). Out-of-band drift exits with code **2** (soft-warning
+//!   semantics, mirroring `rev-trace compare`'s distinct exit codes);
+//!   in-band runs exit 0.
+//!
+//! Throughput gauges are host-dependent; only the `perf.bbcache.*` and
+//! `perf.committed_instrs` counters are deterministic. Never byte-diff
+//! this output — that is what the band is for.
+
+use rev_bench::{
+    perf_registry, perf_sample, perf_soft_check, BenchOptions, Narrator, TablePrinter,
+};
+use rev_core::RevConfig;
+use rev_trace::Snapshot;
+
+fn main() {
+    let mut opts = BenchOptions::default();
+    let mut check: Option<String> = None;
+    let mut band_pct = 15.0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--instructions" => {
+                opts.instructions =
+                    value("--instructions").parse().expect("--instructions must be an integer")
+            }
+            "--warmup" => opts.warmup = value("--warmup").parse().expect("--warmup: integer"),
+            "--scale" => opts.scale = value("--scale").parse().expect("--scale: float"),
+            "--quick" => {
+                opts.scale = 0.05;
+                opts.instructions = 200_000;
+                opts.warmup = 50_000;
+            }
+            "--bench" => opts.only.push(value("--bench")),
+            "--json" => opts.json = Some(value("--json")),
+            "--check" => check = Some(value("--check")),
+            "--band" => band_pct = value("--band").parse().expect("--band: float (percent)"),
+            "--csv" => opts.csv = true,
+            "--quiet" => opts.quiet = true,
+            other => {
+                eprintln!("error: unknown argument '{other}'");
+                eprintln!(
+                    "usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]\n\
+                     \x20           [--bench NAME]... [--json PATH] [--check BASELINE]\n\
+                     \x20           [--band PCT] [--csv] [--quiet]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let narrator = Narrator::new(opts.quiet);
+    let profiles = opts.profiles();
+    let mut samples = Vec::with_capacity(profiles.len());
+    for profile in &profiles {
+        narrator.note(&format!("[perf] {} ...", profile.name));
+        samples.push(perf_sample(profile, &opts, RevConfig::paper_default()));
+    }
+
+    let mut table = TablePrinter::new(
+        vec!["benchmark", "instrs/sec", "ns/instr", "bbcache hit%", "wall ms"],
+        opts.csv,
+    );
+    let mut total_instrs = 0u64;
+    let mut total_ns = 0u64;
+    for s in &samples {
+        let probes = s.bb_cache_hits + s.bb_cache_misses;
+        let hit_pct =
+            if probes == 0 { 0.0 } else { s.bb_cache_hits as f64 / probes as f64 * 100.0 };
+        table.row(vec![
+            s.name.clone(),
+            format!("{:.0}", s.instrs_per_sec()),
+            format!("{:.1}", s.ns_per_instr()),
+            format!("{hit_pct:.1}"),
+            format!("{:.1}", s.wall_ns as f64 / 1e6),
+        ]);
+        total_instrs += s.committed_instrs;
+        total_ns += s.wall_ns;
+    }
+    table.print();
+    if total_ns > 0 {
+        println!(
+            "aggregate: {:.0} committed instrs/sec over {} profiles",
+            total_instrs as f64 / (total_ns as f64 / 1e9),
+            samples.len()
+        );
+    }
+
+    // Build the candidate snapshot (merging into an existing one when the
+    // target file already holds a rev-trace/1 snapshot).
+    let mut snap = match &opts.json {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Snapshot::parse(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path} exists but is not a rev-trace snapshot: {e}");
+                std::process::exit(2);
+            }),
+            Err(_) => Snapshot::new(),
+        },
+        None => Snapshot::new(),
+    };
+    for s in &samples {
+        snap.add_metrics(&s.name, "perf", perf_registry(s));
+    }
+    if let Some(path) = &opts.json {
+        std::fs::write(path, snap.render()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        narrator.note(&format!("[snapshot] wrote {path}"));
+    }
+
+    if let Some(baseline_path) = check {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("error: reading {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = Snapshot::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: parsing {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let report = perf_soft_check(&baseline, &snap, band_pct);
+        println!("perf check vs {baseline_path} (±{band_pct:.0}% band):");
+        for line in &report.lines {
+            println!("  {line}");
+        }
+        if report.drifted {
+            println!("perf check: DRIFT (soft gate — exit 2)");
+            std::process::exit(2);
+        }
+        println!("perf check: within band");
+    }
+}

@@ -17,7 +17,7 @@
 use rev_core::{BaselineReport, RevConfig, RevReport, RevSimulator};
 use rev_prog::{BbLimits, Cfg, CfgStats, Program};
 use rev_sigtable::TableStats;
-use rev_trace::{AttackRecord, Json, MetricRegistry, MetricSink, Snapshot};
+use rev_trace::{AttackRecord, Json, MetricRegistry, MetricSink, MetricValue, Snapshot};
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -575,6 +575,135 @@ pub fn mean(values: &[f64]) -> f64 {
     } else {
         values.iter().sum::<f64>() / values.len() as f64
     }
+}
+
+/// One profile's simulator-throughput measurement (the `perf` binary's
+/// unit of work): host wall-clock around a timed REV run plus the
+/// deterministic decoded-BB-cache counters from the same run.
+#[derive(Debug, Clone)]
+pub struct PerfSample {
+    /// Profile name.
+    pub name: String,
+    /// Correct-path instructions committed during the timed run.
+    pub committed_instrs: u64,
+    /// Host wall-clock of the timed run, nanoseconds.
+    pub wall_ns: u64,
+    /// Decoded-BB cache hits (see `perf.bbcache.*` in docs/METRICS.md).
+    pub bb_cache_hits: u64,
+    /// Decoded-BB cache misses.
+    pub bb_cache_misses: u64,
+    /// Decoded-BB cache invalidations (code-generation bumps).
+    pub bb_cache_invalidations: u64,
+}
+
+impl PerfSample {
+    /// Committed instructions per host second.
+    pub fn instrs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Host nanoseconds per committed instruction.
+    pub fn ns_per_instr(&self) -> f64 {
+        if self.committed_instrs == 0 {
+            0.0
+        } else {
+            self.wall_ns as f64 / self.committed_instrs as f64
+        }
+    }
+}
+
+/// Builds the `perf` registry for one profile: simulator throughput
+/// gauges (host-dependent, compared against `baselines/perf_quick.json`
+/// with a tolerance band, never byte-diffed) plus the deterministic
+/// decoded-BB-cache counters.
+pub fn perf_registry(sample: &PerfSample) -> MetricRegistry {
+    let mut reg = MetricRegistry::new();
+    reg.gauge("perf.instrs_per_sec", sample.instrs_per_sec());
+    reg.gauge("perf.ns_per_instr", sample.ns_per_instr());
+    reg.gauge("perf.wall_ms", sample.wall_ns as f64 / 1e6);
+    reg.counter("perf.committed_instrs", sample.committed_instrs);
+    reg.counter("perf.bbcache.hits", sample.bb_cache_hits);
+    reg.counter("perf.bbcache.misses", sample.bb_cache_misses);
+    reg.counter("perf.bbcache.invalidations", sample.bb_cache_invalidations);
+    reg
+}
+
+/// Measures one profile: a warmed-up REV run under `config` with the
+/// wall clock taken around the measurement window only (workload
+/// generation, table build, and warmup are excluded).
+pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> PerfSample {
+    let program = program_for(profile);
+    let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    sim.warmup(opts.warmup);
+    let start = std::time::Instant::now();
+    let rev = sim.run(opts.instructions);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    PerfSample {
+        name: profile.name.to_string(),
+        committed_instrs: rev.cpu.committed_instrs,
+        wall_ns,
+        bb_cache_hits: rev.rev.bb_cache_hits,
+        bb_cache_misses: rev.rev.bb_cache_misses,
+        bb_cache_invalidations: rev.rev.bb_cache_invalidations,
+    }
+}
+
+/// Result of [`perf_soft_check`]: per-profile verdict lines plus whether
+/// any profile fell outside the band.
+#[derive(Debug, Clone, Default)]
+pub struct PerfCheckReport {
+    /// Human-readable per-profile comparison lines.
+    pub lines: Vec<String>,
+    /// `true` when at least one profile's throughput left the band.
+    pub drifted: bool,
+}
+
+/// Compares measured `perf.instrs_per_sec` gauges against a committed
+/// baseline snapshot with a symmetric ±`band_pct` tolerance. Missing
+/// profiles (either side) are reported as information, never as drift —
+/// matching `rev-trace compare`'s treatment of added/removed metrics.
+pub fn perf_soft_check(
+    baseline: &Snapshot,
+    candidate: &Snapshot,
+    band_pct: f64,
+) -> PerfCheckReport {
+    let mut report = PerfCheckReport::default();
+    let gauge = |snap: &Snapshot, profile: &str| -> Option<f64> {
+        match snap.profiles.get(profile)?.get("perf")?.get("perf.instrs_per_sec") {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    };
+    for profile in candidate.profiles.keys() {
+        let Some(new) = gauge(candidate, profile) else { continue };
+        match gauge(baseline, profile) {
+            None => report.lines.push(format!("{profile}: no baseline (informational)")),
+            Some(old) if old <= 0.0 => {
+                report.lines.push(format!("{profile}: zero baseline (informational)"));
+            }
+            Some(old) => {
+                let rel = (new - old) / old * 100.0;
+                let out_of_band = rel.abs() > band_pct;
+                if out_of_band {
+                    report.drifted = true;
+                }
+                report.lines.push(format!(
+                    "{profile}: {new:.0} instrs/s vs baseline {old:.0} ({rel:+.1}%{})",
+                    if out_of_band { " — OUT OF BAND" } else { "" }
+                ));
+            }
+        }
+    }
+    for profile in baseline.profiles.keys() {
+        if gauge(baseline, profile).is_some() && gauge(candidate, profile).is_none() {
+            report.lines.push(format!("{profile}: present in baseline only (informational)"));
+        }
+    }
+    report
 }
 
 #[cfg(test)]

@@ -1,0 +1,79 @@
+//! Equivalence guarantees for the hot-loop optimizations: the fan-out
+//! width and the tracing taps are *observability* knobs, never
+//! *measurement* knobs.
+//!
+//! * the rendered `rev-trace/1` snapshot is byte-identical for any
+//!   `--jobs` value, across **all 18** workload profiles;
+//! * a run with the TraceBus attached exports exactly the metrics of a
+//!   run without it.
+//!
+//! (Campaign-JSON determinism across runs and jobs lives next to the
+//! engine in `crates/rev-chaos/tests/chaos.rs`; the self-modifying-code
+//! invalidation contract lives in `crates/rev-core/tests/smc.rs`.)
+
+use rev_bench::{program_for, snapshot_from_runs, sweep_configs, BenchOptions, SweepConfig};
+use rev_core::{RevConfig, RevSimulator};
+use rev_trace::{MetricRegistry, MetricSink, Snapshot};
+
+fn tiny_opts() -> BenchOptions {
+    BenchOptions {
+        instructions: 10_000,
+        warmup: 2_000,
+        scale: 0.05,
+        quiet: true,
+        ..BenchOptions::default()
+    }
+}
+
+/// The full-profile sweep renders the same snapshot bytes serially and
+/// fanned out — the work plan is fixed before any worker runs, results
+/// are reassembled in request order, and every registry serializes with
+/// sorted keys.
+#[test]
+fn snapshot_is_byte_identical_across_jobs() {
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
+    let render = |jobs: usize| {
+        let mut opts = tiny_opts();
+        opts.jobs = jobs;
+        let runs = sweep_configs(&opts, &configs);
+        assert_eq!(runs.len(), opts.profiles().len(), "every profile must be swept");
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    let serial = render(1);
+    let fanned = render(4);
+    assert_eq!(tiny_opts().profiles().len(), 18, "the paper's full profile set");
+    assert_eq!(serial, fanned, "--jobs must never change a rendered byte");
+}
+
+/// Attaching the TraceBus (ring buffer, every tap site live) changes no
+/// exported metric: same outcome, same cpu/rev/mem registries, bit for
+/// bit, while the bus demonstrably carries events.
+#[test]
+fn tracing_does_not_perturb_measurements() {
+    let opts = tiny_opts();
+    for name in ["mcf", "gobmk"] {
+        let sel = BenchOptions { only: vec![name.to_string()], ..tiny_opts() };
+        let profile = sel.profiles().remove(0);
+        let registry_of = |traced: bool| {
+            let mut sim =
+                RevSimulator::new(program_for(&profile), RevConfig::paper_default()).unwrap();
+            let bus = traced.then(|| sim.enable_tracing(4096));
+            sim.warmup(opts.warmup);
+            let report = sim.run(opts.instructions);
+            if let Some(bus) = bus {
+                assert!(!bus.drain().is_empty(), "{name}: the bus must carry events");
+            }
+            let mut reg = MetricRegistry::new();
+            report.cpu.export_metrics(&mut reg);
+            report.rev.export_metrics(&mut reg);
+            report.mem.export_metrics(&mut reg);
+            (format!("{:?}", report.outcome), reg)
+        };
+        let (out_plain, reg_plain) = registry_of(false);
+        let (out_traced, reg_traced) = registry_of(true);
+        assert_eq!(out_plain, out_traced, "{name}: outcome must not depend on tracing");
+        assert_eq!(reg_plain, reg_traced, "{name}: tracing must not move a single metric");
+    }
+}

@@ -1,0 +1,128 @@
+//! Criterion microbenchmarks for the monitor's three hottest inner
+//! loops, isolated from end-to-end simulation noise: the signature-cache
+//! probe, the flat page-table read, and the monitor's basic-block commit
+//! path (probe + CHG hash + validation, driven through a full simulator
+//! on a non-terminating loop so every sampled instruction exercises it).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rev_core::{RevConfig, RevSimulator, ScVariant, SignatureCache};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_mem::MainMemory;
+use rev_prog::{ModuleBuilder, Program};
+use rev_sigtable::EntryKind;
+use std::hint::black_box;
+
+fn variant(digest: u32, succ: u64) -> ScVariant {
+    ScVariant {
+        kind: EntryKind::Implicit,
+        digest: Some(digest),
+        bound_succs: vec![succ],
+        bound_pred: None,
+        succs: vec![succ],
+        preds: vec![],
+        tag: None,
+        spill_addrs: vec![],
+        mru_succs: vec![succ],
+        mru_preds: vec![],
+    }
+}
+
+/// The SC probe is one per committed terminator; a quarter of the probed
+/// addresses miss so both the hit scan and the miss fall-through are in
+/// the sample.
+fn bench_sc_probe(c: &mut Criterion) {
+    const PROBES: u64 = 4096;
+    let mut sc = SignatureCache::new(32 * 1024, 4, 64);
+    for i in 0..512u64 {
+        sc.install(0x1000 + i * 64, 0, vec![variant(i as u32, 0x1000 + (i + 1) * 64)]);
+    }
+    let mut g = c.benchmark_group("sc");
+    g.throughput(Throughput::Elements(PROBES));
+    g.bench_function("probe", |b| {
+        b.iter(|| {
+            for i in 0..PROBES {
+                // Every fourth address lands past the installed range.
+                black_box(sc.probe(0x1000 + (i % 683) * 64, i));
+            }
+        });
+    });
+    g.finish();
+}
+
+/// Flat page-table reads: the word loads and the fetch-width `read_into`
+/// the pipeline issues every cycle, striding across enough pages to defeat
+/// a single-page sweetspot.
+fn bench_page_read(c: &mut Criterion) {
+    const READS: u64 = 4096;
+    let mut mem = MainMemory::new();
+    for i in 0..READS {
+        mem.write_u64(0x1_0000 + i * 56, i);
+    }
+    let mut g = c.benchmark_group("page");
+    g.throughput(Throughput::Elements(READS));
+    g.bench_function("read_u64", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..READS {
+                acc = acc.wrapping_add(mem.read_u64(0x1_0000 + i * 56));
+            }
+            black_box(acc)
+        });
+    });
+    g.bench_function("read_into", |b| {
+        let mut buf = [0u8; 10];
+        b.iter(|| {
+            for i in 0..READS {
+                mem.read_into(0x1_0000 + i * 56, &mut buf);
+                black_box(&buf);
+            }
+        });
+    });
+    g.finish();
+}
+
+/// A tight call/return loop that never halts within the measured budget:
+/// every committed block goes through probe, decoded-block-cache lookup,
+/// CHG hashing, and validation.
+fn monitor_workout() -> Program {
+    let mut b = ModuleBuilder::new("workout", 0x1000);
+    let f = b.begin_function("main");
+    let top = b.new_label();
+    let callee = b.new_label();
+    let buf = b.data_zeroed(128);
+    b.push(Instruction::Li { rd: Reg::R2, imm: i64::MAX as u64 });
+    b.li_data(Reg::R5, buf);
+    b.bind(top);
+    b.call(callee);
+    b.push(Instruction::Store { rs: Reg::R1, rbase: Reg::R5, off: 0 });
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    let g = b.begin_function("callee");
+    b.bind(callee);
+    b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(g);
+    let mut pb = Program::builder();
+    pb.module(b.finish().unwrap());
+    pb.build()
+}
+
+fn bench_bb_commit(c: &mut Criterion) {
+    const INSTRS: u64 = 20_000;
+    let mut g = c.benchmark_group("monitor");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(INSTRS));
+    g.bench_function("bb_commit", |b| {
+        b.iter(|| {
+            let mut sim =
+                RevSimulator::new(monitor_workout(), RevConfig::paper_default()).expect("builds");
+            black_box(sim.run(INSTRS))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sc_probe, bench_page_read, bench_bb_commit);
+criterion_main!(benches);

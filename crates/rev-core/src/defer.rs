@@ -12,6 +12,7 @@
 //! an attached [`TraceBus`]; occupancy shows up as the `rev.defer.peak`
 //! counter and `rev.defer.occupancy` histogram (see `docs/METRICS.md`).
 
+use rev_mem::FlatMap;
 use rev_trace::{EventKind, FaultInjector, TraceBus, TraceEvent};
 use std::collections::VecDeque;
 
@@ -59,6 +60,11 @@ fn parity(s: &DeferredStore) -> u8 {
 #[derive(Debug, Clone, Default)]
 pub struct DeferredStoreBuffer {
     entries: VecDeque<(DeferredStore, u8)>, // (store, parity at entry)
+    /// Buffered-store count per address, so [`Self::forwards`] (probed
+    /// per issued load) is a map lookup instead of a buffer scan. Keyed
+    /// on the *buffered* (possibly fault-corrupted) address — exactly
+    /// what the scan it replaces saw.
+    addr_index: FlatMap<u64, u32>,
     capacity: usize,
     peak: usize,
     total_released: u64,
@@ -112,6 +118,7 @@ impl DeferredStoreBuffer {
             // looks like to the release-time check.
             self.fault.corrupt_store(&mut store.addr, &mut store.value);
         }
+        *self.addr_index.entry(store.addr).or_insert(0) += 1;
         self.entries.push_back((store, p));
         self.peak = self.peak.max(self.entries.len());
     }
@@ -132,6 +139,7 @@ impl DeferredStoreBuffer {
     ) -> Result<(), ParityViolation> {
         while self.entries.front().map(|(s, _)| s.seq < boundary_seq).unwrap_or(false) {
             let (s, p) = self.entries.pop_front().expect("checked");
+            self.unindex(s.addr);
             if parity(&s) != p {
                 return Err(ParityViolation { seq: s.seq, addr: s.addr });
             }
@@ -151,13 +159,25 @@ impl DeferredStoreBuffer {
         let n = self.entries.len();
         self.total_discarded += n as u64;
         self.entries.clear();
+        self.addr_index.clear();
         n
+    }
+
+    fn unindex(&mut self, addr: u64) {
+        if let Some(n) = self.addr_index.get_mut(&addr) {
+            *n -= 1;
+            if *n == 0 {
+                self.addr_index.remove(&addr);
+            }
+        } else {
+            debug_assert!(false, "popped store address missing from index");
+        }
     }
 
     /// Whether any buffered store targets `addr` (store-to-load forwarding
     /// from the post-commit extension).
     pub fn forwards(&self, addr: u64) -> bool {
-        self.entries.iter().any(|(s, _)| s.addr == addr)
+        self.addr_index.contains_key(&addr)
     }
 
     /// Current occupancy.

@@ -14,10 +14,10 @@ use rev_crypto::{
     bb_body_hash_with, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash, SignatureKey,
 };
 use rev_isa::InstrClass;
-use rev_mem::{Hierarchy, MainMemory, Request, Requester};
+use rev_mem::{FlatMap, Hierarchy, MainMemory, Request, Requester};
 use rev_sigtable::{EntryKind, ValidationMode};
 use rev_trace::{EventKind, FaultInjector, FaultLayer, TraceBus, TraceEvent, Verdict};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, VecDeque};
 
 /// Service number of the REV-disable system call (paper Sec. VII: "The
 /// second system call is used to enable or disable the REV mechanism and
@@ -36,6 +36,56 @@ struct PendingBb {
     bb_addr: u64,
     body: BodyHash,
     chg_ready: u64,
+}
+
+/// In-flight pending blocks, ordered by fetch sequence. Sequences only
+/// ever arrive in increasing order (the pipeline's fetch counter), commits
+/// consume from the front and flushes cut a suffix — so a deque with a
+/// front fast path and binary-search fallback replaces the `BTreeMap` this
+/// used to be, with zero per-block node allocation.
+#[derive(Debug, Default)]
+struct PendingQueue {
+    entries: VecDeque<(u64, PendingBb)>,
+}
+
+impl PendingQueue {
+    fn get(&self, seq: u64) -> Option<&PendingBb> {
+        if let Some((s, pb)) = self.entries.front() {
+            if *s == seq {
+                return Some(pb);
+            }
+        }
+        self.entries.binary_search_by_key(&seq, |&(s, _)| s).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn insert(&mut self, seq: u64, pb: PendingBb) {
+        debug_assert!(
+            self.entries.back().map(|&(s, _)| s < seq).unwrap_or(true),
+            "pending blocks arrive in fetch order"
+        );
+        self.entries.push_back((seq, pb));
+    }
+
+    fn remove(&mut self, seq: u64) {
+        if self.entries.front().map(|&(s, _)| s == seq).unwrap_or(false) {
+            self.entries.pop_front();
+            return;
+        }
+        if let Ok(i) = self.entries.binary_search_by_key(&seq, |&(s, _)| s) {
+            self.entries.remove(i);
+        }
+    }
+
+    /// Drops every block with `seq >= from_seq` (pipeline flush).
+    fn truncate_from(&mut self, from_seq: u64) {
+        while self.entries.back().map(|&(s, _)| s >= from_seq).unwrap_or(false) {
+            self.entries.pop_back();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+    }
 }
 
 /// A dynamically discovered basic block, exactly as the hardware sees it:
@@ -63,17 +113,26 @@ pub struct RevMonitor {
     cur_bytes: Vec<u8>,
     cur_instrs: usize,
     cur_stores: usize,
-    pending: BTreeMap<u64, PendingBb>,
+    pending: PendingQueue,
     // Delayed return validation latch (paper Sec. V.A).
     ret_latch: Option<u64>,
-    // Memoization: CHG output per static block variant and digest
-    // derivations. The body cache stores the hashed bytes and re-verifies
-    // them on every hit, so self-modifying stores are always observed
-    // exactly as the hardware CHG (which hashes the fetched bytes) would.
-    // Cache keys are Copy tuples, so the hit path performs no heap
-    // allocation.
-    body_cache: HashMap<(u64, u64), (Vec<u8>, BodyHash)>,
-    digest_cache: HashMap<DigestKey, u32>,
+    // The decoded-BB cache: CHG output per static block, keyed by
+    // (start, end) with a code-generation stamp, plus memoized digest
+    // derivations. Entries from an older generation (any code write since
+    // they were cached) are treated as misses and recomputed; on top of
+    // that, the hashed bytes are stored and re-verified on every hit, so
+    // even a code write that lands *between* generation bumps (deferred
+    // containment releases after the fetch that observed the new bytes)
+    // is caught exactly as the hardware CHG — which hashes the fetched
+    // bytes — would see it. Cache keys are Copy tuples, so the hit path
+    // performs no heap allocation.
+    body_cache: FlatMap<(u64, u64), (u64, Vec<u8>, BodyHash)>,
+    /// Bumped by [`Self::invalidate_code_cache`]; stale-generation body
+    /// entries recompute. O(1) where a full `clear()` used to churn.
+    code_gen: u64,
+    digest_cache: FlatMap<DigestKey, u32>,
+    /// Reusable scratch for the commit-time digest-candidate scan.
+    candidates_buf: Vec<(usize, Option<u32>, u64, u64)>,
     /// One reusable CubeHash instance for every per-BB hash and digest
     /// derivation (reset between uses; avoids both the digest allocation
     /// and the 10·r initialization rounds per block).
@@ -89,11 +148,12 @@ pub struct RevMonitor {
     /// memory; the monitor itself uses it for the CHG-digest and
     /// return-latch corruption sites.
     fault: FaultInjector,
-    /// Commit-level re-validation budget already spent per pending
-    /// terminator sequence (the transient-fault recovery path: a failed
-    /// check evicts the SC entry and re-walks the table before the kill
-    /// verdict).
-    retry_attempts: HashMap<u64, u32>,
+    /// Commit-level re-validation budget already spent on the retrying
+    /// terminator, as `(seq, attempts)`. Only the ROB head can be mid-
+    /// retry (the gate stalls commit, commit is in order, and flushes only
+    /// squash younger sequences), so a single slot replaces the map this
+    /// used to be — bounded by construction instead of growing per run.
+    retry: Option<(u64, u32)>,
     violated: bool,
     enabled: bool,
     /// After re-enabling, skip gating until the next terminator passes so
@@ -119,15 +179,17 @@ impl RevMonitor {
             cur_bytes: Vec::with_capacity(512),
             cur_instrs: 0,
             cur_stores: 0,
-            pending: BTreeMap::new(),
+            pending: PendingQueue::default(),
             ret_latch: None,
-            body_cache: HashMap::new(),
-            digest_cache: HashMap::new(),
+            body_cache: FlatMap::default(),
+            code_gen: 0,
+            digest_cache: FlatMap::default(),
+            candidates_buf: Vec::new(),
             hasher: CubeHash::new(),
             trace: None,
             bus: TraceBus::disabled(),
             fault: FaultInjector::disabled(),
-            retry_attempts: HashMap::new(),
+            retry: None,
             violated: false,
             enabled: true,
             resync: false,
@@ -172,9 +234,9 @@ impl RevMonitor {
         self.sag = sag;
         self.sc.flush();
         self.digest_cache.clear();
-        self.body_cache.clear();
+        self.invalidate_code_cache();
         self.pending.clear();
-        self.retry_attempts.clear();
+        self.retry = None;
         self.ret_latch = None;
         self.cur_start = None;
         self.cur_bytes.clear();
@@ -253,7 +315,7 @@ impl RevMonitor {
         }
         self.enabled = enabled;
         self.pending.clear();
-        self.retry_attempts.clear();
+        self.retry = None;
         self.ret_latch = None;
         self.cur_start = None;
         self.cur_bytes.clear();
@@ -278,21 +340,25 @@ impl RevMonitor {
     }
 
     /// Invalidates the memoized CHG outputs. Must be called by anything
-    /// that rewrites code bytes at run time (the attack injectors do), so
-    /// subsequent hashing reflects the new bytes exactly as the hardware
-    /// CHG would.
+    /// that rewrites code bytes at run time (the attack injectors and
+    /// shadow-page/direct code writes do), so subsequent hashing reflects
+    /// the new bytes exactly as the hardware CHG would. O(1): bumps the
+    /// code generation, demoting every cached body to a stale miss.
     pub fn invalidate_code_cache(&mut self) {
-        self.body_cache.clear();
+        self.code_gen = self.code_gen.wrapping_add(1);
+        self.stats.bb_cache_invalidations += 1;
     }
 
     fn body_hash(&mut self, start: u64, end: u64, bytes: &[u8]) -> BodyHash {
-        if let Some((cached_bytes, hash)) = self.body_cache.get(&(start, end)) {
-            if cached_bytes == bytes {
+        if let Some((gen, cached_bytes, hash)) = self.body_cache.get(&(start, end)) {
+            if *gen == self.code_gen && cached_bytes == bytes {
+                self.stats.bb_cache_hits += 1;
                 return *hash;
             }
         }
+        self.stats.bb_cache_misses += 1;
         let hash = bb_body_hash_with(&mut self.hasher, bytes);
-        self.body_cache.insert((start, end), (bytes.to_vec(), hash));
+        self.body_cache.insert((start, end), (self.code_gen, bytes.to_vec(), hash));
         hash
     }
 
@@ -510,7 +576,7 @@ impl RevMonitor {
         });
         self.stats.stores_released += released;
         if touched_code {
-            self.body_cache.clear();
+            self.invalidate_code_cache();
         }
         result
     }
@@ -526,13 +592,16 @@ impl RevMonitor {
         if self.config.sigline_retries == 0 {
             return None;
         }
-        let attempts = self.retry_attempts.entry(q.seq).or_insert(0);
-        if *attempts >= self.config.sigline_retries {
-            self.retry_attempts.remove(&q.seq);
+        let attempts = match self.retry {
+            Some((seq, a)) if seq == q.seq => a,
+            _ => 0,
+        };
+        if attempts >= self.config.sigline_retries {
+            self.retry = None;
             return None;
         }
-        *attempts += 1;
-        let attempt = *attempts;
+        let attempt = attempts + 1;
+        self.retry = Some((q.seq, attempt));
         self.sc.evict(bb_addr);
         self.stats.sigline_retries += 1;
         self.bus.emit_with(|| TraceEvent {
@@ -552,7 +621,7 @@ impl RevMonitor {
             }
             return CommitGate::Proceed;
         }
-        let Some(&pb) = self.pending.get(&q.seq) else {
+        let Some(&pb) = self.pending.get(q.seq) else {
             // The slot straddled a disable/enable window; its tracking
             // state was discarded at the toggle.
             return CommitGate::Proceed;
@@ -589,18 +658,16 @@ impl RevMonitor {
         };
         let key = self.sag.table(table_idx).key();
         let mode = self.config.mode;
-        let candidates: Vec<(usize, Option<u32>, u64, u64)> = {
+        let mut candidates = std::mem::take(&mut self.candidates_buf);
+        candidates.clear();
+        {
             let entry = self.sc.entry(pb.bb_addr).expect("probed hit");
-            entry
-                .variants
-                .iter()
-                .enumerate()
-                .map(|(i, v)| {
-                    (i, v.digest, Self::bound_succ_value(mode, v), v.bound_pred.unwrap_or(0))
-                })
-                .collect()
-        };
+            candidates.extend(entry.variants.iter().enumerate().map(|(i, v)| {
+                (i, v.digest, Self::bound_succ_value(mode, v), v.bound_pred.unwrap_or(0))
+            }));
+        }
         if candidates.is_empty() {
+            self.candidates_buf = candidates;
             // Poisoned (tampered) or genuinely empty chain — possibly a
             // transient fault on the line's DRAM transfer; re-fetch first.
             if let Some(gate) = self.try_sigline_retry(q, pb.bb_addr) {
@@ -609,7 +676,7 @@ impl RevMonitor {
             return self.violation(ViolationKind::TableCorrupt, q);
         }
         let mut matched: Option<usize> = None;
-        for (i, digest, bound_succ, bound_pred) in candidates {
+        for &(i, digest, bound_succ, bound_pred) in &candidates {
             let Some(digest) = digest else { continue };
             let expected =
                 self.expected_digest(&key, table_idx, pb.bb_addr, &pb.body, bound_succ, bound_pred);
@@ -618,15 +685,17 @@ impl RevMonitor {
                 break;
             }
         }
+        self.candidates_buf = candidates;
         let Some(vi) = matched else {
             if let Some(gate) = self.try_sigline_retry(q, pb.bb_addr) {
                 return gate;
             }
             return self.violation(ViolationKind::HashMismatch, q);
         };
-        if self.retry_attempts.remove(&q.seq).is_some() {
+        if self.retry.map(|(seq, _)| seq == q.seq).unwrap_or(false) {
             // The re-fetched line checked out: the earlier failure was a
             // transient fault, healed without a kill verdict.
+            self.retry = None;
             self.stats.sigline_recoveries += 1;
         }
 
@@ -746,7 +815,7 @@ impl RevMonitor {
             return self.violation(ViolationKind::ParityError, q);
         }
         self.chg.retire(ChgTag(q.seq));
-        self.pending.remove(&q.seq);
+        self.pending.remove(q.seq);
         self.stats.validations += 1;
         self.stats.defer_peak = self.stats.defer_peak.max(self.defer.peak());
         self.bus.emit_with(|| TraceEvent {
@@ -773,7 +842,7 @@ impl RevMonitor {
             }
             return CommitGate::Proceed;
         }
-        let Some(&pb) = self.pending.get(&q.seq) else {
+        let Some(&pb) = self.pending.get(q.seq) else {
             return CommitGate::Proceed;
         };
         match self.sc.probe(pb.bb_addr, q.cycle) {
@@ -802,7 +871,7 @@ impl RevMonitor {
         if !ok {
             return self.violation(ViolationKind::IllegalTarget, q);
         }
-        self.pending.remove(&q.seq);
+        self.pending.remove(q.seq);
         self.stats.validations += 1;
         self.bus.emit_with(|| TraceEvent {
             cycle: q.cycle,
@@ -949,8 +1018,10 @@ impl ExecMonitor for RevMonitor {
     }
 
     fn on_flush(&mut self, from_seq: u64) {
-        self.pending.retain(|&seq, _| seq < from_seq);
-        self.retry_attempts.retain(|&seq, _| seq < from_seq);
+        self.pending.truncate_from(from_seq);
+        if self.retry.map(|(seq, _)| seq >= from_seq).unwrap_or(false) {
+            self.retry = None;
+        }
         self.chg.flush_from(ChgTag(from_seq));
         // Fetch resumes at a block boundary (mispredicts happen only on
         // terminators), so the tracker restarts cleanly.

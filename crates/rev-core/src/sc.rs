@@ -151,10 +151,21 @@ pub enum ScProbe {
     Miss,
 }
 
+/// Tag marking an unoccupied way in the flattened tag array (BB addresses
+/// are code addresses, never `u64::MAX`).
+const EMPTY_TAG: u64 = u64::MAX;
+
 /// The signature cache.
+///
+/// Lookups scan a flattened tag array (`num_sets * assoc` contiguous
+/// `u64`s, mirroring way occupancy) instead of walking the heavyweight
+/// `ScEntry` ways; the entry payloads are only touched on a tag match.
 #[derive(Debug, Clone)]
 pub struct SignatureCache {
     sets: Vec<Vec<ScEntry>>,
+    /// `tags[set * assoc + way]` == `sets[set][way].bb_addr`, or
+    /// [`EMPTY_TAG`] for unoccupied ways.
+    tags: Vec<u64>,
     assoc: usize,
     tick: u64,
     stats: ScStats,
@@ -176,6 +187,7 @@ impl SignatureCache {
         assert!(num_sets.is_power_of_two(), "SC set count must be a power of two");
         SignatureCache {
             sets: vec![Vec::with_capacity(assoc); num_sets],
+            tags: vec![EMPTY_TAG; num_sets * assoc],
             assoc,
             tick: 0,
             stats: ScStats::default(),
@@ -221,6 +233,13 @@ impl SignatureCache {
         ((bb_addr >> 1) as usize) & (self.sets.len() - 1)
     }
 
+    /// Finds the way holding `bb_addr` in `set` via the tag array.
+    #[inline]
+    fn way_of(&self, set: usize, bb_addr: u64) -> Option<usize> {
+        let base = set * self.assoc;
+        self.tags[base..base + self.assoc].iter().position(|&t| t == bb_addr)
+    }
+
     /// Probes for `bb_addr` at `cycle`, updating LRU. Does not classify
     /// hit/partial/complete in the stats — the monitor does, because the
     /// partial/complete distinction depends on which successor is needed.
@@ -228,8 +247,9 @@ impl SignatureCache {
         self.tick += 1;
         let tick = self.tick;
         let set = self.set_of(bb_addr);
-        let result = match self.sets[set].iter_mut().find(|e| e.bb_addr == bb_addr) {
-            Some(e) => {
+        let result = match self.way_of(set, bb_addr) {
+            Some(way) => {
+                let e = &mut self.sets[set][way];
                 e.lru = tick;
                 if e.ready_at <= cycle {
                     ScProbe::Hit
@@ -253,13 +273,13 @@ impl SignatureCache {
     /// Returns the entry for `bb_addr`, if resident.
     pub fn entry(&self, bb_addr: u64) -> Option<&ScEntry> {
         let set = self.set_of(bb_addr);
-        self.sets[set].iter().find(|e| e.bb_addr == bb_addr)
+        self.way_of(set, bb_addr).map(|way| &self.sets[set][way])
     }
 
     /// Mutable entry access (MRU updates after spill fetches).
     pub fn entry_mut(&mut self, bb_addr: u64) -> Option<&mut ScEntry> {
         let set = self.set_of(bb_addr);
-        self.sets[set].iter_mut().find(|e| e.bb_addr == bb_addr)
+        self.way_of(set, bb_addr).map(|way| &mut self.sets[set][way])
     }
 
     /// Installs an entry (fill completion), evicting LRU on conflict.
@@ -280,13 +300,16 @@ impl SignatureCache {
         let tick = self.tick;
         let assoc = self.assoc;
         let set_idx = self.set_of(bb_addr);
-        let set = &mut self.sets[set_idx];
-        if let Some(e) = set.iter_mut().find(|e| e.bb_addr == bb_addr) {
+        if let Some(way) = self.way_of(set_idx, bb_addr) {
+            // Replace in place: the tag is unchanged.
+            let e = &mut self.sets[set_idx][way];
             e.ready_at = ready_at.min(e.ready_at);
             e.variants = variants;
             e.lru = tick;
             return;
         }
+        let base = set_idx * assoc;
+        let set = &mut self.sets[set_idx];
         if set.len() >= assoc {
             // A zero-way SC (ruled out by `RevConfig::validate`) degrades
             // to never caching instead of panicking.
@@ -296,8 +319,11 @@ impl SignatureCache {
                 return;
             };
             set.swap_remove(lru_idx);
+            self.tags[base + lru_idx] = self.tags[base + set.len()];
+            self.tags[base + set.len()] = EMPTY_TAG;
             self.stats.evictions += 1;
         }
+        self.tags[base + set.len()] = bb_addr;
         set.push(ScEntry { bb_addr, ready_at, variants, lru: tick });
     }
 
@@ -308,8 +334,12 @@ impl SignatureCache {
     /// [`ScStats::evictions`], which tracks capacity pressure.)
     pub fn evict(&mut self, bb_addr: u64) -> bool {
         let set = self.set_of(bb_addr);
-        if let Some(i) = self.sets[set].iter().position(|e| e.bb_addr == bb_addr) {
+        if let Some(i) = self.way_of(set, bb_addr) {
             self.sets[set].swap_remove(i);
+            let base = set * self.assoc;
+            let len = self.sets[set].len();
+            self.tags[base + i] = self.tags[base + len];
+            self.tags[base + len] = EMPTY_TAG;
             true
         } else {
             false
@@ -321,6 +351,7 @@ impl SignatureCache {
         for set in &mut self.sets {
             set.clear();
         }
+        self.tags.fill(EMPTY_TAG);
     }
 
     /// Resident entry count.

@@ -53,6 +53,18 @@ pub struct RevStats {
     /// Integrity failures that healed on a re-fetch (the line validated
     /// after re-reading — a transient fault, not a tamper).
     pub sigline_recoveries: u64,
+    /// Decoded-BB cache hits (body hash served from the memo).
+    ///
+    /// The `bb_cache_*` trio is simulator-performance instrumentation,
+    /// not modeled-hardware behavior, so it is *not* exported through
+    /// [`MetricSink`] (which feeds the deterministic `rev.*` snapshots);
+    /// `rev-bench perf` surfaces it as `perf.bbcache.*`.
+    pub bb_cache_hits: u64,
+    /// Decoded-BB cache misses (body hashed by the CHG model).
+    pub bb_cache_misses: u64,
+    /// Code-generation bumps (cache-wide invalidations: code writes,
+    /// re-enables, table swaps).
+    pub bb_cache_invalidations: u64,
     /// The violation that ended the run, if any.
     pub violation: Option<Violation>,
 }

@@ -1,0 +1,102 @@
+//! The signature-line retry budget is a hard bound that tracks
+//! `RevConfig::sigline_retries` exactly.
+//!
+//! The monitor keeps a *single* retry slot (terminator address, attempts)
+//! rather than a per-address map, so the state is bounded by construction;
+//! these tests pin the observable contract: a stuck line is re-fetched at
+//! most `sigline_retries` times before the kill verdict, for whatever
+//! budget the configuration asks for, and a transient flip heals within
+//! the same budget.
+
+use rev_core::{RevConfig, RevSimulator, RunOutcome};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::ModuleBuilder;
+use rev_prog::Program;
+use rev_trace::{FaultInjector, FaultKind, FaultLayer, FaultSpec};
+
+fn demo_program() -> Program {
+    let mut b = ModuleBuilder::new("retry_demo", 0x1000);
+    let f = b.begin_function("main");
+    let top = b.new_label();
+    let callee = b.new_label();
+    let buf = b.data_zeroed(128);
+    b.push(Instruction::Li { rd: Reg::R2, imm: 40 });
+    b.li_data(Reg::R5, buf);
+    b.bind(top);
+    b.call(callee);
+    b.push(Instruction::Store { rs: Reg::R1, rbase: Reg::R5, off: 0 });
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    let g = b.begin_function("callee");
+    b.bind(callee);
+    b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(g);
+    let mut pb = Program::builder();
+    pb.module(b.finish().unwrap());
+    pb.build()
+}
+
+fn run_with_fault(budget: u32, kind: FaultKind, trigger: u64) -> rev_core::RevReport {
+    let mut cfg = RevConfig::paper_default();
+    cfg.sigline_retries = budget;
+    let mut sim = RevSimulator::new(demo_program(), cfg).unwrap();
+    let spec = FaultSpec { layer: FaultLayer::SigLine, kind, trigger, bit: 9 };
+    sim.set_fault_injector(FaultInjector::armed(spec));
+    sim.run(100_000)
+}
+
+/// A persistent (stuck-cell) line fault burns the whole budget and then
+/// escalates: the retry counter lands *exactly* on the configured bound,
+/// never past it, for several different budgets.
+#[test]
+fn persistent_fault_retries_exactly_the_configured_budget() {
+    for budget in [1u32, 2, 5] {
+        let mut violated = false;
+        // The struck bit may land in don't-care padding for some lines, in
+        // which case nothing fails and nothing retries — scan a few early
+        // line transfers until one actually corrupts a checked signature.
+        for trigger in 1..=8 {
+            let report = run_with_fault(budget, FaultKind::Persistent, trigger);
+            let retries = report.rev.sigline_retries;
+            assert!(
+                retries <= u64::from(budget),
+                "budget {budget}, trigger {trigger}: {retries} retries exceeds the bound"
+            );
+            if report.rev.violation.is_some() {
+                violated = true;
+                assert_eq!(
+                    retries,
+                    u64::from(budget),
+                    "a kill verdict must come only after the full budget {budget} is spent"
+                );
+                assert_eq!(report.rev.sigline_recoveries, 0, "a stuck cell never heals");
+                break;
+            }
+        }
+        assert!(violated, "budget {budget}: persistent line fault must eventually escalate");
+    }
+}
+
+/// A transient (SEU) flip heals on the first clean re-fetch: at least one
+/// retry, at least one recovery, no kill verdict, and the run completes.
+#[test]
+fn transient_fault_heals_within_the_budget() {
+    let mut healed = false;
+    for trigger in 1..=8 {
+        let report = run_with_fault(2, FaultKind::Transient, trigger);
+        assert!(
+            report.rev.violation.is_none(),
+            "trigger {trigger}: a transient flip must not kill the run"
+        );
+        assert_eq!(report.outcome, RunOutcome::Halted);
+        assert!(report.rev.sigline_retries <= 2, "retry bound holds on the recovery path too");
+        if report.rev.sigline_recoveries > 0 {
+            healed = true;
+            assert!(report.rev.sigline_retries >= 1, "a recovery implies a retry");
+        }
+    }
+    assert!(healed, "at least one strike must corrupt a checked signature and heal");
+}

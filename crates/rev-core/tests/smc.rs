@@ -1,0 +1,107 @@
+//! Self-modifying-code semantics of the decoded-basic-block cache.
+//!
+//! The monitor memoizes per-block CHG hashes keyed by (block extent,
+//! code-generation counter). Any committed store that lands inside a
+//! module's code range must bump the generation — under page shadowing
+//! the bump happens at the shadow write, under deferred stores at the
+//! release — so a later execution of the rewritten bytes is re-hashed
+//! rather than served a stale memo. These tests drive a program that
+//! stores *identical* bytes over its own code (semantically a no-op, so
+//! the run still validates cleanly) and pin that the invalidation fires.
+
+use rev_core::{Containment, RevConfig, RevSimulator, RunOutcome};
+use rev_isa::{BranchCond, Instruction, Reg};
+use rev_prog::{ModuleBuilder, Program};
+
+/// A loop that each iteration loads eight bytes of its own code and
+/// stores them straight back (`smc = true`), or does the same dance on a
+/// data buffer (`smc = false`, the control).
+fn program(smc: bool) -> Program {
+    let mut b = ModuleBuilder::new("smc_demo", 0x1000);
+    let f = b.begin_function("main");
+    let top = b.new_label();
+    let callee = b.new_label();
+    let buf = b.data_zeroed(128);
+    b.push(Instruction::Li { rd: Reg::R2, imm: 25 });
+    b.li_data(Reg::R5, buf);
+    if smc {
+        b.li_label(Reg::R6, callee);
+    } else {
+        b.li_data(Reg::R6, buf);
+    }
+    b.bind(top);
+    b.call(callee);
+    b.push(Instruction::Load { rd: Reg::R7, rbase: Reg::R6, off: 0 });
+    b.push(Instruction::Store { rs: Reg::R7, rbase: Reg::R6, off: 0 });
+    b.push(Instruction::AddI { rd: Reg::R1, rs: Reg::R1, imm: 1 });
+    b.branch(BranchCond::Lt, Reg::R1, Reg::R2, top);
+    b.push(Instruction::Halt);
+    b.end_function(f);
+    let g = b.begin_function("callee");
+    b.bind(callee);
+    b.push(Instruction::AddI { rd: Reg::R4, rs: Reg::R4, imm: 1 });
+    b.push(Instruction::Ret);
+    b.end_function(g);
+    let mut pb = Program::builder();
+    pb.module(b.finish().unwrap());
+    pb.build()
+}
+
+fn run(smc: bool, containment: Containment) -> rev_core::RevReport {
+    let mut cfg = RevConfig::paper_default();
+    cfg.containment = containment;
+    let mut sim = RevSimulator::new(program(smc), cfg).unwrap();
+    sim.run(100_000)
+}
+
+/// Under page shadowing a committed store into the code range bumps the
+/// code generation (one invalidation per dirtying store), while the
+/// byte-identical rewrite keeps every hash check passing.
+#[test]
+fn shadow_page_code_write_invalidates_bb_cache() {
+    let control = run(false, Containment::ShadowPages);
+    assert_eq!(control.outcome, RunOutcome::Halted);
+    assert!(control.rev.violation.is_none());
+    assert_eq!(
+        control.rev.bb_cache_invalidations, 0,
+        "data stores must not shoot down the decoded-block cache"
+    );
+    assert!(control.rev.bb_cache_hits > 0, "the loop must be served from the cache");
+
+    let smc = run(true, Containment::ShadowPages);
+    assert_eq!(smc.outcome, RunOutcome::Halted);
+    assert!(smc.rev.violation.is_none(), "identical-byte rewrite still validates");
+    assert!(
+        smc.rev.bb_cache_invalidations >= 20,
+        "every committed code store must invalidate, got {}",
+        smc.rev.bb_cache_invalidations
+    );
+    // The rewritten block is re-hashed after each invalidation instead of
+    // being served a stale memo, so misses rise well past the control's
+    // cold-start count.
+    assert!(
+        smc.rev.bb_cache_misses > control.rev.bb_cache_misses,
+        "stale generations must be demoted to misses ({} vs control {})",
+        smc.rev.bb_cache_misses,
+        control.rev.bb_cache_misses
+    );
+    // Same instruction mix either way — only the store target differs.
+    assert_eq!(smc.cpu.committed_instrs, control.cpu.committed_instrs);
+}
+
+/// The deferred-store containment policy reaches the same contract at
+/// release time: code-touching stores invalidate when they drain into
+/// committed memory.
+#[test]
+fn deferred_release_code_write_invalidates_bb_cache() {
+    let control = run(false, Containment::DeferredStores);
+    assert_eq!(control.rev.bb_cache_invalidations, 0);
+
+    let smc = run(true, Containment::DeferredStores);
+    assert_eq!(smc.outcome, RunOutcome::Halted);
+    assert!(smc.rev.violation.is_none());
+    assert!(
+        smc.rev.bb_cache_invalidations > 0,
+        "released code stores must bump the code generation"
+    );
+}

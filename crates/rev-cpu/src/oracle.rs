@@ -149,9 +149,25 @@ impl Oracle {
     /// Returns [`OracleError::IllegalInstruction`] if the bytes at the PC
     /// do not decode.
     pub fn step(&mut self) -> Result<DynOp, OracleError> {
+        let mut bytes = [0u8; rev_isa::MAX_INSTR_LEN];
+        self.step_fetched(&mut bytes)
+    }
+
+    /// Executes one instruction, exposing the code bytes it fetched in
+    /// `bytes` (so a caller that also needs the raw encoding — the
+    /// pipeline's fetch event — avoids a second memory read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::IllegalInstruction`] if the bytes at the PC
+    /// do not decode.
+    pub fn step_fetched(
+        &mut self,
+        bytes: &mut [u8; rev_isa::MAX_INSTR_LEN],
+    ) -> Result<DynOp, OracleError> {
         let pc = self.state.pc;
-        let bytes = self.mem.read_bytes(pc, rev_isa::MAX_INSTR_LEN);
-        let (insn, len) = decode(&bytes).map_err(|_| OracleError::IllegalInstruction { pc })?;
+        self.mem.read_filtered(pc, bytes);
+        let (insn, len) = decode(&bytes[..]).map_err(|_| OracleError::IllegalInstruction { pc })?;
         let next_seq = pc + len as u64;
         let mut op = DynOp {
             addr: pc,

@@ -1,16 +1,35 @@
 //! The out-of-order pipeline: fetch → decode/rename → dispatch → issue →
 //! execute → writeback → commit, with oracle-driven correct-path fetch and
 //! real wrong-path fetch along mispredicted paths.
+//!
+//! ## Hot-loop layout
+//!
+//! The per-cycle stages are the simulator's innermost loop, so the ROB is
+//! engineered for scan cost, not elegance:
+//!
+//! * [`Slot`] is `#[repr(C)]` with the scan-hot fields (stage, flags,
+//!   seq, sources, completion cycle) packed into the leading bytes, and
+//!   everything an instruction only needs once (oracle results, predictor
+//!   checkpoint) behind them. Per-slot facts that used to be recomputed
+//!   per probe (`InstrClass`, load/store-ness, the oracle's effective
+//!   address) are resolved once at fetch into plain fields and flag bits.
+//! * Issue does not rescan the whole ROB: committed/in-flight store
+//!   addresses live in a slab-backed [`StoreTracker`] that is updated at
+//!   issue/complete/commit/squash, and a monotone "first waiting"
+//!   sequence bound lets the scan skip the long done/executing prefix.
+//! * Completion keeps a count of executing slots and the minimum
+//!   `complete_at` among them, so cycles with nothing to retire skip the
+//!   stage entirely.
 
 use crate::bpred::{BranchPredictor, PredictorCheckpoint};
 use crate::config::CpuConfig;
 use crate::monitor::{CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreCommit, Violation};
-use crate::oracle::{DynOp, Oracle};
+use crate::oracle::Oracle;
 use crate::stats::CpuStats;
 use rev_isa::{decode, FReg, InstrClass, Instruction, Reg, MAX_INSTR_LEN, REG_SP};
-use rev_mem::{Hierarchy, MemConfig, Request, Requester};
+use rev_mem::{FlatMap, FlatSet, Hierarchy, MemConfig, Request, Requester};
 use rev_trace::{EventKind, TraceBus, TraceEvent};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Why a run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -119,45 +138,187 @@ fn write_of(insn: &Instruction) -> Option<u8> {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
 enum Stage {
     Waiting,
     Executing,
     Done,
 }
 
+// Slot flag bits, resolved once at fetch.
+const F_WRONG_PATH: u16 = 1 << 0;
+const F_BOUNDARY: u16 = 1 << 1;
+const F_LOAD: u16 = 1 << 2;
+const F_STORE: u16 = 1 << 3;
+const F_WRITES_REG: u16 = 1 << 4;
+const F_MISPREDICTED: u16 = 1 << 5;
+const F_RECOVERY_DONE: u16 = 1 << 6;
+const F_HAS_DYN: u16 = 1 << 7; // correct path: oracle fields valid
+const F_TAKEN: u16 = 1 << 8;
+const F_HALTED: u16 = 1 << 9;
+const F_HAS_MEM: u16 = 1 << 10; // `mem_addr` valid
+
+/// One in-flight instruction. `#[repr(C)]` keeps the issue/complete scan
+/// fields in the leading bytes so a skipped slot touches one cache line.
 #[derive(Debug, Clone)]
+#[repr(C)]
 struct Slot {
-    seq: u64,
-    addr: u64,
-    insn: Instruction,
-    wrong_path: bool,
-    is_boundary: bool,
     stage: Stage,
-    dispatch_ready: u64,
+    class: InstrClass,
+    src_count: u8,
+    flags: u16,
+    seq: u64,
+    mem_addr: u64, // valid iff F_HAS_MEM
     complete_at: u64,
-    srcs: Vec<u64>,
-    dyn_op: Option<DynOp>,
-    mispredicted: bool,
-    checkpoint: Option<PredictorCheckpoint>,
+    srcs: [u64; 2],
+    addr: u64,
+    next_pc: u64,     // oracle next PC, valid iff F_HAS_DYN
+    store_value: u64, // oracle store value (0 when absent)
+    dispatch_ready: u64,
     history_at_predict: u64,
-    writes_reg: bool,
-    recovery_done: bool,
+    insn: Instruction,
+    checkpoint: Option<PredictorCheckpoint>,
 }
 
 impl Slot {
+    #[inline]
     fn is_load(&self) -> bool {
-        matches!(self.insn.class(), InstrClass::Load | InstrClass::Return)
+        self.flags & F_LOAD != 0
     }
 
+    #[inline]
     fn is_store(&self) -> bool {
-        matches!(
-            self.insn.class(),
-            InstrClass::Store | InstrClass::CallDirect | InstrClass::CallIndirect
-        )
+        self.flags & F_STORE != 0
     }
 
-    fn mem_addr(&self) -> Option<u64> {
-        self.dyn_op.and_then(|d| d.mem_addr)
+    #[inline]
+    fn flag(&self, f: u16) -> bool {
+        self.flags & f != 0
+    }
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct StoreNode {
+    seq: u64,
+    next: u32,
+    done: bool,
+}
+
+/// Issued-store disambiguation state, maintained incrementally so the
+/// issue stage never rescans the ROB for store addresses. Per address the
+/// tracker keeps a seq-ascending intrusive list of in-flight stores whose
+/// effective address is known (issued but not yet committed/squashed);
+/// nodes live in a slab with a free list, so steady state allocates
+/// nothing.
+#[derive(Debug, Default)]
+struct StoreTracker {
+    heads: FlatMap<u64, u32>,
+    slab: Vec<StoreNode>,
+    free: Vec<u32>,
+}
+
+impl StoreTracker {
+    /// A store's address became known (it issued): track it, keeping the
+    /// per-address list sorted by seq.
+    fn insert(&mut self, addr: u64, seq: u64) {
+        let node = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = StoreNode { seq, next: NIL, done: false };
+                i
+            }
+            None => {
+                self.slab.push(StoreNode { seq, next: NIL, done: false });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        match self.heads.get_mut(&addr) {
+            None => {
+                self.heads.insert(addr, node);
+            }
+            Some(head) => {
+                if self.slab[*head as usize].seq > seq {
+                    self.slab[node as usize].next = *head;
+                    *head = node;
+                } else {
+                    let mut cur = *head;
+                    loop {
+                        let nxt = self.slab[cur as usize].next;
+                        if nxt == NIL || self.slab[nxt as usize].seq > seq {
+                            self.slab[node as usize].next = nxt;
+                            self.slab[cur as usize].next = node;
+                            break;
+                        }
+                        cur = nxt;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The store's data is ready (it completed): younger loads may forward.
+    fn mark_done(&mut self, addr: u64, seq: u64) {
+        if let Some(&head) = self.heads.get(&addr) {
+            let mut cur = head;
+            while cur != NIL {
+                if self.slab[cur as usize].seq == seq {
+                    self.slab[cur as usize].done = true;
+                    return;
+                }
+                cur = self.slab[cur as usize].next;
+            }
+        }
+        debug_assert!(false, "completed store missing from tracker");
+    }
+
+    /// The store left the window (committed or squashed).
+    fn remove(&mut self, addr: u64, seq: u64) {
+        let Some(head) = self.heads.get_mut(&addr) else {
+            debug_assert!(false, "removed store missing from tracker");
+            return;
+        };
+        let mut cur = *head;
+        if self.slab[cur as usize].seq == seq {
+            let nxt = self.slab[cur as usize].next;
+            if nxt == NIL {
+                self.heads.remove(&addr);
+            } else {
+                *head = nxt;
+            }
+            self.free.push(cur);
+            return;
+        }
+        loop {
+            let nxt = self.slab[cur as usize].next;
+            if nxt == NIL {
+                debug_assert!(false, "removed store missing from tracker");
+                return;
+            }
+            if self.slab[nxt as usize].seq == seq {
+                self.slab[cur as usize].next = self.slab[nxt as usize].next;
+                self.free.push(nxt);
+                return;
+            }
+            cur = nxt;
+        }
+    }
+
+    /// The youngest tracked store at `addr` older than `before_seq`
+    /// (the forwarding candidate for a load with that seq).
+    fn youngest_older(&self, addr: u64, before_seq: u64) -> Option<(u64, bool)> {
+        let &head = self.heads.get(&addr)?;
+        let mut best = None;
+        let mut cur = head;
+        while cur != NIL {
+            let n = self.slab[cur as usize];
+            if n.seq >= before_seq {
+                break; // list is seq-ascending
+            }
+            best = Some((n.seq, n.done));
+            cur = n.next;
+        }
+        best
     }
 }
 
@@ -172,7 +333,19 @@ pub struct Pipeline {
     bpred: BranchPredictor,
     fetch_queue: VecDeque<Slot>,
     rob: VecDeque<Slot>,
-    done_set: HashSet<u64>,
+    done_set: FlatSet<u64>,
+    // Incremental ROB occupancy by stage/kind, kept in sync by
+    // dispatch/issue/commit/squash so dispatch doesn't rescan the ROB.
+    iq_occupancy: usize,
+    lsq_occupancy: usize,
+    // Issue/complete scan bounds: conservative lower bounds on the seq of
+    // the oldest Waiting / Executing slot (u64::MAX = none), plus the
+    // executing population and its earliest completion cycle.
+    first_waiting_seq: u64,
+    first_executing_seq: u64,
+    executing_count: usize,
+    next_complete_at: u64,
+    stores: StoreTracker,
     last_writer: [Option<u64>; 64],
     in_flight_writers: usize,
     next_seq: u64,
@@ -207,7 +380,14 @@ impl Pipeline {
             mem: Hierarchy::new(mem_config),
             fetch_queue: VecDeque::new(),
             rob: VecDeque::new(),
-            done_set: HashSet::new(),
+            done_set: FlatSet::default(),
+            iq_occupancy: 0,
+            lsq_occupancy: 0,
+            first_waiting_seq: u64::MAX,
+            first_executing_seq: u64::MAX,
+            executing_count: 0,
+            next_complete_at: u64::MAX,
+            stores: StoreTracker::default(),
             last_writer: [None; 64],
             in_flight_writers: 0,
             next_seq: 1,
@@ -322,12 +502,26 @@ impl Pipeline {
         None
     }
 
+    /// Index of the first ROB slot whose seq is `>= bound` (scan starting
+    /// point for the hint-bounded stages; the ROB is seq-ascending).
+    #[inline]
+    fn rob_idx_of(&self, bound: u64) -> usize {
+        if bound == u64::MAX {
+            return self.rob.len();
+        }
+        // Fast path: the bound is usually at or just past the ROB head of
+        // the region (long done prefix), so probe before binary searching.
+        match self.rob.binary_search_by_key(&bound, |s| s.seq) {
+            Ok(i) | Err(i) => i,
+        }
+    }
+
     // ----- commit ---------------------------------------------------------
 
     fn commit_stage<M: ExecMonitor>(&mut self, monitor: &mut M) -> Option<Violation> {
         for _ in 0..self.config.width {
             let Some(head) = self.rob.front() else { break };
-            debug_assert!(!head.wrong_path, "wrong-path at ROB head");
+            debug_assert!(!head.flag(F_WRONG_PATH), "wrong-path at ROB head");
             if head.stage != Stage::Done || self.now < head.complete_at + 2 {
                 break;
             }
@@ -335,17 +529,17 @@ impl Pipeline {
                 self.stats.defer_full_stall_cycles += 1;
                 break;
             }
-            if head.is_boundary {
+            if head.flag(F_BOUNDARY) {
                 if self.now < self.head_retry_at {
                     self.stats.validation_stall_cycles += 1;
                     break;
                 }
-                let d = head.dyn_op.expect("correct-path head has oracle info");
+                debug_assert!(head.flag(F_HAS_DYN), "correct-path head has oracle info");
                 let query = CommitQuery {
                     seq: head.seq,
                     bb_addr: head.addr,
                     cycle: self.now,
-                    actual_target: d.next_pc,
+                    actual_target: head.next_pc,
                     insn: head.insn,
                 };
                 match monitor.on_terminator_commit(&mut self.mem, &query) {
@@ -365,21 +559,24 @@ impl Pipeline {
             });
             self.head_retry_at = 0;
             self.done_set.remove(&slot.seq);
-            if slot.writes_reg {
+            if slot.is_load() || slot.is_store() {
+                self.lsq_occupancy -= 1;
+            }
+            if slot.flag(F_WRITES_REG) {
                 self.in_flight_writers -= 1;
             }
-            let d = slot.dyn_op.expect("correct path");
+            debug_assert!(slot.flag(F_HAS_DYN), "correct path");
             // Train the predictor with the architectural outcome.
-            match slot.insn.class() {
+            match slot.class {
                 InstrClass::CondBranch => {
-                    self.bpred.update_cond(slot.addr, d.taken, slot.history_at_predict);
+                    self.bpred.update_cond(slot.addr, slot.flag(F_TAKEN), slot.history_at_predict);
                     self.stats.committed_cond_branches += 1;
-                    if slot.mispredicted {
+                    if slot.flag(F_MISPREDICTED) {
                         self.stats.mispredicts += 1;
                     }
                 }
                 InstrClass::JumpIndirect | InstrClass::CallIndirect => {
-                    self.bpred.update_indirect(slot.addr, d.next_pc);
+                    self.bpred.update_indirect(slot.addr, slot.next_pc);
                 }
                 _ => {}
             }
@@ -388,19 +585,21 @@ impl Pipeline {
                 self.stats.unique_branch_addrs.insert(slot.addr);
             }
             if slot.is_store() {
+                debug_assert!(slot.flag(F_HAS_MEM), "stores have addresses");
+                self.stores.remove(slot.mem_addr, slot.seq);
                 monitor.on_store_commit(
                     &mut self.mem,
                     StoreCommit {
                         seq: slot.seq,
-                        addr: d.mem_addr.expect("stores have addresses"),
-                        value: d.store_value.unwrap_or(0),
+                        addr: slot.mem_addr,
+                        value: slot.store_value,
                         cycle: self.now,
                     },
                 );
             }
             self.stats.committed_instrs += 1;
-            self.stats.mix.record(slot.insn.class());
-            if d.halted {
+            self.stats.mix.record(slot.class);
+            if slot.flag(F_HALTED) {
                 self.fetch_stopped = true;
             }
         }
@@ -410,18 +609,51 @@ impl Pipeline {
     // ----- complete / branch resolution -----------------------------------
 
     fn complete_stage<M: ExecMonitor>(&mut self, monitor: &mut M) {
+        if self.executing_count == 0 || self.now < self.next_complete_at {
+            return;
+        }
+        let start = self.rob_idx_of(self.first_executing_seq);
         let mut recover_from: Option<usize> = None;
-        for (i, slot) in self.rob.iter_mut().enumerate() {
-            if slot.stage == Stage::Executing && self.now >= slot.complete_at {
-                slot.stage = Stage::Done;
-                self.done_set.insert(slot.seq);
-                if slot.mispredicted && !slot.wrong_path && !slot.recovery_done {
-                    slot.recovery_done = true;
+        let mut remaining = self.executing_count;
+        let mut new_first = u64::MAX;
+        let mut new_next = u64::MAX;
+        for i in start..self.rob.len() {
+            if remaining == 0 {
+                break;
+            }
+            let (seq, complete_at, flags, mem_addr) = {
+                let s = &self.rob[i];
+                if s.stage != Stage::Executing {
+                    continue;
+                }
+                (s.seq, s.complete_at, s.flags, s.mem_addr)
+            };
+            remaining -= 1;
+            if self.now >= complete_at {
+                let s = &mut self.rob[i];
+                s.stage = Stage::Done;
+                self.executing_count -= 1;
+                self.done_set.insert(seq);
+                if flags & (F_STORE | F_HAS_MEM) == (F_STORE | F_HAS_MEM) {
+                    self.stores.mark_done(mem_addr, seq);
+                }
+                if flags & F_MISPREDICTED != 0
+                    && flags & F_WRONG_PATH == 0
+                    && flags & F_RECOVERY_DONE == 0
+                {
+                    self.rob[i].flags |= F_RECOVERY_DONE;
                     recover_from = Some(i);
                     break; // the oldest resolving mispredict wins
                 }
+            } else {
+                if new_first == u64::MAX {
+                    new_first = seq;
+                }
+                new_next = new_next.min(complete_at);
             }
         }
+        self.first_executing_seq = new_first;
+        self.next_complete_at = new_next;
         if let Some(i) = recover_from {
             self.recover_from_mispredict(i, monitor);
         }
@@ -429,10 +661,11 @@ impl Pipeline {
 
     fn recover_from_mispredict<M: ExecMonitor>(&mut self, rob_idx: usize, monitor: &mut M) {
         let branch_seq = self.rob[rob_idx].seq;
-        let actual = self.rob[rob_idx].dyn_op.expect("correct path").next_pc;
-        let taken = self.rob[rob_idx].dyn_op.expect("correct path").taken;
+        debug_assert!(self.rob[rob_idx].flag(F_HAS_DYN), "correct path");
+        let actual = self.rob[rob_idx].next_pc;
+        let taken = self.rob[rob_idx].flag(F_TAKEN);
         let cp = self.rob[rob_idx].checkpoint;
-        let is_cond = matches!(self.rob[rob_idx].insn.class(), InstrClass::CondBranch);
+        let is_cond = matches!(self.rob[rob_idx].class, InstrClass::CondBranch);
 
         // Squash everything younger than the branch.
         self.squash_after(branch_seq);
@@ -451,19 +684,31 @@ impl Pipeline {
     fn squash_after(&mut self, seq: u64) {
         while self.rob.back().map(|s| s.seq > seq).unwrap_or(false) {
             let s = self.rob.pop_back().expect("non-empty");
-            if s.writes_reg {
+            if s.flag(F_WRITES_REG) {
                 self.in_flight_writers -= 1;
             }
-            if s.wrong_path {
+            if s.flag(F_WRONG_PATH) {
                 self.stats.wrong_path_fetched += 1;
+            }
+            match s.stage {
+                Stage::Waiting => self.iq_occupancy -= 1,
+                Stage::Executing => self.executing_count -= 1,
+                Stage::Done => {}
+            }
+            if s.stage != Stage::Waiting && s.flags & (F_STORE | F_HAS_MEM) == (F_STORE | F_HAS_MEM)
+            {
+                self.stores.remove(s.mem_addr, s.seq);
+            }
+            if s.is_load() || s.is_store() {
+                self.lsq_occupancy -= 1;
             }
             self.done_set.remove(&s.seq);
         }
         for s in self.fetch_queue.drain(..) {
-            if s.writes_reg {
+            if s.flag(F_WRITES_REG) {
                 self.in_flight_writers -= 1;
             }
-            if s.wrong_path {
+            if s.flag(F_WRONG_PATH) {
                 self.stats.wrong_path_fetched += 1;
             }
         }
@@ -481,41 +726,52 @@ impl Pipeline {
     // ----- issue -----------------------------------------------------------
 
     fn issue_stage<M: ExecMonitor>(&mut self, monitor: &mut M) {
+        if self.iq_occupancy == 0 {
+            return;
+        }
+        let start = self.rob_idx_of(self.first_waiting_seq);
         let mut issued = 0usize;
         let mut load_used = 0usize;
         let mut store_used = 0usize;
-        // Store-address visibility for conservative disambiguation, built
-        // in program order as we scan.
+        // Conservative disambiguation: set once a store with an unknown
+        // address is passed in program order.
         let mut older_store_addr_unknown = false;
-        let mut store_by_addr: HashMap<u64, (u64, bool)> = HashMap::new(); // addr -> (seq, done)
+        let mut waiting_left = self.iq_occupancy;
+        let mut new_first = u64::MAX;
 
         let head_seq = self.rob.front().map(|s| s.seq).unwrap_or(u64::MAX);
-        for idx in 0..self.rob.len() {
-            if issued >= self.config.width {
+        for idx in start..self.rob.len() {
+            if waiting_left == 0 {
                 break;
             }
-            let (ready, is_load, is_store, mem_addr, wrong_path, class) = {
+            let (ready, flags, mem_addr, class, seq) = {
                 let s = &self.rob[idx];
-                let ready = s.stage == Stage::Waiting
-                    && s.srcs.iter().all(|&p| p < head_seq || self.done_set.contains(&p));
-                (ready, s.is_load(), s.is_store(), s.mem_addr(), s.wrong_path, s.insn.class())
-            };
-            // Track older stores regardless of whether this slot issues.
-            let track_store = |map: &mut HashMap<u64, (u64, bool)>, s: &Slot| {
-                if let Some(a) = s.mem_addr() {
-                    map.insert(a, (s.seq, s.stage == Stage::Done));
+                if s.stage != Stage::Waiting {
+                    continue;
                 }
-            };
-
-            if self.rob[idx].stage != Stage::Waiting {
-                if is_store {
-                    track_store(&mut store_by_addr, &self.rob[idx]);
+                let mut ready = true;
+                for k in 0..s.src_count as usize {
+                    let p = s.srcs[k];
+                    if p >= head_seq && !self.done_set.contains(&p) {
+                        ready = false;
+                        break;
+                    }
                 }
-                continue;
+                (ready, s.flags, s.mem_addr, s.class, s.seq)
+            };
+            waiting_left -= 1;
+            if issued >= self.config.width {
+                if new_first == u64::MAX {
+                    new_first = seq;
+                }
+                break;
             }
             if !ready {
-                if is_store {
+                if flags & F_STORE != 0 {
                     older_store_addr_unknown = true;
+                }
+                if new_first == u64::MAX {
+                    new_first = seq;
                 }
                 continue;
             }
@@ -529,50 +785,85 @@ impl Pipeline {
                 | InstrClass::Syscall
                 | InstrClass::Other => match self.claim_alu() {
                     Some(()) => self.now + 1,
-                    None => continue,
+                    None => {
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
+                        continue;
+                    }
                 },
                 InstrClass::IntMul => match self.claim_alu() {
                     Some(()) => self.now + self.config.mul_latency,
-                    None => continue,
+                    None => {
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
+                        continue;
+                    }
                 },
                 InstrClass::Fp => match self.claim_fpu(1) {
                     Some(()) => self.now + self.config.fp_latency,
-                    None => continue,
+                    None => {
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
+                        continue;
+                    }
                 },
                 InstrClass::FpDiv => match self.claim_fpu(self.config.fpdiv_latency) {
                     Some(()) => self.now + self.config.fpdiv_latency,
-                    None => continue,
+                    None => {
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
+                        continue;
+                    }
                 },
                 InstrClass::Load | InstrClass::Return => {
                     if load_used >= self.config.load_units {
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
                         continue;
                     }
-                    if wrong_path {
+                    if flags & F_WRONG_PATH != 0 {
                         load_used += 1;
                         self.now + 3 // wrong-path load: no oracle address
                     } else {
                         if older_store_addr_unknown {
+                            if new_first == u64::MAX {
+                                new_first = seq;
+                            }
                             continue; // conservative disambiguation
                         }
-                        let addr = mem_addr.expect("correct-path loads have addresses");
-                        if let Some(&(_, done)) = store_by_addr.get(&addr) {
-                            if !done {
+                        debug_assert!(flags & F_HAS_MEM != 0, "correct-path loads have addresses");
+                        let addr = mem_addr;
+                        match self.stores.youngest_older(addr, seq) {
+                            Some((_, false)) => {
+                                if new_first == u64::MAX {
+                                    new_first = seq;
+                                }
                                 continue; // wait for the forwarding store's data
                             }
-                            load_used += 1;
-                            self.now + 2 // store-to-load forward
-                        } else if monitor.forwards_store(addr) {
-                            load_used += 1;
-                            self.now + 2 // forward from the deferred buffer
-                        } else {
-                            load_used += 1;
-                            let out = self.mem.data_access(Request {
-                                addr,
-                                is_write: false,
-                                requester: Requester::Data,
-                                cycle: self.now,
-                            });
-                            out.complete_at
+                            Some((_, true)) => {
+                                load_used += 1;
+                                self.now + 2 // store-to-load forward
+                            }
+                            None => {
+                                if monitor.forwards_store(addr) {
+                                    load_used += 1;
+                                    self.now + 2 // forward from the deferred buffer
+                                } else {
+                                    load_used += 1;
+                                    let out = self.mem.data_access(Request {
+                                        addr,
+                                        is_write: false,
+                                        requester: Requester::Data,
+                                        cycle: self.now,
+                                    });
+                                    out.complete_at
+                                }
+                            }
                         }
                     }
                 }
@@ -581,6 +872,9 @@ impl Pipeline {
                         // Ready but port-limited: its address is still
                         // unknown to younger loads this cycle.
                         older_store_addr_unknown = true;
+                        if new_first == u64::MAX {
+                            new_first = seq;
+                        }
                         continue;
                     }
                     store_used += 1;
@@ -592,14 +886,15 @@ impl Pipeline {
             s.stage = Stage::Executing;
             s.complete_at = complete_at;
             issued += 1;
-            if is_store {
-                let seq = s.seq;
-                if let Some(a) = s.mem_addr() {
-                    store_by_addr.insert(a, (seq, false));
-                }
+            self.iq_occupancy -= 1;
+            self.executing_count += 1;
+            self.first_executing_seq = self.first_executing_seq.min(seq);
+            self.next_complete_at = self.next_complete_at.min(complete_at);
+            if flags & (F_STORE | F_HAS_MEM) == (F_STORE | F_HAS_MEM) {
+                self.stores.insert(mem_addr, seq);
             }
-            let _ = is_load;
         }
+        self.first_waiting_seq = new_first;
     }
 
     fn claim_alu(&mut self) -> Option<()> {
@@ -619,6 +914,21 @@ impl Pipeline {
     // ----- dispatch --------------------------------------------------------
 
     fn dispatch_stage(&mut self) {
+        debug_assert_eq!(
+            self.iq_occupancy,
+            self.rob.iter().filter(|s| s.stage == Stage::Waiting).count(),
+            "iq occupancy counter out of sync"
+        );
+        debug_assert_eq!(
+            self.lsq_occupancy,
+            self.rob.iter().filter(|s| s.is_load() || s.is_store()).count(),
+            "lsq occupancy counter out of sync"
+        );
+        debug_assert_eq!(
+            self.executing_count,
+            self.rob.iter().filter(|s| s.stage == Stage::Executing).count(),
+            "executing counter out of sync"
+        );
         let mut dispatched = 0;
         while dispatched < self.config.width {
             let Some(front) = self.fetch_queue.front() else { break };
@@ -628,26 +938,36 @@ impl Pipeline {
             if self.rob.len() >= self.config.rob_size {
                 break;
             }
-            let iq_occupancy = self.rob.iter().filter(|s| s.stage == Stage::Waiting).count();
-            if iq_occupancy >= self.config.iq_size {
+            if self.iq_occupancy >= self.config.iq_size {
                 break;
             }
-            let lsq_occupancy = self.rob.iter().filter(|s| s.is_load() || s.is_store()).count();
-            if (front.is_load() || front.is_store()) && lsq_occupancy >= self.config.lsq_size {
+            let front_mem = front.is_load() || front.is_store();
+            if front_mem && self.lsq_occupancy >= self.config.lsq_size {
                 break;
             }
-            if front.writes_reg && self.in_flight_writers + 64 >= self.config.phys_regs {
+            if front.flag(F_WRITES_REG) && self.in_flight_writers + 64 >= self.config.phys_regs {
                 break;
             }
             let mut slot = self.fetch_queue.pop_front().expect("front exists");
             // Rename: resolve source producers.
             reads_of(&slot.insn, &mut self.reads_buf);
-            slot.srcs =
-                self.reads_buf.iter().filter_map(|&r| self.last_writer[r as usize]).collect();
+            let mut n = 0usize;
+            for &r in &self.reads_buf {
+                if let Some(p) = self.last_writer[r as usize] {
+                    slot.srcs[n] = p;
+                    n += 1;
+                }
+            }
+            slot.src_count = n as u8;
             if let Some(w) = write_of(&slot.insn) {
                 self.last_writer[w as usize] = Some(slot.seq);
             }
             slot.stage = Stage::Waiting;
+            self.iq_occupancy += 1;
+            self.first_waiting_seq = self.first_waiting_seq.min(slot.seq);
+            if front_mem {
+                self.lsq_occupancy += 1;
+            }
             self.rob.push_back(slot);
             dispatched += 1;
         }
@@ -696,9 +1016,11 @@ impl Pipeline {
             }
 
             // Obtain the instruction: oracle step (correct path) or raw
-            // decode (wrong path).
+            // decode (wrong path). The oracle fills `bytes` with the very
+            // code it decoded, so the fetch event needs no second read.
+            let mut bytes = [0u8; MAX_INSTR_LEN];
             let (insn, len, dyn_op) = if self.wrong_path_mode {
-                let bytes = self.oracle.mem().read_bytes(self.fetch_pc, MAX_INSTR_LEN);
+                self.oracle.mem().read_filtered(self.fetch_pc, &mut bytes);
                 match decode(&bytes) {
                     Ok((insn, len)) => (insn, len as u8, None),
                     Err(_) => {
@@ -709,7 +1031,7 @@ impl Pipeline {
                     }
                 }
             } else {
-                match self.oracle.step() {
+                match self.oracle.step_fetched(&mut bytes) {
                     Ok(op) => (op.insn, op.len, Some(op)),
                     Err(e) => {
                         let crate::oracle::OracleError::IllegalInstruction { pc } = e;
@@ -719,6 +1041,9 @@ impl Pipeline {
                     }
                 }
             };
+            for b in &mut bytes[len as usize..] {
+                *b = 0;
+            }
             let addr = self.fetch_pc;
             let fall_through = addr + len as u64;
 
@@ -771,10 +1096,6 @@ impl Pipeline {
                 None => false,
             };
 
-            let mut bytes = [0u8; MAX_INSTR_LEN];
-            let raw = self.oracle.mem().read_bytes(addr, len as usize);
-            bytes[..len as usize].copy_from_slice(&raw);
-
             let seq = self.next_seq;
             self.next_seq += 1;
             let event = FetchEvent {
@@ -793,24 +1114,65 @@ impl Pipeline {
             });
             let is_boundary = monitor.on_fetch(&mut self.mem, &event);
 
+            let class = insn.class();
+            let mut flags = 0u16;
+            if self.wrong_path_mode {
+                flags |= F_WRONG_PATH;
+            }
+            if is_boundary {
+                flags |= F_BOUNDARY;
+            }
+            if matches!(class, InstrClass::Load | InstrClass::Return) {
+                flags |= F_LOAD;
+            }
+            if matches!(
+                class,
+                InstrClass::Store | InstrClass::CallDirect | InstrClass::CallIndirect
+            ) {
+                flags |= F_STORE;
+            }
+            let writes_reg = write_of(&insn).is_some();
+            if writes_reg {
+                flags |= F_WRITES_REG;
+            }
+            if mispredicted {
+                flags |= F_MISPREDICTED;
+            }
+            let (mut mem_addr, mut next_pc, mut store_value) = (0u64, 0u64, 0u64);
+            if let Some(d) = &dyn_op {
+                flags |= F_HAS_DYN;
+                if d.taken {
+                    flags |= F_TAKEN;
+                }
+                if d.halted {
+                    flags |= F_HALTED;
+                }
+                if let Some(a) = d.mem_addr {
+                    flags |= F_HAS_MEM;
+                    mem_addr = a;
+                }
+                next_pc = d.next_pc;
+                store_value = d.store_value.unwrap_or(0);
+            }
+
             self.fetch_queue.push_back(Slot {
-                seq,
-                addr,
-                insn,
-                wrong_path: self.wrong_path_mode,
-                is_boundary,
                 stage: Stage::Waiting,
-                dispatch_ready: self.now + self.config.frontend_depth,
+                class,
+                src_count: 0,
+                flags,
+                seq,
+                mem_addr,
                 complete_at: 0,
-                srcs: Vec::new(),
-                dyn_op,
-                mispredicted,
-                checkpoint,
+                srcs: [0; 2],
+                addr,
+                next_pc,
+                store_value,
+                dispatch_ready: self.now + self.config.frontend_depth,
                 history_at_predict,
-                writes_reg: write_of(&insn).is_some(),
-                recovery_done: false,
+                insn,
+                checkpoint,
             });
-            if write_of(&insn).is_some() {
+            if writes_reg {
                 self.in_flight_writers += 1;
             }
 

@@ -1,8 +1,8 @@
 //! Run statistics — the counters behind the paper's Figures 6–9.
 
 use rev_isa::InstrClass;
+use rev_mem::FlatSet;
 use rev_trace::{MetricRegistry, MetricSink};
-use std::collections::HashSet;
 
 /// Committed-instruction mix by class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,7 +71,7 @@ pub struct CpuStats {
     pub mix: InstrMix,
     /// Distinct committed BB-terminator addresses (paper Fig. 9,
     /// "unique branches during execution").
-    pub unique_branch_addrs: HashSet<u64>,
+    pub unique_branch_addrs: FlatSet<u64>,
 }
 
 impl CpuStats {

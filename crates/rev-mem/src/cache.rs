@@ -84,7 +84,11 @@ pub struct CacheAccess {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All ways of all sets in one flat allocation: set `s` occupies
+    /// `lines[s * assoc .. (s + 1) * assoc]`. One contiguous stripe per
+    /// probe instead of a `Vec<Vec<_>>` double indirection.
+    lines: Vec<Line>,
+    num_sets: usize,
     stats: CacheStats,
     tick: u64,
     offset_bits: u32,
@@ -98,7 +102,8 @@ impl Cache {
         assert!(num_sets.is_power_of_two(), "set count must be a power of two");
         Cache {
             config,
-            sets: vec![vec![Line::default(); config.assoc]; num_sets],
+            lines: vec![Line::default(); config.assoc * num_sets],
+            num_sets,
             stats: CacheStats::default(),
             tick: 0,
             offset_bits: config.line_bytes.trailing_zeros(),
@@ -123,7 +128,12 @@ impl Cache {
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
         let line = addr >> self.offset_bits;
-        ((line & self.index_mask) as usize, line >> self.sets.len().trailing_zeros())
+        ((line & self.index_mask) as usize, line >> self.num_sets.trailing_zeros())
+    }
+
+    #[inline]
+    fn set(&self, set_idx: usize) -> &[Line] {
+        &self.lines[set_idx * self.config.assoc..(set_idx + 1) * self.config.assoc]
     }
 
     /// Accesses `addr`; on a miss, allocates the line (write-allocate) and
@@ -132,8 +142,9 @@ impl Cache {
         self.tick += 1;
         self.stats.accesses += 1;
         let (set_idx, tag) = self.set_and_tag(addr);
-        let set_shift = self.sets.len().trailing_zeros();
-        let set = &mut self.sets[set_idx];
+        let set_shift = self.num_sets.trailing_zeros();
+        let assoc = self.config.assoc;
+        let set = &mut self.lines[set_idx * assoc..(set_idx + 1) * assoc];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.lru = self.tick;
@@ -169,14 +180,15 @@ impl Cache {
     /// Probes without side effects (no LRU update, no allocation).
     pub fn probe(&self, addr: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        self.set(set_idx).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates the line containing `addr`, if resident. Returns `true`
     /// if a line was dropped.
     pub fn invalidate(&mut self, addr: u64) -> bool {
         let (set_idx, tag) = self.set_and_tag(addr);
-        for line in &mut self.sets[set_idx] {
+        let assoc = self.config.assoc;
+        for line in &mut self.lines[set_idx * assoc..(set_idx + 1) * assoc] {
             if line.valid && line.tag == tag {
                 line.valid = false;
                 return true;

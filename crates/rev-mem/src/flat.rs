@@ -1,0 +1,145 @@
+//! Flat hashing for the simulation hot paths.
+//!
+//! The default `std` hasher (SipHash) costs ~1ns per small key, which adds
+//! up when the pipeline probes a map per instruction. The simulator's hot
+//! maps are all keyed by addresses, sequence numbers, or small `Copy`
+//! tuples, never exposed to untrusted keys, and never iterated for output
+//! (every deterministic artifact sorts explicitly) — so a multiplicative
+//! Fx-style hash is safe and several times faster.
+//!
+//! [`FlatMap`]/[`FlatSet`] are drop-in `HashMap`/`HashSet` aliases over
+//! [`FxBuildHasher`], shared by `rev-mem` (TLB index), `rev-cpu` (rename
+//! scoreboard, store-address disambiguation) and `rev-core` (body/digest
+//! memo caches, deferred-store forwarding index).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15; // 2^64 / phi
+
+/// A multiplicative hasher for integer-ish keys (Fx-style: rotate, xor,
+/// multiply per word). Not collision-resistant against adversarial keys —
+/// use only for internal simulator state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The multiply concentrates entropy in the high bits; fold them
+        // down so bucket indices (taken from the low bits) are well mixed.
+        self.hash ^ (self.hash >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Length in the top byte keeps "ab" and "ab\0" distinct.
+            self.mix(u64::from_le_bytes(tail) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// Deterministic zero-state builder for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` over the fast multiplicative hasher.
+pub type FlatMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` over the fast multiplicative hasher.
+pub type FlatSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FlatMap<u64, u64> = FlatMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&i));
+        }
+        assert_eq!(m.len(), 1000);
+    }
+
+    #[test]
+    fn tuple_keys_distinguish_fields() {
+        let mut m: FlatMap<(u64, u64), u32> = FlatMap::default();
+        m.insert((1, 2), 12);
+        m.insert((2, 1), 21);
+        assert_eq!(m[&(1, 2)], 12);
+        assert_eq!(m[&(2, 1)], 21);
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content_and_length() {
+        fn h(bytes: &[u8]) -> u64 {
+            let mut hasher = FxHasher::default();
+            hasher.write(bytes);
+            hasher.finish()
+        }
+        assert_eq!(h(b"abcdefgh"), h(b"abcdefgh"));
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"abcdefgh"), h(b"abcdefgi"));
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FlatSet<u64> = FlatSet::default();
+        s.insert(7);
+        s.insert(7);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&7));
+        assert!(s.remove(&7));
+        assert!(s.is_empty());
+    }
+}

@@ -19,12 +19,14 @@
 
 mod cache;
 mod dram;
+mod flat;
 mod hier;
 mod memory;
 mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
+pub use flat::{FlatMap, FlatSet, FxBuildHasher, FxHasher};
 pub use hier::{AccessOutcome, Hierarchy, MemConfig, MemConfigError, MemStats, Request, Requester};
 pub use memory::MainMemory;
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -4,13 +4,109 @@
 //! ([`crate::Hierarchy`]) is tag-only, so this is the single source of
 //! functional truth for both the oracle execution engine and the committed
 //! state. Pages are allocated lazily.
+//!
+//! The page table is a hand-rolled open-addressed hash table (linear
+//! probing, power-of-two capacity, no deletion — pages are never freed
+//! within a run) fronted by a last-page slot cache, so the per-instruction
+//! fetch path costs one multiply and usually zero probes instead of a
+//! SipHash `HashMap` lookup per byte.
 
 use rev_prog::Segment;
 use rev_trace::FaultInjector;
-use std::collections::HashMap;
+use std::cell::Cell;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sentinel page index marking an empty slot (real indices are
+/// `addr >> 12`, so the top bits can never all be set).
+const EMPTY: u64 = u64::MAX;
+
+/// Open-addressed page-index → page storage with linear probing. Grows at
+/// 3/4 load; never shrinks or deletes (a resident page stays resident for
+/// the run, which keeps probe chains tombstone-free).
+#[derive(Debug, Clone, Default)]
+struct PageTable {
+    slots: Vec<Option<(u64, Box<[u8; PAGE_SIZE]>)>>,
+    len: usize,
+}
+
+impl PageTable {
+    #[inline]
+    fn probe_start(&self, idx: u64) -> usize {
+        // Multiplicative hash; high bits are the well-mixed ones, so take
+        // the slot index from the top.
+        let h = idx.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> (64 - self.slots.len().trailing_zeros())) as usize
+    }
+
+    /// Returns the slot index and page for `idx`, if resident.
+    #[inline]
+    fn get(&self, idx: u64) -> Option<(usize, &[u8; PAGE_SIZE])> {
+        if self.len == 0 {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(idx);
+        loop {
+            match &self.slots[i] {
+                None => return None,
+                Some((k, p)) if *k == idx => return Some((i, p)),
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+    }
+
+    /// Re-reads a known slot; used to validate the last-page cache.
+    #[inline]
+    fn slot(&self, i: usize) -> Option<(u64, &[u8; PAGE_SIZE])> {
+        match self.slots.get(i) {
+            Some(Some((k, p))) => Some((*k, p)),
+            _ => None,
+        }
+    }
+
+    /// Returns the slot index and page for `idx`, allocating a zero page
+    /// if absent.
+    fn get_or_insert(&mut self, idx: u64) -> (usize, &mut [u8; PAGE_SIZE]) {
+        if self.slots.is_empty() || self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.probe_start(idx);
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == idx => break,
+                None => {
+                    self.slots[i] = Some((idx, Box::new([0; PAGE_SIZE])));
+                    self.len += 1;
+                    break;
+                }
+                Some(_) => i = (i + 1) & mask,
+            }
+        }
+        let page = self.slots[i].as_mut().map(|(_, p)| &mut **p).expect("slot just filled");
+        (i, page)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(64);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_cap, || None);
+        let mask = new_cap - 1;
+        for entry in old.into_iter().flatten() {
+            let mut i = self.probe_start(entry.0);
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(entry);
+        }
+    }
+
+    fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().flatten().map(|(k, _)| *k)
+    }
+}
 
 /// Sparse 64-bit byte-addressable memory.
 ///
@@ -24,12 +120,26 @@ const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 /// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
 /// assert_eq!(mem.read_u8(0x9999), 0); // untouched memory reads zero
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MainMemory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: PageTable,
+    /// Last page touched: `(page index, slot)`. Validated against the
+    /// table on use (the slot may have moved on growth), so it is purely
+    /// an accelerator. `Cell` keeps the read path `&self`.
+    last: Cell<(u64, usize)>,
     /// Fault filter applied to [`Self::read_bytes`] transfers (window-
     /// gated to the signature-table region; disabled by default).
     fault: FaultInjector,
+}
+
+impl Default for MainMemory {
+    fn default() -> Self {
+        MainMemory {
+            pages: PageTable::default(),
+            last: Cell::new((EMPTY, 0)),
+            fault: FaultInjector::disabled(),
+        }
+    }
 }
 
 impl MainMemory {
@@ -47,15 +157,31 @@ impl MainMemory {
         mem
     }
 
+    #[inline]
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+        let idx = addr >> PAGE_SHIFT;
+        let (last_idx, last_slot) = self.last.get();
+        if last_idx == idx {
+            if let Some((k, p)) = self.pages.slot(last_slot) {
+                if k == idx {
+                    return Some(p);
+                }
+            }
+        }
+        let (slot, p) = self.pages.get(idx)?;
+        self.last.set((idx, slot));
+        Some(p)
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
-        self.pages.entry(addr >> PAGE_SHIFT).or_insert_with(|| Box::new([0; PAGE_SIZE]))
+        let idx = addr >> PAGE_SHIFT;
+        let (slot, p) = self.pages.get_or_insert(idx);
+        self.last.set((idx, slot));
+        p
     }
 
     /// Reads one byte (unmapped memory reads zero).
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> u8 {
         self.page(addr).map(|p| p[(addr as usize) & (PAGE_SIZE - 1)]).unwrap_or(0)
     }
@@ -66,6 +192,7 @@ impl MainMemory {
     }
 
     /// Reads a little-endian u64 (may straddle pages).
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> u64 {
         let mut bytes = [0u8; 8];
         self.read_into(addr, &mut bytes);
@@ -77,10 +204,31 @@ impl MainMemory {
         self.write_bytes(addr, &value.to_le_bytes());
     }
 
-    /// Copies `buf.len()` bytes starting at `addr` into `buf`.
+    /// Copies `buf.len()` bytes starting at `addr` into `buf`,
+    /// page-chunked: one table lookup per page touched, not per byte.
     pub fn read_into(&self, addr: u64, buf: &mut [u8]) {
-        for (i, b) in buf.iter_mut().enumerate() {
-            *b = self.read_u8(addr + i as u64);
+        let mut a = addr;
+        let mut rest = buf;
+        while !rest.is_empty() {
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let take = (PAGE_SIZE - off).min(rest.len());
+            match self.page(a) {
+                Some(p) => rest[..take].copy_from_slice(&p[off..off + take]),
+                None => rest[..take].fill(0),
+            }
+            a = a.wrapping_add(take as u64);
+            rest = &mut rest[take..];
+        }
+    }
+
+    /// [`Self::read_into`] plus the bulk-transfer fault filter — the
+    /// allocation-free equivalent of [`Self::read_bytes`] for hot callers
+    /// with a stack buffer (instruction fetch).
+    #[inline]
+    pub fn read_filtered(&self, addr: u64, buf: &mut [u8]) {
+        self.read_into(addr, buf);
+        if self.fault.is_enabled() {
+            self.fault.filter_read(addr, buf);
         }
     }
 
@@ -90,10 +238,7 @@ impl MainMemory {
     /// never altered — the fault models corruption *in flight*).
     pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
         let mut buf = vec![0; len];
-        self.read_into(addr, &mut buf);
-        if self.fault.is_enabled() {
-            self.fault.filter_read(addr, &mut buf);
-        }
+        self.read_filtered(addr, &mut buf);
         buf
     }
 
@@ -108,8 +253,7 @@ impl MainMemory {
     /// Chaos campaigns compare a faulted run's committed memory against a
     /// fault-free reference with the signature-table region masked off.
     pub fn content_digest(&self, limit: u64) -> u64 {
-        let mut idxs: Vec<u64> =
-            self.pages.keys().copied().filter(|&i| (i << PAGE_SHIFT) < limit).collect();
+        let mut idxs: Vec<u64> = self.pages.keys().filter(|&i| (i << PAGE_SHIFT) < limit).collect();
         idxs.sort_unstable();
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut mix = |b: u8| {
@@ -117,7 +261,7 @@ impl MainMemory {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         };
         for idx in idxs {
-            let page = &self.pages[&idx];
+            let (_, page) = self.pages.get(idx).expect("listed page is resident");
             if page.iter().all(|&b| b == 0) {
                 continue;
             }
@@ -147,7 +291,7 @@ impl MainMemory {
 
     /// Number of resident pages (for tests / footprint reporting).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len
     }
 }
 
@@ -185,5 +329,37 @@ mod tests {
         let addr = (1 << PAGE_SHIFT) - 100;
         mem.write_bytes(addr, &data);
         assert_eq!(mem.read_bytes(addr, 256), data);
+    }
+
+    #[test]
+    fn table_growth_keeps_contents() {
+        let mut mem = MainMemory::new();
+        // Enough distinct pages to force several table growths.
+        for i in 0..500u64 {
+            mem.write_u64(i * (PAGE_SIZE as u64), i + 1);
+        }
+        assert_eq!(mem.resident_pages(), 500);
+        for i in 0..500u64 {
+            assert_eq!(mem.read_u64(i * (PAGE_SIZE as u64)), i + 1, "page {i}");
+        }
+    }
+
+    #[test]
+    fn read_filtered_matches_read_bytes() {
+        let mut mem = MainMemory::new();
+        mem.write_bytes(0x3000, &[9, 8, 7, 6, 5]);
+        let mut buf = [0u8; 5];
+        mem.read_filtered(0x3000, &mut buf);
+        assert_eq!(buf.to_vec(), mem.read_bytes(0x3000, 5));
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = MainMemory::new();
+        a.write_u64(0x1000, 1);
+        let mut b = a.clone();
+        b.write_u64(0x1000, 2);
+        assert_eq!(a.read_u64(0x1000), 1);
+        assert_eq!(b.read_u64(0x1000), 2);
     }
 }

@@ -33,10 +33,17 @@ pub struct TlbStats {
 }
 
 /// A fully-associative LRU TLB.
+///
+/// A hash index over resident VPNs plus a last-hit slot cache replace the
+/// per-access linear scan; eviction (miss path only) still does the exact
+/// min-tick scan, so the replacement sequence is identical to the naive
+/// model.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: Vec<(u64, u64)>, // (vpn, lru tick)
+    entries: Vec<(u64, u64)>,          // (vpn, lru tick)
+    index: crate::FlatMap<u64, usize>, // vpn -> slot in `entries`
+    last: Option<(u64, usize)>,        // last-hit (vpn, slot)
     tick: u64,
     stats: TlbStats,
 }
@@ -48,6 +55,8 @@ impl Tlb {
         Tlb {
             config,
             entries: Vec::with_capacity(config.entries),
+            index: crate::FlatMap::default(),
+            last: None,
             tick: 0,
             stats: TlbStats::default(),
         }
@@ -77,8 +86,15 @@ impl Tlb {
         self.tick += 1;
         self.stats.accesses += 1;
         let vpn = self.vpn(addr);
-        if let Some(e) = self.entries.iter_mut().find(|(v, _)| *v == vpn) {
-            e.1 = self.tick;
+        if let Some((last_vpn, slot)) = self.last {
+            if last_vpn == vpn {
+                self.entries[slot].1 = self.tick;
+                return true;
+            }
+        }
+        if let Some(&slot) = self.index.get(&vpn) {
+            self.entries[slot].1 = self.tick;
+            self.last = Some((vpn, slot));
             return true;
         }
         self.stats.misses += 1;
@@ -90,16 +106,21 @@ impl Tlb {
                 debug_assert!(false, "TLB has at least one entry");
                 return false;
             };
+            self.index.remove(&self.entries[lru].0);
             self.entries.swap_remove(lru);
+            if let Some((moved_vpn, _)) = self.entries.get(lru) {
+                self.index.insert(*moved_vpn, lru);
+            }
+            self.last = None;
         }
+        self.index.insert(vpn, self.entries.len());
         self.entries.push((vpn, self.tick));
         false
     }
 
     /// Probes without filling or touching LRU.
     pub fn probe(&self, addr: u64) -> bool {
-        let vpn = self.vpn(addr);
-        self.entries.iter().any(|(v, _)| *v == vpn)
+        self.index.contains_key(&self.vpn(addr))
     }
 }
 

@@ -71,6 +71,10 @@ pub struct SignatureTable {
     total_entries: usize,
     image: Vec<u8>,
     key: SignatureKey,
+    /// Expanded key schedule for `key`, built once — `decrypt_entry` runs
+    /// on the SC-miss path and must not redo the AES key expansion per
+    /// entry.
+    aes: Aes128,
     stats: TableStats,
     base: u64,
 }
@@ -96,6 +100,7 @@ impl SignatureTable {
             slots,
             total_entries,
             image,
+            aes: Aes128::new(*key.as_bytes()),
             key,
             stats,
             base: 0,
@@ -202,7 +207,7 @@ impl SignatureTable {
         let block_lo = byte_off / 16;
         let block_hi = (byte_off + esize - 1) / 16;
         let mut plain = Vec::with_capacity((block_hi - block_lo + 1) * 16);
-        let aes = Aes128::new(*self.key.as_bytes());
+        let aes = &self.aes;
         for b in block_lo..=block_hi {
             let addr = self.base + HEADER_BYTES + (b * 16) as u64;
             let mut bytes = encrypted_region_read(addr, 16);

@@ -165,13 +165,17 @@ impl Ring {
 /// is a null handle and every emit through it is a single branch.
 #[derive(Debug, Clone, Default)]
 pub struct TraceBus {
+    /// Cached `ring.is_some()`: the disabled-path test at every tap site
+    /// is a plain bool load with no `Option`/`Arc` inspection. The two
+    /// fields are only ever set together at construction.
+    enabled: bool,
     ring: Option<Arc<Mutex<Ring>>>,
 }
 
 impl TraceBus {
     /// A disabled bus — the default everywhere; emits are no-ops.
     pub fn disabled() -> Self {
-        TraceBus { ring: None }
+        TraceBus { enabled: false, ring: None }
     }
 
     /// An enabled bus with a ring of `capacity` events (oldest events are
@@ -179,6 +183,7 @@ impl TraceBus {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "trace ring capacity must be positive");
         TraceBus {
+            enabled: true,
             ring: Some(Arc::new(Mutex::new(Ring {
                 buf: Vec::with_capacity(capacity.min(4096)),
                 capacity,
@@ -191,7 +196,7 @@ impl TraceBus {
     /// Whether events are being recorded.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        self.ring.is_some()
+        self.enabled
     }
 
     /// Emits an event, constructing it only if the bus is enabled — the
@@ -205,6 +210,9 @@ impl TraceBus {
     /// ```
     #[inline]
     pub fn emit_with<F: FnOnce() -> TraceEvent>(&self, f: F) {
+        if !self.enabled {
+            return;
+        }
         if let Some(ring) = &self.ring {
             ring.lock().expect("trace ring poisoned").push(f());
         }

@@ -21,6 +21,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
+echo "==> cargo bench --no-run (criterion smoke build)"
+cargo bench --no-run --workspace -q
+
 echo "==> rev-lint --all (static table verification)"
 cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
 
@@ -66,5 +69,21 @@ if now > limit:
 EOF
 fi
 rm -f "$snap"
+
+# Perf soft gate (warn, never fail): simulator throughput per profile vs
+# the committed baseline with a ±15% band. The perf binary exits 2 on
+# out-of-band drift (soft-warning semantics matching rev-trace compare);
+# any other non-zero exit is a real failure.
+echo "==> perf soft gate vs baselines/perf_quick.json (±15% band)"
+perf_rc=0
+cargo run --release -q -p rev-bench --bin perf -- \
+    --quick --quiet --check baselines/perf_quick.json --band 15 || perf_rc=$?
+if [ "$perf_rc" -eq 2 ]; then
+    echo "WARN: simulator throughput drifted >15% from baselines/perf_quick.json (soft gate)."
+    echo "      If intentional (hot-loop change or new host), regenerate with:"
+    echo "      cargo run --release -p rev-bench --bin perf -- --quick --quiet --json baselines/perf_quick.json"
+elif [ "$perf_rc" -ne 0 ]; then
+    exit "$perf_rc"
+fi
 
 echo "==> OK"
