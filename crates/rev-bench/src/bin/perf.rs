@@ -12,7 +12,7 @@
 //! ```text
 //! usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]
 //!             [--bench NAME]... [--json PATH] [--check BASELINE]
-//!             [--band PCT] [--csv] [--quiet]
+//!             [--band PCT] [--csv] [--quiet] [--superblocks=on|off]
 //! ```
 //!
 //! * `--json PATH` — write/merge the `perf` registries into `PATH`. If
@@ -26,9 +26,10 @@
 //!   semantics, mirroring `rev-trace compare`'s distinct exit codes);
 //!   in-band runs exit 0.
 //!
-//! Throughput gauges are host-dependent; only the `perf.bbcache.*` and
-//! `perf.committed_instrs` counters are deterministic. Never byte-diff
-//! this output — that is what the band is for.
+//! Throughput gauges are host-dependent; only the `perf.bbcache.*`,
+//! `perf.superblock.*`, `rev.chg.lanes` and `perf.committed_instrs`
+//! counters are deterministic. Never byte-diff this output — that is
+//! what the band is for.
 
 use rev_bench::{
     perf_registry, perf_sample, perf_soft_check, BenchOptions, Narrator, TablePrinter,
@@ -61,12 +62,14 @@ fn main() {
             "--band" => band_pct = value("--band").parse().expect("--band: float (percent)"),
             "--csv" => opts.csv = true,
             "--quiet" => opts.quiet = true,
+            "--superblocks=on" => opts.superblocks = true,
+            "--superblocks=off" => opts.superblocks = false,
             other => {
                 eprintln!("error: unknown argument '{other}'");
                 eprintln!(
                     "usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]\n\
                      \x20           [--bench NAME]... [--json PATH] [--check BASELINE]\n\
-                     \x20           [--band PCT] [--csv] [--quiet]"
+                     \x20           [--band PCT] [--csv] [--quiet] [--superblocks=on|off]"
                 );
                 std::process::exit(2);
             }
@@ -82,7 +85,15 @@ fn main() {
     }
 
     let mut table = TablePrinter::new(
-        vec!["benchmark", "instrs/sec", "ns/instr", "bbcache hit%", "wall ms"],
+        vec![
+            "benchmark",
+            "instrs/sec",
+            "ns/instr",
+            "bbcache hit%",
+            "sb hit%",
+            "sb flush",
+            "wall ms",
+        ],
         opts.csv,
     );
     let mut total_instrs = 0u64;
@@ -91,11 +102,15 @@ fn main() {
         let probes = s.bb_cache_hits + s.bb_cache_misses;
         let hit_pct =
             if probes == 0 { 0.0 } else { s.bb_cache_hits as f64 / probes as f64 * 100.0 };
+        let sb_total = s.sb_hits + s.sb_formed;
+        let sb_pct = if sb_total == 0 { 0.0 } else { s.sb_hits as f64 / sb_total as f64 * 100.0 };
         table.row(vec![
             s.name.clone(),
             format!("{:.0}", s.instrs_per_sec()),
             format!("{:.1}", s.ns_per_instr()),
             format!("{hit_pct:.1}"),
+            format!("{sb_pct:.1}"),
+            format!("{}", s.sb_flushes),
             format!("{:.1}", s.wall_ns as f64 / 1e6),
         ]);
         total_instrs += s.committed_instrs;

@@ -47,6 +47,10 @@ pub struct BenchOptions {
     pub json: Option<String>,
     /// Suppress worker progress and timing narration on stderr.
     pub quiet: bool,
+    /// Superblock memo replay in the monitor (`--superblocks=off` is the
+    /// escape hatch; every measurement snapshot is byte-identical either
+    /// way — the equivalence suite enforces it).
+    pub superblocks: bool,
 }
 
 /// The host's available parallelism (1 if it cannot be determined).
@@ -66,6 +70,7 @@ impl Default for BenchOptions {
             preflight: false,
             json: None,
             quiet: false,
+            superblocks: true,
         }
     }
 }
@@ -107,13 +112,15 @@ impl BenchOptions {
                     opts.json = Some(args.next().expect("--json needs a path"));
                 }
                 "--quiet" => opts.quiet = true,
+                "--superblocks=on" => opts.superblocks = true,
+                "--superblocks=off" => opts.superblocks = false,
                 "--jobs" => {
                     let v = args.next().expect("--jobs needs a value");
                     let n: usize = v.parse().expect("--jobs must be an integer");
                     opts.jobs = if n == 0 { default_jobs() } else { n };
                 }
                 other => panic!(
-                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight, --json, --quiet)"
+                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight, --json, --quiet, --superblocks=on|off)"
                 ),
             }
         }
@@ -195,6 +202,7 @@ pub fn preflight(sim: &RevSimulator) {
 pub fn run_benchmark(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> BenchResult {
     let program = program_for(profile);
     let cfg = cfg_stats_for(&program);
+    let config = config.with_superblocks(opts.superblocks);
     let mut sim = RevSimulator::new(program, config).expect("workload builds");
     if opts.preflight {
         preflight(&sim);
@@ -210,6 +218,7 @@ pub fn run_benchmark(profile: &SpecProfile, opts: &BenchOptions, config: RevConf
 /// baseline when the caller sweeps configurations).
 pub fn run_rev_only(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> RevReport {
     let program = program_for(profile);
+    let config = config.with_superblocks(opts.superblocks);
     let mut sim = RevSimulator::new(program, config).expect("workload builds");
     if opts.preflight {
         preflight(&sim);
@@ -594,6 +603,14 @@ pub struct PerfSample {
     pub bb_cache_misses: u64,
     /// Decoded-BB cache invalidations (code-generation bumps).
     pub bb_cache_invalidations: u64,
+    /// Superblocks formed (see `perf.superblock.*` in docs/METRICS.md).
+    pub sb_formed: u64,
+    /// Commits validated by superblock replay.
+    pub sb_hits: u64,
+    /// Superblock memos discarded as stale.
+    pub sb_flushes: u64,
+    /// Body hashes computed through the multi-lane CubeHash.
+    pub chg_lanes: u64,
 }
 
 impl PerfSample {
@@ -629,6 +646,10 @@ pub fn perf_registry(sample: &PerfSample) -> MetricRegistry {
     reg.counter("perf.bbcache.hits", sample.bb_cache_hits);
     reg.counter("perf.bbcache.misses", sample.bb_cache_misses);
     reg.counter("perf.bbcache.invalidations", sample.bb_cache_invalidations);
+    reg.counter("perf.superblock.formed", sample.sb_formed);
+    reg.counter("perf.superblock.hits", sample.sb_hits);
+    reg.counter("perf.superblock.flushes", sample.sb_flushes);
+    reg.counter("rev.chg.lanes", sample.chg_lanes);
     reg
 }
 
@@ -637,6 +658,7 @@ pub fn perf_registry(sample: &PerfSample) -> MetricRegistry {
 /// generation, table build, and warmup are excluded).
 pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> PerfSample {
     let program = program_for(profile);
+    let config = config.with_superblocks(opts.superblocks);
     let mut sim = RevSimulator::new(program, config).expect("workload builds");
     sim.warmup(opts.warmup);
     let start = std::time::Instant::now();
@@ -649,6 +671,10 @@ pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig
         bb_cache_hits: rev.rev.bb_cache_hits,
         bb_cache_misses: rev.rev.bb_cache_misses,
         bb_cache_invalidations: rev.rev.bb_cache_invalidations,
+        sb_formed: rev.rev.sb_formed,
+        sb_hits: rev.rev.sb_hits,
+        sb_flushes: rev.rev.sb_flushes,
+        chg_lanes: rev.rev.chg_lanes,
     }
 }
 
@@ -769,6 +795,7 @@ mod tests {
             quiet: true,
             jobs: 1,
             preflight: true,
+            superblocks: true,
         };
         let serial = sweep(&opts);
         opts.jobs = 4;

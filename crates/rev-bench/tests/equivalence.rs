@@ -5,7 +5,9 @@
 //! * the rendered `rev-trace/1` snapshot is byte-identical for any
 //!   `--jobs` value, across **all 18** workload profiles;
 //! * a run with the TraceBus attached exports exactly the metrics of a
-//!   run without it.
+//!   run without it;
+//! * the superblock memo layer (`--superblocks=off` escape hatch) never
+//!   changes a rendered snapshot byte across all 18 profiles.
 //!
 //! (Campaign-JSON determinism across runs and jobs lives next to the
 //! engine in `crates/rev-chaos/tests/chaos.rs`; the self-modifying-code
@@ -76,4 +78,24 @@ fn tracing_does_not_perturb_measurements() {
         assert_eq!(out_plain, out_traced, "{name}: outcome must not depend on tracing");
         assert_eq!(reg_plain, reg_traced, "{name}: tracing must not move a single metric");
     }
+}
+
+/// The superblock replay layer is a pure simulator fast path: rendering
+/// the full 18-profile sweep with `--superblocks=off` produces exactly
+/// the bytes of the default run. (The SMC / DMA / retry invalidation
+/// contracts live in `crates/rev-core/tests/smc.rs` and
+/// `retry_bound.rs`.)
+#[test]
+fn superblocks_off_renders_identical_snapshot() {
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
+    let render = |superblocks: bool| {
+        let mut opts = tiny_opts();
+        opts.superblocks = superblocks;
+        let runs = sweep_configs(&opts, &configs);
+        assert_eq!(runs.len(), opts.profiles().len(), "every profile must be swept");
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    assert_eq!(render(true), render(false), "superblock replay must never move a rendered byte");
 }

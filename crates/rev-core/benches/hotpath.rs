@@ -1,11 +1,13 @@
-//! Criterion microbenchmarks for the monitor's three hottest inner
-//! loops, isolated from end-to-end simulation noise: the signature-cache
-//! probe, the flat page-table read, and the monitor's basic-block commit
-//! path (probe + CHG hash + validation, driven through a full simulator
-//! on a non-terminating loop so every sampled instruction exercises it).
+//! Criterion microbenchmarks for the monitor's hottest inner loops,
+//! isolated from end-to-end simulation noise: the signature-cache probe,
+//! the flat page-table read, the scalar-vs-4-lane CHG hash, and the
+//! monitor's basic-block commit path (probe + CHG hash + validation,
+//! driven through a full simulator on a non-terminating loop so every
+//! sampled instruction exercises it).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rev_core::{RevConfig, RevSimulator, ScVariant, SignatureCache};
+use rev_crypto::{bb_body_hash_with, bb_body_hash_x4, CubeHash, CubeHashX4, X4_LANES};
 use rev_isa::{BranchCond, Instruction, Reg};
 use rev_mem::MainMemory;
 use rev_prog::{ModuleBuilder, Program};
@@ -109,6 +111,29 @@ fn monitor_workout() -> Program {
     pb.build()
 }
 
+/// CHG hashing throughput: four basic-block bodies hashed one at a time
+/// through the scalar [`CubeHash`] sponge versus one pass through the
+/// 4-lane [`CubeHashX4`]. Bodies use the 72-byte fixed shape the monitor
+/// and table builder feed it, so the comparison reflects the deferred
+/// commit-path batches rather than a synthetic message mix.
+fn bench_chg_lanes(c: &mut Criterion) {
+    let bodies: Vec<Vec<u8>> = (0..X4_LANES as u8)
+        .map(|l| (0..72u8).map(|i| i.wrapping_mul(31).wrapping_add(l)).collect())
+        .collect();
+    let msgs: [&[u8]; X4_LANES] = [&bodies[0][..], &bodies[1][..], &bodies[2][..], &bodies[3][..]];
+    let mut g = c.benchmark_group("chg");
+    g.throughput(Throughput::Elements(X4_LANES as u64));
+    g.bench_function("scalar_x4", |b| {
+        let mut h = CubeHash::new();
+        b.iter(|| msgs.map(|m| black_box(bb_body_hash_with(&mut h, black_box(m)))));
+    });
+    g.bench_function("lanes_x4", |b| {
+        let h = CubeHashX4::new();
+        b.iter(|| black_box(bb_body_hash_x4(&h, black_box(msgs))));
+    });
+    g.finish();
+}
+
 fn bench_bb_commit(c: &mut Criterion) {
     const INSTRS: u64 = 20_000;
     let mut g = c.benchmark_group("monitor");
@@ -124,5 +149,5 @@ fn bench_bb_commit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sc_probe, bench_page_read, bench_bb_commit);
+criterion_group!(benches, bench_sc_probe, bench_page_read, bench_chg_lanes, bench_bb_commit);
 criterion_main!(benches);

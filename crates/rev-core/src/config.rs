@@ -58,6 +58,13 @@ pub struct RevConfig {
     /// real tamper or stuck fault re-fails and escalates to the kill
     /// verdict). 0 restores fail-on-first-mismatch.
     pub sigline_retries: u32,
+    /// Superblock memoization: replay validated hot chains of basic
+    /// blocks as one cached check instead of the full per-BB gate
+    /// sequence. A pure simulator-speed memo — every architectural
+    /// counter and snapshot is byte-identical with it off (the
+    /// equivalence suite enforces this). Default on; `--superblocks=off`
+    /// in the harnesses isolates the legacy path for A/B runs.
+    pub superblocks: bool,
 }
 
 /// A rejected [`RevConfig`] parameter: user-supplied geometry the REV
@@ -127,6 +134,7 @@ impl RevConfig {
             containment: Containment::DeferredStores,
             naive_return_validation: false,
             sigline_retries: 2,
+            superblocks: true,
         }
     }
 
@@ -144,6 +152,12 @@ impl RevConfig {
     /// Switches the SC capacity.
     pub fn with_sc_capacity(mut self, bytes: usize) -> Self {
         self.sc_capacity = bytes;
+        self
+    }
+
+    /// Toggles superblock memoization (default on).
+    pub fn with_superblocks(mut self, enabled: bool) -> Self {
+        self.superblocks = enabled;
         self
     }
 }
@@ -174,5 +188,7 @@ mod tests {
             RevConfig::paper_default().with_mode(ValidationMode::CfiOnly).with_sc_capacity(8 << 10);
         assert_eq!(c.mode, ValidationMode::CfiOnly);
         assert_eq!(c.sc_capacity, 8 << 10);
+        assert!(c.superblocks, "superblocks default on");
+        assert!(!c.with_superblocks(false).superblocks);
     }
 }

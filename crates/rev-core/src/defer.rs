@@ -131,6 +131,15 @@ impl DeferredStoreBuffer {
     /// the release immediately and returns the corrupted store's identity
     /// so the monitor can raise a `ParityError` violation (the remaining
     /// buffer is left for `discard_all`).
+    /// Whether any buffered store is older than `boundary_seq` — i.e.
+    /// whether [`Self::release_until`] would release anything. The
+    /// monitor's per-commit release pass (and every superblock replay)
+    /// checks this first to skip the release machinery on the common
+    /// commit that buffered nothing.
+    pub fn has_releasable(&self, boundary_seq: u64) -> bool {
+        self.entries.front().map(|(s, _)| s.seq < boundary_seq).unwrap_or(false)
+    }
+
     pub fn release_until<F: FnMut(DeferredStore)>(
         &mut self,
         boundary_seq: u64,

@@ -11,7 +11,8 @@ use rev_cpu::{
     CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreCommit, Violation, ViolationKind,
 };
 use rev_crypto::{
-    bb_body_hash_with, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash, SignatureKey,
+    bb_body_hash_with, bb_body_hash_x4, entry_digest_with, BodyHash, ChgPipeline, ChgTag, CubeHash,
+    CubeHashX4, SignatureKey, X4_LANES,
 };
 use rev_isa::InstrClass;
 use rev_mem::{FlatMap, Hierarchy, MainMemory, Request, Requester};
@@ -34,7 +35,12 @@ pub const SYSCALL_REV_ENABLE: u16 = 0xff;
 struct PendingBb {
     start: u64,
     bb_addr: u64,
+    /// CHG output. A placeholder (all zeros) while `needs_hash` is set —
+    /// the deferred-batch path fills it in before any gate reads it.
     body: BodyHash,
+    /// `true` while this block's body hash sits in the unhashed queue
+    /// awaiting batched resolution at commit handoff.
+    needs_hash: bool,
     chg_ready: u64,
 }
 
@@ -56,6 +62,15 @@ impl PendingQueue {
             }
         }
         self.entries.binary_search_by_key(&seq, |&(s, _)| s).ok().map(|i| &self.entries[i].1)
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut PendingBb> {
+        let idx = if self.entries.front().map(|&(s, _)| s == seq).unwrap_or(false) {
+            0
+        } else {
+            self.entries.binary_search_by_key(&seq, |&(s, _)| s).ok()?
+        };
+        Some(&mut self.entries[idx].1)
     }
 
     fn insert(&mut self, seq: u64, pb: PendingBb) {
@@ -86,6 +101,39 @@ impl PendingQueue {
     fn clear(&mut self) {
         self.entries.clear();
     }
+}
+
+/// One memoized digest-scan input, exactly as commit gate 3 reads it from
+/// an SC variant: the stored digest (`None` = unsigned variant, skipped
+/// without a digest comparison) and the two digest-bound fields.
+type SbCand = (Option<u32>, u64, u64);
+
+/// A superblock memo: the full commit-gate outcome for one validated
+/// `(start, body-hash)` dynamic block, replayable while nothing it
+/// depended on can have drifted — same code generation, and a resident SC
+/// entry still presenting exactly the digest-scan prefix that produced
+/// the match. Hot chains of such blocks replay back-to-back as O(1)
+/// checks per terminator: the superblock. See DESIGN.md §10.
+#[derive(Debug, Clone)]
+struct SbEntry {
+    /// Code generation at formation; any later code write strands this
+    /// memo (it is discarded lazily on the next replay attempt).
+    gen: u64,
+    /// Dynamic block identity: leader address and CHG body hash.
+    start: u64,
+    body: BodyHash,
+    /// The digest-scan inputs for variants `0..=vi` as gate 3 saw them.
+    /// Replay re-verifies the resident entry still presents this exact
+    /// prefix, which makes the memoized match provably identical to a
+    /// re-scan (the expected digest is a pure function of data the memo
+    /// pins: body hash, bound fields, table key).
+    prefix: Vec<SbCand>,
+    /// The matched variant index and its terminator classification.
+    vi: usize,
+    kind: EntryKind,
+    /// Digest comparisons the scan consumed (`Some`-digest prefix count);
+    /// replayed into `stats.digest_checks` so counters stay identical.
+    k: u64,
 }
 
 /// A dynamically discovered basic block, exactly as the hardware sees it:
@@ -130,13 +178,33 @@ pub struct RevMonitor {
     /// Bumped by [`Self::invalidate_code_cache`]; stale-generation body
     /// entries recompute. O(1) where a full `clear()` used to churn.
     code_gen: u64,
+    /// Merged `[lo, hi)` bound over every registered module's code
+    /// section: a store outside it cannot touch code, so the per-table
+    /// scan in [`Self::store_touches_code`] only runs for the rare store
+    /// landing inside the bound. Recomputed on [`Self::replace_sag`].
+    code_bounds: (u64, u64),
     digest_cache: FlatMap<DigestKey, u32>,
+    /// Superblock memos by terminator address (see [`SbEntry`]). Purely a
+    /// simulator fast path: every architectural counter and snapshot is
+    /// byte-identical with `config.superblocks` off.
+    sb_cache: FlatMap<u64, SbEntry>,
     /// Reusable scratch for the commit-time digest-candidate scan.
     candidates_buf: Vec<(usize, Option<u32>, u64, u64)>,
     /// One reusable CubeHash instance for every per-BB hash and digest
     /// derivation (reset between uses; avoids both the digest allocation
     /// and the 10·r initialization rounds per block).
     hasher: CubeHash,
+    /// The four-lane CHG engine for batched pending-BB hashing (shares
+    /// the scalar hasher's precomputed initialization rounds in spirit:
+    /// its own IV is expanded once here). See DESIGN.md §10.
+    hasher_x4: CubeHashX4,
+    /// Fetched blocks whose body hash is deferred: `(seq, start, end,
+    /// bytes)` in fetch order. Resolved up to [`X4_LANES`] at a time when
+    /// the oldest reaches commit (the committing block plus the youngest
+    /// still-speculative ones share one multi-lane pass). Only populated
+    /// with superblocks on and fault injection off; flushed suffixes are
+    /// dropped unhashed.
+    unhashed: VecDeque<(u64, u64, u64, Vec<u8>)>,
     /// When `Some`, every validated block is recorded as a
     /// (leader, terminator, body-hash) triple — the differential oracle's
     /// dynamic side. `None` (the default) costs one branch per validation.
@@ -166,6 +234,7 @@ impl RevMonitor {
     /// Creates a monitor over the SAG (with all module tables registered)
     /// and the committed-memory image (program + tables as loaded).
     pub fn new(config: RevConfig, sag: Sag, committed: MainMemory) -> Self {
+        let code_bounds = Self::compute_code_bounds(&sag);
         RevMonitor {
             sc: SignatureCache::new(config.sc_capacity, config.sc_assoc, config.mode.entry_size()),
             chg: ChgPipeline::new(config.chg),
@@ -183,9 +252,13 @@ impl RevMonitor {
             ret_latch: None,
             body_cache: FlatMap::default(),
             code_gen: 0,
+            code_bounds,
             digest_cache: FlatMap::default(),
+            sb_cache: FlatMap::default(),
             candidates_buf: Vec::new(),
             hasher: CubeHash::new(),
+            hasher_x4: CubeHashX4::new(),
+            unhashed: VecDeque::new(),
             trace: None,
             bus: TraceBus::disabled(),
             fault: FaultInjector::disabled(),
@@ -231,11 +304,15 @@ impl RevMonitor {
     /// loaded or re-keyed modules): flushes the SC, the memoized digests
     /// and all in-flight validation state, exactly as a table swap must.
     pub fn replace_sag(&mut self, sag: Sag) {
+        self.code_bounds = Self::compute_code_bounds(&sag);
         self.sag = sag;
         self.sc.flush();
         self.digest_cache.clear();
+        self.stats.sb_flushes += self.sb_cache.len() as u64;
+        self.sb_cache.clear();
         self.invalidate_code_cache();
         self.pending.clear();
+        self.unhashed.clear();
         self.retry = None;
         self.ret_latch = None;
         self.cur_start = None;
@@ -315,6 +392,7 @@ impl RevMonitor {
         }
         self.enabled = enabled;
         self.pending.clear();
+        self.unhashed.clear();
         self.retry = None;
         self.ret_latch = None;
         self.cur_start = None;
@@ -360,6 +438,79 @@ impl RevMonitor {
         let hash = bb_body_hash_with(&mut self.hasher, bytes);
         self.body_cache.insert((start, end), (self.code_gen, bytes.to_vec(), hash));
         hash
+    }
+
+    /// Consults the decoded-BB cache without hashing on a miss (the
+    /// deferral decision at fetch). Hit/miss accounting matches the
+    /// eager path: the miss is counted here, at fetch, and the deferred
+    /// hash resolves later without further counting.
+    fn body_cache_probe(&mut self, start: u64, end: u64, bytes: &[u8]) -> Option<BodyHash> {
+        if let Some((gen, cached_bytes, hash)) = self.body_cache.get(&(start, end)) {
+            if *gen == self.code_gen && cached_bytes == bytes {
+                self.stats.bb_cache_hits += 1;
+                return Some(*hash);
+            }
+        }
+        self.stats.bb_cache_misses += 1;
+        None
+    }
+
+    /// Resolves deferred body hashes once the oldest unhashed block
+    /// reaches commit: the committing block and up to three younger
+    /// pending blocks are hashed through one [`CubeHashX4`] pass (the
+    /// commit-path batch handoff — `rev.chg.lanes` counts the lanes).
+    /// Each resolved hash lands in both the pending record and the
+    /// decoded-BB cache, exactly where the eager path would have put it;
+    /// the hashed bytes were pinned at fetch, so a code write between
+    /// fetch and commit changes nothing (the CHG hashes fetched bytes).
+    fn resolve_pending_hashes(&mut self, seq: u64) {
+        if self.unhashed.front().map(|&(s, ..)| s > seq).unwrap_or(true) {
+            return;
+        }
+        while self.unhashed.front().map(|&(s, ..)| s <= seq).unwrap_or(false) {
+            // Drain one batch: skip entries an earlier batch already
+            // resolved into the cache (duplicate static blocks in flight).
+            let mut batch: Vec<(u64, u64, u64, Vec<u8>)> = Vec::with_capacity(X4_LANES);
+            while batch.len() < X4_LANES {
+                let Some((bseq, start, end, bytes)) = self.unhashed.pop_front() else { break };
+                let cached = self
+                    .body_cache
+                    .get(&(start, end))
+                    .filter(|(gen, cb, _)| *gen == self.code_gen && cb == &bytes)
+                    .map(|&(_, _, hash)| hash);
+                if let Some(hash) = cached {
+                    self.assign_body(bseq, hash);
+                } else {
+                    batch.push((bseq, start, end, bytes));
+                }
+            }
+            if batch.len() >= 2 {
+                let mut msgs: [&[u8]; X4_LANES] = [&[]; X4_LANES];
+                for (lane, (_, _, _, bytes)) in batch.iter().enumerate() {
+                    msgs[lane] = bytes;
+                }
+                let hashes = bb_body_hash_x4(&self.hasher_x4, msgs);
+                self.stats.chg_lanes += batch.len() as u64;
+                for ((bseq, start, end, bytes), hash) in batch.into_iter().zip(hashes) {
+                    self.body_cache.insert((start, end), (self.code_gen, bytes, hash));
+                    self.assign_body(bseq, hash);
+                }
+            } else if let Some((bseq, start, end, bytes)) = batch.pop() {
+                let hash = bb_body_hash_with(&mut self.hasher, &bytes);
+                self.body_cache.insert((start, end), (self.code_gen, bytes, hash));
+                self.assign_body(bseq, hash);
+            }
+        }
+    }
+
+    /// Writes a resolved body hash into its pending record (a record
+    /// discarded by a disable toggle may be gone; the cache insert above
+    /// still pays forward).
+    fn assign_body(&mut self, seq: u64, hash: BodyHash) {
+        if let Some(pb) = self.pending.get_mut(seq) {
+            pb.body = hash;
+            pb.needs_hash = false;
+        }
     }
 
     fn expected_digest(
@@ -540,11 +691,28 @@ impl RevMonitor {
         CommitGate::Violation(v)
     }
 
+    /// Merged code-section bound over all registered modules (see the
+    /// `code_bounds` field). `(MAX, 0)` when no tables are registered —
+    /// the empty interval, so every store fast-rejects.
+    fn compute_code_bounds(sag: &Sag) -> (u64, u64) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for t in sag.tables() {
+            lo = lo.min(t.module_base());
+            hi = hi.max(t.module_end());
+        }
+        (lo, hi)
+    }
+
     /// Whether `addr` falls inside any registered module's code section —
     /// a store there is (attempted) self-modification and must flush the
     /// memoized CHG outputs so subsequent fetches re-hash the new bytes.
+    /// The merged-bound check fast-rejects the common data store; only
+    /// stores landing inside the bound pay the per-table scan.
     fn store_touches_code(&self, addr: u64) -> bool {
-        self.sag.tables().iter().any(|t| addr + 8 > t.module_base() && addr < t.module_end())
+        addr + 8 > self.code_bounds.0
+            && addr < self.code_bounds.1
+            && self.sag.tables().iter().any(|t| addr + 8 > t.module_base() && addr < t.module_end())
     }
 
     /// Releases validated stores into committed memory. `Err` means a
@@ -558,14 +726,21 @@ impl RevMonitor {
         boundary_seq: u64,
         cycle: u64,
     ) -> Result<(), crate::defer::ParityViolation> {
+        if !self.defer.has_releasable(boundary_seq) {
+            // Nothing this validation freed (the common commit in the
+            // non-deferred modes): skip the release pass entirely.
+            return Ok(());
+        }
         let committed = &mut self.committed;
         let mut released = 0u64;
         let mut touched_code = false;
         let tables = self.sag.tables();
+        let (code_lo, code_hi) = self.code_bounds;
         let result = self.defer.release_until(boundary_seq, cycle, |s| {
             committed.write_u64(s.addr, s.value);
-            touched_code |=
-                tables.iter().any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
+            touched_code |= s.addr + 8 > code_lo
+                && s.addr < code_hi
+                && tables.iter().any(|t| s.addr + 8 > t.module_base() && s.addr < t.module_end());
             mem.data_access(Request {
                 addr: s.addr,
                 is_write: true,
@@ -611,6 +786,145 @@ impl RevMonitor {
         Some(CommitGate::StallUntil(q.cycle + 1))
     }
 
+    /// Superblock replay: validates this commit from the memo formed by an
+    /// earlier slow-path pass over the same `(start, body)` block, skipping
+    /// gates 3–5. `None` falls through to the slow path (nothing mutated);
+    /// `Some(gate)` is the commit verdict with every slow-path side effect
+    /// (stats, SAG/SC LRU, latch, store release, CHG retire) replicated.
+    ///
+    /// Only called after gates 1–2 passed (hash ready, SC probe hit), with
+    /// superblocks on, no fault injector armed and no retry in flight.
+    fn try_superblock_replay(
+        &mut self,
+        mem: &mut Hierarchy,
+        q: &CommitQuery,
+        pb: &PendingBb,
+    ) -> Option<CommitGate> {
+        let memo = self.sb_cache.get(&pb.bb_addr)?;
+        if memo.gen != self.code_gen {
+            // Code was written since formation: drop the stranded memo;
+            // the slow path re-validates against fresh hashes and re-forms.
+            self.stats.sb_flushes += 1;
+            self.sb_cache.remove(&pb.bb_addr);
+            return None;
+        }
+        if memo.start != pb.start || memo.body != pb.body {
+            return None;
+        }
+        let (vi, kind) = (memo.vi, memo.kind);
+        let mode = self.config.mode;
+        let naive_returns = self.config.naive_return_validation;
+        let latch = self.ret_latch;
+        // Read-only checks against the live SC entry. The digest-scan
+        // prefix must be exactly what gate 3 matched at formation: the
+        // expected digest is a pure function of (body, bound fields, key),
+        // all pinned, so an unchanged prefix re-scans to the same match at
+        // the same cost. An entry refilled from a tampered table presents
+        // a different prefix and falls through to the full gates.
+        let (sc_set, sc_way) = self.sc.locate(pb.bb_addr)?;
+        {
+            let entry = self.sc.entry_at(sc_set, sc_way);
+            if entry.variants.len() <= vi {
+                return None;
+            }
+            for (v, cand) in entry.variants[..=vi].iter().zip(&memo.prefix) {
+                if v.digest != cand.0
+                    || Self::bound_succ_value(mode, v) != cand.1
+                    || v.bound_pred.unwrap_or(0) != cand.2
+                {
+                    return None;
+                }
+            }
+            let v = &entry.variants[vi];
+            if v.kind != kind {
+                return None;
+            }
+            let target_checked = match mode {
+                ValidationMode::Aggressive => !v.succs.is_empty() || kind == EntryKind::Computed,
+                ValidationMode::Standard => {
+                    kind == EntryKind::Computed || (naive_returns && kind == EntryKind::Return)
+                }
+                ValidationMode::CfiOnly => return None,
+            };
+            if target_checked
+                && !(v.succs.contains(&q.actual_target) && v.succ_resident(q.actual_target))
+            {
+                // Illegal or spill-resident target: the slow path decides
+                // (violation, spill fetch, or MRU touch).
+                return None;
+            }
+            if let Some(r) = latch {
+                if !(v.preds.contains(&r) && v.pred_resident(r)) {
+                    return None; // delayed return check needs the slow path
+                }
+            }
+        }
+        // Committed to the replay: replicate the slow path's effects in
+        // order. The SAG resolve (tick/LRU/refill side effects) happens
+        // exactly once per commit attempt on either path.
+        if self.sag.resolve(pb.bb_addr).is_none() {
+            return Some(self.violation(ViolationKind::NoTable, q));
+        }
+        self.stats.digest_checks += memo.k;
+        if latch.is_some() {
+            self.stats.return_checks += 1;
+            self.ret_latch = None;
+        }
+        if kind == EntryKind::Return && mode == ValidationMode::Standard && !naive_returns {
+            // Fault injection is off on this path (replay precondition),
+            // so the latch takes the address uncorrupted.
+            self.ret_latch = Some(pb.bb_addr);
+        }
+        let mru = self.config.sc_mru;
+        // Nothing between `locate` and here installs or invalidates, so
+        // the (set, way) handle from the check phase is still the entry.
+        self.sc.entry_at_mut(sc_set, sc_way).variants[vi].touch_succ(q.actual_target, mru);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.insert((pb.start, pb.bb_addr, pb.body.0));
+        }
+        if self.release_stores(mem, q.seq, q.cycle).is_err() {
+            return Some(self.violation(ViolationKind::ParityError, q));
+        }
+        self.chg.retire(ChgTag(q.seq));
+        self.pending.remove(q.seq);
+        self.stats.validations += 1;
+        self.stats.defer_peak = self.stats.defer_peak.max(self.defer.peak());
+        self.stats.sb_hits += 1;
+        self.bus.emit_with(|| TraceEvent {
+            cycle: q.cycle,
+            kind: EventKind::ValidationVerdict { bb_addr: pb.bb_addr, verdict: Verdict::Validated },
+        });
+        Some(CommitGate::Proceed)
+    }
+
+    /// Memoizes a just-validated block (slow-path success) for replay. The
+    /// candidate scan's inputs are still in `candidates_buf`. Skipped for
+    /// syscall terminators (the disable path must always run the slow
+    /// sequence) and whenever a fault campaign is armed.
+    fn form_superblock(&mut self, pb: &PendingBb, vi: usize, kind: EntryKind) {
+        let cands = &self.candidates_buf[..=vi];
+        if let Some(old) = self.sb_cache.get(&pb.bb_addr) {
+            // Unchanged outcome: keep the existing memo (no reallocation).
+            if old.gen == self.code_gen
+                && old.start == pb.start
+                && old.body == pb.body
+                && old.vi == vi
+                && old.kind == kind
+                && old.prefix.len() == cands.len()
+                && old.prefix.iter().zip(cands).all(|(p, &(_, d, bs, bp))| *p == (d, bs, bp))
+            {
+                return;
+            }
+        }
+        let prefix: Vec<SbCand> = cands.iter().map(|&(_, d, bs, bp)| (d, bs, bp)).collect();
+        let k = prefix.iter().filter(|c| c.0.is_some()).count() as u64;
+        self.stats.sb_formed += 1;
+        self.sb_cache.insert(
+            pb.bb_addr,
+            SbEntry { gen: self.code_gen, start: pb.start, body: pb.body, prefix, vi, kind, k },
+        );
+    }
+
     fn commit_standard(&mut self, mem: &mut Hierarchy, q: &CommitQuery) -> CommitGate {
         if !self.enabled {
             // Validation was switched off after this block was fetched
@@ -626,6 +940,7 @@ impl RevMonitor {
             // state was discarded at the toggle.
             return CommitGate::Proceed;
         };
+        debug_assert!(!pb.needs_hash, "deferred hash resolved before the gates read it");
         // Gate 1: the CHG must have produced the hash (H ≤ S makes this
         // free in the common case).
         if q.cycle < pb.chg_ready {
@@ -649,6 +964,15 @@ impl RevMonitor {
                     }
                     None => self.violation(ViolationKind::NoTable, q),
                 };
+            }
+        }
+        // Superblock fast path: an earlier validation of this exact
+        // (start, body) block replays as one memo check instead of the
+        // full gate 3–5 sequence (DESIGN.md §10). Falls through whenever
+        // anything it depends on may have drifted.
+        if self.config.superblocks && self.retry.is_none() && !self.fault.is_enabled() {
+            if let Some(gate) = self.try_superblock_replay(mem, q, &pb) {
+                return gate;
             }
         }
         // Gate 3: digest match against the chain candidates.
@@ -822,6 +1146,12 @@ impl RevMonitor {
             cycle: q.cycle,
             kind: EventKind::ValidationVerdict { bb_addr: pb.bb_addr, verdict: Verdict::Validated },
         });
+        if self.config.superblocks
+            && !self.fault.is_enabled()
+            && !matches!(q.insn, rev_isa::Instruction::Syscall { .. })
+        {
+            self.form_superblock(&pb, vi, kind);
+        }
         if let rev_isa::Instruction::Syscall { num: SYSCALL_REV_DISABLE } = q.insn {
             // The disable syscall itself validated; everything after it
             // runs unvalidated until the enable syscall (trusted
@@ -918,6 +1248,7 @@ impl ExecMonitor for RevMonitor {
                     start: event.addr,
                     bb_addr: event.addr,
                     body: BodyHash([0; 32]),
+                    needs_hash: false,
                     chg_ready: event.cycle,
                 },
             );
@@ -961,7 +1292,22 @@ impl ExecMonitor for RevMonitor {
         let bb_addr = event.addr;
         let end = event.addr + event.len as u64;
         let bytes = std::mem::take(&mut self.cur_bytes);
-        let mut body = self.body_hash(bb_start, end, &bytes);
+        // Deferred batching only when nothing observes per-hash order:
+        // a fault campaign needs the hash (and its corruption site) at
+        // fetch, and superblocks-off must replicate the scalar path
+        // byte for byte.
+        let defer = self.config.superblocks && !self.fault.is_enabled();
+        let (mut body, needs_hash) = if defer {
+            match self.body_cache_probe(bb_start, end, &bytes) {
+                Some(hash) => (hash, false),
+                None => {
+                    self.unhashed.push_back((event.seq, bb_start, end, bytes.clone()));
+                    (BodyHash([0; 32]), true)
+                }
+            }
+        } else {
+            (self.body_hash(bb_start, end, &bytes), false)
+        };
         self.cur_bytes = bytes;
         self.cur_bytes.clear();
         if self.fault.is_enabled() {
@@ -1013,12 +1359,16 @@ impl ExecMonitor for RevMonitor {
             }
         }
 
-        self.pending.insert(event.seq, PendingBb { start: bb_start, bb_addr, body, chg_ready });
+        self.pending
+            .insert(event.seq, PendingBb { start: bb_start, bb_addr, body, needs_hash, chg_ready });
         true
     }
 
     fn on_flush(&mut self, from_seq: u64) {
         self.pending.truncate_from(from_seq);
+        while self.unhashed.back().map(|&(s, ..)| s >= from_seq).unwrap_or(false) {
+            self.unhashed.pop_back();
+        }
         if self.retry.map(|(seq, _)| seq >= from_seq).unwrap_or(false) {
             self.retry = None;
         }
@@ -1032,6 +1382,9 @@ impl ExecMonitor for RevMonitor {
     }
 
     fn on_terminator_commit(&mut self, mem: &mut Hierarchy, query: &CommitQuery) -> CommitGate {
+        if !self.unhashed.is_empty() {
+            self.resolve_pending_hashes(query.seq);
+        }
         match self.config.mode {
             ValidationMode::CfiOnly => self.commit_cfi(mem, query),
             _ => self.commit_standard(mem, query),

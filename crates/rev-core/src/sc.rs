@@ -270,6 +270,26 @@ impl SignatureCache {
         result
     }
 
+    /// Locates `bb_addr`'s `(set, way)` without touching LRU, stats, or
+    /// the trace, so a caller that must first inspect and then update the
+    /// same entry (the superblock replay's check-then-touch sequence)
+    /// pays the tag scan once instead of once per phase. The handle stays
+    /// valid until the next `install` or `invalidate`.
+    pub fn locate(&self, bb_addr: u64) -> Option<(usize, usize)> {
+        let set = self.set_of(bb_addr);
+        self.way_of(set, bb_addr).map(|way| (set, way))
+    }
+
+    /// Shared access to an entry located by [`SignatureCache::locate`].
+    pub fn entry_at(&self, set: usize, way: usize) -> &ScEntry {
+        &self.sets[set][way]
+    }
+
+    /// Mutable access to an entry located by [`SignatureCache::locate`].
+    pub fn entry_at_mut(&mut self, set: usize, way: usize) -> &mut ScEntry {
+        &mut self.sets[set][way]
+    }
+
     /// Returns the entry for `bb_addr`, if resident.
     pub fn entry(&self, bb_addr: u64) -> Option<&ScEntry> {
         let set = self.set_of(bb_addr);

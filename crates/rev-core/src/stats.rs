@@ -65,6 +65,22 @@ pub struct RevStats {
     /// Code-generation bumps (cache-wide invalidations: code writes,
     /// re-enables, table swaps).
     pub bb_cache_invalidations: u64,
+    /// Superblocks formed (a stable BB validation promoted to a memo).
+    ///
+    /// Like `bb_cache_*`, the `sb_*` trio and `chg_lanes` are
+    /// simulator-performance instrumentation, not modeled-hardware
+    /// behavior: they never go through [`MetricSink`] (the deterministic
+    /// `rev.*` snapshots must be byte-identical with superblocks on or
+    /// off); `rev-bench perf` surfaces them as `perf.superblock.*` and
+    /// `rev.chg.lanes` rows.
+    pub sb_formed: u64,
+    /// Superblock replays (commits validated by the memo fast path).
+    pub sb_hits: u64,
+    /// Superblock memos discarded as stale (generation bump, SC miss,
+    /// target change, or explicit flush).
+    pub sb_flushes: u64,
+    /// CHG body hashes computed through the multi-lane (4x) hasher.
+    pub chg_lanes: u64,
     /// The violation that ended the run, if any.
     pub violation: Option<Violation>,
 }

@@ -100,3 +100,31 @@ fn transient_fault_heals_within_the_budget() {
     }
     assert!(healed, "at least one strike must corrupt a checked signature and heal");
 }
+
+/// Superblock replay is suppressed whenever a fault campaign is armed
+/// (the memo layer must never mask a retry or heal): the transient-flip
+/// run produces the identical report — outcome, retries, recoveries,
+/// instruction count — with superblocks on and off.
+#[test]
+fn retry_path_is_identical_with_superblocks_off() {
+    let run_sb = |superblocks: bool, trigger: u64| {
+        let mut cfg = RevConfig::paper_default().with_superblocks(superblocks);
+        cfg.sigline_retries = 2;
+        let mut sim = RevSimulator::new(demo_program(), cfg).unwrap();
+        let spec =
+            FaultSpec { layer: FaultLayer::SigLine, kind: FaultKind::Transient, trigger, bit: 9 };
+        sim.set_fault_injector(FaultInjector::armed(spec));
+        sim.run(100_000)
+    };
+    for trigger in 1..=8 {
+        let on = run_sb(true, trigger);
+        let off = run_sb(false, trigger);
+        assert_eq!(on.outcome, off.outcome, "trigger {trigger}");
+        assert_eq!(on.cpu.committed_instrs, off.cpu.committed_instrs, "trigger {trigger}");
+        assert_eq!(on.rev.sigline_retries, off.rev.sigline_retries, "trigger {trigger}");
+        assert_eq!(on.rev.sigline_recoveries, off.rev.sigline_recoveries, "trigger {trigger}");
+        assert_eq!(on.rev.validations, off.rev.validations, "trigger {trigger}");
+        assert_eq!(on.rev.sb_hits, 0, "trigger {trigger}: armed faults must disable replay");
+        assert_eq!(off.rev.sb_hits, 0, "trigger {trigger}");
+    }
+}

@@ -105,3 +105,75 @@ fn deferred_release_code_write_invalidates_bb_cache() {
         "released code stores must bump the code generation"
     );
 }
+
+/// Self-modifying code must also strand the superblock memos: every
+/// committed code store bumps the generation, so a memoized commit-gate
+/// outcome formed before the write is flushed on the next replay attempt
+/// and the slow path re-validates against fresh hashes.
+#[test]
+fn smc_strands_and_flushes_superblocks() {
+    let control = run(false, Containment::ShadowPages);
+    assert!(control.rev.sb_formed > 0, "the hot loop must form superblocks");
+    assert!(control.rev.sb_hits > 0, "the hot loop must replay superblocks");
+    assert_eq!(control.rev.sb_flushes, 0, "data stores must not strand memos");
+
+    let smc = run(true, Containment::ShadowPages);
+    assert_eq!(smc.outcome, RunOutcome::Halted);
+    assert!(smc.rev.violation.is_none(), "identical-byte rewrite still validates");
+    assert!(
+        smc.rev.sb_flushes > 0,
+        "stranded memos must be dropped on the replay attempt, not served stale"
+    );
+    // Same instruction stream with and without the memo layer.
+    assert_eq!(smc.cpu.committed_instrs, control.cpu.committed_instrs);
+}
+
+/// An external (DMA-style) write into the code range — modeled by
+/// [`RevSimulator::inject`] — invalidates the decoded-block cache and
+/// strands every superblock memo mid-run, even when the written bytes are
+/// identical (the monitor cannot assume a DMA burst was benign).
+#[test]
+fn dma_code_write_strands_superblocks() {
+    let probe = program(false);
+    let (base, code) = {
+        let m = &probe.modules()[0];
+        (m.base(), m.code().to_vec())
+    };
+    let mut sim = RevSimulator::new(program(false), RevConfig::paper_default()).unwrap();
+    let first = sim.run(60);
+    assert_eq!(first.outcome, RunOutcome::BudgetReached, "must park mid-loop");
+    assert!(first.rev.sb_formed > 0, "memos must exist before the DMA burst");
+
+    // Byte-identical DMA burst over the whole code section.
+    sim.inject(|mem| mem.write_bytes(base, &code));
+
+    let report = sim.run(100_000);
+    assert_eq!(report.outcome, RunOutcome::Halted);
+    assert!(report.rev.violation.is_none(), "identical bytes still validate");
+    assert!(report.rev.bb_cache_invalidations > 0, "the burst must bump the generation");
+    assert!(
+        report.rev.sb_flushes > 0,
+        "every live memo predates the burst and must be flushed on its next replay"
+    );
+}
+
+/// The superblock layer is invisible to the SMC contract: the full run —
+/// outcome, instruction count, violation, and the architectural
+/// validation counters — is identical with replay disabled.
+#[test]
+fn smc_run_is_identical_with_superblocks_off() {
+    let run_sb = |superblocks: bool| {
+        let cfg = RevConfig::paper_default().with_superblocks(superblocks);
+        let mut sim = RevSimulator::new(program(true), cfg).unwrap();
+        sim.run(100_000)
+    };
+    let on = run_sb(true);
+    let off = run_sb(false);
+    assert_eq!(on.outcome, off.outcome);
+    assert_eq!(on.cpu.committed_instrs, off.cpu.committed_instrs);
+    assert_eq!(on.rev.validations, off.rev.validations);
+    assert_eq!(on.rev.digest_checks, off.rev.digest_checks);
+    assert_eq!(on.rev.bb_cache_invalidations, off.rev.bb_cache_invalidations);
+    assert_eq!(off.rev.sb_hits, 0, "replay must be fully disabled by the escape hatch");
+    assert!(on.rev.sb_hits > 0, "replay must actually engage when enabled");
+}

@@ -96,6 +96,33 @@ impl fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
+/// Slot count of the direct-mapped decode memo (index = low PC bits);
+/// must be a power of two. 8 Ki slots cover the modeled code footprints
+/// with an indexed load instead of a hash probe on the per-fetch path.
+const DEC_SLOTS: usize = 8192;
+
+/// One memoized fetch+decode: the tag PC (`u64::MAX` = empty), the
+/// instruction, its encoded length, and the fetch bytes exactly as a
+/// fresh read-plus-tail-zero would produce them (only `bytes[..len]`
+/// carries semantics; the tail is zeroed at fill so replays are
+/// byte-identical to the uncached path).
+#[derive(Debug, Clone, Copy)]
+struct DecEntry {
+    pc: u64,
+    len: u8,
+    insn: Instruction,
+    bytes: [u8; rev_isa::MAX_INSTR_LEN],
+}
+
+impl DecEntry {
+    const EMPTY: DecEntry = DecEntry {
+        pc: u64::MAX,
+        len: 0,
+        insn: Instruction::Nop,
+        bytes: [0; rev_isa::MAX_INSTR_LEN],
+    };
+}
+
 /// The oracle: architectural state + live memory.
 #[derive(Debug, Clone)]
 pub struct Oracle {
@@ -103,12 +130,30 @@ pub struct Oracle {
     mem: MainMemory,
     halted: bool,
     executed: u64,
+    /// Direct-mapped PC → decoded-instruction memo for the fetch hot
+    /// path. Purely a simulator-performance cache: it is bypassed
+    /// entirely while a fault injector is attached (in-flight corruption
+    /// and site-visit counting must see every read), cleared whenever
+    /// [`Oracle::mem_mut`] hands out mutable memory (external writes —
+    /// SMC attacks, DMA, table placement), and cleared when the oracle's
+    /// own stores land inside the cached code range.
+    dec_cache: Vec<DecEntry>,
+    /// `[lo, hi)` union of `pc..pc+len` over cached entries — the
+    /// store-invalidation fast-reject bound. `(u64::MAX, 0)` when empty.
+    dec_bounds: (u64, u64),
 }
 
 impl Oracle {
     /// Creates an oracle at `entry` with stack pointer `sp` over `mem`.
     pub fn new(mem: MainMemory, entry: u64, sp: u64) -> Self {
-        Oracle { state: ArchState::new(entry, sp), mem, halted: false, executed: 0 }
+        Oracle {
+            state: ArchState::new(entry, sp),
+            mem,
+            halted: false,
+            executed: 0,
+            dec_cache: vec![DecEntry::EMPTY; DEC_SLOTS],
+            dec_bounds: (u64::MAX, 0),
+        }
     }
 
     /// Current architectural state.
@@ -127,9 +172,28 @@ impl Oracle {
         &self.mem
     }
 
-    /// Mutable live memory (attack injection, table loading).
+    /// Mutable live memory (attack injection, table loading). Drops the
+    /// decode memo: the caller may rewrite code bytes the memo pinned.
     pub fn mem_mut(&mut self) -> &mut MainMemory {
+        self.clear_dec_cache();
         &mut self.mem
+    }
+
+    fn clear_dec_cache(&mut self) {
+        self.dec_cache.fill(DecEntry::EMPTY);
+        self.dec_bounds = (u64::MAX, 0);
+    }
+
+    /// Invalidates the decode memo if an 8-byte store at `addr` could
+    /// overlap any cached instruction's bytes. Stores land in data/stack
+    /// pages in any well-formed run, so the bound check almost always
+    /// rejects in two compares; self-modifying code pays a full refill.
+    #[inline]
+    fn note_store(&mut self, addr: u64) {
+        let (lo, hi) = self.dec_bounds;
+        if addr + 8 > lo && addr < hi {
+            self.clear_dec_cache();
+        }
     }
 
     /// Whether a `halt` has executed.
@@ -166,8 +230,29 @@ impl Oracle {
         bytes: &mut [u8; rev_isa::MAX_INSTR_LEN],
     ) -> Result<DynOp, OracleError> {
         let pc = self.state.pc;
-        self.mem.read_filtered(pc, bytes);
-        let (insn, len) = decode(&bytes[..]).map_err(|_| OracleError::IllegalInstruction { pc })?;
+        let faulted = self.mem.fault_enabled();
+        let slot = (pc as usize) & (DEC_SLOTS - 1);
+        let e = &self.dec_cache[slot];
+        let (insn, len) = if !faulted && e.pc == pc {
+            *bytes = e.bytes;
+            (e.insn, e.len as usize)
+        } else {
+            self.mem.read_filtered(pc, bytes);
+            let (insn, len) =
+                decode(&bytes[..]).map_err(|_| OracleError::IllegalInstruction { pc })?;
+            if !faulted {
+                // Pin the post-zeroing byte image so a memo replay is
+                // indistinguishable from this fresh fetch.
+                let mut pinned = *bytes;
+                for b in &mut pinned[len..] {
+                    *b = 0;
+                }
+                self.dec_cache[slot] = DecEntry { pc, len: len as u8, insn, bytes: pinned };
+                self.dec_bounds.0 = self.dec_bounds.0.min(pc);
+                self.dec_bounds.1 = self.dec_bounds.1.max(pc + len as u64);
+            }
+            (insn, len)
+        };
         let next_seq = pc + len as u64;
         let mut op = DynOp {
             addr: pc,
@@ -281,6 +366,13 @@ impl Oracle {
             Instruction::Syscall { .. } => {
                 // Modeled as a validated no-op boundary (kernel execution
                 // itself would be validated with the kernel module's table).
+            }
+        }
+        // Every memory-writing arm (stores, call pushes) set `store_value`:
+        // check the one written address against the decode memo's bounds.
+        if op.store_value.is_some() {
+            if let Some(addr) = op.mem_addr {
+                self.note_store(addr);
             }
         }
         self.state.pc = op.next_pc;

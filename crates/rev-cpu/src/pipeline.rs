@@ -13,10 +13,14 @@
 //!   checkpoint) behind them. Per-slot facts that used to be recomputed
 //!   per probe (`InstrClass`, load/store-ness, the oracle's effective
 //!   address) are resolved once at fetch into plain fields and flag bits.
-//! * Issue does not rescan the whole ROB: committed/in-flight store
-//!   addresses live in a slab-backed [`StoreTracker`] that is updated at
-//!   issue/complete/commit/squash, and a monotone "first waiting"
-//!   sequence bound lets the scan skip the long done/executing prefix.
+//! * Issue is event-driven and never rescans the ROB: dispatch registers
+//!   each slot's in-flight sources in a slab-backed [`WakeupTable`],
+//!   completion wakes the subscribed consumers, and issue walks only the
+//!   sorted ready list (plus a sorted waiting-store list that preserves
+//!   the conservative disambiguation the old full scan derived from
+//!   not-yet-issued stores). Committed/in-flight store addresses live in
+//!   a slab-backed [`StoreTracker`] updated at issue/complete/commit/
+//!   squash.
 //! * Completion keeps a count of executing slots and the minimum
 //!   `complete_at` among them, so cycles with nothing to retire skip the
 //!   stage entirely.
@@ -27,7 +31,7 @@ use crate::monitor::{CommitGate, CommitQuery, ExecMonitor, FetchEvent, StoreComm
 use crate::oracle::Oracle;
 use crate::stats::CpuStats;
 use rev_isa::{decode, FReg, InstrClass, Instruction, Reg, MAX_INSTR_LEN, REG_SP};
-use rev_mem::{FlatMap, FlatSet, Hierarchy, MemConfig, Request, Requester};
+use rev_mem::{FlatMap, Hierarchy, MemConfig, Request, Requester};
 use rev_trace::{EventKind, TraceBus, TraceEvent};
 use std::collections::VecDeque;
 
@@ -166,6 +170,9 @@ struct Slot {
     stage: Stage,
     class: InstrClass,
     src_count: u8,
+    /// Source producers still in flight (wakeup scheduling); the slot
+    /// enters the ready list when this reaches zero.
+    unready: u8,
     flags: u16,
     seq: u64,
     mem_addr: u64, // valid iff F_HAS_MEM
@@ -198,6 +205,90 @@ impl Slot {
 }
 
 const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct WakeNode {
+    consumer: u64,
+    next: u32,
+}
+
+/// Producer-seq → waiting-consumer-seq lists for event-driven issue: a
+/// consumer whose source is still executing registers here at dispatch and
+/// is woken (its `unready` count dropped) when the producer completes.
+/// Nodes live in a slab with a free list, so steady state allocates
+/// nothing. Entries for squashed consumers are skipped lazily at wake time
+/// (seqs are never reused); entries keyed by a squashed producer are
+/// dropped eagerly during the squash walk.
+#[derive(Debug, Default)]
+struct WakeupTable {
+    heads: FlatMap<u64, u32>,
+    slab: Vec<WakeNode>,
+    free: Vec<u32>,
+}
+
+impl WakeupTable {
+    fn register(&mut self, producer: u64, consumer: u64) {
+        let next = self.heads.get(&producer).copied().unwrap_or(NIL);
+        let node = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = WakeNode { consumer, next };
+                i
+            }
+            None => {
+                self.slab.push(WakeNode { consumer, next });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.heads.insert(producer, node);
+    }
+
+    /// Removes the producer's list, pushing its consumers into `out`.
+    fn drain(&mut self, producer: u64, out: &mut Vec<u64>) {
+        let Some(head) = self.heads.remove(&producer) else { return };
+        let mut cur = head;
+        while cur != NIL {
+            let n = self.slab[cur as usize];
+            out.push(n.consumer);
+            self.free.push(cur);
+            cur = n.next;
+        }
+    }
+
+    /// Drops the producer's list without waking anyone (squash path: every
+    /// registered consumer is younger and being squashed too).
+    fn remove_key(&mut self, producer: u64) {
+        let Some(head) = self.heads.remove(&producer) else { return };
+        let mut cur = head;
+        while cur != NIL {
+            self.free.push(cur);
+            cur = self.slab[cur as usize].next;
+        }
+    }
+}
+
+/// Inserts `seq` into an ascending sorted vec (no-op duplicate guard in
+/// debug builds only; callers never insert twice).
+#[inline]
+fn sorted_insert(v: &mut Vec<u64>, seq: u64) {
+    match v.last() {
+        Some(&last) if last < seq => v.push(seq),
+        None => v.push(seq),
+        _ => {
+            let i = v.partition_point(|&s| s < seq);
+            debug_assert!(v.get(i) != Some(&seq), "duplicate ready/store seq");
+            v.insert(i, seq);
+        }
+    }
+}
+
+/// Removes `seq` from an ascending sorted vec, if present.
+#[inline]
+fn sorted_remove(v: &mut Vec<u64>, seq: u64) {
+    let i = v.partition_point(|&s| s < seq);
+    if v.get(i) == Some(&seq) {
+        v.remove(i);
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct StoreNode {
@@ -333,18 +424,25 @@ pub struct Pipeline {
     bpred: BranchPredictor,
     fetch_queue: VecDeque<Slot>,
     rob: VecDeque<Slot>,
-    done_set: FlatSet<u64>,
     // Incremental ROB occupancy by stage/kind, kept in sync by
     // dispatch/issue/commit/squash so dispatch doesn't rescan the ROB.
     iq_occupancy: usize,
     lsq_occupancy: usize,
-    // Issue/complete scan bounds: conservative lower bounds on the seq of
-    // the oldest Waiting / Executing slot (u64::MAX = none), plus the
-    // executing population and its earliest completion cycle.
-    first_waiting_seq: u64,
+    // Complete scan bounds: conservative lower bound on the seq of the
+    // oldest Executing slot (u64::MAX = none), plus the executing
+    // population and its earliest completion cycle.
     first_executing_seq: u64,
     executing_count: usize,
     next_complete_at: u64,
+    // Event-driven issue: sorted seqs of Waiting slots whose sources are
+    // all complete (or committed), sorted seqs of Waiting store-class
+    // slots (conservative disambiguation), and the producer → consumer
+    // wakeup lists that maintain `ready` without rescanning the ROB.
+    ready: Vec<u64>,
+    waiting_stores: Vec<u64>,
+    wakeups: WakeupTable,
+    ready_scratch: Vec<u64>,
+    wake_buf: Vec<u64>,
     stores: StoreTracker,
     last_writer: [Option<u64>; 64],
     in_flight_writers: usize,
@@ -380,13 +478,16 @@ impl Pipeline {
             mem: Hierarchy::new(mem_config),
             fetch_queue: VecDeque::new(),
             rob: VecDeque::new(),
-            done_set: FlatSet::default(),
             iq_occupancy: 0,
             lsq_occupancy: 0,
-            first_waiting_seq: u64::MAX,
             first_executing_seq: u64::MAX,
             executing_count: 0,
             next_complete_at: u64::MAX,
+            ready: Vec::new(),
+            waiting_stores: Vec::new(),
+            wakeups: WakeupTable::default(),
+            ready_scratch: Vec::new(),
+            wake_buf: Vec::new(),
             stores: StoreTracker::default(),
             last_writer: [None; 64],
             in_flight_writers: 0,
@@ -481,6 +582,86 @@ impl Pipeline {
                 self.now,
                 self.rob.front().map(|s| (s.seq, s.addr, s.insn, s.stage))
             );
+            // Pre-gate on the cheapest disqualifier (issue always acts on
+            // a non-empty ready list) so busy cycles don't pay the full
+            // idle-condition scan.
+            if self.ready.is_empty() {
+                self.skip_idle_cycles();
+            }
+        }
+    }
+
+    /// Fast-forwards `now` over cycles in which no stage can act (a
+    /// long-latency load at the ROB head with the whole machine drained
+    /// behind it, an i-cache line fill in flight): every stage's blocking
+    /// condition is re-derived here with *no* side effects, and the next
+    /// stepped cycle becomes the earliest event that could unblock any of
+    /// them. Windows where a stage charges per-cycle stall statistics (a
+    /// commit-eligible head held by the monitor or defer-buffer
+    /// back-pressure) are never skipped, so counters and timing are
+    /// exactly as if every idle cycle had been stepped.
+    fn skip_idle_cycles(&mut self) {
+        let t = self.now + 1;
+        let mut next_event = u64::MAX;
+        // Commit: only a not-yet-committable head is skippable (a Done
+        // head past its commit delay may retire or charge stall counters).
+        if let Some(h) = self.rob.front() {
+            if h.stage == Stage::Done {
+                if t < h.complete_at + 2 {
+                    next_event = next_event.min(h.complete_at + 2);
+                } else {
+                    return;
+                }
+            }
+        }
+        // Complete.
+        if self.executing_count > 0 {
+            if t < self.next_complete_at {
+                next_event = next_event.min(self.next_complete_at);
+            } else {
+                return;
+            }
+        }
+        // Issue (re-checked for callers other than the gated run loop).
+        if !self.ready.is_empty() {
+            return;
+        }
+        // Dispatch: resource blocks (ROB/IQ/LSQ/physical registers) only
+        // clear via commit or issue, both established idle above, so they
+        // carry no wake-up event of their own.
+        if let Some(f) = self.fetch_queue.front() {
+            if t < f.dispatch_ready {
+                next_event = next_event.min(f.dispatch_ready);
+            } else {
+                let blocked = self.rob.len() >= self.config.rob_size
+                    || self.iq_occupancy >= self.config.iq_size
+                    || ((f.is_load() || f.is_store())
+                        && self.lsq_occupancy >= self.config.lsq_size)
+                    || (f.flag(F_WRITES_REG)
+                        && self.in_flight_writers + 64 >= self.config.phys_regs);
+                if !blocked {
+                    return;
+                }
+            }
+        }
+        // Fetch: a full fetch queue drains only via dispatch (idle above);
+        // a pending i-line wait has a known ready cycle; anything else
+        // would touch the memory system, so no skip.
+        if !self.fetch_stopped && !self.wrong_path_stuck {
+            if t < self.fetch_resume {
+                next_event = next_event.min(self.fetch_resume);
+            } else if self.fetch_queue.len() < self.config.fetch_queue {
+                let line_mask = !(self.mem.config().l1i.line_bytes as u64 - 1);
+                match self.cur_line {
+                    Some((l, ready)) if l == self.fetch_pc & line_mask && t < ready => {
+                        next_event = next_event.min(ready);
+                    }
+                    _ => return,
+                }
+            }
+        }
+        if next_event != u64::MAX && next_event > t {
+            self.now = next_event - 1;
         }
     }
 
@@ -504,16 +685,41 @@ impl Pipeline {
 
     /// Index of the first ROB slot whose seq is `>= bound` (scan starting
     /// point for the hint-bounded stages; the ROB is seq-ascending).
+    ///
+    /// Seqs grow by at least one per slot (monotonic fetch numbering,
+    /// head/tail-only removal), so slot `i` holds seq `>= head.seq + i`:
+    /// `bound - head.seq` is *exact* while the window holds no squash gap
+    /// (the overwhelmingly common case) and an upper bound otherwise, where
+    /// a binary search over the tightened prefix finishes the job.
     #[inline]
     fn rob_idx_of(&self, bound: u64) -> usize {
         if bound == u64::MAX {
             return self.rob.len();
         }
-        // Fast path: the bound is usually at or just past the ROB head of
-        // the region (long done prefix), so probe before binary searching.
-        match self.rob.binary_search_by_key(&bound, |s| s.seq) {
-            Ok(i) | Err(i) => i,
+        let Some(front) = self.rob.front() else { return 0 };
+        if bound <= front.seq {
+            return 0;
         }
+        let cand = (bound - front.seq) as usize;
+        if cand < self.rob.len() {
+            if self.rob[cand].seq == bound {
+                return cand; // dense window — O(1) probe hit
+            }
+        } else if self.rob.back().map(|s| s.seq < bound).unwrap_or(true) {
+            return self.rob.len();
+        }
+        // A squash gap sits between the head and `bound`: the answer is
+        // somewhere in `[0, cand]`.
+        let (mut lo, mut hi) = (0usize, cand.min(self.rob.len()));
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.rob[mid].seq < bound {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
     }
 
     // ----- commit ---------------------------------------------------------
@@ -558,7 +764,6 @@ impl Pipeline {
                 kind: EventKind::Commit { seq: slot.seq, addr: slot.addr },
             });
             self.head_retry_at = 0;
-            self.done_set.remove(&slot.seq);
             if slot.is_load() || slot.is_store() {
                 self.lsq_occupancy -= 1;
             }
@@ -617,6 +822,8 @@ impl Pipeline {
         let mut remaining = self.executing_count;
         let mut new_first = u64::MAX;
         let mut new_next = u64::MAX;
+        let mut woken = std::mem::take(&mut self.wake_buf);
+        woken.clear();
         for i in start..self.rob.len() {
             if remaining == 0 {
                 break;
@@ -633,7 +840,7 @@ impl Pipeline {
                 let s = &mut self.rob[i];
                 s.stage = Stage::Done;
                 self.executing_count -= 1;
-                self.done_set.insert(seq);
+                self.wakeups.drain(seq, &mut woken);
                 if flags & (F_STORE | F_HAS_MEM) == (F_STORE | F_HAS_MEM) {
                     self.stores.mark_done(mem_addr, seq);
                 }
@@ -654,6 +861,23 @@ impl Pipeline {
         }
         self.first_executing_seq = new_first;
         self.next_complete_at = new_next;
+        // Wake consumers of the newly completed producers. Registrations
+        // for consumers that were squashed since dispatch are skipped (the
+        // seq no longer resolves to a slot).
+        for &consumer in &woken {
+            let idx = self.rob_idx_of(consumer);
+            let Some(s) = self.rob.get_mut(idx) else { continue };
+            if s.seq != consumer || s.stage != Stage::Waiting {
+                continue;
+            }
+            debug_assert!(s.unready > 0, "woken slot has no pending sources");
+            s.unready -= 1;
+            if s.unready == 0 {
+                sorted_insert(&mut self.ready, consumer);
+            }
+        }
+        woken.clear();
+        self.wake_buf = woken;
         if let Some(i) = recover_from {
             self.recover_from_mispredict(i, monitor);
         }
@@ -691,7 +915,15 @@ impl Pipeline {
                 self.stats.wrong_path_fetched += 1;
             }
             match s.stage {
-                Stage::Waiting => self.iq_occupancy -= 1,
+                Stage::Waiting => {
+                    self.iq_occupancy -= 1;
+                    if s.unready == 0 {
+                        sorted_remove(&mut self.ready, s.seq);
+                    }
+                    if s.is_store() {
+                        sorted_remove(&mut self.waiting_stores, s.seq);
+                    }
+                }
                 Stage::Executing => self.executing_count -= 1,
                 Stage::Done => {}
             }
@@ -702,7 +934,9 @@ impl Pipeline {
             if s.is_load() || s.is_store() {
                 self.lsq_occupancy -= 1;
             }
-            self.done_set.remove(&s.seq);
+            // Any wakeup list keyed by this producer only names younger
+            // consumers, all squashed in this same walk: drop it whole.
+            self.wakeups.remove_key(s.seq);
         }
         for s in self.fetch_queue.drain(..) {
             if s.flag(F_WRITES_REG) {
@@ -726,55 +960,35 @@ impl Pipeline {
     // ----- issue -----------------------------------------------------------
 
     fn issue_stage<M: ExecMonitor>(&mut self, monitor: &mut M) {
-        if self.iq_occupancy == 0 {
+        if self.ready.is_empty() {
             return;
         }
-        let start = self.rob_idx_of(self.first_waiting_seq);
         let mut issued = 0usize;
         let mut load_used = 0usize;
         let mut store_used = 0usize;
-        // Conservative disambiguation: set once a store with an unknown
-        // address is passed in program order.
-        let mut older_store_addr_unknown = false;
-        let mut waiting_left = self.iq_occupancy;
-        let mut new_first = u64::MAX;
-
-        let head_seq = self.rob.front().map(|s| s.seq).unwrap_or(u64::MAX);
-        for idx in start..self.rob.len() {
-            if waiting_left == 0 {
-                break;
-            }
-            let (ready, flags, mem_addr, class, seq) = {
-                let s = &self.rob[idx];
-                if s.stage != Stage::Waiting {
-                    continue;
-                }
-                let mut ready = true;
-                for k in 0..s.src_count as usize {
-                    let p = s.srcs[k];
-                    if p >= head_seq && !self.done_set.contains(&p) {
-                        ready = false;
-                        break;
-                    }
-                }
-                (ready, s.flags, s.mem_addr, s.class, s.seq)
-            };
-            waiting_left -= 1;
+        // Walk this cycle's ready slots oldest-first (the list is sorted by
+        // seq). A slot that stays blocked — port-limited, disambiguation,
+        // waiting on a forwarding store's data — simply remains in the
+        // ready list for next cycle. Conservative disambiguation consults
+        // `waiting_stores` live: a store still listed when a younger load
+        // is considered either was not ready or did not claim a port, which
+        // is exactly the old scan's `older_store_addr_unknown` condition.
+        let mut candidates = std::mem::take(&mut self.ready_scratch);
+        candidates.clear();
+        candidates.extend_from_slice(&self.ready);
+        for &seq in &candidates {
             if issued >= self.config.width {
-                if new_first == u64::MAX {
-                    new_first = seq;
-                }
                 break;
             }
-            if !ready {
-                if flags & F_STORE != 0 {
-                    older_store_addr_unknown = true;
-                }
-                if new_first == u64::MAX {
-                    new_first = seq;
-                }
-                continue;
-            }
+            let idx = self.rob_idx_of(seq);
+            debug_assert!(
+                self.rob.get(idx).map(|s| s.seq == seq && s.stage == Stage::Waiting) == Some(true),
+                "ready list out of sync with ROB"
+            );
+            let (flags, mem_addr, class) = {
+                let s = &self.rob[idx];
+                (s.flags, s.mem_addr, s.class)
+            };
 
             // Functional-unit availability.
             let complete_at = match class {
@@ -785,64 +999,35 @@ impl Pipeline {
                 | InstrClass::Syscall
                 | InstrClass::Other => match self.claim_alu() {
                     Some(()) => self.now + 1,
-                    None => {
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
-                        continue;
-                    }
+                    None => continue,
                 },
                 InstrClass::IntMul => match self.claim_alu() {
                     Some(()) => self.now + self.config.mul_latency,
-                    None => {
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
-                        continue;
-                    }
+                    None => continue,
                 },
                 InstrClass::Fp => match self.claim_fpu(1) {
                     Some(()) => self.now + self.config.fp_latency,
-                    None => {
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
-                        continue;
-                    }
+                    None => continue,
                 },
                 InstrClass::FpDiv => match self.claim_fpu(self.config.fpdiv_latency) {
                     Some(()) => self.now + self.config.fpdiv_latency,
-                    None => {
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
-                        continue;
-                    }
+                    None => continue,
                 },
                 InstrClass::Load | InstrClass::Return => {
                     if load_used >= self.config.load_units {
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
                         continue;
                     }
                     if flags & F_WRONG_PATH != 0 {
                         load_used += 1;
                         self.now + 3 // wrong-path load: no oracle address
                     } else {
-                        if older_store_addr_unknown {
-                            if new_first == u64::MAX {
-                                new_first = seq;
-                            }
+                        if self.waiting_stores.first().map(|&s| s < seq).unwrap_or(false) {
                             continue; // conservative disambiguation
                         }
                         debug_assert!(flags & F_HAS_MEM != 0, "correct-path loads have addresses");
                         let addr = mem_addr;
                         match self.stores.youngest_older(addr, seq) {
                             Some((_, false)) => {
-                                if new_first == u64::MAX {
-                                    new_first = seq;
-                                }
                                 continue; // wait for the forwarding store's data
                             }
                             Some((_, true)) => {
@@ -869,12 +1054,9 @@ impl Pipeline {
                 }
                 InstrClass::Store | InstrClass::CallDirect | InstrClass::CallIndirect => {
                     if store_used >= self.config.store_units {
-                        // Ready but port-limited: its address is still
-                        // unknown to younger loads this cycle.
-                        older_store_addr_unknown = true;
-                        if new_first == u64::MAX {
-                            new_first = seq;
-                        }
+                        // Ready but port-limited: its address stays unknown
+                        // to younger loads this cycle (it remains listed in
+                        // `waiting_stores`).
                         continue;
                     }
                     store_used += 1;
@@ -890,11 +1072,15 @@ impl Pipeline {
             self.executing_count += 1;
             self.first_executing_seq = self.first_executing_seq.min(seq);
             self.next_complete_at = self.next_complete_at.min(complete_at);
+            sorted_remove(&mut self.ready, seq);
+            if flags & F_STORE != 0 {
+                sorted_remove(&mut self.waiting_stores, seq);
+            }
             if flags & (F_STORE | F_HAS_MEM) == (F_STORE | F_HAS_MEM) {
                 self.stores.insert(mem_addr, seq);
             }
         }
-        self.first_waiting_seq = new_first;
+        self.ready_scratch = candidates;
     }
 
     fn claim_alu(&mut self) -> Option<()> {
@@ -928,6 +1114,16 @@ impl Pipeline {
             self.executing_count,
             self.rob.iter().filter(|s| s.stage == Stage::Executing).count(),
             "executing counter out of sync"
+        );
+        debug_assert_eq!(
+            self.ready.len(),
+            self.rob.iter().filter(|s| s.stage == Stage::Waiting && s.unready == 0).count(),
+            "ready list out of sync"
+        );
+        debug_assert_eq!(
+            self.waiting_stores.len(),
+            self.rob.iter().filter(|s| s.stage == Stage::Waiting && s.is_store()).count(),
+            "waiting-store list out of sync"
         );
         let mut dispatched = 0;
         while dispatched < self.config.width {
@@ -963,8 +1159,34 @@ impl Pipeline {
                 self.last_writer[w as usize] = Some(slot.seq);
             }
             slot.stage = Stage::Waiting;
+            // Wakeup scheduling: count the sources still in flight and
+            // subscribe to their completions; a slot with none is ready
+            // now. (A source older than the ROB head has committed.)
+            let head_seq = self.rob.front().map(|s| s.seq).unwrap_or(u64::MAX);
+            let mut unready = 0u8;
+            for k in 0..n {
+                let p = slot.srcs[k];
+                if p >= head_seq {
+                    // The producer is still in the ROB (renamed at dispatch,
+                    // rebuilt on squash, younger than the head): read its
+                    // stage directly instead of keeping a side done-set.
+                    let i = self.rob_idx_of(p);
+                    let done =
+                        self.rob.get(i).map(|s| s.seq == p && s.stage == Stage::Done) == Some(true);
+                    if !done {
+                        unready += 1;
+                        self.wakeups.register(p, slot.seq);
+                    }
+                }
+            }
+            slot.unready = unready;
+            if unready == 0 {
+                sorted_insert(&mut self.ready, slot.seq);
+            }
+            if slot.is_store() {
+                sorted_insert(&mut self.waiting_stores, slot.seq);
+            }
             self.iq_occupancy += 1;
-            self.first_waiting_seq = self.first_waiting_seq.min(slot.seq);
             if front_mem {
                 self.lsq_occupancy += 1;
             }
@@ -1159,6 +1381,7 @@ impl Pipeline {
                 stage: Stage::Waiting,
                 class,
                 src_count: 0,
+                unready: 0,
                 flags,
                 seq,
                 mem_addr,

@@ -91,6 +91,10 @@ impl ChgPipeline {
     /// [`ChgPipeline::has_capacity`] and stall fetch otherwise).
     pub fn enqueue(&mut self, tag: ChgTag, cycle: u64) -> u64 {
         assert!(self.has_capacity(), "CHG pipeline over capacity");
+        debug_assert!(
+            self.in_flight.back().map(|e| e.tag < tag).unwrap_or(true),
+            "CHG tags enqueue in increasing fetch order"
+        );
         let ready_at = cycle + self.config.latency;
         self.in_flight.push_back(InFlight { tag, ready_at });
         self.enqueued += 1;
@@ -109,9 +113,19 @@ impl ChgPipeline {
         self.in_flight.iter().find(|e| e.tag == tag).map(|e| e.ready_at)
     }
 
-    /// Retires a completed hash (the validation check consumed it).
+    /// Retires a completed hash (the validation check consumed it). Tags
+    /// enqueue in increasing fetch order and validations consume in commit
+    /// order, so the common case is a front pop; stragglers (a flush took
+    /// the entries between) fall back to a binary search on the sorted
+    /// queue instead of the full scan this used to be.
     pub fn retire(&mut self, tag: ChgTag) {
-        self.in_flight.retain(|e| e.tag != tag);
+        if self.in_flight.front().map(|e| e.tag == tag).unwrap_or(false) {
+            self.in_flight.pop_front();
+            return;
+        }
+        if let Ok(i) = self.in_flight.binary_search_by_key(&tag, |e| e.tag) {
+            self.in_flight.remove(i);
+        }
     }
 
     /// Flushes all in-flight hashes with tags **greater than or equal to**
@@ -120,9 +134,11 @@ impl ChgPipeline {
     /// (paper Sec. IV.A: "the appropriate pipeline stages in the CHG are
     /// also flushed"). Returns the number of entries flushed.
     pub fn flush_from(&mut self, from: ChgTag) -> usize {
-        let before = self.in_flight.len();
-        self.in_flight.retain(|e| e.tag < from);
-        let flushed = before - self.in_flight.len();
+        // Sorted by tag (see `retire`), so the wrong-path entries are
+        // exactly the suffix starting at the partition point.
+        let cut = self.in_flight.partition_point(|e| e.tag < from);
+        let flushed = self.in_flight.len() - cut;
+        self.in_flight.truncate(cut);
         self.flushed += flushed as u64;
         flushed
     }

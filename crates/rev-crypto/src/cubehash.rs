@@ -289,6 +289,250 @@ impl CubeHash {
     }
 }
 
+/// Number of lanes in the ILP-friendly multi-lane hasher.
+pub const X4_LANES: usize = 4;
+
+/// A four-lane CubeHash engine: hashes four independent messages through
+/// one structure-of-arrays state, so the ten add/rotate/swap/xor steps of
+/// each round run over `[u32; 4]` rows the compiler lowers to 128-bit
+/// vector ops. Bit-for-bit equal to four [`CubeHash`] runs (proven by the
+/// `x4_*` tests below) — callers may freely mix scalar and multi-lane
+/// hashing of the same inputs.
+///
+/// Messages of different lengths are handled by absorbing in lockstep
+/// while every lane still has blocks and dropping to per-lane rounds for
+/// the stragglers; the `10·r`-round finalization — the dominant cost for
+/// the short messages REV hashes — is always fully vectorized, and the
+/// `10·r`-round initialization is precomputed once at construction
+/// (shared across every lane and every call).
+///
+/// # Example
+///
+/// ```
+/// use rev_crypto::{CubeHash, CubeHashX4};
+///
+/// let h4 = CubeHashX4::new();
+/// let msgs: [&[u8]; 4] = [b"a", b"bb", b"", b"dddd"];
+/// let digests = h4.digest4(msgs);
+/// for (d, m) in digests.iter().zip(msgs) {
+///     assert_eq!(*d, CubeHash::digest(m));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CubeHashX4 {
+    params: CubeHashParams,
+    /// Shared post-initialization state (all lanes start identical).
+    iv: [u32; STATE_WORDS],
+}
+
+impl Default for CubeHashX4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CubeHashX4 {
+    /// Creates a four-lane hasher with the REV-default parameters.
+    pub fn new() -> Self {
+        Self::with_params(CubeHashParams::rev_default())
+    }
+
+    /// Creates a four-lane hasher with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of range (see
+    /// [`CubeHash::with_params`]).
+    pub fn with_params(params: CubeHashParams) -> Self {
+        let h = CubeHash::with_params(params);
+        CubeHashX4 { params, iv: h.iv }
+    }
+
+    /// Returns the parameters this hasher was created with.
+    pub fn params(&self) -> CubeHashParams {
+        self.params
+    }
+
+    /// One-shot digests of four independent messages. Lane `i` of the
+    /// result equals `CubeHash::digest_with(self.params(), msgs[i])`.
+    pub fn digest4(&self, msgs: [&[u8]; X4_LANES]) -> [Digest; X4_LANES] {
+        let b = self.params.block_bytes;
+        let mut state = [[0u32; X4_LANES]; STATE_WORDS];
+        for (row, iv) in state.iter_mut().zip(self.iv.iter()) {
+            *row = [*iv; X4_LANES];
+        }
+        // Padding (0x80 then zero-fill) always opens one block past the
+        // full blocks of the message, so every lane absorbs at least one.
+        let nblocks: [usize; X4_LANES] = msgs.map(|m| m.len() / b + 1);
+        let max_blocks = *nblocks.iter().max().expect("non-empty");
+        let mut block = [0u8; 128];
+        for j in 0..max_blocks {
+            let mut active = [false; X4_LANES];
+            for lane in 0..X4_LANES {
+                if j < nblocks[lane] {
+                    active[lane] = true;
+                    load_padded_block(msgs[lane], j, b, &mut block);
+                    for (i, chunk) in block[..b].chunks(4).enumerate() {
+                        let mut word = [0u8; 4];
+                        word[..chunk.len()].copy_from_slice(chunk);
+                        state[i][lane] ^= u32::from_le_bytes(word);
+                    }
+                }
+            }
+            if active == [true; X4_LANES] {
+                for _ in 0..self.params.rounds {
+                    round_x4(&mut state);
+                }
+            } else {
+                // Straggler blocks past a shorter lane's end: only the
+                // still-absorbing lanes may advance.
+                for (lane, &live) in active.iter().enumerate() {
+                    if live {
+                        for _ in 0..self.params.rounds {
+                            round_lane(&mut state, lane);
+                        }
+                    }
+                }
+            }
+        }
+        // Finalization runs the same 10·r rounds in every lane: always
+        // lockstep.
+        for w in state[STATE_WORDS - 1].iter_mut() {
+            *w ^= 1;
+        }
+        for _ in 0..10 * self.params.rounds {
+            round_x4(&mut state);
+        }
+        std::array::from_fn(|lane| {
+            let mut bytes = [0u8; MAX_DIGEST_BYTES];
+            for (chunk, row) in bytes.chunks_mut(4).zip(state.iter()) {
+                chunk.copy_from_slice(&row[lane].to_le_bytes());
+            }
+            Digest { len: self.params.digest_bytes as u8, bytes }
+        })
+    }
+}
+
+/// Writes block `j` of `msg`'s padded stream (message bytes, then a single
+/// `0x80`, then zeros to the block boundary) into `out[..b]`.
+fn load_padded_block(msg: &[u8], j: usize, b: usize, out: &mut [u8; 128]) {
+    let off = j * b;
+    let tail = &msg[off.min(msg.len())..];
+    let n = tail.len().min(b);
+    out[..n].copy_from_slice(&tail[..n]);
+    out[n..b].fill(0);
+    if n < b {
+        out[n] = 0x80;
+    }
+}
+
+/// One CubeHash round across all four lanes of the SoA state. Identical
+/// step sequence to [`round`], with each step applied to a `[u32; 4]` row
+/// (the per-row loops vectorize).
+#[inline(always)]
+fn round_x4(x: &mut [[u32; X4_LANES]; STATE_WORDS]) {
+    // 1. x[16+i] += x[i]
+    add_rows(x);
+    // 2. x[i] <<<= 7
+    for row in x.iter_mut().take(16) {
+        for w in row.iter_mut() {
+            *w = w.rotate_left(7);
+        }
+    }
+    // 3. swap x[i] with x[i^8]
+    for i in 0..8 {
+        x.swap(i, i ^ 8);
+    }
+    // 4. x[i] ^= x[16+i]
+    xor_rows(x);
+    // 5. swap x[16+i] with x[16+(i^2)]
+    for i in [0usize, 1, 4, 5, 8, 9, 12, 13] {
+        x.swap(16 + i, 16 + (i ^ 2));
+    }
+    // 6. x[16+i] += x[i]
+    add_rows(x);
+    // 7. x[i] <<<= 11
+    for row in x.iter_mut().take(16) {
+        for w in row.iter_mut() {
+            *w = w.rotate_left(11);
+        }
+    }
+    // 8. swap x[i] with x[i^4]
+    for i in [0usize, 1, 2, 3, 8, 9, 10, 11] {
+        x.swap(i, i ^ 4);
+    }
+    // 9. x[i] ^= x[16+i]
+    xor_rows(x);
+    // 10. swap x[16+i] with x[16+(i^1)]
+    for i in [0usize, 2, 4, 6, 8, 10, 12, 14] {
+        x.swap(16 + i, 16 + (i ^ 1));
+    }
+}
+
+/// `x[16+i] += x[i]` for `i in 0..16`, all lanes (steps 1 and 6).
+#[inline(always)]
+fn add_rows(x: &mut [[u32; X4_LANES]; STATE_WORDS]) {
+    let (lo, hi) = x.split_at_mut(16);
+    for (dst, src) in hi.iter_mut().zip(lo.iter()) {
+        for (w, v) in dst.iter_mut().zip(src.iter()) {
+            *w = w.wrapping_add(*v);
+        }
+    }
+}
+
+/// `x[i] ^= x[16+i]` for `i in 0..16`, all lanes (steps 4 and 9).
+#[inline(always)]
+fn xor_rows(x: &mut [[u32; X4_LANES]; STATE_WORDS]) {
+    let (lo, hi) = x.split_at_mut(16);
+    for (dst, src) in lo.iter_mut().zip(hi.iter()) {
+        for (w, v) in dst.iter_mut().zip(src.iter()) {
+            *w ^= *v;
+        }
+    }
+}
+
+/// One CubeHash round confined to lane `l` of the SoA state (straggler
+/// absorb blocks when lanes have unequal message lengths). The swap steps
+/// must move only lane `l`'s words — whole-row swaps would corrupt the
+/// other lanes.
+fn round_lane(x: &mut [[u32; X4_LANES]; STATE_WORDS], l: usize) {
+    let swap1 = |x: &mut [[u32; X4_LANES]; STATE_WORDS], a: usize, b: usize| {
+        let t = x[a][l];
+        x[a][l] = x[b][l];
+        x[b][l] = t;
+    };
+    for i in 0..16 {
+        x[16 + i][l] = x[16 + i][l].wrapping_add(x[i][l]);
+    }
+    for row in x.iter_mut().take(16) {
+        row[l] = row[l].rotate_left(7);
+    }
+    for i in 0..8 {
+        swap1(x, i, i ^ 8);
+    }
+    for i in 0..16 {
+        x[i][l] ^= x[16 + i][l];
+    }
+    for i in [0usize, 1, 4, 5, 8, 9, 12, 13] {
+        swap1(x, 16 + i, 16 + (i ^ 2));
+    }
+    for i in 0..16 {
+        x[16 + i][l] = x[16 + i][l].wrapping_add(x[i][l]);
+    }
+    for row in x.iter_mut().take(16) {
+        row[l] = row[l].rotate_left(11);
+    }
+    for i in [0usize, 1, 2, 3, 8, 9, 10, 11] {
+        swap1(x, i, i ^ 4);
+    }
+    for i in 0..16 {
+        x[i][l] ^= x[16 + i][l];
+    }
+    for i in [0usize, 2, 4, 6, 8, 10, 12, 14] {
+        swap1(x, 16 + i, 16 + (i ^ 1));
+    }
+}
+
 /// One CubeHash round (ten steps) on the 32-word state.
 fn round(x: &mut [u32; STATE_WORDS]) {
     // 1. x[16+i] += x[i]
@@ -460,6 +704,69 @@ mod tests {
                 input.len()
             );
         }
+    }
+
+    /// Every lane of the four-lane engine must be bit-equal to a scalar
+    /// hash of the same message, for every length straddling the block
+    /// boundaries (0, 1, b-1, b, b+1, ..., 4 blocks and change).
+    #[test]
+    fn x4_matches_scalar_across_lengths() {
+        for params in [CubeHashParams::rev_default(), CubeHashParams::classical()] {
+            let h4 = CubeHashX4::with_params(params);
+            let data: Vec<u8> = (0..140u32).map(|i| (i.wrapping_mul(197) >> 3) as u8).collect();
+            for base in 0..=136usize {
+                // Four different lengths per call so the straggler
+                // (per-lane) rounds are exercised, not just lockstep.
+                let lens = [base, (base + 7) % 137, (base + 31) % 137, (base + 97) % 137];
+                let msgs: [&[u8]; 4] = lens.map(|l| &data[..l]);
+                let digests = h4.digest4(msgs);
+                for (lane, (d, m)) in digests.iter().zip(msgs).enumerate() {
+                    assert_eq!(
+                        *d,
+                        CubeHash::digest_with(params, m),
+                        "lane {lane} diverged at len {}",
+                        m.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equal-length lanes (the signature-table entry-digest shape: every
+    /// message exactly 72 bytes) stay fully lockstep and bit-equal.
+    #[test]
+    fn x4_matches_scalar_equal_lengths() {
+        let h4 = CubeHashX4::new();
+        let msgs: [Vec<u8>; 4] =
+            std::array::from_fn(|lane| (0..72u8).map(|i| i.wrapping_mul(lane as u8 + 3)).collect());
+        let refs: [&[u8]; 4] = [&msgs[0], &msgs[1], &msgs[2], &msgs[3]];
+        for (d, m) in h4.digest4(refs).iter().zip(refs) {
+            assert_eq!(*d, CubeHash::digest(m));
+        }
+    }
+
+    /// Identical messages in every lane produce identical digests (no
+    /// cross-lane contamination through the shared state).
+    #[test]
+    fn x4_lanes_are_independent() {
+        let h4 = CubeHashX4::new();
+        let d = h4.digest4([b"same", b"same", b"same", b"same"]);
+        assert_eq!(d[0], d[1]);
+        assert_eq!(d[1], d[2]);
+        assert_eq!(d[2], d[3]);
+        assert_eq!(d[0], CubeHash::digest(b"same"));
+    }
+
+    /// The x4 engine against the scalar KAT pins directly — a change that
+    /// broke both paths identically would slip past the equivalence tests.
+    #[test]
+    fn x4_matches_known_answers() {
+        let h4 = CubeHashX4::new();
+        let d = h4.digest4([b"", b"a", b"abc", &[0xa5; 32]]);
+        assert_eq!(hex(&d[0]), "4d2ff9798d95bf1c3ff623a9d0820ded80819ef01ead8b8ee11c81decbb36d0e");
+        assert_eq!(hex(&d[1]), "228fa32df52026541623f14a7f07671bfc5f5a9b04735a7617c8996455516a88");
+        assert_eq!(hex(&d[2]), "eccd0c405693dd94e9cb7f9671b40072836192669f3fc01cbc6cb02b74d2291c");
+        assert_eq!(hex(&d[3]), "5c8422660cdf6ea491d3374222755a670064f4d4cc565a66fef240e640b337c5");
     }
 
     /// `reset` + `finalize_reset` reuse must produce exactly the digests a

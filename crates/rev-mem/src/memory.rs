@@ -247,6 +247,15 @@ impl MainMemory {
         self.fault = fault;
     }
 
+    /// Whether a fault injector is attached (armed or counting). Callers
+    /// that memoize read results must bypass their caches while this is
+    /// true: [`Self::read_filtered`] may alter bytes in flight, and even a
+    /// counting-only injector tallies per-read site visits.
+    #[inline]
+    pub fn fault_enabled(&self) -> bool {
+        self.fault.is_enabled()
+    }
+
     /// A deterministic digest of all resident content strictly below
     /// `limit` (FNV-1a over sorted page indices and bytes; all-zero pages
     /// are skipped so lazily-materialized zero pages don't perturb it).

@@ -8,7 +8,10 @@
 
 use crate::format::{EntryKind, RawEntry, ValidationMode, ENTRY_NONE, NEXT20_NONE, NEXT24_NONE};
 use crate::lookup::SignatureTable;
-use rev_crypto::{bb_body_hash_with, entry_digest_with, Aes128, CubeHash, SignatureKey};
+use rev_crypto::{
+    bb_body_hash_x4, entry_digest_x4, Aes128, BodyHash, CubeHashX4, EntryDigestInput, SignatureKey,
+    X4_LANES,
+};
 use rev_prog::{BlockInfo, Cfg, Module, TermKind};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -113,6 +116,46 @@ fn spill_run(is_pred: bool, addrs: &[u32]) -> Vec<RawEntry> {
         .collect()
 }
 
+/// A segment whose primary entry still carries a placeholder digest: the
+/// digest is a pure function of `(key, bb_addr, body, bound_succ,
+/// bound_pred)` and is filled in by the batched multi-lane pass in
+/// [`build_table`] (four entries per [`CubeHashX4`] call).
+struct PlannedSegment {
+    bb_addr: u64,
+    bound_succ: u64,
+    bound_pred: u64,
+    segment: Segment,
+}
+
+impl PlannedSegment {
+    /// Writes the batch-computed digest into the primary entry.
+    fn set_digest(&mut self, digest: u32) {
+        match &mut self.segment.entries[0] {
+            RawEntry::Primary { digest: d, .. } | RawEntry::AggressivePrimary { digest: d, .. } => {
+                *d = digest;
+            }
+            _ => unreachable!("planned segments lead with a primary entry"),
+        }
+    }
+}
+
+/// Hashes every block body through the four-lane CHG, [`X4_LANES`] blocks
+/// per pass (a short tail of fewer than four real messages rides along
+/// with empty filler lanes — the lockstep finalization makes them nearly
+/// free). Bit-equal to per-block [`rev_crypto::bb_body_hash`] calls.
+fn batched_body_hashes(module: &Module, cfg: &Cfg, h4: &CubeHashX4) -> Vec<BodyHash> {
+    let blocks = cfg.blocks();
+    let mut bodies = Vec::with_capacity(blocks.len());
+    for chunk in blocks.chunks(X4_LANES) {
+        let mut msgs: [&[u8]; X4_LANES] = [&[]; X4_LANES];
+        for (lane, block) in chunk.iter().enumerate() {
+            msgs[lane] = cfg.block_bytes(module, block);
+        }
+        bodies.extend_from_slice(&bb_body_hash_x4(h4, msgs)[..chunk.len()]);
+    }
+    bodies
+}
+
 /// Builds the logical segment for one block in standard mode.
 ///
 /// Space optimizations straight from the paper's Sec. V: the targets of
@@ -121,14 +164,7 @@ fn spill_run(is_pred: bool, addrs: &[u32]) -> Vec<RawEntry> {
 /// target addresses for the non-computed branches"), and predecessors are
 /// stored only when they are return instructions — the single case the
 /// delayed return validation consults.
-fn standard_segment(
-    module: &Module,
-    cfg: &Cfg,
-    key: &SignatureKey,
-    block: &BlockInfo,
-    hasher: &mut CubeHash,
-) -> Result<Segment, TableBuildError> {
-    let body = bb_body_hash_with(hasher, cfg.block_bytes(module, block));
+fn standard_segment(cfg: &Cfg, block: &BlockInfo) -> Result<PlannedSegment, TableBuildError> {
     // Successor lists are stored only where a target can change at run
     // time: computed branches, and returns ("the signature table entry
     // for the return instruction terminating such a function should list
@@ -156,17 +192,9 @@ fn standard_segment(
         .collect::<Result<_, _>>()?;
     let primary_succ = succs.first().copied().unwrap_or(ENTRY_NONE);
     let primary_pred = preds.first().copied().unwrap_or(ENTRY_NONE);
-    let digest = entry_digest_with(
-        hasher,
-        key,
-        block.bb_addr,
-        &body,
-        if primary_succ == ENTRY_NONE { 0 } else { primary_succ as u64 },
-        if primary_pred == ENTRY_NONE { 0 } else { primary_pred as u64 },
-    );
     let mut entries = vec![RawEntry::Primary {
         kind: entry_kind(block.term),
-        digest: digest.0,
+        digest: 0, // patched in by the batched digest pass
         succ: primary_succ,
         pred: primary_pred,
         next: NEXT24_NONE,
@@ -177,19 +205,17 @@ fn standard_segment(
     if preds.len() > 1 {
         entries.extend(spill_run(true, &preds[1..]));
     }
-    Ok(Segment { entries })
+    Ok(PlannedSegment {
+        bb_addr: block.bb_addr,
+        bound_succ: if primary_succ == ENTRY_NONE { 0 } else { primary_succ as u64 },
+        bound_pred: if primary_pred == ENTRY_NONE { 0 } else { primary_pred as u64 },
+        segment: Segment { entries },
+    })
 }
 
 /// Builds the logical segment for one block in aggressive mode: two inline
 /// verified targets per entry, both bound by the digest (paper Fig. 5).
-fn aggressive_segment(
-    module: &Module,
-    cfg: &Cfg,
-    key: &SignatureKey,
-    block: &BlockInfo,
-    hasher: &mut CubeHash,
-) -> Result<Segment, TableBuildError> {
-    let body = bb_body_hash_with(hasher, cfg.block_bytes(module, block));
+fn aggressive_segment(block: &BlockInfo) -> Result<PlannedSegment, TableBuildError> {
     let succs: Vec<u32> = block.successors.iter().map(|&a| addr32(a)).collect::<Result<_, _>>()?;
     let preds: Vec<u32> =
         block.predecessors.iter().map(|&a| addr32(a)).collect::<Result<_, _>>()?;
@@ -198,17 +224,9 @@ fn aggressive_segment(
     let primary_pred = preds.first().copied().unwrap_or(ENTRY_NONE);
     let bound_targets = (if s0 == ENTRY_NONE { 0u64 } else { s0 as u64 })
         | (if s1 == ENTRY_NONE { 0u64 } else { (s1 as u64) << 32 });
-    let digest = entry_digest_with(
-        hasher,
-        key,
-        block.bb_addr,
-        &body,
-        bound_targets,
-        if primary_pred == ENTRY_NONE { 0 } else { primary_pred as u64 },
-    );
     let mut entries = vec![RawEntry::AggressivePrimary {
         kind: entry_kind(block.term),
-        digest: digest.0,
+        digest: 0, // patched in by the batched digest pass
         succs: [s0, s1],
         pred: primary_pred,
         next: NEXT24_NONE,
@@ -220,7 +238,12 @@ fn aggressive_segment(
     if preds.len() > 1 {
         entries.extend(spill_run(true, &preds[1..]));
     }
-    Ok(Segment { entries })
+    Ok(PlannedSegment {
+        bb_addr: block.bb_addr,
+        bound_succ: bound_targets,
+        bound_pred: if primary_pred == ENTRY_NONE { 0 } else { primary_pred as u64 },
+        segment: Segment { entries },
+    })
 }
 
 /// Builds the CFI-only segment for one computed-terminator BB address: one
@@ -251,24 +274,34 @@ pub fn build_table(
     mode: ValidationMode,
     cpu: &Aes128,
 ) -> Result<SignatureTable, TableBuildError> {
-    // 1. Logical segments keyed by BB address. One reusable hasher serves
-    //    every block's body hash and entry digest (allocation-free path).
-    let mut hasher = CubeHash::new();
+    // 1. Logical segments keyed by BB address. Body hashes and entry
+    //    digests both go through the four-lane CHG: hash four blocks per
+    //    pass, plan the segments (pure bookkeeping), then fill four entry
+    //    digests per pass. Lane-for-lane bit-equal to the old scalar loop.
+    let h4 = CubeHashX4::new();
     let mut segments: Vec<(u64, Segment)> = Vec::new();
     match mode {
-        ValidationMode::Standard => {
+        ValidationMode::Standard | ValidationMode::Aggressive => {
+            let bodies = batched_body_hashes(module, cfg, &h4);
+            let mut planned = Vec::with_capacity(bodies.len());
             for block in cfg.blocks() {
-                segments
-                    .push((block.bb_addr, standard_segment(module, cfg, key, block, &mut hasher)?));
+                planned.push(match mode {
+                    ValidationMode::Standard => standard_segment(cfg, block)?,
+                    _ => aggressive_segment(block)?,
+                });
             }
-        }
-        ValidationMode::Aggressive => {
-            for block in cfg.blocks() {
-                segments.push((
-                    block.bb_addr,
-                    aggressive_segment(module, cfg, key, block, &mut hasher)?,
-                ));
+            for (chunk, body_chunk) in planned.chunks_mut(X4_LANES).zip(bodies.chunks(X4_LANES)) {
+                let filler = &bodies[0];
+                let mut inputs: [EntryDigestInput<'_>; X4_LANES] = [(0, filler, 0, 0); X4_LANES];
+                for (lane, (p, body)) in chunk.iter().zip(body_chunk).enumerate() {
+                    inputs[lane] = (p.bb_addr, body, p.bound_succ, p.bound_pred);
+                }
+                let digests = entry_digest_x4(&h4, key, inputs);
+                for (p, digest) in chunk.iter_mut().zip(digests) {
+                    p.set_digest(digest.0);
+                }
             }
+            segments.extend(planned.into_iter().map(|p| (p.bb_addr, p.segment)));
         }
         ValidationMode::CfiOnly => {
             // One segment per computed-terminator address; merge target
@@ -377,6 +410,7 @@ pub fn build_table(
         entries.len(),
         image,
         *key,
+        aes,
         stats,
     ))
 }

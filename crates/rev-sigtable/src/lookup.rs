@@ -81,6 +81,9 @@ pub struct SignatureTable {
 
 impl SignatureTable {
     #[allow(clippy::too_many_arguments)]
+    /// `aes` must be the expanded schedule of `key` — the builder already
+    /// holds one for table encryption, so sharing it here avoids a second
+    /// key expansion per constructed table.
     pub(crate) fn from_parts(
         module_name: String,
         module_base: u64,
@@ -90,8 +93,14 @@ impl SignatureTable {
         total_entries: usize,
         image: Vec<u8>,
         key: SignatureKey,
+        aes: Aes128,
         stats: TableStats,
     ) -> Self {
+        debug_assert_eq!(
+            aes.encrypt_block(&[0; 16]),
+            Aes128::new(*key.as_bytes()).encrypt_block(&[0; 16]),
+            "shared AES schedule must match the table key"
+        );
         SignatureTable {
             module_name,
             module_base,
@@ -100,7 +109,7 @@ impl SignatureTable {
             slots,
             total_entries,
             image,
-            aes: Aes128::new(*key.as_bytes()),
+            aes,
             key,
             stats,
             base: 0,
