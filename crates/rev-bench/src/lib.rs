@@ -20,7 +20,6 @@ use rev_sigtable::TableStats;
 use rev_trace::{AttackRecord, Json, MetricRegistry, MetricSink, MetricValue, Snapshot};
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Parsed command-line options shared by all harness binaries.
@@ -181,15 +180,17 @@ pub fn cfg_stats_for(program: &Program) -> CfgStats {
 }
 
 /// The `--preflight` gate: statically lints the tables a built simulator
-/// is about to consume and refuses to run anything failing at error
-/// severity.
+/// is about to consume, runs the `rev-audit` security analyses
+/// (protection coverage, collision classes, latency bounds), and refuses
+/// to run anything failing at error severity.
 ///
 /// # Panics
 ///
 /// Panics with the rendered diagnostics when the gate fails.
 pub fn preflight(sim: &RevSimulator) {
-    let report =
+    let mut report =
         rev_lint::lint_tables(sim.program(), sim.monitor().sag().tables(), sim.config().bb_limits);
+    report.merge(rev_lint::audit_program(sim.program(), sim.config()).report);
     assert!(
         report.passes_gate(),
         "preflight: static lint found {} error(s); refusing to simulate:\n{}",
@@ -257,48 +258,10 @@ impl SweepRow {
     }
 }
 
-/// Maps `f` over `items` on a scoped pool of `jobs` worker threads,
-/// returning results in **input order** regardless of which worker ran
-/// which item or in what order items finished. Workers pull items off a
-/// shared atomic cursor (work stealing by index), so long and short items
-/// mix freely. `f` receives `(worker_id, item)`.
-///
-/// With `jobs <= 1` (or a single item) the map runs inline on the calling
-/// thread — the serial path used by `--jobs 1`, byte-for-byte equivalent.
-pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let jobs = jobs.max(1).min(items.len().max(1));
-    if jobs == 1 {
-        return items.iter().map(|item| f(0, item)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for worker in 0..jobs {
-            let cursor = &cursor;
-            let collected = &collected;
-            let f = &f;
-            scope.spawn(move || {
-                let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    local.push((i, f(worker, &items[i])));
-                }
-                collected.lock().unwrap().extend(local);
-            });
-        }
-    });
-    let mut merged = collected.into_inner().unwrap();
-    merged.sort_by_key(|&(i, _)| i);
-    merged.into_iter().map(|(_, r)| r).collect()
-}
+/// The sweep fan-out primitive, now hosted in the dependency-leaf
+/// `rev-trace` crate (so `rev-lint --jobs` can share it without a
+/// dependency cycle) and re-exported here for existing call sites.
+pub use rev_trace::parallel_map;
 
 /// Serialized progress narration on stderr.
 ///
@@ -359,10 +322,13 @@ pub struct ProfileRun {
     pub table: TableStats,
     /// Static CFG statistics.
     pub cfg: CfgStats,
+    /// `rev-audit` metrics (`audit.*`): per-mode protection coverage,
+    /// collision classes, and detection-latency bounds.
+    pub audit: MetricRegistry,
 }
 
 enum SweepItemOut {
-    Base(Box<(BaselineReport, CfgStats, TableStats)>),
+    Base(Box<(BaselineReport, CfgStats, TableStats, MetricRegistry)>),
     Rev(Box<RevReport>),
 }
 
@@ -389,10 +355,11 @@ pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<Profil
         if s == 0 {
             let program = program_for(profile);
             let cfg = cfg_stats_for(&program);
+            let audit = rev_lint::audit_program(&program, &configs[0].config).metrics();
             let sim = RevSimulator::new(program, configs[0].config).expect("workload builds");
             let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
             let table = sim.table_stats()[0];
-            SweepItemOut::Base(Box::new((base, cfg, table)))
+            SweepItemOut::Base(Box::new((base, cfg, table, audit)))
         } else {
             SweepItemOut::Rev(Box::new(run_rev_only(profile, opts, configs[s - 1].config)))
         }
@@ -404,7 +371,7 @@ pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<Profil
             let Some(SweepItemOut::Base(base_out)) = outs.next() else {
                 unreachable!("slot 0 is always the baseline item");
             };
-            let (base, cfg, table) = *base_out;
+            let (base, cfg, table, audit) = *base_out;
             let revs: Vec<RevReport> = (0..configs.len())
                 .map(|_| {
                     let Some(SweepItemOut::Rev(rev)) = outs.next() else {
@@ -413,7 +380,7 @@ pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<Profil
                     *rev
                 })
                 .collect();
-            ProfileRun { name: profile.name.to_string(), base, revs, table, cfg }
+            ProfileRun { name: profile.name.to_string(), base, revs, table, cfg, audit }
         })
         .collect()
 }
@@ -447,7 +414,9 @@ pub fn sweep(opts: &BenchOptions) -> Vec<SweepRow> {
 /// Per profile the snapshot carries one registry per simulated
 /// configuration — `base` (cpu + mem), each [`SweepConfig`] label
 /// (cpu + rev + mem) — plus a `static` registry (table + cfg metrics,
-/// which depend only on the workload and the standard-mode table build).
+/// which depend only on the workload and the standard-mode table build)
+/// and an `audit` registry (the `rev-audit` coverage/collision/latency
+/// matrices, see `docs/METRICS.md`).
 /// Registries serialize with sorted keys and meta in insertion order, so
 /// the rendered file is byte-identical for any `--jobs` value.
 pub fn snapshot_from_runs(
@@ -479,6 +448,7 @@ pub fn snapshot_from_runs(
         run.table.export_metrics(&mut st);
         run.cfg.export_metrics(&mut st);
         snap.add_metrics(&run.name, "static", st);
+        snap.add_metrics(&run.name, "audit", run.audit.clone());
     }
 }
 

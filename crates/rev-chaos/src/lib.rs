@@ -35,6 +35,8 @@
 
 #![warn(missing_docs)]
 
+pub mod oracle;
+
 use std::fmt;
 
 use rev_attacks::AttackError;
@@ -88,6 +90,21 @@ impl Rng {
 // Configuration and errors
 // ---------------------------------------------------------------------------
 
+/// Which guest program a campaign simulates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProgramSpec {
+    /// The `rev-attacks` victim binary (the historical default).
+    Victim,
+    /// A deterministic `rev-workloads` profile at the given scale — the
+    /// audit oracle uses this to measure latencies per profile.
+    Profile {
+        /// Profile name (see `rev_workloads::ALL_PROFILES`).
+        name: String,
+        /// Workload scale factor (rev-lint's default is 0.05).
+        scale: f64,
+    },
+}
+
 /// Parameters of one fault-injection campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -110,6 +127,8 @@ pub struct CampaignConfig {
     /// measurement; verdicts and committed counts are identical either
     /// way (see the tracing-equivalence test).
     pub tracing: bool,
+    /// Guest program under test.
+    pub program: ProgramSpec,
 }
 
 impl CampaignConfig {
@@ -123,6 +142,7 @@ impl CampaignConfig {
             layers: FaultLayer::ALL.to_vec(),
             jobs: 1,
             tracing: true,
+            program: ProgramSpec::Victim,
         }
     }
 
@@ -148,6 +168,8 @@ pub enum ChaosError {
     DirtyBaseline(Violation),
     /// The campaign has no layers to inject into.
     NoLayers,
+    /// The configured [`ProgramSpec::Profile`] names no known profile.
+    UnknownProfile(String),
 }
 
 impl fmt::Display for ChaosError {
@@ -158,6 +180,7 @@ impl fmt::Display for ChaosError {
                 write!(f, "fault-free calibration run violated: {v}")
             }
             ChaosError::NoLayers => f.write_str("campaign has no fault layers selected"),
+            ChaosError::UnknownProfile(name) => write!(f, "unknown workload profile {name:?}"),
         }
     }
 }
@@ -201,9 +224,20 @@ pub struct Calibration {
     pub table_lo: u64,
 }
 
+/// Builds the campaign's guest program per its [`ProgramSpec`].
+pub fn build_program(cfg: &CampaignConfig) -> Result<rev_prog::Program, ChaosError> {
+    match &cfg.program {
+        ProgramSpec::Victim => Ok(rev_attacks::victim_program()?.0),
+        ProgramSpec::Profile { name, scale } => {
+            let profile = rev_workloads::SpecProfile::by_name(name)
+                .ok_or_else(|| ChaosError::UnknownProfile(name.clone()))?;
+            Ok(rev_workloads::generate(&profile.scaled(*scale)))
+        }
+    }
+}
+
 fn build_sim(cfg: &CampaignConfig) -> Result<RevSimulator, ChaosError> {
-    let (program, _map) = rev_attacks::victim_program()?;
-    Ok(RevSimulator::new(program, cfg.rev_config())?)
+    Ok(RevSimulator::new(build_program(cfg)?, cfg.rev_config())?)
 }
 
 fn min_table_base(sim: &RevSimulator) -> u64 {
@@ -434,6 +468,13 @@ impl CampaignReport {
     /// false-positive outcomes (the `scripts/check.sh` gate).
     pub fn clean(&self) -> bool {
         self.count(Outcome::SilentCorruption) == 0 && self.count(Outcome::FalsePositive) == 0
+    }
+
+    /// The largest measured detection latency, if any run both detected
+    /// and had tracing on — what the audit oracle compares against the
+    /// static bound.
+    pub fn max_latency(&self) -> Option<u64> {
+        self.records.iter().filter_map(|r| r.latency).max()
     }
 
     /// Exports the campaign into the `chaos.*` metric namespace

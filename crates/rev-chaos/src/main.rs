@@ -3,12 +3,19 @@
 //! ```text
 //! rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]
 //!           [--layer LABEL]... [--jobs N] [--json PATH] [--quiet]
+//! rev-chaos --audit [--seed N] [--jobs N] [--quiet]
 //! ```
 //!
 //! Exit status: `0` when the campaign is clean (zero silent-corruption,
 //! zero false-positive), `1` when it is not, `2` on usage or harness
 //! errors. Output (stdout table and `--json` report) is byte-identical
 //! for a given seed/plan regardless of `--jobs`.
+//!
+//! `--audit` instead runs the differential audit oracle: every attack
+//! class mounted under every validation mode diffed against the static
+//! coverage prediction, and per-profile measured detection latencies
+//! checked against the static bounds. Any REV-A000 finding exits `1` —
+//! the hard gate in `scripts/check.sh`.
 
 use std::process::ExitCode;
 
@@ -20,7 +27,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!("error: {err}");
     eprintln!(
         "usage: rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]\n\
-         \x20                [--layer LABEL|all]... [--jobs N] [--json PATH] [--quiet]"
+         \x20                [--layer LABEL|all]... [--jobs N] [--json PATH] [--quiet]\n\
+         \x20      rev-chaos --audit [--seed N] [--jobs N] [--quiet]"
     );
     eprint!("layers:");
     for l in FaultLayer::ALL {
@@ -33,6 +41,7 @@ fn usage(err: &str) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut audit = false;
     let mut quiet = false;
     let mut seed: u64 = 0xc4a05;
     let mut faults: Option<usize> = None;
@@ -48,6 +57,7 @@ fn main() -> ExitCode {
         };
         match arg.as_str() {
             "--quick" => quick = true,
+            "--audit" => audit = true,
             "--quiet" => quiet = true,
             "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
                 Ok(Ok(v)) => seed = v,
@@ -79,6 +89,33 @@ fn main() -> ExitCode {
             },
             other => return usage(&format!("unknown argument '{other}'")),
         }
+    }
+
+    if audit {
+        let narrator = Narrator::new(quiet);
+        let mut oracle_cfg = rev_chaos::oracle::OracleConfig::quick(seed);
+        oracle_cfg.jobs = jobs;
+        let outcome = match rev_chaos::oracle::run_audit_oracle(&oracle_cfg, &narrator) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "audit oracle: {} attack cell(s) diffed, {} profile latency set(s) checked, \
+             max measured latency {}",
+            outcome.attacks_checked,
+            outcome.latencies_checked,
+            outcome.max_measured_latency.map_or("none".into(), |l| l.to_string()),
+        );
+        if outcome.report.diagnostics.is_empty() {
+            println!("static and dynamic agree: no REV-A000 findings");
+            return ExitCode::SUCCESS;
+        }
+        print!("{}", outcome.report.render_text());
+        eprintln!("AUDIT ORACLE GATE FAILED: static/dynamic disagreement (REV-A000)");
+        return ExitCode::from(1);
     }
 
     let mut cfg = if quick { CampaignConfig::quick(seed) } else { CampaignConfig::full(seed) };

@@ -1,0 +1,209 @@
+//! The differential dynamic oracle that closes the `rev-audit` static
+//! analyses (REV-A1xx) against measured behaviour.
+//!
+//! Two cross-checks, any violation surfacing as `REV-A000`
+//! ([`rev_lint::Lint::AuditOracleViolation`]):
+//!
+//! 1. **Attack agreement** — every attack class of the paper's Table 1
+//!    is mounted under every validation mode; the measured
+//!    detected/evaded outcome must match the prediction derived from
+//!    the static protection-coverage matrix ([`predict_detected`]).
+//! 2. **Latency bounds** — for every workload profile, a mini
+//!    fault-injection campaign measures real detection latencies; each
+//!    must be ≤ the profile's static worst-case bound.
+//!
+//! A disagreement in either direction is a bug: either the analysis
+//! claims protection the validator does not deliver (missed detection,
+//! latency above the bound) or the validator detects through a channel
+//! the model does not know about (the model is stale).
+
+use rev_attacks::AttackKind;
+use rev_bench::Narrator;
+use rev_core::RevConfig;
+use rev_core::ValidationMode;
+use rev_lint::audit::{audit_program, ModeAudit, AUDIT_MODES};
+use rev_lint::{Diagnostic, Lint, Report};
+use rev_trace::parallel_map;
+use rev_workloads::ALL_PROFILES;
+
+use crate::{run_campaign, CampaignConfig, ChaosError, ProgramSpec};
+
+/// Parameters of one audit-oracle pass.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Seed for the per-profile mini campaigns.
+    pub seed: u64,
+    /// Injections per profile campaign.
+    pub faults: usize,
+    /// Committed-instruction budget per campaign run.
+    pub instructions: u64,
+    /// Workload scale for the profile programs (match `rev-lint`).
+    pub scale: f64,
+    /// Worker threads for the per-profile fan-out.
+    pub jobs: usize,
+}
+
+impl OracleConfig {
+    /// The quick oracle wired into `scripts/check.sh`.
+    pub fn quick(seed: u64) -> Self {
+        OracleConfig { seed, faults: 12, instructions: 6_000, scale: 0.05, jobs: 1 }
+    }
+}
+
+/// The oracle's verdict: the REV-A000 report plus the evidence counts.
+#[derive(Debug)]
+pub struct OracleOutcome {
+    /// REV-A000 findings; empty report = full static/dynamic agreement.
+    pub report: Report,
+    /// Attack × mode cells checked (7 × 3).
+    pub attacks_checked: usize,
+    /// Profiles whose campaigns produced at least one measured latency.
+    pub latencies_checked: usize,
+    /// The largest measured latency across all profile campaigns.
+    pub max_measured_latency: Option<u64>,
+}
+
+/// Predicts whether `kind` is detected under the audited mode, purely
+/// from the static coverage matrix and table stats — the claim the
+/// dynamic run then confirms or refutes.
+pub fn predict_detected(kind: AttackKind, ma: &ModeAudit) -> bool {
+    let cov = &ma.coverage;
+    match kind {
+        // Patches code bytes in place: only the body hash sees it.
+        AttackKind::DirectCodeInjection => cov.edges > 0 && cov.body_hash == cov.edges,
+        // Return-address redirects: caught iff return edges are guarded
+        // (latch, inline successor check, or CFI target check).
+        AttackKind::IndirectCodeInjection
+        | AttackKind::ReturnOriented
+        | AttackKind::ReturnToLibc => {
+            cov.return_edges > 0 && cov.return_guarded == cov.return_edges
+        }
+        // Computed-target redirects: caught iff computed edges are
+        // guarded.
+        AttackKind::JumpOriented | AttackKind::VtableCompromise => {
+            cov.computed_edges > 0 && cov.computed_guarded == cov.computed_edges
+        }
+        // Table-image corruption is only *observed* when the validator
+        // re-reads the table. Hashed modes validate every block, so the
+        // SC keeps missing and tampered lines keep crossing the DRAM
+        // interface; CFI-only consults the table just for computed
+        // transfers — a working set small enough to stay SC-resident,
+        // leaving the tamper latent. (The dynamic run confirms this
+        // asymmetry: another designed weakness of CFI-only.)
+        AttackKind::TableTamper => cov.body_hash > 0 && ma.collision.entries > 0,
+    }
+}
+
+/// Mounts every attack under every mode and diffs the measured outcome
+/// against [`predict_detected`].
+fn check_attacks(report: &mut Report, narrator: &Narrator) -> Result<usize, ChaosError> {
+    let (victim, _) = rev_attacks::victim_program()?;
+    let base = RevConfig::paper_default();
+    let audit = audit_program(&victim, &base);
+    let mut checked = 0;
+    for mode in AUDIT_MODES {
+        let ma = *audit.mode(mode);
+        let outcomes = parallel_map(AttackKind::ALL.len(), &AttackKind::ALL, |_w, &kind| {
+            rev_attacks::mount(kind, base.with_mode(mode)).map(|o| (kind, o))
+        });
+        for result in outcomes {
+            let (kind, outcome) = result?;
+            let predicted = predict_detected(kind, &ma);
+            checked += 1;
+            if outcome.detected != predicted {
+                report.push(Diagnostic::new(
+                    Lint::AuditOracleViolation,
+                    format!(
+                        "{kind} under {mode}: coverage matrix predicts detected={predicted} \
+                         but the mounted attack measured detected={}",
+                        outcome.detected
+                    ),
+                ));
+            }
+        }
+        narrator.note(&format!("oracle: {mode}: {} attack(s) diffed", AttackKind::ALL.len()));
+    }
+    Ok(checked)
+}
+
+/// Runs a mini campaign per profile and checks every measured detection
+/// latency against the profile's static bound.
+fn check_latencies(
+    cfg: &OracleConfig,
+    report: &mut Report,
+    narrator: &Narrator,
+) -> Result<(usize, Option<u64>), ChaosError> {
+    let base = RevConfig::paper_default();
+    let quiet = Narrator::new(true);
+    // Only consultation-time layers: a corrupted *encrypted line*
+    // (`SigLine`) is inert until some covered block next validates, so
+    // its strike→kill distance is a table-line reuse distance of the
+    // workload — no CFG-geometry bound exists for it. Every other layer
+    // strikes at (or within one latch/defer window of) the validation
+    // that consults it, which is exactly what REV-A140 bounds.
+    let layers = vec![
+        rev_trace::FaultLayer::ScEntry,
+        rev_trace::FaultLayer::ChgDigest,
+        rev_trace::FaultLayer::RetLatch,
+        rev_trace::FaultLayer::DeferStore,
+        rev_trace::FaultLayer::SagRegister,
+    ];
+    let results = parallel_map(cfg.jobs, ALL_PROFILES, |_w, profile| {
+        let campaign = CampaignConfig {
+            program: ProgramSpec::Profile { name: profile.name.to_string(), scale: cfg.scale },
+            faults: cfg.faults,
+            instructions: cfg.instructions,
+            layers: layers.clone(),
+            jobs: 1,
+            ..CampaignConfig::quick(cfg.seed)
+        };
+        let program = crate::build_program(&campaign)?;
+        let bound = audit_program(&program, &base).mode(ValidationMode::Standard).latency.bound;
+        let campaign_report = run_campaign(&campaign, &quiet)?;
+        Ok::<_, ChaosError>((profile.name, bound, campaign_report.max_latency()))
+    });
+    let mut checked = 0;
+    let mut max_measured = None;
+    for result in results {
+        let (name, bound, measured) = result?;
+        if let Some(l) = measured {
+            checked += 1;
+            max_measured = max_measured.max(Some(l));
+            if l > bound {
+                report.push(
+                    Diagnostic::new(
+                        Lint::AuditOracleViolation,
+                        format!(
+                            "profile {name}: measured detection latency {l} commits exceeds \
+                             the static bound {bound}"
+                        ),
+                    )
+                    .module(name),
+                );
+            }
+        }
+    }
+    narrator.note(&format!(
+        "oracle: {} profile(s) measured, max latency {:?} commits",
+        checked, max_measured
+    ));
+    Ok((checked, max_measured))
+}
+
+/// Runs both oracle passes and returns the combined verdict.
+///
+/// # Errors
+///
+/// [`ChaosError`] only for harness failures (victim build, dirty
+/// baselines); static/dynamic disagreements are REV-A000 *findings*,
+/// not errors.
+pub fn run_audit_oracle(
+    cfg: &OracleConfig,
+    narrator: &Narrator,
+) -> Result<OracleOutcome, ChaosError> {
+    let mut report = Report::new();
+    let attacks_checked = check_attacks(&mut report, narrator)?;
+    let (latencies_checked, max_measured_latency) = check_latencies(cfg, &mut report, narrator)?;
+    report.sort();
+    Ok(OracleOutcome { report, attacks_checked, latencies_checked, max_measured_latency })
+}

@@ -1,0 +1,64 @@
+//! The committed differential oracle: static audit claims vs dynamic
+//! measurement (acceptance criterion of the `rev-audit` family).
+//!
+//! `scripts/check.sh` runs the full oracle via `rev-chaos --audit`;
+//! this test wires a reduced-budget pass into `cargo test` so the
+//! static/dynamic agreement cannot regress silently.
+
+use rev_attacks::AttackKind;
+use rev_bench::Narrator;
+use rev_chaos::oracle::{predict_detected, run_audit_oracle, OracleConfig};
+use rev_core::{RevConfig, ValidationMode};
+use rev_lint::audit_program;
+
+#[test]
+fn static_predictions_match_dynamic_measurement() {
+    let mut cfg = OracleConfig::quick(0xa0d1);
+    // Reduced per-profile campaigns: the attack matrix dominates the
+    // budget either way, and the latency claim only needs *measured*
+    // detections to compare against the bounds.
+    cfg.faults = 6;
+    cfg.instructions = 4_000;
+    cfg.jobs = 4;
+    let outcome = run_audit_oracle(&cfg, &Narrator::new(true)).expect("oracle runs");
+    assert_eq!(
+        outcome.report.diagnostics.len(),
+        0,
+        "static/dynamic disagreement:\n{}",
+        outcome.report.render_text()
+    );
+    assert_eq!(outcome.attacks_checked, AttackKind::ALL.len() * 3, "7 attacks x 3 modes");
+    assert!(outcome.latencies_checked > 0, "no profile produced a measured latency");
+    assert!(outcome.max_measured_latency.is_some());
+}
+
+#[test]
+fn coverage_matrix_drives_the_predictions() {
+    let (victim, _) = rev_attacks::victim_program().expect("victim builds");
+    let audit = audit_program(&victim, &RevConfig::paper_default());
+
+    // Hashed modes: Table 1's claim — every attack class detected.
+    for mode in [ValidationMode::Standard, ValidationMode::Aggressive] {
+        let ma = audit.mode(mode);
+        for kind in AttackKind::ALL {
+            assert!(predict_detected(kind, ma), "{kind} must be predicted detected under {mode}");
+        }
+    }
+
+    // CFI-only: code patching evades (nothing hashes bodies) and table
+    // tampering stays latent (the tiny computed-transfer working set
+    // never forces the tampered lines back through the SC).
+    let cfi = audit.mode(ValidationMode::CfiOnly);
+    assert!(!predict_detected(AttackKind::DirectCodeInjection, cfi));
+    assert!(!predict_detected(AttackKind::TableTamper, cfi));
+    // Control-flow redirects remain covered by the CFI target check.
+    for kind in [
+        AttackKind::ReturnOriented,
+        AttackKind::ReturnToLibc,
+        AttackKind::JumpOriented,
+        AttackKind::VtableCompromise,
+        AttackKind::IndirectCodeInjection,
+    ] {
+        assert!(predict_detected(kind, cfi), "{kind} must be predicted detected under cfi-only");
+    }
+}

@@ -1,0 +1,162 @@
+//! Edge-case coverage for `rev_chaos::detection_latency` and the
+//! campaign latency histogram.
+//!
+//! The latency measurement feeds the audit oracle's bound check
+//! (REV-A140 vs measured), so its edge cases matter: a detection with
+//! tracing disabled must report `None` — never a silent 0 — and the
+//! histogram in the campaign metrics must agree exactly with the
+//! per-record latencies it summarizes.
+
+use proptest::prelude::*;
+use rev_bench::Narrator;
+use rev_chaos::{
+    detection_latency, run_campaign, Calibration, CampaignConfig, CampaignReport, InjectionRecord,
+    Outcome,
+};
+use rev_trace::{
+    EventKind, FaultKind, FaultLayer, FaultSpec, MetricValue, TraceEvent, Verdict, FAULT_LAYERS,
+};
+
+fn ev(kind: EventKind) -> TraceEvent {
+    TraceEvent { cycle: 0, kind }
+}
+
+fn commit(seq: u64) -> TraceEvent {
+    ev(EventKind::Commit { seq, addr: 0x1000 + seq })
+}
+
+fn strike() -> TraceEvent {
+    ev(EventKind::FaultFired { layer: FaultLayer::SigLine.idx() as u8 })
+}
+
+fn kill() -> TraceEvent {
+    ev(EventKind::ValidationVerdict { bb_addr: 0x1000, verdict: Verdict::IllegalTarget })
+}
+
+fn validated() -> TraceEvent {
+    ev(EventKind::ValidationVerdict { bb_addr: 0x1000, verdict: Verdict::Validated })
+}
+
+#[test]
+fn latency_counts_commits_between_strike_and_kill() {
+    let events = [commit(1), strike(), commit(2), commit(3), kill()];
+    assert_eq!(detection_latency(&events), Some(2));
+}
+
+#[test]
+fn fault_on_final_commit_yields_zero_not_none() {
+    // The strike lands after the last commit: the kill verdict follows
+    // with zero instructions committed in between.
+    let events = [commit(1), commit(2), strike(), kill()];
+    assert_eq!(detection_latency(&events), Some(0));
+}
+
+#[test]
+fn kill_before_strike_is_none() {
+    // The ring can hold a stale kill from a fault that aged out plus a
+    // later strike that never produced a verdict.
+    let events = [commit(1), kill(), commit(2), strike(), commit(3)];
+    assert_eq!(detection_latency(&events), None);
+}
+
+#[test]
+fn missing_endpoints_are_none() {
+    assert_eq!(detection_latency(&[commit(1), kill()]), None, "no strike");
+    assert_eq!(detection_latency(&[commit(1), strike(), validated()]), None, "no kill");
+    assert_eq!(detection_latency(&[]), None, "empty ring");
+}
+
+#[test]
+fn validated_verdicts_are_not_kills() {
+    // Blocks validating cleanly between strike and kill must not shadow
+    // the real (final) kill verdict.
+    let events = [strike(), validated(), commit(1), validated(), commit(2), kill()];
+    assert_eq!(detection_latency(&events), Some(2));
+}
+
+#[test]
+fn last_strike_wins_for_repeated_faults() {
+    // Persistent faults refire; latency is anchored to the final strike.
+    let events = [strike(), commit(1), commit(2), strike(), commit(3), kill()];
+    assert_eq!(detection_latency(&events), Some(1));
+}
+
+#[test]
+fn detection_with_tracing_disabled_reports_none_not_zero() {
+    let cfg = CampaignConfig {
+        faults: 18,
+        instructions: 6_000,
+        tracing: false,
+        ..CampaignConfig::quick(0xfeed)
+    };
+    let report = run_campaign(&cfg, &Narrator::new(true)).expect("campaign runs");
+    assert!(report.count(Outcome::Detected) > 0, "campaign produced no detections");
+    assert!(
+        report.records.iter().all(|r| r.latency.is_none()),
+        "latency must be None when tracing is off, even for detected runs"
+    );
+    assert_eq!(report.max_latency(), None);
+    // The histogram must be empty, not full of zeros.
+    let metrics = report.metrics();
+    let Some(MetricValue::Histogram(h)) = metrics.get("chaos.latency") else {
+        panic!("chaos.latency histogram missing");
+    };
+    assert_eq!(h.count, 0, "untraceable latencies must not be recorded as 0");
+}
+
+/// A synthetic record carrying only what the histogram reads.
+fn record(latency: Option<u64>) -> InjectionRecord {
+    InjectionRecord {
+        spec: FaultSpec {
+            layer: FaultLayer::SigLine,
+            kind: FaultKind::Transient,
+            trigger: 1,
+            bit: 0,
+        },
+        fired: 1,
+        outcome: if latency.is_some() { Outcome::Detected } else { Outcome::Contained },
+        violation: None,
+        committed: 0,
+        latency,
+        retries: 0,
+        recoveries: 0,
+    }
+}
+
+fn synthetic_report(latencies: &[Option<u64>]) -> CampaignReport {
+    CampaignReport {
+        config: CampaignConfig::quick(1),
+        calibration: Calibration {
+            visits: [0; FAULT_LAYERS],
+            committed: 0,
+            digest: 0,
+            halted: false,
+            table_lo: u64::MAX,
+        },
+        skipped: 0,
+        records: latencies.iter().map(|&l| record(l)).collect(),
+    }
+}
+
+proptest! {
+    /// The campaign latency histogram totals (count, sum, max) must
+    /// match the per-record latencies exactly — `None` never counted,
+    /// every `Some` counted once.
+    #[test]
+    fn histogram_totals_match_per_record_latencies(
+        latencies in proptest::collection::vec(
+            (0u64..2, 0u64..5_000).prop_map(|(traced, l)| (traced == 1).then_some(l)),
+            0..60)
+    ) {
+        let report = synthetic_report(&latencies);
+        let metrics = report.metrics();
+        let Some(MetricValue::Histogram(h)) = metrics.get("chaos.latency") else {
+            panic!("chaos.latency histogram missing");
+        };
+        let measured: Vec<u64> = latencies.iter().flatten().copied().collect();
+        prop_assert_eq!(h.count, measured.len() as u64);
+        prop_assert_eq!(h.sum, measured.iter().sum::<u64>());
+        prop_assert_eq!(h.max, measured.iter().max().copied().unwrap_or(0));
+        prop_assert_eq!(report.max_latency(), measured.iter().max().copied());
+    }
+}

@@ -3,6 +3,12 @@
 //! entry-digest sequence must perform zero heap allocations. This is the
 //! exact sequence `RevMonitor` executes per validated basic block (on a
 //! digest-cache miss; hits do even less).
+//!
+//! The only `unsafe` in the workspace: installing a counting
+//! `GlobalAlloc` requires it. The crate carries `unsafe_code = "deny"`
+//! (not the workspace-wide `forbid`) precisely so this one audited
+//! allow can exist.
+#![allow(unsafe_code)]
 
 use rev_crypto::{bb_body_hash_with, entry_digest_with, CubeHash, SignatureKey};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -36,18 +42,25 @@ fn per_bb_hash_sequence_does_not_allocate() {
     let body = bb_body_hash_with(&mut h, &instr_bytes);
     let _ = entry_digest_with(&mut h, &key, 0x1000, &body, 0x2000, 0x3000);
 
-    let before = ALLOCS.load(Ordering::SeqCst);
-    for i in 0..100u64 {
-        let body = bb_body_hash_with(&mut h, &instr_bytes);
-        let d = entry_digest_with(&mut h, &key, 0x1000 + i, &body, 0x2000, 0x3000);
-        std::hint::black_box(d);
+    // The counter is process-global, so a concurrent libtest-harness
+    // allocation landing inside the window is a false positive. Any
+    // clean window proves the hot path allocation-free; retry a few
+    // times before believing a nonzero count.
+    let mut counts = Vec::new();
+    for _attempt in 0..5 {
+        let before = ALLOCS.load(Ordering::SeqCst);
+        for i in 0..100u64 {
+            let body = bb_body_hash_with(&mut h, &instr_bytes);
+            let d = entry_digest_with(&mut h, &key, 0x1000 + i, &body, 0x2000, 0x3000);
+            std::hint::black_box(d);
+        }
+        let after = ALLOCS.load(Ordering::SeqCst);
+        counts.push(after - before);
+        if after == before {
+            return;
+        }
     }
-    let after = ALLOCS.load(Ordering::SeqCst);
-
-    assert_eq!(
-        after - before,
-        0,
-        "per-BB hash sequence allocated {} times in 100 iterations",
-        after - before
+    panic!(
+        "per-BB hash sequence allocated in every window: {counts:?} allocations per 100 iterations"
     );
 }

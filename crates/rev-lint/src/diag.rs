@@ -87,11 +87,32 @@ pub enum Lint {
     OracleDynamicNotStatic,
     /// REV-L061: statically predicted blocks never executed (cold code).
     OracleColdCode,
+    /// REV-A000: the differential dynamic oracle contradicted a static
+    /// audit claim (measured latency above the bound, or an attack
+    /// outcome disagreeing with the coverage prediction).
+    AuditOracleViolation,
+    /// REV-A101: table entries share a truncated-digest identity and are
+    /// interchangeable to an attacker under the audited mode.
+    AuditDigestCollision,
+    /// REV-A102: CFI-only source tags alias (12-bit tag space), so
+    /// aliased sources accept each other's target sets.
+    AuditTagAlias,
+    /// REV-A110: quantified standard → aggressive identity refinement
+    /// (how much the BB tag shrinks the collision classes).
+    AuditRefinement,
+    /// REV-A120: an edge carries no check under a *hashed* mode — a
+    /// refuted coverage claim.
+    AuditUnguardedEdge,
+    /// REV-A121: edges carry no check under CFI-only mode (the designed
+    /// trade-off, reported for the coverage matrix).
+    AuditCfiUnguarded,
+    /// REV-A140: the per-mode worst-case detection-latency bound.
+    AuditLatencyBound,
 }
 
 impl Lint {
     /// Every catalogued lint, in code order.
-    pub const ALL: [Lint; 18] = [
+    pub const ALL: [Lint; 25] = [
         Lint::AnalysisFailed,
         Lint::CoverageMissing,
         Lint::OrphanEntry,
@@ -110,6 +131,13 @@ impl Lint {
         Lint::OracleDynamicNotStatic,
         Lint::OracleColdCode,
         Lint::ChainParseFailure,
+        Lint::AuditOracleViolation,
+        Lint::AuditDigestCollision,
+        Lint::AuditTagAlias,
+        Lint::AuditRefinement,
+        Lint::AuditUnguardedEdge,
+        Lint::AuditCfiUnguarded,
+        Lint::AuditLatencyBound,
     ];
 
     /// The stable diagnostic code.
@@ -133,6 +161,13 @@ impl Lint {
             Lint::OracleDynamicNotStatic => "REV-L060",
             Lint::OracleColdCode => "REV-L061",
             Lint::ChainParseFailure => "REV-L070",
+            Lint::AuditOracleViolation => "REV-A000",
+            Lint::AuditDigestCollision => "REV-A101",
+            Lint::AuditTagAlias => "REV-A102",
+            Lint::AuditRefinement => "REV-A110",
+            Lint::AuditUnguardedEdge => "REV-A120",
+            Lint::AuditCfiUnguarded => "REV-A121",
+            Lint::AuditLatencyBound => "REV-A140",
         }
     }
 
@@ -157,6 +192,13 @@ impl Lint {
             Lint::OracleDynamicNotStatic => "oracle-dynamic-not-static",
             Lint::OracleColdCode => "oracle-cold-code",
             Lint::ChainParseFailure => "chain-parse-failure",
+            Lint::AuditOracleViolation => "audit-oracle-violation",
+            Lint::AuditDigestCollision => "audit-digest-collision",
+            Lint::AuditTagAlias => "audit-tag-alias",
+            Lint::AuditRefinement => "audit-refinement",
+            Lint::AuditUnguardedEdge => "audit-unguarded-edge",
+            Lint::AuditCfiUnguarded => "audit-cfi-unguarded",
+            Lint::AuditLatencyBound => "audit-latency-bound",
         }
     }
 
@@ -175,12 +217,19 @@ impl Lint {
             | Lint::ReturnSiteMissing
             | Lint::CodeInWritableMemory
             | Lint::ChainParseFailure
-            | Lint::OracleDynamicNotStatic => Severity::Error,
+            | Lint::OracleDynamicNotStatic
+            | Lint::AuditOracleViolation
+            | Lint::AuditUnguardedEdge => Severity::Error,
             Lint::OrphanEntry
             | Lint::DuplicateEntry
             | Lint::ModuleUnreachable
-            | Lint::ReturnNeverCalled => Severity::Warning,
-            Lint::OracleColdCode => Severity::Info,
+            | Lint::ReturnNeverCalled
+            | Lint::AuditDigestCollision => Severity::Warning,
+            Lint::OracleColdCode
+            | Lint::AuditTagAlias
+            | Lint::AuditRefinement
+            | Lint::AuditCfiUnguarded
+            | Lint::AuditLatencyBound => Severity::Info,
         }
     }
 }

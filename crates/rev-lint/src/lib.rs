@@ -26,15 +26,24 @@
 //!   simulated core and asserts every dynamically discovered
 //!   (leader, terminator, hash) triple was statically predicted.
 //! - **Decode (REV-L07x)** — entry chains that fail to parse.
+//! - **Security audit (REV-A1xx)** — the [`audit`] module's
+//!   protection-coverage matrix, digest-collision classes and
+//!   detection-latency bounds per validation mode, cross-checked by the
+//!   dynamic oracle in `rev-chaos` (violations are REV-A000).
 //!
 //! Diagnostics are structured ([`Diagnostic`]) and render as human text or
 //! JSON. The severity gate ([`Report::passes_gate`]) fails on any `error`;
 //! bench drivers consult it via `--preflight`.
 
+pub mod audit;
 pub mod diag;
 pub mod lint;
 pub mod oracle;
 
+pub use audit::{
+    audit_program, AuditOutcome, CollisionStats, CoverageMatrix, LatencyBounds, ModeAudit,
+    AUDIT_MODES,
+};
 pub use diag::{Diagnostic, Lint, Report, Severity};
 pub use lint::{lint_build, lint_tables};
 pub use oracle::{run_oracle, static_triples, OracleOutcome};

@@ -4,14 +4,17 @@
 //! ```text
 //! rev-lint [--all | --profile NAME ...] [--scale F] [--mode MODE]
 //!          [--format text|json] [--oracle] [--instructions N]
+//!          [--audit] [--audit-json PATH] [--jobs N] [--deny-warnings]
 //! ```
 //!
 //! Exit status is nonzero iff any diagnostic at `error` severity was
-//! emitted — this is the gate `scripts/check.sh` relies on.
+//! emitted (or, under `--deny-warnings`, at `warning`) — this is the
+//! gate `scripts/check.sh` relies on.
 
 use rev_core::{RevConfig, RevSimulator};
-use rev_lint::{lint_tables, oracle, Report};
+use rev_lint::{audit, lint_tables, oracle, Report, Severity};
 use rev_sigtable::ValidationMode;
+use rev_trace::{parallel_map, MetricRegistry, Snapshot};
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
 
 struct Options {
@@ -21,13 +24,18 @@ struct Options {
     json: bool,
     oracle: bool,
     instructions: u64,
+    audit: bool,
+    audit_json: Option<String>,
+    jobs: usize,
+    deny_warnings: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rev-lint [--all | --profile NAME ...] [--scale F] \
          [--mode standard|aggressive|cfi-only] [--format text|json] \
-         [--oracle] [--instructions N]"
+         [--oracle] [--instructions N] [--audit] [--audit-json PATH] \
+         [--jobs N] [--deny-warnings]"
     );
     std::process::exit(2);
 }
@@ -40,6 +48,10 @@ fn parse_args() -> Options {
         json: false,
         oracle: false,
         instructions: 200_000,
+        audit: false,
+        audit_json: None,
+        jobs: 1,
+        deny_warnings: false,
     };
     let mut args = std::env::args().skip(1);
     let mut all = false;
@@ -86,6 +98,15 @@ fn parse_args() -> Options {
             "--instructions" => {
                 opts.instructions = value("--instructions").parse().unwrap_or_else(|_| usage());
             }
+            "--audit" => opts.audit = true,
+            "--audit-json" => {
+                opts.audit = true;
+                opts.audit_json = Some(value("--audit-json"));
+            }
+            "--jobs" => {
+                opts.jobs = value("--jobs").parse().unwrap_or_else(|_| usage());
+            }
+            "--deny-warnings" => opts.deny_warnings = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("rev-lint: unknown argument {other:?}");
@@ -99,8 +120,9 @@ fn parse_args() -> Options {
     opts
 }
 
-/// Lints one profile, returning its (possibly oracle-augmented) report.
-fn lint_profile(profile: &SpecProfile, opts: &Options) -> Report {
+/// Lints one profile, returning its (possibly oracle- and
+/// audit-augmented) report plus the audit metrics when `--audit` is on.
+fn lint_profile(profile: &SpecProfile, opts: &Options) -> (Report, Option<MetricRegistry>) {
     let program = generate(&profile.scaled(opts.scale));
     let config = RevConfig::paper_default().with_mode(opts.mode);
     let mut sim = match RevSimulator::new(program, config) {
@@ -111,35 +133,58 @@ fn lint_profile(profile: &SpecProfile, opts: &Options) -> Report {
                 rev_lint::Lint::AnalysisFailed,
                 format!("simulator build failed: {e}"),
             ));
-            return report;
+            return (report, None);
         }
     };
     let tables: Vec<_> = sim.monitor().sag().tables().to_vec();
     let mut report = lint_tables(sim.program(), &tables, sim.config().bb_limits);
+    let mut metrics = None;
+    if opts.audit {
+        let outcome = audit::audit_program(sim.program(), &config);
+        metrics = Some(outcome.metrics());
+        report.merge(outcome.report);
+    }
     if opts.oracle {
         report.merge(oracle::run_oracle(&mut sim, opts.instructions).report);
     }
     report.sort();
-    report
+    (report, metrics)
 }
 
 fn main() {
     let opts = parse_args();
+    // Fan the per-profile work out, then print serially in profile order:
+    // output is byte-identical for every --jobs value.
+    let results = parallel_map(opts.jobs, &opts.profiles, |_w, profile| {
+        (profile.name, lint_profile(profile, &opts))
+    });
     let mut total_errors = 0usize;
+    let mut audit_snapshot = opts.audit_json.as_ref().map(|_| {
+        let mut snap = Snapshot::new();
+        snap.meta_entry("source", rev_trace::Json::Str("rev-lint --audit".into()));
+        snap.meta_entry("scale", rev_trace::Json::Float(opts.scale));
+        snap
+    });
     let mut first = true;
     if opts.json {
         println!("{{\"profiles\":[");
     }
-    for profile in &opts.profiles {
-        let report = lint_profile(profile, &opts);
+    for (name, (report, metrics)) in results {
         total_errors += report.error_count();
+        if opts.deny_warnings {
+            total_errors +=
+                report.diagnostics.iter().filter(|d| d.severity() == Severity::Warning).count();
+        }
+        if let (Some(snap), Some(reg)) = (audit_snapshot.as_mut(), metrics) {
+            snap.add_metrics(name, "audit", reg);
+        }
         if opts.json {
             if !first {
                 println!(",");
             }
-            print!("{{\"profile\":\"{}\",\"report\":{}}}", profile.name, report.render_json());
+            print!("{{\"profile\":\"{}\",\"report\":{}}}", name, report.render_json());
         } else {
-            println!("== {} ==", profile.name);
+            println!("== {name} ==");
             if report.diagnostics.is_empty() {
                 println!("clean");
             } else {
@@ -153,6 +198,12 @@ fn main() {
         println!("\n],\"errors\":{total_errors}}}");
     } else {
         println!("{} profile(s), {} error(s)", opts.profiles.len(), total_errors);
+    }
+    if let (Some(path), Some(snap)) = (&opts.audit_json, &audit_snapshot) {
+        if let Err(e) = std::fs::write(path, snap.render()) {
+            eprintln!("rev-lint: writing {path}: {e}");
+            std::process::exit(2);
+        }
     }
     if total_errors > 0 {
         std::process::exit(1);

@@ -501,6 +501,7 @@ mod tests {
 
     #[test]
     fn duplicate_leaders_pin_table_stats() {
+        use rev_crypto::{bb_body_hash, entry_digest};
         // Hand-written module with duplicate leaders: an (unreachable)
         // jump targets the middle of the entry run, so the halt terminator
         // owns two distinct blocks with the same BB address.
@@ -533,7 +534,6 @@ mod tests {
 
         // The two variants produce two digest-distinct entries on one
         // chain, each matching exactly one block body.
-        use rev_crypto::{bb_body_hash, entry_digest};
         let lookup = t.lookup(halt_addr);
         assert!(!lookup.parse_failure);
         assert_eq!(lookup.variants.len(), 2);
@@ -551,6 +551,7 @@ mod tests {
 
     #[test]
     fn over_long_block_pins_table_stats() {
+        use rev_crypto::{bb_body_hash, entry_digest};
         // A block far past the split limit: 10 instructions at
         // max_instrs = 4 must become ceil-split artificial segments, each
         // with its own table entry.
@@ -582,7 +583,6 @@ mod tests {
         assert_eq!(s.image_bytes, 16 + expected_total * 16);
 
         // Every split segment is digest-findable under its own BB address.
-        use rev_crypto::{bb_body_hash, entry_digest};
         for block in cfg.blocks() {
             let body = bb_body_hash(cfg.block_bytes(&m, block));
             let found = t

@@ -5,7 +5,7 @@
 use proptest::prelude::*;
 use rev_crypto::{bb_body_hash, entry_digest, Aes128, SignatureKey};
 use rev_isa::{BranchCond, Instruction, Reg};
-use rev_prog::{BbLimits, Cfg, Module, ModuleBuilder};
+use rev_prog::{BbLimits, Cfg, Module, ModuleBuilder, TermKind};
 use rev_sigtable::{build_table, SignatureTable, ValidationMode};
 
 fn build_module(shape: &[(u8, bool)]) -> Module {
@@ -75,7 +75,6 @@ proptest! {
         // Target-set completeness for the explicitly validated cases
         // (standard mode stores only computed-branch successors and
         // return predecessors — paper Sec. V).
-        use rev_prog::TermKind;
         for block in cfg.blocks() {
             let body = bb_body_hash(cfg.block_bytes(&module, block));
             let lookup = table.lookup(block.bb_addr);

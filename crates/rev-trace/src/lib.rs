@@ -34,10 +34,12 @@ pub mod event;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+pub mod pool;
 pub mod snapshot;
 
 pub use event::{EventKind, ProbeOutcome, TraceBus, TraceEvent, Verdict};
 pub use fault::{FaultInjector, FaultKind, FaultLayer, FaultSpec, FAULT_LAYERS};
 pub use json::Json;
 pub use metrics::{Histogram, MetricRegistry, MetricSink, MetricValue, HISTOGRAM_BUCKETS};
+pub use pool::parallel_map;
 pub use snapshot::{compare, AttackRecord, CompareReport, Snapshot, SCHEMA};

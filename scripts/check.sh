@@ -41,6 +41,27 @@ if ! diff -q baselines/chaos_quick.json "$chaos" >/dev/null; then
 fi
 rm -f "$chaos"
 
+# Audit gates (DESIGN.md §11). Hard: the differential audit oracle —
+# every attack class under every validation mode diffed against the
+# static coverage prediction, plus per-profile measured detection
+# latencies vs the static bounds; any REV-A000 disagreement exits 1.
+# Soft: the rev-audit snapshot (coverage matrix, collision classes,
+# latency bounds per profile) is byte-diffed against the committed
+# baseline.
+echo "==> rev-chaos --audit (static/dynamic audit-oracle gate)"
+cargo run --release -q -p rev-chaos -- --audit --seed 7 --jobs 4 --quiet
+
+echo "==> rev-lint --audit vs baselines/audit_quick.json (soft gate)"
+audit="$(mktemp /tmp/audit_rev.XXXXXX.json)"
+cargo run --release -q -p rev-lint -- \
+    --all --scale 0.05 --jobs 4 --audit-json "$audit" >/dev/null
+if ! diff -q baselines/audit_quick.json "$audit" >/dev/null; then
+    echo "WARN: audit results drifted from baselines/audit_quick.json (soft gate)."
+    echo "      If intentional, regenerate with:"
+    echo "      cargo run --release -p rev-lint -- --all --scale 0.05 --audit-json baselines/audit_quick.json"
+fi
+rm -f "$audit"
+
 # Soft gates (warn, never fail): regenerate the quick-mode measurement
 # snapshot, diff it against the committed baseline with rev-trace, and
 # sanity-check that the tracing-disabled sweep's wall clock has not

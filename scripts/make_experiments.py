@@ -34,6 +34,41 @@ def table1():
         )
     return "\n".join(lines)
 
+def audit_table():
+    """Per-profile protection-coverage / latency-bound table from the
+    snapshot's `audit` registries (rev-lint's rev-audit pass)."""
+    snap_path = ROOT / "BENCH_rev.json"
+    if not snap_path.exists():
+        return "(BENCH_rev.json not present in this pass)"
+    snap = json.loads(snap_path.read_text())
+    rows = []
+    for profile in sorted(snap["profiles"]):
+        a = snap["profiles"][profile].get("audit")
+        if a is None:
+            return "(snapshot predates the audit registry; regenerate)"
+
+        def guarded(mode):
+            total = a[f"audit.{mode}.edges"]
+            g = total - a[f"audit.{mode}.edges.unguarded"]
+            return f"{g}/{total}"
+
+        aliases = (
+            f"{a['audit.cfi.collision.colliding']} in "
+            f"{a['audit.cfi.collision.classes']}"
+            if a["audit.cfi.collision.colliding"]
+            else "none"
+        )
+        rows.append(
+            f"| {profile} | {guarded('std')} | {guarded('aggr')} | "
+            f"{guarded('cfi')} | {aliases} | {a['audit.std.latency.bound']} |"
+        )
+    head = (
+        "| profile | std guarded | aggr guarded | cfi guarded "
+        "| cfi tag aliases | latency bound |\n|---|---|---|---|---|---|"
+    )
+    return head + "\n" + "\n".join(rows)
+
+
 def section(name, stop="==="):
     start = out.index(name)
     start = out.index("\n", start) + 1
@@ -228,6 +263,26 @@ band: our entries are AES-block-aligned at 16 bytes where the paper packs
 average fewer code bytes than x86 SPEC blocks. Applying the 10/16 packing
 factor puts the measured average on the paper's 37 %.
 
+## Protection-coverage audit (rev-audit, DESIGN.md §11)
+
+Static per-edge protection coverage, CFI tag aliasing and worst-case
+detection-latency bounds, computed by `rev-lint --audit` from the CFG
+and the built tables and exported in the snapshot's `audit` registries.
+"Guarded" counts CFG edges carrying at least one check (body hash,
+target check, return latch, or store containment); the hashed modes
+cover every edge by construction (REV-A120 tripwire), while CFI-only's
+gap is its designed trade-off (REV-A121). "CFI tag aliases" is the
+count of entries whose 12-bit source tags collide (entries in classes)
+— structural pigeonhole aliasing absent from the hashed modes. The
+latency bound (standard mode, commits) is validated dynamically: the
+audit oracle (`rev-chaos --audit`, hard gate in `scripts/check.sh`)
+fault-measures real detection latencies per profile and fails on any
+measurement above its bound, and mounts all 7 attack classes under all
+3 modes checking the measured outcomes against the matrix's
+predictions (REV-A000 on any disagreement).
+
+{audit_table()}
+
 ## Sec. VI — area & power
 
 ```
@@ -296,6 +351,7 @@ overhead, exactly the motivation given in Sec. V.A.
 | Table sizes 15–52 %/40–65 %/3–20 % | ◐ mode ratios ✓; absolute ≈1.7× (16 B vs ~10 B entries) |
 | ~8 % core area, ~7.2 % core power, <5.5 % chip | ✅ analytical model calibrated and swept |
 | No ISA changes / no binary modification | ✅ by construction |
+| Static coverage/latency model agrees with dynamics | ✅ audit oracle: 21 attack cells + 18 profile latency sets, zero REV-A000 |
 """
 
 (ROOT / "EXPERIMENTS.md").write_text(doc)
