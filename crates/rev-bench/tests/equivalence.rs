@@ -14,8 +14,8 @@
 //! invalidation contract lives in `crates/rev-core/tests/smc.rs`.)
 
 use rev_bench::{program_for, snapshot_from_runs, sweep_configs, BenchOptions, SweepConfig};
-use rev_core::{RevConfig, RevSimulator};
-use rev_trace::{MetricRegistry, MetricSink, Snapshot};
+use rev_core::{RevConfig, RevSimulator, Session, SessionStatus};
+use rev_trace::{parallel_map, MetricRegistry, MetricSink, Snapshot};
 
 fn tiny_opts() -> BenchOptions {
     BenchOptions {
@@ -77,6 +77,64 @@ fn tracing_does_not_perturb_measurements() {
         let (out_traced, reg_traced) = registry_of(true);
         assert_eq!(out_plain, out_traced, "{name}: outcome must not depend on tracing");
         assert_eq!(reg_plain, reg_traced, "{name}: tracing must not move a single metric");
+    }
+}
+
+/// Session slicing is exact: stepping a suspendable `Session` in budget
+/// slices of 1, 7, 1000 or `∞` committed instructions produces, for
+/// every one of the 18 workload profiles, the same outcome and
+/// byte-identical cpu/rev/mem metric registries as one monolithic
+/// `RevSimulator::run` call. This is the enabling property of the
+/// `rev-serve` gateway (many interleaved sessions per worker thread) —
+/// see `DESIGN.md` §12 for why a yield cannot perturb any counter.
+#[test]
+fn session_slicing_matches_monolithic_across_all_profiles() {
+    let opts = tiny_opts();
+    let profiles = opts.profiles();
+    assert_eq!(profiles.len(), 18, "the paper's full profile set");
+    let reports = parallel_map(rev_bench::default_jobs(), &profiles, |_, profile| {
+        let fresh = || {
+            let mut sim =
+                RevSimulator::new(program_for(profile), RevConfig::paper_default()).unwrap();
+            sim.warmup(opts.warmup);
+            sim
+        };
+        let fingerprint = |report: &rev_core::RevReport| {
+            let mut reg = MetricRegistry::new();
+            report.cpu.export_metrics(&mut reg);
+            report.rev.export_metrics(&mut reg);
+            report.mem.export_metrics(&mut reg);
+            (format!("{:?}", report.outcome), reg.to_json().render())
+        };
+        let monolithic = fingerprint(&fresh().run(opts.instructions));
+        let sliced: Vec<_> = [1, 7, 1000, u64::MAX]
+            .into_iter()
+            .map(|budget| {
+                let mut session = Session::new(fresh(), opts.instructions);
+                let report = loop {
+                    match session.run(budget) {
+                        SessionStatus::Yielded { committed } => {
+                            assert!(
+                                committed < opts.instructions,
+                                "{}: a yield past the target",
+                                profile.name
+                            );
+                        }
+                        SessionStatus::Done(report) => break report,
+                    }
+                };
+                (budget, fingerprint(&report))
+            })
+            .collect();
+        (profile.name, monolithic, sliced)
+    });
+    for (name, monolithic, sliced) in reports {
+        for (budget, got) in sliced {
+            assert_eq!(
+                got, monolithic,
+                "{name}: budget={budget} slicing must not move a rendered metric byte"
+            );
+        }
     }
 }
 

@@ -48,6 +48,7 @@ mod profile;
 mod rev_monitor;
 mod sag;
 mod sc;
+mod session;
 mod shadow;
 mod sim;
 mod stats;
@@ -59,6 +60,7 @@ pub use profile::{profile_indirect_targets, IndirectProfile};
 pub use rev_monitor::{DynBlockTriple, RevMonitor, SYSCALL_REV_DISABLE, SYSCALL_REV_ENABLE};
 pub use sag::{Sag, SagEntry};
 pub use sc::{ScEntry, ScProbe, ScStats, ScVariant, SignatureCache};
+pub use session::{Session, SessionStatus};
 pub use shadow::{ShadowMemory, ShadowStats};
 pub use sim::{analyze_and_link, BaselineReport, RevReport, RevSimulator, SimBuildError, SimError};
 pub use stats::RevStats;

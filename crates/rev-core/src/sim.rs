@@ -389,6 +389,33 @@ impl RevSimulator {
     /// halt, or a violation.
     pub fn run(&mut self, total_committed: u64) -> RevReport {
         let result = self.pipeline.run(&mut self.monitor, total_committed);
+        self.report_from(result)
+    }
+
+    /// Correct-path instructions committed since the last warmup reset —
+    /// the progress coordinate of a suspendable [`crate::Session`].
+    pub fn committed_instrs(&self) -> u64 {
+        self.pipeline.stats().committed_instrs
+    }
+
+    /// Advances the core until the cumulative committed count reaches
+    /// `total_committed` without firing the end-of-run hook on the budget
+    /// path (see [`rev_cpu::Pipeline::run_slice`]). [`crate::Session`]
+    /// builds on this; direct callers should prefer [`Self::run`].
+    pub(crate) fn run_slice(&mut self, total_committed: u64) -> rev_cpu::RunResult {
+        self.pipeline.run_slice(&mut self.monitor, total_committed)
+    }
+
+    /// Fires the monitor's end-of-run hook — the terminal half of the
+    /// [`Self::run_slice`] protocol, called exactly once per run.
+    pub(crate) fn finish_run(&mut self) {
+        self.pipeline.finish_run(&mut self.monitor);
+    }
+
+    /// Assembles the run report in the same field order as [`Self::run`]
+    /// (cpu stats from the pipeline result, then REV stats, then memory
+    /// stats — after the end-of-run hook, so SC/shadow captures are in).
+    pub(crate) fn report_from(&self, result: rev_cpu::RunResult) -> RevReport {
         RevReport {
             outcome: result.outcome,
             cpu: result.stats,

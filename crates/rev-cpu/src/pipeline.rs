@@ -552,7 +552,44 @@ impl Pipeline {
 
     /// Runs until `max_instrs` correct-path instructions commit, the
     /// program halts, or the monitor reports a violation.
+    ///
+    /// This is the monolithic run-to-completion loop: the monitor's
+    /// end-of-run hook fires on **every** exit path, including
+    /// [`RunOutcome::BudgetReached`]. Suspendable sessions instead call
+    /// [`Pipeline::run_slice`] repeatedly and [`Pipeline::finish_run`]
+    /// exactly once, which composes to the same hook sequence.
     pub fn run<M: ExecMonitor>(&mut self, monitor: &mut M, max_instrs: u64) -> RunResult {
+        let result = self.run_slice(monitor, max_instrs);
+        if result.outcome == RunOutcome::BudgetReached {
+            self.finish_run(monitor);
+        }
+        result
+    }
+
+    /// Fires the monitor's end-of-run hook (terminal state flush: shadow
+    /// promotion, SC stat capture). [`Pipeline::run`] does this
+    /// implicitly; a caller stepping the core through [`Self::run_slice`]
+    /// budget slices must call it exactly once, when the run is truly
+    /// over — an intermediate yield is *not* an end of run, and firing
+    /// the hook there would promote shadow pages mid-execution.
+    pub fn finish_run<M: ExecMonitor>(&mut self, monitor: &mut M) {
+        monitor.on_run_end(&mut self.mem, self.now);
+    }
+
+    /// Runs until the **cumulative** committed-instruction count (since
+    /// the last [`Self::reset_stats`]) reaches `max_instrs`, the program
+    /// halts, or the monitor reports a violation — then returns *without*
+    /// firing the monitor's end-of-run hook on the budget path, so the
+    /// caller can resume from the exact microarchitectural state later.
+    /// Halt and violation exits are terminal and do fire the hook.
+    ///
+    /// The per-cycle loop is byte-for-byte the monolithic one: a slice
+    /// boundary is only an early return between two cycles, never a
+    /// different cycle, so stepping in arbitrary budget slices commits
+    /// the same instructions on the same cycles as one big run (the
+    /// session-slicing equivalence suite in `rev-bench` pins this across
+    /// all 18 workload profiles).
+    pub fn run_slice<M: ExecMonitor>(&mut self, monitor: &mut M, max_instrs: u64) -> RunResult {
         let mut last_commit_cycle = self.now;
         let mut last_committed = self.stats.committed_instrs;
         loop {
@@ -565,7 +602,6 @@ impl Pipeline {
                 last_commit_cycle = self.now;
             }
             if self.stats.committed_instrs >= max_instrs {
-                monitor.on_run_end(&mut self.mem, self.now);
                 return RunResult { outcome: RunOutcome::BudgetReached, stats: self.stats.clone() };
             }
             if self.pipeline_empty() {

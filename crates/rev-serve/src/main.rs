@@ -1,0 +1,77 @@
+//! The `rev-serve` daemon binary.
+//!
+//! ```text
+//! rev-serve [--workers N] [--slice N] [--listen ADDR] [--verbose]
+//! ```
+//!
+//! By default the daemon speaks `rev-serve/1` on stdin/stdout — the
+//! mode the smoke gate in `scripts/check.sh` drives, and the simplest
+//! way to embed the gateway under another process. With `--listen ADDR`
+//! it binds a TCP socket instead and serves connections sequentially,
+//! one full protocol conversation per connection (a fresh `serve.*`
+//! registry each time). See `docs/SERVE.md` for the protocol.
+
+use rev_serve::server::{serve, ServeOptions};
+use std::io::{BufReader, Write as _};
+use std::net::TcpListener;
+
+fn main() {
+    let mut opts = ServeOptions { quiet: true, ..Default::default() };
+    let mut listen: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workers" => {
+                let v = args.next().expect("--workers needs a value");
+                opts.workers = v.parse().expect("--workers must be an integer");
+            }
+            "--slice" => {
+                let v = args.next().expect("--slice needs a value");
+                opts.slice = v.parse().expect("--slice must be an integer");
+                assert!(opts.slice >= 1, "--slice must be at least 1");
+            }
+            "--listen" => {
+                listen = Some(args.next().expect("--listen needs an address (host:port)"));
+            }
+            "--verbose" => opts.quiet = false,
+            other => {
+                eprintln!(
+                    "rev-serve: unknown argument '{other}' \
+                     (expected --workers, --slice, --listen, --verbose)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    match listen {
+        None => {
+            let stdin = std::io::stdin();
+            serve(stdin.lock(), std::io::stdout(), &opts);
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(&addr)
+                .unwrap_or_else(|e| panic!("rev-serve: cannot bind {addr}: {e}"));
+            if !opts.quiet {
+                eprintln!("rev-serve: listening on {addr}");
+            }
+            for conn in listener.incoming() {
+                let stream = match conn {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("rev-serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                let reader = BufReader::new(match stream.try_clone() {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("rev-serve: cannot clone stream: {e}");
+                        continue;
+                    }
+                });
+                serve(reader, &stream, &opts);
+                let _ = (&stream).flush();
+            }
+        }
+    }
+}

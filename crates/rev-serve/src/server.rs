@@ -1,0 +1,477 @@
+//! The gateway itself: a reader loop feeding a sharded worker pool of
+//! suspendable [`Session`]s.
+//!
+//! One [`serve`] call handles one connection (stdio or one TCP client).
+//! The calling thread parses requests; `workers` pool threads pop jobs
+//! from a shared round-robin queue and advance each by one
+//! committed-instruction *slice* at a time. A job that yields goes to
+//! the back of the queue, so N workers interleave M jobs fairly even
+//! when M > N — the enabling property is that a [`Session`] is `Send`
+//! and slicing is exact (see `DESIGN.md` §12). Every event is one JSON
+//! line on the shared writer, flushed atomically under a mutex.
+
+use crate::proto::{
+    mode_label, ErrorCode, JobSpec, ProtoError, Request, Response, VerdictOutcome, PROTOCOL,
+    RESULT_SCHEMA,
+};
+use rev_core::{RevReport, RevSimulator, RunOutcome, Session, SessionStatus};
+use rev_trace::{Json, MetricRegistry, MetricSink, Snapshot};
+use rev_workloads::SpecProfile;
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Gateway tuning knobs (the `rev-serve` command line maps onto this).
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Worker threads advancing sessions (0 = host parallelism).
+    pub workers: usize,
+    /// Committed-instruction budget per scheduling slice.
+    pub slice: u64,
+    /// Suppress the stderr narration (job lifecycle notes).
+    pub quiet: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions { workers: default_workers(), slice: 50_000, quiet: true }
+    }
+}
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Every `serve.*` metric the gateway exports, in documentation order —
+/// the doc-coverage test checks each against `docs/SERVE.md`.
+pub const SERVE_METRICS: &[&str] = &[
+    "serve.jobs.submitted",
+    "serve.jobs.completed",
+    "serve.jobs.cancelled",
+    "serve.jobs.rejected",
+    "serve.jobs.quota_exceeded",
+    "serve.jobs.failed",
+    "serve.slices",
+    "serve.progress_events",
+    "serve.instructions_committed",
+];
+
+/// Gateway lifecycle counters, exported as the `serve.*` registry.
+#[derive(Debug, Default, Clone)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    cancelled: u64,
+    rejected: u64,
+    quota_exceeded: u64,
+    failed: u64,
+    slices: u64,
+    progress_events: u64,
+    instructions_committed: u64,
+}
+
+impl Counters {
+    fn registry(&self) -> MetricRegistry {
+        let mut reg = MetricRegistry::new();
+        reg.counter("serve.jobs.submitted", self.submitted);
+        reg.counter("serve.jobs.completed", self.completed);
+        reg.counter("serve.jobs.cancelled", self.cancelled);
+        reg.counter("serve.jobs.rejected", self.rejected);
+        reg.counter("serve.jobs.quota_exceeded", self.quota_exceeded);
+        reg.counter("serve.jobs.failed", self.failed);
+        reg.counter("serve.slices", self.slices);
+        reg.counter("serve.progress_events", self.progress_events);
+        reg.counter("serve.instructions_committed", self.instructions_committed);
+        reg
+    }
+}
+
+/// One queued or in-flight job. The simulator is assembled lazily on the
+/// job's first slice, on a worker thread — `submit` stays cheap and
+/// build errors surface as job-scoped `build-failed` events.
+struct Job {
+    spec: JobSpec,
+    session: Option<Session>,
+    cancel: Arc<AtomicBool>,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Live job ids → cancel flags (queued and mid-slice jobs alike).
+    live: HashMap<String, Arc<AtomicBool>>,
+    accepting: bool,
+    counters: Counters,
+}
+
+struct Shared<W: Write> {
+    state: Mutex<State>,
+    work_ready: Condvar,
+    writer: Mutex<W>,
+    slice: u64,
+    quiet: bool,
+}
+
+impl<W: Write> Shared<W> {
+    /// Emits one response line, atomically, flushed.
+    fn emit(&self, resp: &Response) {
+        let mut w = self.writer.lock().expect("writer lock");
+        writeln!(w, "{}", resp.render_line()).expect("write response");
+        w.flush().expect("flush response");
+    }
+
+    fn narrate(&self, msg: &str) {
+        if !self.quiet {
+            eprintln!("rev-serve: {msg}");
+        }
+    }
+}
+
+/// Builds the `rev-trace/1` result payload for a finished job.
+///
+/// The registry is assembled exactly as the batch harness does it in
+/// `snapshot_from_runs` — cpu, then rev, then mem `export_metrics` into
+/// one sorted registry under `profiles.<profile>.<label>` — so a verdict
+/// payload is *byte-identical* to the corresponding entry of a
+/// `BENCH_rev.json` produced at the same profile, instruction budget,
+/// warmup, scale and config (the daemon equivalence test pins this).
+/// `meta` carries the job parameters and, like every `rev-trace/1`
+/// snapshot, is informative only: no wall clock, fully deterministic.
+pub fn verdict_snapshot(spec: &JobSpec, report: &RevReport) -> Snapshot {
+    let mut snap = Snapshot::new();
+    snap.meta_entry("id", Json::Str(spec.id.clone()));
+    snap.meta_entry("profile", Json::Str(spec.profile.clone()));
+    snap.meta_entry("instructions", Json::Int(spec.instructions as i64));
+    snap.meta_entry("warmup", Json::Int(spec.warmup as i64));
+    snap.meta_entry("scale", Json::Float(spec.scale));
+    snap.meta_entry("mode", Json::Str(mode_label(spec.config.mode).to_string()));
+    snap.meta_entry("configs", Json::Arr(vec![Json::Str(spec.label.clone())]));
+    let mut reg = MetricRegistry::new();
+    report.cpu.export_metrics(&mut reg);
+    report.rev.export_metrics(&mut reg);
+    report.mem.export_metrics(&mut reg);
+    snap.add_metrics(&spec.profile, &spec.label, reg);
+    snap
+}
+
+/// The scale rule of the batch harness (`BenchOptions::profiles`),
+/// applied to one profile: exact 1.0 keeps the static footprints,
+/// anything else scales them.
+fn resolve_profile(name: &str, scale: f64) -> Option<SpecProfile> {
+    let p = SpecProfile::by_name(name)?;
+    Some(if (scale - 1.0).abs() < 1e-9 { p.clone() } else { p.scaled(scale) })
+}
+
+/// How a retiring job leaves the system (drives the `serve.*` counter).
+enum Retire {
+    Completed,
+    Cancelled,
+    QuotaExceeded,
+    BuildFailed,
+}
+
+/// What one scheduling slice did to a job.
+enum SliceOutcome {
+    /// Budget exhausted; the job goes to the back of the queue.
+    Yielded { committed: u64 },
+    /// The run ended; emit the response and drop the job.
+    Finished(Box<Response>, Retire),
+}
+
+/// Advances `job` by one scheduling slice (assembling the simulator
+/// first when this is the job's first). Returns the outcome plus the
+/// committed-instruction delta of the slice.
+fn run_one_slice(job: &mut Job, slice: u64) -> (SliceOutcome, u64) {
+    // Cancellation is observed at slice granularity: the flag is checked
+    // here, between slices, and the response carries the instruction
+    // count at which the cancel landed.
+    if job.cancel.load(Ordering::SeqCst) {
+        let committed = job.session.as_ref().map_or(0, Session::committed);
+        let resp = Response::Cancelled { id: job.spec.id.clone(), committed };
+        return (SliceOutcome::Finished(Box::new(resp), Retire::Cancelled), 0);
+    }
+    if job.session.is_none() {
+        match build_session(&job.spec) {
+            Ok(session) => job.session = Some(session),
+            Err(message) => {
+                let resp = Response::Error {
+                    id: Some(job.spec.id.clone()),
+                    code: ErrorCode::BuildFailed,
+                    message,
+                };
+                return (SliceOutcome::Finished(Box::new(resp), Retire::BuildFailed), 0);
+            }
+        }
+    }
+    let session = job.session.as_mut().expect("session built above");
+    // A quota shrinks the slice so the session can never run far past it
+    // (the commit stage may overshoot by at most one commit width).
+    let budget = match job.spec.quota {
+        Some(quota) => {
+            let remaining = quota.saturating_sub(session.committed());
+            if remaining == 0 {
+                let resp = quota_error(&job.spec, session.committed());
+                return (SliceOutcome::Finished(Box::new(resp), Retire::QuotaExceeded), 0);
+            }
+            slice.min(remaining)
+        }
+        None => slice,
+    };
+    let before = session.committed();
+    let status = session.run(budget);
+    match status {
+        SessionStatus::Yielded { committed } => {
+            let delta = committed - before;
+            if job.spec.quota.is_some_and(|q| committed >= q) {
+                let resp = quota_error(&job.spec, committed);
+                (SliceOutcome::Finished(Box::new(resp), Retire::QuotaExceeded), delta)
+            } else {
+                (SliceOutcome::Yielded { committed }, delta)
+            }
+        }
+        SessionStatus::Done(report) => {
+            let delta = report.cpu.committed_instrs.saturating_sub(before);
+            let outcome = match &report.outcome {
+                RunOutcome::BudgetReached => VerdictOutcome::Budget,
+                RunOutcome::Halted => VerdictOutcome::Halted,
+                RunOutcome::Violation(v) => VerdictOutcome::Violation(v.kind.to_string()),
+                RunOutcome::OracleFault { .. } => VerdictOutcome::OracleFault,
+            };
+            let resp = Response::Verdict {
+                id: job.spec.id.clone(),
+                outcome,
+                snapshot: verdict_snapshot(&job.spec, &report).to_json(),
+            };
+            (SliceOutcome::Finished(Box::new(resp), Retire::Completed), delta)
+        }
+    }
+}
+
+fn quota_error(spec: &JobSpec, committed: u64) -> Response {
+    Response::Error {
+        id: Some(spec.id.clone()),
+        code: ErrorCode::QuotaExceeded,
+        message: format!(
+            "quota of {} instructions exhausted at {} committed (target {})",
+            spec.quota.unwrap_or(0),
+            committed,
+            spec.instructions
+        ),
+    }
+}
+
+/// Assembles the simulator for a job: profile → program → REV machine →
+/// warmup → session. Any failure becomes the `build-failed` message.
+fn build_session(spec: &JobSpec) -> Result<Session, String> {
+    let profile = resolve_profile(&spec.profile, spec.scale).ok_or_else(|| {
+        format!("profile {:?} disappeared between submit and build", spec.profile)
+    })?;
+    let program = rev_workloads::generate(&profile);
+    let mut sim =
+        RevSimulator::new(program, spec.config.to_rev_config()).map_err(|e| e.to_string())?;
+    // Warmup runs unsliced: it is bounded by the spec and its statistics
+    // are discarded, so fairness only starts at the measurement window.
+    sim.warmup(spec.warmup);
+    Ok(Session::new(sim, spec.instructions))
+}
+
+/// Worker loop: pop a job, advance it one slice, re-enqueue or retire.
+fn worker<W: Write>(shared: &Shared<W>) {
+    loop {
+        let mut job = {
+            let mut st = shared.state.lock().expect("state lock");
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    break job;
+                }
+                if !st.accepting {
+                    return;
+                }
+                st = shared.work_ready.wait(st).expect("state lock");
+            }
+        };
+        let (outcome, delta) = run_one_slice(&mut job, shared.slice);
+        match outcome {
+            SliceOutcome::Yielded { committed } => {
+                shared.emit(&Response::Progress {
+                    id: job.spec.id.clone(),
+                    committed,
+                    target: job.spec.instructions,
+                });
+                let mut st = shared.state.lock().expect("state lock");
+                st.counters.slices += 1;
+                st.counters.progress_events += 1;
+                st.counters.instructions_committed += delta;
+                st.queue.push_back(job);
+                drop(st);
+                shared.work_ready.notify_one();
+            }
+            SliceOutcome::Finished(resp, retire) => {
+                shared.narrate(&format!("job {} retired: {}", job.spec.id, resp.type_tag()));
+                {
+                    let mut st = shared.state.lock().expect("state lock");
+                    if delta > 0 {
+                        st.counters.slices += 1;
+                        st.counters.instructions_committed += delta;
+                    }
+                    match retire {
+                        Retire::Completed => st.counters.completed += 1,
+                        Retire::Cancelled => st.counters.cancelled += 1,
+                        Retire::QuotaExceeded => st.counters.quota_exceeded += 1,
+                        Retire::BuildFailed => st.counters.failed += 1,
+                    }
+                    st.live.remove(&job.spec.id);
+                }
+                shared.emit(&resp);
+                // A drained queue with accepting=false is the exit
+                // condition; wake siblings so they can observe it.
+                shared.work_ready.notify_all();
+            }
+        }
+    }
+}
+
+/// Handles one request line, mutating state and emitting the reply.
+/// Returns `false` when the connection should wind down (`shutdown`).
+fn handle_request<W: Write>(shared: &Shared<W>, workers: usize, line: &str) -> bool {
+    let request = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(ProtoError { code, message }) => {
+            shared.state.lock().expect("state lock").counters.rejected += 1;
+            shared.emit(&Response::Error { id: None, code, message });
+            return true;
+        }
+    };
+    match request {
+        Request::Hello { proto } => {
+            if proto == PROTOCOL {
+                shared.emit(&Response::Hello {
+                    proto: PROTOCOL.to_string(),
+                    schema: RESULT_SCHEMA.to_string(),
+                    workers: workers as u64,
+                    slice: shared.slice,
+                });
+            } else {
+                shared.emit(&Response::Error {
+                    id: None,
+                    code: ErrorCode::UnsupportedProto,
+                    message: format!("this daemon speaks {PROTOCOL}, not {proto:?}"),
+                });
+            }
+        }
+        Request::Submit(spec) => {
+            if let Some(resp) = reject_submit(shared, &spec) {
+                shared.state.lock().expect("state lock").counters.rejected += 1;
+                shared.emit(&resp);
+                return true;
+            }
+            let cancel = Arc::new(AtomicBool::new(false));
+            let accepted = Response::Accepted {
+                id: spec.id.clone(),
+                profile: spec.profile.clone(),
+                target: spec.instructions,
+            };
+            {
+                let mut st = shared.state.lock().expect("state lock");
+                st.counters.submitted += 1;
+                st.live.insert(spec.id.clone(), Arc::clone(&cancel));
+                st.queue.push_back(Job { spec: *spec, session: None, cancel });
+            }
+            shared.emit(&accepted);
+            shared.work_ready.notify_one();
+        }
+        Request::Cancel { id } => {
+            let flag = shared.state.lock().expect("state lock").live.get(&id).cloned();
+            match flag {
+                // The `cancelled` event is emitted by the worker that
+                // observes the flag, carrying the committed count.
+                Some(cancel) => cancel.store(true, Ordering::SeqCst),
+                None => shared.emit(&Response::Error {
+                    id: Some(id.clone()),
+                    code: ErrorCode::UnknownJob,
+                    message: format!("no live job {id:?}"),
+                }),
+            }
+        }
+        Request::Status => {
+            let reg = shared.state.lock().expect("state lock").counters.registry();
+            shared.emit(&Response::Metrics { metrics: reg.to_json() });
+        }
+        Request::Shutdown => return false,
+    }
+    true
+}
+
+/// Pre-queue validation of a `submit`: every rejection the daemon can
+/// detect synchronously (the asynchronous one is `build-failed`).
+fn reject_submit<W: Write>(shared: &Shared<W>, spec: &JobSpec) -> Option<Response> {
+    if shared.state.lock().expect("state lock").live.contains_key(&spec.id) {
+        return Some(Response::Error {
+            id: Some(spec.id.clone()),
+            code: ErrorCode::DuplicateId,
+            message: format!("job {:?} is still live", spec.id),
+        });
+    }
+    if SpecProfile::by_name(&spec.profile).is_none() {
+        return Some(Response::Error {
+            id: Some(spec.id.clone()),
+            code: ErrorCode::UnknownProfile,
+            message: format!("unknown profile {:?} (see docs/SERVE.md)", spec.profile),
+        });
+    }
+    if let Err(e) = spec.config.to_rev_config().validate() {
+        return Some(Response::Error {
+            id: Some(spec.id.clone()),
+            code: ErrorCode::BadConfig,
+            message: e.to_string(),
+        });
+    }
+    None
+}
+
+/// Serves one connection: reads requests from `input` until `shutdown`
+/// or EOF, runs jobs on `opts.workers` pool threads, writes every
+/// response line to `output`. In-flight and queued jobs are drained
+/// before the final `metrics` + `bye` pair; the function returns once
+/// every worker has exited.
+///
+/// # Panics
+///
+/// Panics if a stream fails mid-protocol (a gateway whose client is
+/// gone has nothing useful left to do) or a pool thread panics.
+pub fn serve<R: BufRead, W: Write + Send>(input: R, output: W, opts: &ServeOptions) {
+    let workers = if opts.workers == 0 { default_workers() } else { opts.workers };
+    let shared = Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            live: HashMap::new(),
+            accepting: true,
+            counters: Counters::default(),
+        }),
+        work_ready: Condvar::new(),
+        writer: Mutex::new(output),
+        slice: opts.slice.max(1),
+        quiet: opts.quiet,
+    };
+    let shared = &shared;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(move || worker(shared));
+        }
+        for line in input.lines() {
+            let line = line.expect("read request line");
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !handle_request(shared, workers, &line) {
+                break; // shutdown: stop reading, drain below
+            }
+        }
+        shared.state.lock().expect("state lock").accepting = false;
+        shared.work_ready.notify_all();
+    });
+    let reg = shared.state.lock().expect("state lock").counters.registry();
+    shared.emit(&Response::Metrics { metrics: reg.to_json() });
+    shared.emit(&Response::Bye);
+}

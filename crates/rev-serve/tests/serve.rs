@@ -1,0 +1,329 @@
+//! End-to-end tests for the `rev-serve` gateway: protocol conversations
+//! against the in-process [`serve`] loop, determinism across worker
+//! counts, byte-identity of verdict payloads with the batch harness,
+//! quota and cancellation semantics, and a spawned-binary stdio smoke
+//! test.
+
+use rev_serve::proto::{
+    ErrorCode, JobSpec, Request, Response, VerdictOutcome, PROTOCOL, RESULT_SCHEMA,
+};
+use rev_serve::server::{serve, ServeOptions};
+use std::collections::BTreeMap;
+
+/// Runs one full protocol conversation in-process and parses every
+/// response line back through the typed client-side parser.
+fn converse(requests: &[Request], opts: &ServeOptions) -> Vec<Response> {
+    let mut input = String::new();
+    for r in requests {
+        input.push_str(&r.to_json().render());
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    serve(input.as_bytes(), &mut output, opts);
+    String::from_utf8(output)
+        .expect("utf-8 output")
+        .lines()
+        .map(|line| {
+            let v = rev_trace::json::parse(line).expect("each output line is JSON");
+            Response::from_json(&v).expect("each output line is a typed response")
+        })
+        .collect()
+}
+
+fn opts(workers: usize) -> ServeOptions {
+    ServeOptions { workers, slice: 2_000, quiet: true }
+}
+
+/// A job small enough for tests: scaled-down profile, short window.
+fn tiny_job(id: &str, profile: &str, instructions: u64) -> JobSpec {
+    let mut spec = JobSpec::new(id, profile, instructions);
+    spec.scale = 0.05;
+    spec.warmup = 2_000;
+    spec
+}
+
+fn verdicts(responses: &[Response]) -> BTreeMap<String, (String, String)> {
+    responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Verdict { id, outcome, snapshot } => {
+                Some((id.clone(), (outcome.as_str().to_string(), snapshot.render())))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+fn metric(responses: &[Response], name: &str) -> u64 {
+    let Some(Response::Metrics { metrics }) =
+        responses.iter().rev().find(|r| matches!(r, Response::Metrics { .. }))
+    else {
+        panic!("no metrics event in the conversation");
+    };
+    metrics.get(name).and_then(rev_trace::Json::as_u64).unwrap_or_else(|| {
+        panic!("metrics event lacks {name}: {}", metrics.render());
+    })
+}
+
+#[test]
+fn handshake_and_lifecycle() {
+    let responses = converse(
+        &[
+            Request::Hello { proto: PROTOCOL.to_string() },
+            Request::Submit(Box::new(tiny_job("j1", "mcf", 10_000))),
+            Request::Shutdown,
+        ],
+        &opts(2),
+    );
+    let Response::Hello { proto, schema, workers, slice } = &responses[0] else {
+        panic!("first response must answer the handshake, got {:?}", responses[0]);
+    };
+    assert_eq!(proto, PROTOCOL);
+    assert_eq!(schema, RESULT_SCHEMA);
+    assert_eq!((*workers, *slice), (2, 2_000));
+    assert!(
+        matches!(&responses[1], Response::Accepted { id, profile, target }
+            if id == "j1" && profile == "mcf" && *target == 10_000),
+        "submit must be acknowledged before any job event"
+    );
+    // With a 2k slice and a 10k target the job must yield progress.
+    let progress: Vec<_> = responses
+        .iter()
+        .filter_map(|r| match r {
+            Response::Progress { id, committed, target } if id == "j1" => {
+                assert_eq!(*target, 10_000);
+                Some(*committed)
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(progress.len() >= 2, "expected multiple progress events, got {progress:?}");
+    assert!(progress.windows(2).all(|w| w[0] < w[1]), "progress is monotone: {progress:?}");
+    let verdicts = verdicts(&responses);
+    assert_eq!(verdicts.len(), 1);
+    assert_eq!(verdicts["j1"].0, "budget");
+    // Shutdown epilogue: metrics, then bye, then nothing.
+    assert!(matches!(responses[responses.len() - 2], Response::Metrics { .. }));
+    assert!(matches!(responses[responses.len() - 1], Response::Bye));
+    assert_eq!(metric(&responses, "serve.jobs.submitted"), 1);
+    assert_eq!(metric(&responses, "serve.jobs.completed"), 1);
+    assert!(metric(&responses, "serve.slices") >= 5);
+    assert!(metric(&responses, "serve.instructions_committed") >= 10_000);
+}
+
+/// The determinism contract: N concurrent jobs on 1 worker and on 4
+/// workers produce the *same verdict payload bytes* per job — scheduling
+/// interleave is an observability knob, never a measurement knob.
+#[test]
+fn verdicts_are_identical_across_worker_counts() {
+    let jobs = [
+        tiny_job("a", "mcf", 10_000),
+        tiny_job("b", "gobmk", 10_000),
+        tiny_job("c", "bzip2", 10_000),
+    ];
+    let run = |workers: usize| {
+        let mut requests: Vec<Request> =
+            jobs.iter().map(|j| Request::Submit(Box::new(j.clone()))).collect();
+        requests.push(Request::Shutdown);
+        verdicts(&converse(&requests, &opts(workers)))
+    };
+    let serial = run(1);
+    let fanned = run(4);
+    assert_eq!(serial.len(), 3, "all three jobs must produce verdicts");
+    assert_eq!(serial, fanned, "worker count must never change a verdict payload byte");
+}
+
+/// A verdict's result payload is byte-identical to the registry the
+/// batch harness (`rev-bench`) computes for the same profile, window and
+/// configuration — the gateway and `BENCH_rev.json` can be diffed.
+#[test]
+fn verdict_payload_matches_batch_harness() {
+    let job = tiny_job("j1", "mcf", 10_000);
+    let responses =
+        converse(&[Request::Submit(Box::new(job.clone())), Request::Shutdown], &opts(2));
+    let (_, snapshot_bytes) = &verdicts(&responses)["j1"];
+
+    // The batch-harness side, exactly as `snapshot_from_runs` builds it.
+    let bench_opts = rev_bench::BenchOptions {
+        instructions: job.instructions,
+        warmup: job.warmup,
+        scale: job.scale,
+        quiet: true,
+        ..rev_bench::BenchOptions::default()
+    };
+    let profile = rev_bench::BenchOptions { only: vec![job.profile.clone()], ..bench_opts.clone() }
+        .profiles()
+        .remove(0);
+    let report =
+        rev_bench::run_rev_only(&profile, &bench_opts, rev_core::RevConfig::paper_default());
+
+    let expected = rev_serve::verdict_snapshot(&job, &report).to_json().render();
+    assert_eq!(
+        snapshot_bytes, &expected,
+        "gateway verdict payload must be byte-identical to the batch harness"
+    );
+    // And the registry inside really is the harness registry.
+    let snap = rev_trace::Snapshot::parse(snapshot_bytes).expect("payload is rev-trace/1");
+    let reg = &snap.profiles["mcf"]["rev"];
+    assert!(reg.get("cpu.cycles").is_some() && reg.get("rev.validations").is_some());
+}
+
+/// A quota smaller than the target aborts the job with `quota-exceeded`
+/// after committing no more than quota + one commit width.
+#[test]
+fn quota_exceeded_aborts_the_job() {
+    let mut job = tiny_job("q1", "mcf", 50_000);
+    job.quota = Some(5_000);
+    let responses = converse(&[Request::Submit(Box::new(job)), Request::Shutdown], &opts(1));
+    let err = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Error { id: Some(id), code, message } if id == "q1" => {
+                Some((*code, message.clone()))
+            }
+            _ => None,
+        })
+        .expect("the job must fail");
+    assert_eq!(err.0, ErrorCode::QuotaExceeded, "{}", err.1);
+    assert!(verdicts(&responses).is_empty(), "no verdict for an aborted job");
+    assert_eq!(metric(&responses, "serve.jobs.quota_exceeded"), 1);
+    assert_eq!(metric(&responses, "serve.jobs.completed"), 0);
+    // The scheduler clamps slices to the quota: committed stays within
+    // one commit width of it.
+    assert!(metric(&responses, "serve.instructions_committed") <= 5_000 + 4);
+}
+
+/// Cancelling a live job retires it with a `cancelled` event (no
+/// verdict); cancelling an unknown id is an `unknown-job` error.
+#[test]
+fn cancellation_retires_the_job() {
+    let responses = converse(
+        &[
+            Request::Submit(Box::new(tiny_job("c1", "mcf", 1_000_000))),
+            Request::Cancel { id: "c1".to_string() },
+            Request::Cancel { id: "ghost".to_string() },
+            Request::Shutdown,
+        ],
+        &opts(1),
+    );
+    let cancelled = responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Cancelled { id, committed } if id == "c1" => Some(*committed),
+            _ => None,
+        })
+        .expect("the job must be cancelled");
+    assert!(cancelled < 1_000_000, "cancel must land before the target");
+    assert!(verdicts(&responses).is_empty(), "no verdict for a cancelled job");
+    assert!(
+        responses.iter().any(|r| matches!(r, Response::Error { id: Some(id), code, .. }
+            if id == "ghost" && *code == ErrorCode::UnknownJob)),
+        "cancelling an unknown id must be an unknown-job error"
+    );
+    assert_eq!(metric(&responses, "serve.jobs.cancelled"), 1);
+}
+
+/// Synchronous submit rejections and protocol-level errors.
+#[test]
+fn rejections_are_classified() {
+    let mut bad_config = tiny_job("bc", "mcf", 1_000);
+    bad_config.config.sc_kib = 7; // does not imply a power-of-two set count
+    let responses = converse(
+        &[
+            Request::Hello { proto: "rev-serve/99".to_string() },
+            Request::Submit(Box::new(tiny_job("dup", "mcf", 2_000))),
+            Request::Submit(Box::new(tiny_job("dup", "mcf", 2_000))),
+            Request::Submit(Box::new(tiny_job("np", "no-such-profile", 1_000))),
+            Request::Submit(Box::new(bad_config)),
+            Request::Shutdown,
+        ],
+        &opts(1),
+    );
+    let code_of = |id: &str| {
+        responses
+            .iter()
+            .find_map(|r| match r {
+                Response::Error { id: Some(i), code, .. } if i == id => Some(*code),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("expected an error for {id:?}"))
+    };
+    assert!(
+        responses.iter().any(|r| matches!(r, Response::Error { id: None, code, .. }
+            if *code == ErrorCode::UnsupportedProto)),
+        "a foreign hello must be rejected"
+    );
+    assert_eq!(code_of("dup"), ErrorCode::DuplicateId);
+    assert_eq!(code_of("np"), ErrorCode::UnknownProfile);
+    assert_eq!(code_of("bc"), ErrorCode::BadConfig);
+    assert_eq!(metric(&responses, "serve.jobs.rejected"), 3);
+    // The first "dup" submit was legitimate and still completes.
+    assert_eq!(verdicts(&responses)["dup"].0, "budget");
+}
+
+/// Malformed lines are answered with `bad-json` / `bad-request` and do
+/// not kill the connection.
+#[test]
+fn malformed_lines_do_not_kill_the_connection() {
+    let input = "{\"type\":\n{\"type\":\"warp\"}\n{\"type\":\"shutdown\"}\n";
+    let mut output = Vec::new();
+    serve(input.as_bytes(), &mut output, &opts(1));
+    let text = String::from_utf8(output).unwrap();
+    let responses: Vec<Response> = text
+        .lines()
+        .map(|l| Response::from_json(&rev_trace::json::parse(l).unwrap()).unwrap())
+        .collect();
+    assert!(matches!(&responses[0], Response::Error { code: ErrorCode::BadJson, .. }));
+    assert!(matches!(&responses[1], Response::Error { code: ErrorCode::BadRequest, .. }));
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+}
+
+/// The real binary, over real pipes: spawn `rev-serve`, feed it the
+/// conversation on stdin, and require verdicts byte-identical to the
+/// in-process loop (process boundary changes nothing).
+#[test]
+fn stdio_binary_smoke() {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+
+    let requests = [
+        Request::Hello { proto: PROTOCOL.to_string() },
+        Request::Submit(Box::new(tiny_job("s1", "mcf", 10_000))),
+        Request::Submit(Box::new(tiny_job("s2", "gobmk", 10_000))),
+        Request::Shutdown,
+    ];
+    let mut input = String::new();
+    for r in &requests {
+        input.push_str(&r.to_json().render());
+        input.push('\n');
+    }
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rev-serve"))
+        .args(["--workers", "2", "--slice", "2000"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn rev-serve");
+    child.stdin.take().expect("stdin").write_all(input.as_bytes()).expect("feed requests");
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(out.status.success(), "daemon must exit cleanly: {:?}", out.status);
+
+    let responses: Vec<Response> = String::from_utf8(out.stdout)
+        .expect("utf-8")
+        .lines()
+        .map(|l| Response::from_json(&rev_trace::json::parse(l).unwrap()).unwrap())
+        .collect();
+    let spawned = verdicts(&responses);
+    let in_process = verdicts(&converse(&requests, &opts(2)));
+    assert_eq!(spawned.len(), 2, "both jobs must produce verdicts");
+    assert_eq!(spawned, in_process, "process boundary must not change a verdict byte");
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+}
+
+/// EOF without a `shutdown` drains exactly like a shutdown.
+#[test]
+fn eof_drains_like_shutdown() {
+    let responses = converse(&[Request::Submit(Box::new(tiny_job("e1", "mcf", 5_000)))], &opts(2));
+    assert_eq!(verdicts(&responses)["e1"].0, VerdictOutcome::Budget.as_str());
+    assert!(matches!(responses.last(), Some(Response::Bye)));
+}

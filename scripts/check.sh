@@ -9,6 +9,17 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+# CHANGELOG currency (hard): CHANGES.md gains exactly one line per PR,
+# so its line count names the current PR — the top CHANGELOG.md entry
+# must mention it, or the changelog has fallen behind again.
+pr="$(wc -l < CHANGES.md | tr -d ' ')"
+echo "==> CHANGELOG.md top entry mentions PR $pr"
+if ! grep -m1 '^## ' CHANGELOG.md | grep -qE "PR ${pr}([^0-9]|$)"; then
+    echo "FAIL: top CHANGELOG.md entry does not mention PR ${pr}."
+    echo "      Add a changelog entry for the current PR (CHANGES.md has ${pr} lines)."
+    exit 1
+fi
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -26,6 +37,24 @@ cargo bench --no-run --workspace -q
 
 echo "==> rev-lint --all (static table verification)"
 cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
+
+# rev-serve smoke gate (hard): drive the daemon end-to-end over stdio
+# with the docs/SERVE.md example jobs and byte-compare the verdicts
+# against the committed expectation. Two workers make completion *order*
+# scheduling-dependent, so verdict lines are sorted before the diff; the
+# verdict *payloads* must be byte-identical regardless of interleaving.
+echo "==> rev-serve smoke (two jobs vs baselines/serve_smoke.jsonl)"
+serve_out="$(mktemp /tmp/serve_rev.XXXXXX.jsonl)"
+./target/release/rev-serve --workers 2 < scripts/serve_smoke_input.jsonl \
+    | grep '"type":"verdict"' | sort > "$serve_out"
+if ! diff -u baselines/serve_smoke.jsonl "$serve_out"; then
+    echo "FAIL: rev-serve verdicts differ from baselines/serve_smoke.jsonl."
+    echo "      If intentional, regenerate with:"
+    echo "      ./target/release/rev-serve --workers 2 < scripts/serve_smoke_input.jsonl \\"
+    echo "          | grep '\"type\":\"verdict\"' | sort > baselines/serve_smoke.jsonl"
+    exit 1
+fi
+rm -f "$serve_out"
 
 # Chaos gate (hard): a quick seeded fault-injection campaign must report
 # zero silent-corruption and zero false-positive outcomes (rev-chaos
