@@ -138,6 +138,75 @@ fn session_slicing_matches_monolithic_across_all_profiles() {
     }
 }
 
+/// Checkpoint/restore is exact for every one of the 18 workload
+/// profiles: suspending a warmed session at a budget boundary, sealing
+/// it into a `rev-ckpt/1` envelope, restoring it into a *cold* fresh
+/// simulator (warmup is not re-run — the warmed state travels inside
+/// the envelope) and finishing produces the same outcome and
+/// byte-identical cpu/rev/mem metric registries as one monolithic run.
+/// Re-checkpointing the restored session reproduces the envelope byte
+/// for byte. This is the property that lets `rev-serve` resume a
+/// crashed job from its last checkpoint without moving a verdict byte.
+#[test]
+fn checkpoint_restore_matches_monolithic_across_all_profiles() {
+    let opts = tiny_opts();
+    let profiles = opts.profiles();
+    assert_eq!(profiles.len(), 18, "the paper's full profile set");
+    let reports = parallel_map(rev_bench::default_jobs(), &profiles, |_, profile| {
+        let warmed = || {
+            let mut sim =
+                RevSimulator::new(program_for(profile), RevConfig::paper_default()).unwrap();
+            sim.warmup(opts.warmup);
+            sim
+        };
+        let fingerprint = |report: &rev_core::RevReport| {
+            let mut reg = MetricRegistry::new();
+            report.cpu.export_metrics(&mut reg);
+            report.rev.export_metrics(&mut reg);
+            report.mem.export_metrics(&mut reg);
+            (format!("{:?}", report.outcome), reg.to_json().render())
+        };
+        let monolithic = fingerprint(&warmed().run(opts.instructions));
+        // Suspend a third of the way in, seal, restore cold, finish.
+        let mut session = Session::new(warmed(), opts.instructions);
+        let report = match session.run(opts.instructions / 3) {
+            SessionStatus::Done(report) => report, // profile ended early: nothing to suspend
+            SessionStatus::Yielded { .. } => {
+                let envelope = session.checkpoint(profile.name.as_bytes()).unwrap();
+                assert_eq!(
+                    Session::recipe(&envelope).unwrap(),
+                    profile.name.as_bytes(),
+                    "{}: recipe must round-trip",
+                    profile.name
+                );
+                drop(session);
+                let cold =
+                    RevSimulator::new(program_for(profile), RevConfig::paper_default()).unwrap();
+                let restored = Session::restore(cold, &envelope).unwrap();
+                assert_eq!(
+                    restored.checkpoint(profile.name.as_bytes()).unwrap(),
+                    envelope,
+                    "{}: re-checkpoint must be byte-identical",
+                    profile.name
+                );
+                let mut restored = restored;
+                loop {
+                    if let SessionStatus::Done(report) = restored.run(1000) {
+                        break report;
+                    }
+                }
+            }
+        };
+        (profile.name, monolithic, fingerprint(&report))
+    });
+    for (name, monolithic, restored) in reports {
+        assert_eq!(
+            restored, monolithic,
+            "{name}: checkpoint/restore must not move a rendered metric byte"
+        );
+    }
+}
+
 /// The superblock replay layer is a pure simulator fast path: rendering
 /// the full 18-profile sweep with `--superblocks=off` produces exactly
 /// the bytes of the default run. (The SMC / DMA / retry invalidation

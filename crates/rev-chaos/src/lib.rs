@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod oracle;
+pub mod serve;
 
 use std::fmt;
 

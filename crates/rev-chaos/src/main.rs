@@ -4,6 +4,7 @@
 //! rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]
 //!           [--layer LABEL]... [--jobs N] [--json PATH] [--quiet]
 //! rev-chaos --audit [--seed N] [--jobs N] [--quiet]
+//! rev-chaos --serve [--quick] [--seed N] [--jobs N] [--json PATH] [--quiet]
 //! ```
 //!
 //! Exit status: `0` when the campaign is clean (zero silent-corruption,
@@ -16,6 +17,12 @@
 //! coverage prediction, and per-profile measured detection latencies
 //! checked against the static bounds. Any REV-A000 finding exits `1` —
 //! the hard gate in `scripts/check.sh`.
+//!
+//! `--serve` runs the *service-layer* campaign against the `rev-serve`
+//! gateway: worker panics, corrupted crash-recovery checkpoints,
+//! stalled workers under deadlines, and mid-stream client disconnects,
+//! adjudicated with the same four-way vocabulary and the same clean
+//! contract (zero silent corruptions, zero false positives).
 
 use std::process::ExitCode;
 
@@ -28,7 +35,8 @@ fn usage(err: &str) -> ExitCode {
     eprintln!(
         "usage: rev-chaos [--quick] [--seed N] [--faults N] [--instructions N]\n\
          \x20                [--layer LABEL|all]... [--jobs N] [--json PATH] [--quiet]\n\
-         \x20      rev-chaos --audit [--seed N] [--jobs N] [--quiet]"
+         \x20      rev-chaos --audit [--seed N] [--jobs N] [--quiet]\n\
+         \x20      rev-chaos --serve [--quick] [--seed N] [--jobs N] [--json PATH] [--quiet]"
     );
     eprint!("layers:");
     for l in FaultLayer::ALL {
@@ -42,6 +50,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut audit = false;
+    let mut serve_mode = false;
     let mut quiet = false;
     let mut seed: u64 = 0xc4a05;
     let mut faults: Option<usize> = None;
@@ -58,6 +67,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--quick" => quick = true,
             "--audit" => audit = true,
+            "--serve" => serve_mode = true,
             "--quiet" => quiet = true,
             "--seed" => match value("--seed").map(|v| v.parse::<u64>()) {
                 Ok(Ok(v)) => seed = v,
@@ -89,6 +99,55 @@ fn main() -> ExitCode {
             },
             other => return usage(&format!("unknown argument '{other}'")),
         }
+    }
+
+    if serve_mode {
+        let mut cfg = if quick {
+            rev_chaos::serve::ServeCampaignConfig::quick(seed)
+        } else {
+            rev_chaos::serve::ServeCampaignConfig::full(seed)
+        };
+        cfg.jobs = jobs;
+        let narrator = Narrator::new(quiet);
+        let report = rev_chaos::serve::run_serve_campaign(&cfg, &narrator);
+        println!("serve campaign seed={} scenarios={}", cfg.seed, report.records.len());
+        println!(
+            "{:<16} {:>9} {:>9} {:>9} {:>7} {:>6}",
+            "fault", "scenarios", "detected", "contained", "silent", "false"
+        );
+        for kind in rev_chaos::serve::ServeFault::KINDS {
+            let of = |o: Outcome| {
+                report.records.iter().filter(|r| r.fault.kind() == kind && r.outcome == o).count()
+            };
+            println!(
+                "{:<16} {:>9} {:>9} {:>9} {:>7} {:>6}",
+                kind,
+                report.records.iter().filter(|r| r.fault.kind() == kind).count(),
+                of(Outcome::Detected),
+                of(Outcome::Contained),
+                of(Outcome::SilentCorruption),
+                of(Outcome::FalsePositive),
+            );
+        }
+        println!(
+            "totals: detected={} contained={} silent_corruption={} false_positive={}",
+            report.count(Outcome::Detected),
+            report.count(Outcome::Contained),
+            report.count(Outcome::SilentCorruption),
+            report.count(Outcome::FalsePositive),
+        );
+        if let Some(path) = json {
+            let text = report.to_json().render_pretty(2) + "\n";
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        if report.clean() {
+            return ExitCode::SUCCESS;
+        }
+        eprintln!("SERVE CHAOS GATE FAILED: silent-corruption or false-positive outcomes present");
+        return ExitCode::from(1);
     }
 
     if audit {

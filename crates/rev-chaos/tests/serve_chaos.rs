@@ -1,0 +1,83 @@
+//! Contract tests for the service-layer campaign (`rev-chaos --serve`):
+//! the quick campaign is clean (zero silent corruptions, zero false
+//! positives) with every fault kind both planned and — where it applies
+//! — observed firing, and the report JSON is byte-identical across
+//! `--jobs` values.
+
+use rev_bench::Narrator;
+use rev_chaos::serve::{plan_serve_campaign, run_serve_campaign, ServeCampaignConfig, ServeFault};
+use rev_chaos::Outcome;
+
+#[test]
+fn quick_serve_campaign_is_clean() {
+    let cfg = ServeCampaignConfig { jobs: 2, ..ServeCampaignConfig::quick(7) };
+    let report = run_serve_campaign(&cfg, &Narrator::new(true));
+    assert_eq!(report.records.len(), cfg.scenarios);
+    // The plan must exercise every fault kind.
+    for kind in ServeFault::KINDS {
+        assert!(
+            report.records.iter().any(|r| r.fault.kind() == kind),
+            "fault kind {kind} missing from the plan"
+        );
+    }
+    // The chaos contract: failures are loud, never silent; controls
+    // never die.
+    assert_eq!(report.count(Outcome::SilentCorruption), 0, "silent corruption");
+    assert_eq!(report.count(Outcome::FalsePositive), 0, "false positive");
+    assert!(report.clean());
+    for r in &report.records {
+        match &r.fault {
+            // Injected faults must actually strike — a plan that never
+            // fires tests nothing.
+            ServeFault::WorkerPanic { .. }
+            | ServeFault::CkptCorrupt { .. }
+            | ServeFault::StallDeadline { .. }
+            | ServeFault::Disconnect { .. } => {
+                assert!(r.fired, "{}: planned fault never fired", r.id);
+            }
+            ServeFault::None => {
+                assert!(!r.fired, "{}: control scenario reported a strike", r.id);
+                assert_eq!(r.verdict_matched, Some(true), "{}: control verdict moved", r.id);
+            }
+        }
+        match &r.fault {
+            // A recovered crash is invisible: byte-identical verdict.
+            ServeFault::WorkerPanic { .. } => {
+                assert_eq!(r.outcome, Outcome::Contained, "{}", r.id);
+                assert_eq!(r.verdict_matched, Some(true), "{}: verdict moved", r.id);
+            }
+            // Corruption and deadlines must surface as structured errors.
+            ServeFault::CkptCorrupt { .. } | ServeFault::StallDeadline { .. } => {
+                assert_eq!(r.outcome, Outcome::Detected, "{}", r.id);
+                assert!(r.error.is_some(), "{}: no structured error", r.id);
+            }
+            ServeFault::Disconnect { .. } => {
+                assert_eq!(r.outcome, Outcome::Contained, "{}", r.id);
+            }
+            ServeFault::None => {}
+        }
+    }
+}
+
+#[test]
+fn serve_report_is_byte_identical_across_jobs() {
+    let render = |jobs: usize| {
+        let cfg = ServeCampaignConfig { jobs, ..ServeCampaignConfig::quick(42) };
+        run_serve_campaign(&cfg, &Narrator::new(true)).to_json().render()
+    };
+    assert_eq!(render(1), render(4), "--jobs must never change a report byte");
+}
+
+#[test]
+fn serve_plan_is_a_pure_function_of_the_seed() {
+    let cfg = ServeCampaignConfig::quick(99);
+    let a = plan_serve_campaign(&cfg);
+    let b = plan_serve_campaign(&cfg);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!((&x.id, &x.profile, &x.fault), (&y.id, &y.profile, &y.fault));
+    }
+    // A different seed moves at least one fault parameter.
+    let c = plan_serve_campaign(&ServeCampaignConfig::quick(100));
+    assert!(a.iter().zip(&c).any(|(x, y)| x.fault != y.fault), "the seed must influence the plan");
+}

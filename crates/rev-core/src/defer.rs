@@ -213,6 +213,54 @@ impl DeferredStoreBuffer {
     pub fn total_discarded(&self) -> u64 {
         self.total_discarded
     }
+
+    /// Serializes the buffer contents (each store with its latched parity
+    /// byte, in FIFO order) and lifetime counters. The address index is
+    /// derived state, rebuilt on restore.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.len(self.entries.len());
+        for (s, p) in &self.entries {
+            w.u64(s.seq);
+            w.u64(s.addr);
+            w.u64(s.value);
+            w.u8(*p);
+        }
+        w.u64(self.peak as u64);
+        w.u64(self.total_released);
+        w.u64(self.total_discarded);
+    }
+
+    /// Restores state saved by [`DeferredStoreBuffer::save_state`] into a
+    /// buffer built with the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or an occupancy
+    /// exceeding this buffer's capacity.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        let n = r.len(25)?;
+        if n > self.capacity {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "deferred-store occupancy {n} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.entries.clear();
+        self.addr_index.clear();
+        for _ in 0..n {
+            let s = DeferredStore { seq: r.u64()?, addr: r.u64()?, value: r.u64()? };
+            let p = r.u8()?;
+            *self.addr_index.entry(s.addr).or_insert(0) += 1;
+            self.entries.push_back((s, p));
+        }
+        self.peak = r.u64()? as usize;
+        self.total_released = r.u64()?;
+        self.total_discarded = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -30,6 +30,9 @@ pub const SYSCALL_REV_DISABLE: u16 = 0xfe;
 /// boundary.
 pub const SYSCALL_REV_ENABLE: u16 = 0xff;
 
+/// Checkpoint section marker for the REV monitor.
+const TAG_REV: u8 = 0x52; // 'R'
+
 /// A fetched-but-not-yet-validated basic block.
 #[derive(Debug, Clone, Copy)]
 struct PendingBb {
@@ -923,6 +926,148 @@ impl RevMonitor {
             pb.bb_addr,
             SbEntry { gen: self.code_gen, start: pb.start, body: pb.body, prefix, vi, kind, k },
         );
+    }
+
+    /// Serializes the complete REV state: SAG residency, SC contents, CHG
+    /// in-flight queue, committed memory, deferred stores, shadow pages,
+    /// statistics, the speculative BB tracker, pending blocks, the return
+    /// latch and the enable/resync machinery. Simulator-performance
+    /// caches (decoded-BB memos, digest memos, superblock memos) are
+    /// *not* state — they restore cold and refill, which is functionally
+    /// invisible (the architectural `rev.*` counters are pinned identical
+    /// with the caches on or off).
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.tag(TAG_REV);
+        self.sag.save_state(w);
+        self.sc.save_state(w);
+        let (in_flight, enqueued, flushed) = self.chg.snapshot();
+        w.len(in_flight.len());
+        for (tag, ready_at) in &in_flight {
+            w.u64(*tag);
+            w.u64(*ready_at);
+        }
+        w.u64(enqueued);
+        w.u64(flushed);
+        self.committed.save_state(w);
+        self.defer.save_state(w);
+        self.shadow.save_state(w);
+        self.stats.save_state(w);
+        w.opt_u64(self.cur_start);
+        w.bytes(&self.cur_bytes);
+        w.u64(self.cur_instrs as u64);
+        w.u64(self.cur_stores as u64);
+        w.len(self.pending.entries.len());
+        for (seq, pb) in &self.pending.entries {
+            w.u64(*seq);
+            w.u64(pb.start);
+            w.u64(pb.bb_addr);
+            w.raw(&pb.body.0);
+            w.bool(pb.needs_hash);
+            w.u64(pb.chg_ready);
+        }
+        w.opt_u64(self.ret_latch);
+        w.u64(self.code_gen);
+        w.len(self.unhashed.len());
+        for (seq, start, end, bytes) in &self.unhashed {
+            w.u64(*seq);
+            w.u64(*start);
+            w.u64(*end);
+            w.bytes(bytes);
+        }
+        match self.retry {
+            Some((seq, attempts)) => {
+                w.bool(true);
+                w.u64(seq);
+                w.u32(attempts);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.violated);
+        w.bool(self.enabled);
+        w.bool(self.resync);
+    }
+
+    /// Restores state saved by [`RevMonitor::save_state`] into a monitor
+    /// freshly built with the identical configuration, SAG and committed
+    /// image. The performance caches restart cold; the trace/fault
+    /// attachments stay as constructed (disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or any
+    /// configuration/geometry mismatch.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        r.tag(TAG_REV)?;
+        self.sag.restore_state(r)?;
+        self.sc.restore_state(r)?;
+        let n = r.len(16)?;
+        let mut in_flight = Vec::with_capacity(n);
+        for _ in 0..n {
+            in_flight.push((r.u64()?, r.u64()?));
+        }
+        if in_flight.len() > self.config.chg.capacity
+            || !in_flight.windows(2).all(|p| p[0].0 < p[1].0)
+        {
+            return Err(rev_trace::CkptError::Malformed(
+                "CHG in-flight queue over capacity or out of order".to_string(),
+            ));
+        }
+        let (enqueued, flushed) = (r.u64()?, r.u64()?);
+        self.chg.restore(&in_flight, enqueued, flushed);
+        self.committed.restore_state(r)?;
+        self.defer.restore_state(r)?;
+        self.shadow.restore_state(r)?;
+        self.stats.restore_state(r)?;
+        self.cur_start = r.opt_u64()?;
+        self.cur_bytes.clear();
+        self.cur_bytes.extend_from_slice(r.bytes()?);
+        self.cur_instrs = r.u64()? as usize;
+        self.cur_stores = r.u64()? as usize;
+        let n = r.len(58)?;
+        self.pending.clear();
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let seq = r.u64()?;
+            if prev.is_some_and(|p| p >= seq) {
+                return Err(rev_trace::CkptError::Malformed(
+                    "pending blocks out of fetch order".to_string(),
+                ));
+            }
+            prev = Some(seq);
+            let start = r.u64()?;
+            let bb_addr = r.u64()?;
+            let mut body = [0u8; 32];
+            body.copy_from_slice(r.raw(32)?);
+            let needs_hash = r.bool()?;
+            let chg_ready = r.u64()?;
+            self.pending.insert(
+                seq,
+                PendingBb { start, bb_addr, body: BodyHash(body), needs_hash, chg_ready },
+            );
+        }
+        self.ret_latch = r.opt_u64()?;
+        self.code_gen = r.u64()?;
+        let n = r.len(32)?;
+        self.unhashed.clear();
+        for _ in 0..n {
+            let (seq, start, end) = (r.u64()?, r.u64()?, r.u64()?);
+            self.unhashed.push_back((seq, start, end, r.bytes()?.to_vec()));
+        }
+        self.retry = if r.bool()? { Some((r.u64()?, r.u32()?)) } else { None };
+        self.violated = r.bool()?;
+        self.enabled = r.bool()?;
+        self.resync = r.bool()?;
+        // Performance caches restart cold: stale memos must never survive
+        // into a restored run whose code generation they cannot know.
+        self.body_cache.clear();
+        self.digest_cache.clear();
+        self.sb_cache.clear();
+        self.candidates_buf.clear();
+        self.code_bounds = Self::compute_code_bounds(&self.sag);
+        Ok(())
     }
 
     fn commit_standard(&mut self, mem: &mut Hierarchy, q: &CommitQuery) -> CommitGate {

@@ -144,6 +144,79 @@ impl Sag {
     pub fn table(&self, idx: usize) -> &SignatureTable {
         &self.tables[idx]
     }
+
+    /// Serializes the SAG's mutable state: the resident register window
+    /// (physical order — deterministic model state), tick and miss
+    /// counters. The registered tables are static build products; their
+    /// count and RAM bases are written as a drift guard so a checkpoint
+    /// taken after a `dlopen`/re-key can never restore into a simulator
+    /// rebuilt without it.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.len(self.tables.len());
+        for t in &self.tables {
+            w.u64(t.base());
+        }
+        w.u64(self.tick);
+        w.u64(self.misses);
+        w.len(self.resident.len());
+        for (e, lru) in &self.resident {
+            w.u64(e.table_idx as u64);
+            w.u64(e.lo);
+            w.u64(e.hi);
+            w.u64(*lru);
+        }
+    }
+
+    /// Restores state saved by [`Sag::save_state`] into a SAG with the
+    /// identical registered-table set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or when the
+    /// registered tables differ from the checkpoint's (count or base).
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        let nt = r.len(8)?;
+        if nt != self.tables.len() {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "checkpoint has {nt} signature tables, simulator has {}",
+                self.tables.len()
+            )));
+        }
+        for t in &self.tables {
+            let base = r.u64()?;
+            if base != t.base() {
+                return Err(rev_trace::CkptError::Malformed(format!(
+                    "signature table base {base:#x} differs from rebuilt {:#x}",
+                    t.base()
+                )));
+            }
+        }
+        self.tick = r.u64()?;
+        self.misses = r.u64()?;
+        let n = r.len(32)?;
+        if n > self.capacity {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "SAG residency {n} exceeds capacity {}",
+                self.capacity
+            )));
+        }
+        self.resident.clear();
+        for _ in 0..n {
+            let table_idx = r.u64()? as usize;
+            if table_idx >= self.tables.len() {
+                return Err(rev_trace::CkptError::Malformed(format!(
+                    "SAG register names table {table_idx}, only {} registered",
+                    self.tables.len()
+                )));
+            }
+            let (lo, hi, lru) = (r.u64()?, r.u64()?, r.u64()?);
+            self.resident.push((SagEntry { table_idx, lo, hi }, lru));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 
 use crate::sim::{RevReport, RevSimulator};
 use rev_cpu::RunOutcome;
+use rev_trace::{CkptError, CkptReader, CkptWriter};
 
 /// What a [`Session::run`] call produced.
 #[derive(Debug)]
@@ -108,6 +109,88 @@ impl Session {
     /// session is the cheaper way to cancel).
     pub fn into_simulator(self) -> RevSimulator {
         self.sim
+    }
+
+    /// Serializes the suspended session into a sealed `rev-ckpt/1`
+    /// envelope (see `docs/CHECKPOINT.md`). `recipe` is an opaque,
+    /// caller-owned section — `rev-serve` stores the job spec there so a
+    /// checkpoint is self-describing; [`Session::recipe`] reads it back.
+    ///
+    /// The envelope carries only *mutable* state plus a structural
+    /// fingerprint: to restore, rebuild an identical simulator from the
+    /// recipe (program, configs, warmup **not** re-run — warmed state is
+    /// inside the checkpoint) and hand it to [`Session::restore`].
+    /// Trace buses and fault injectors do not survive a checkpoint;
+    /// sessions with an armed fault injector or block trace refuse to
+    /// checkpoint rather than silently drop campaign state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Malformed`] if the session already finished,
+    /// a fault injector is armed, or block tracing is on.
+    pub fn checkpoint(&self, recipe: &[u8]) -> Result<Vec<u8>, CkptError> {
+        if self.finished {
+            return Err(CkptError::Malformed("cannot checkpoint a finished session".to_string()));
+        }
+        if self.sim.monitor().fault_injector().is_enabled() {
+            return Err(CkptError::Malformed(
+                "cannot checkpoint with a fault injector armed".to_string(),
+            ));
+        }
+        if self.sim.monitor().block_trace().is_some() {
+            return Err(CkptError::Malformed(
+                "cannot checkpoint with block tracing enabled".to_string(),
+            ));
+        }
+        let mut w = CkptWriter::new();
+        w.bytes(recipe);
+        w.u64(self.target);
+        w.u64(self.sim.fingerprint());
+        self.sim.save_state(&mut w);
+        Ok(w.finish())
+    }
+
+    /// Verifies a checkpoint envelope's integrity and returns its recipe
+    /// section — the first step of a restore: the caller uses the recipe
+    /// to rebuild the simulator [`Session::restore`] needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError`] if the envelope fails any integrity check
+    /// (truncation, checksum, magic, version).
+    pub fn recipe(envelope: &[u8]) -> Result<Vec<u8>, CkptError> {
+        let mut r = CkptReader::new(envelope)?;
+        Ok(r.bytes()?.to_vec())
+    }
+
+    /// Rebuilds a suspended session from a checkpoint envelope and a
+    /// simulator freshly constructed from the envelope's recipe. The
+    /// simulator's structural fingerprint must match the one sealed into
+    /// the checkpoint; every mutable structure is then overwritten with
+    /// the checkpointed state. The restored session resumes exactly where
+    /// [`Session::checkpoint`] left off — the equivalence suite pins that
+    /// a restored run finishes byte-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError`] on any integrity failure, decode error, or
+    /// fingerprint/geometry mismatch. The passed simulator is consumed;
+    /// on error it is dropped (partially overwritten state must never be
+    /// run).
+    pub fn restore(mut sim: RevSimulator, envelope: &[u8]) -> Result<Self, CkptError> {
+        let mut r = CkptReader::new(envelope)?;
+        let _recipe = r.bytes()?;
+        let target = r.u64()?;
+        let fingerprint = r.u64()?;
+        let have = sim.fingerprint();
+        if fingerprint != have {
+            return Err(CkptError::Malformed(format!(
+                "simulator fingerprint {have:#018x} does not match checkpoint {fingerprint:#018x}"
+            )));
+        }
+        sim.restore_state(&mut r)?;
+        r.finish()?;
+        Ok(Session { sim, target, finished: false })
     }
 
     /// Advances the run by at most `budget` committed instructions.

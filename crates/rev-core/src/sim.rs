@@ -424,6 +424,56 @@ impl RevSimulator {
         }
     }
 
+    /// A structural fingerprint of everything the checkpoint does *not*
+    /// carry: the REV/CPU/memory configurations, the program's entry
+    /// point, stack and module layout, and the signature-table placement.
+    /// [`crate::Session::restore`] compares it against the checkpoint's
+    /// stored value, so state can only ever be restored into a simulator
+    /// rebuilt from the same recipe.
+    pub fn fingerprint(&self) -> u64 {
+        let mut ident = format!(
+            "{:?}|{:?}|{:?}|entry={:#x}|sp={:#x}",
+            self.config,
+            self.cpu_config,
+            self.mem_config,
+            self.program.entry(),
+            self.program.initial_sp()
+        );
+        for m in self.program.modules() {
+            ident.push_str(&format!("|mod={}@{:#x}+{}", m.name(), m.base(), m.code().len()));
+        }
+        for t in self.monitor.sag().tables() {
+            ident.push_str(&format!("|tbl@{:#x}+{}", t.base(), t.image().len()));
+        }
+        rev_trace::fnv1a64(ident.as_bytes())
+    }
+
+    /// Serializes the complete mutable simulator state (core pipeline +
+    /// REV monitor) into an open checkpoint envelope. The static build
+    /// products — program image, tables, configurations — are *not*
+    /// written; restore targets a simulator freshly rebuilt from the same
+    /// recipe, guarded by [`RevSimulator::fingerprint`].
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        self.pipeline.save_state(w);
+        self.monitor.save_state(w);
+    }
+
+    /// Restores state saved by [`RevSimulator::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or any
+    /// configuration mismatch. On error the simulator is partially
+    /// overwritten and must be discarded (the caller rebuilt it from the
+    /// recipe; rebuilding again is cheap and the contract is explicit).
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        self.pipeline.restore_state(r)?;
+        self.monitor.restore_state(r)
+    }
+
     /// Dynamically loads `module` mid-run (`dlopen`, paper Sec. IV.B):
     /// the trusted dynamic linker writes the module's code and data into
     /// RAM, re-links every module (cross-module return linkage now covers

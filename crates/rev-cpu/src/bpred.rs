@@ -42,6 +42,29 @@ pub struct PredictorCheckpoint {
     ras_count: usize,
 }
 
+impl PredictorCheckpoint {
+    /// Serializes the checkpoint (per-slot payload in pipeline
+    /// checkpoints).
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.u64(self.history);
+        w.u64(self.ras_tos as u64);
+        w.u64(self.ras_count as u64);
+    }
+
+    /// Decodes a checkpoint saved by [`PredictorCheckpoint::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure.
+    pub fn restore_state(r: &mut rev_trace::CkptReader<'_>) -> Result<Self, rev_trace::CkptError> {
+        Ok(PredictorCheckpoint {
+            history: r.u64()?,
+            ras_tos: r.u64()? as usize,
+            ras_count: r.u64()? as usize,
+        })
+    }
+}
+
 /// The front-end branch predictor.
 #[derive(Debug, Clone)]
 pub struct BranchPredictor {
@@ -152,6 +175,74 @@ impl BranchPredictor {
             ras_tos: self.ras_tos,
             ras_count: self.ras_count,
         }
+    }
+
+    /// Serializes the full predictor state (gshare counters, global
+    /// history, BTB, RAS) into a checkpoint.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.u64(self.history);
+        w.len(self.counters.len());
+        for &c in &self.counters {
+            w.u8(c);
+        }
+        w.len(self.btb.len());
+        for &(tag, target) in &self.btb {
+            w.u64(tag);
+            w.u64(target);
+        }
+        w.u64_slice(&self.ras);
+        w.u64(self.ras_tos as u64);
+        w.u64(self.ras_count as u64);
+    }
+
+    /// Restores state saved by [`BranchPredictor::save_state`] into a
+    /// predictor built with the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or any table
+    /// size mismatch against this predictor's configuration.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        let mismatch = |what: &str, got: usize, want: usize| {
+            rev_trace::CkptError::Malformed(format!("predictor {what} size {got}, expected {want}"))
+        };
+        self.history = r.u64()? & self.history_mask;
+        let n = r.len(1)?;
+        if n != self.counters.len() {
+            return Err(mismatch("gshare", n, self.counters.len()));
+        }
+        for c in &mut self.counters {
+            let v = r.u8()?;
+            if v > 3 {
+                return Err(rev_trace::CkptError::Malformed(format!("gshare counter {v}")));
+            }
+            *c = v;
+        }
+        let n = r.len(16)?;
+        if n != self.btb.len() {
+            return Err(mismatch("BTB", n, self.btb.len()));
+        }
+        for slot in &mut self.btb {
+            slot.0 = r.u64()?;
+            slot.1 = r.u64()?;
+        }
+        let ras = r.u64_slice()?;
+        if ras.len() != self.ras.len() {
+            return Err(mismatch("RAS", ras.len(), self.ras.len()));
+        }
+        self.ras = ras;
+        self.ras_tos = r.u64()? as usize;
+        self.ras_count = r.u64()? as usize;
+        if self.ras_tos >= self.config.ras_depth || self.ras_count > self.config.ras_depth {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "RAS position {}/{} out of range for depth {}",
+                self.ras_tos, self.ras_count, self.config.ras_depth
+            )));
+        }
+        Ok(())
     }
 
     /// Restores a snapshot after a squash, then folds in the actual

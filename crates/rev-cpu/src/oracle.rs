@@ -201,6 +201,47 @@ impl Oracle {
         self.halted
     }
 
+    /// Serializes architectural state and the live memory image. The
+    /// decode memo is a simulator-performance cache and is *not* saved —
+    /// a restored oracle refills it cold, which is functionally
+    /// invisible (memoized replays are byte-identical to fresh fetches).
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        for &r in &self.state.regs {
+            w.u64(r);
+        }
+        for &f in &self.state.fregs {
+            w.f64(f);
+        }
+        w.u64(self.state.pc);
+        w.bool(self.halted);
+        w.u64(self.executed);
+        self.mem.save_state(w);
+    }
+
+    /// Restores state saved by [`Oracle::save_state`]. The decode memo
+    /// restarts cold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        for reg in &mut self.state.regs {
+            *reg = r.u64()?;
+        }
+        for freg in &mut self.state.fregs {
+            *freg = r.f64()?;
+        }
+        self.state.pc = r.u64()?;
+        self.halted = r.bool()?;
+        self.executed = r.u64()?;
+        self.mem.restore_state(r)?;
+        self.clear_dec_cache();
+        Ok(())
+    }
+
     /// Number of instructions executed.
     pub fn executed(&self) -> u64 {
         self.executed

@@ -162,6 +162,9 @@ const F_TAKEN: u16 = 1 << 8;
 const F_HALTED: u16 = 1 << 9;
 const F_HAS_MEM: u16 = 1 << 10; // `mem_addr` valid
 
+/// Checkpoint section marker for the pipeline.
+const TAG_CPU: u8 = 0x50; // 'P'
+
 /// One in-flight instruction. `#[repr(C)]` keeps the issue/complete scan
 /// fields in the leading bytes so a skipped slot touches one cache line.
 #[derive(Debug, Clone)]
@@ -201,6 +204,82 @@ impl Slot {
     #[inline]
     fn flag(&self, f: u16) -> bool {
         self.flags & f != 0
+    }
+
+    fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.u8(self.stage as u8);
+        w.u8(self.src_count);
+        w.u8(self.unready);
+        w.u16(self.flags);
+        w.u64(self.seq);
+        w.u64(self.mem_addr);
+        w.u64(self.complete_at);
+        w.u64(self.srcs[0]);
+        w.u64(self.srcs[1]);
+        w.u64(self.addr);
+        w.u64(self.next_pc);
+        w.u64(self.store_value);
+        w.u64(self.dispatch_ready);
+        w.u64(self.history_at_predict);
+        w.bytes(&self.insn.encode());
+        match self.checkpoint {
+            Some(cp) => {
+                w.bool(true);
+                cp.save_state(w);
+            }
+            None => w.bool(false),
+        }
+    }
+
+    fn restore_state(r: &mut rev_trace::CkptReader<'_>) -> Result<Slot, rev_trace::CkptError> {
+        let stage = match r.u8()? {
+            0 => Stage::Waiting,
+            1 => Stage::Executing,
+            2 => Stage::Done,
+            b => return Err(rev_trace::CkptError::Malformed(format!("slot stage byte {b:#04x}"))),
+        };
+        let src_count = r.u8()?;
+        let unready = r.u8()?;
+        let flags = r.u16()?;
+        let seq = r.u64()?;
+        let mem_addr = r.u64()?;
+        let complete_at = r.u64()?;
+        let srcs = [r.u64()?, r.u64()?];
+        let addr = r.u64()?;
+        let next_pc = r.u64()?;
+        let store_value = r.u64()?;
+        let dispatch_ready = r.u64()?;
+        let history_at_predict = r.u64()?;
+        let enc = r.bytes()?;
+        let (insn, used) = decode(enc).map_err(|e| {
+            rev_trace::CkptError::Malformed(format!("slot instruction bytes: {e:?}"))
+        })?;
+        if used != enc.len() {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "slot instruction encoding has {} trailing bytes",
+                enc.len() - used
+            )));
+        }
+        let checkpoint =
+            if r.bool()? { Some(PredictorCheckpoint::restore_state(r)?) } else { None };
+        Ok(Slot {
+            stage,
+            class: insn.class(),
+            src_count,
+            unready,
+            flags,
+            seq,
+            mem_addr,
+            complete_at,
+            srcs,
+            addr,
+            next_pc,
+            store_value,
+            dispatch_ready,
+            history_at_predict,
+            insn,
+            checkpoint,
+        })
     }
 }
 
@@ -263,6 +342,45 @@ impl WakeupTable {
             self.free.push(cur);
             cur = self.slab[cur as usize].next;
         }
+    }
+
+    /// Serializes the logical content (producer → sorted consumer list).
+    /// Slab layout and hash order never leak into the checkpoint; drain
+    /// order is commutative (each wake only decrements a counter and
+    /// sorted-inserts into the ready list), so rebuilding from sorted
+    /// lists is behavior-identical.
+    fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        let mut producers: Vec<u64> = self.heads.keys().copied().collect();
+        producers.sort_unstable();
+        w.len(producers.len());
+        let mut consumers = Vec::new();
+        for p in producers {
+            consumers.clear();
+            let mut cur = self.heads[&p];
+            while cur != NIL {
+                let n = self.slab[cur as usize];
+                consumers.push(n.consumer);
+                cur = n.next;
+            }
+            consumers.sort_unstable();
+            w.u64(p);
+            w.u64_slice(&consumers);
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        *self = WakeupTable::default();
+        let n = r.len(8)?;
+        for _ in 0..n {
+            let p = r.u64()?;
+            for c in r.u64_slice()? {
+                self.register(p, c);
+            }
+        }
+        Ok(())
     }
 }
 
@@ -411,6 +529,50 @@ impl StoreTracker {
         }
         best
     }
+
+    /// Serializes the logical content: per address (sorted), the
+    /// seq-ascending list of in-flight stores with their data-ready bits.
+    fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        let mut addrs: Vec<u64> = self.heads.keys().copied().collect();
+        addrs.sort_unstable();
+        w.len(addrs.len());
+        for a in addrs {
+            w.u64(a);
+            let mut entries = Vec::new();
+            let mut cur = self.heads[&a];
+            while cur != NIL {
+                let n = self.slab[cur as usize];
+                entries.push((n.seq, n.done));
+                cur = n.next;
+            }
+            w.len(entries.len());
+            for (seq, done) in entries {
+                w.u64(seq);
+                w.bool(done);
+            }
+        }
+    }
+
+    fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        *self = StoreTracker::default();
+        let n = r.len(8)?;
+        for _ in 0..n {
+            let addr = r.u64()?;
+            let m = r.len(9)?;
+            for _ in 0..m {
+                let seq = r.u64()?;
+                let done = r.bool()?;
+                self.insert(addr, seq);
+                if done {
+                    self.mark_done(addr, seq);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The out-of-order core.
@@ -550,6 +712,148 @@ impl Pipeline {
         self.mem.reset_stats();
     }
 
+    /// Serializes the complete mid-flight core state — oracle
+    /// (architectural registers + live memory), memory hierarchy, branch
+    /// predictor, fetch queue, ROB, every issue/disambiguation structure,
+    /// and stats — into a checkpoint section. Scratch buffers and the
+    /// trace bus are not state (restored pipelines start with tracing
+    /// disabled, matching the fresh-build default); slab-backed tables
+    /// are written as canonical sorted logical content, so a restored
+    /// pipeline re-serializes byte-identically.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.tag(TAG_CPU);
+        self.oracle.save_state(w);
+        self.mem.save_state(w);
+        self.bpred.save_state(w);
+        w.len(self.fetch_queue.len());
+        for s in &self.fetch_queue {
+            s.save_state(w);
+        }
+        w.len(self.rob.len());
+        for s in &self.rob {
+            s.save_state(w);
+        }
+        w.u64(self.iq_occupancy as u64);
+        w.u64(self.lsq_occupancy as u64);
+        w.u64(self.first_executing_seq);
+        w.u64(self.executing_count as u64);
+        w.u64(self.next_complete_at);
+        w.u64_slice(&self.ready);
+        w.u64_slice(&self.waiting_stores);
+        self.wakeups.save_state(w);
+        self.stores.save_state(w);
+        for writer in self.last_writer {
+            w.opt_u64(writer);
+        }
+        w.u64(self.in_flight_writers as u64);
+        w.u64(self.next_seq);
+        w.u64(self.now);
+        w.u64(self.fetch_pc);
+        w.u64(self.fetch_resume);
+        w.bool(self.wrong_path_mode);
+        w.bool(self.wrong_path_stuck);
+        w.bool(self.fetch_stopped);
+        w.opt_u64(self.oracle_fault);
+        w.opt_u64(self.cur_line.map(|(l, _)| l));
+        w.opt_u64(self.cur_line.map(|(_, c)| c));
+        w.opt_u64(self.prefetched_line.map(|(l, _)| l));
+        w.opt_u64(self.prefetched_line.map(|(_, c)| c));
+        w.u64(self.head_retry_at);
+        self.stats.save_state(w);
+        w.u64(self.stats_start_cycle);
+        w.u64_slice(&self.fpu_free);
+        w.u64_slice(&self.alu_free);
+    }
+
+    /// Restores state saved by [`Pipeline::save_state`] into a pipeline
+    /// freshly built with the identical configuration, program, and
+    /// initial memory image (the enclosing checkpoint carries a
+    /// fingerprint guarding this). Scratch buffers reset; the trace bus
+    /// stays as constructed (disabled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or a
+    /// configuration mismatch.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        r.tag(TAG_CPU)?;
+        self.oracle.restore_state(r)?;
+        self.mem.restore_state(r)?;
+        self.bpred.restore_state(r)?;
+        let n = r.len(1)?;
+        self.fetch_queue.clear();
+        for _ in 0..n {
+            self.fetch_queue.push_back(Slot::restore_state(r)?);
+        }
+        let n = r.len(1)?;
+        self.rob.clear();
+        for _ in 0..n {
+            self.rob.push_back(Slot::restore_state(r)?);
+        }
+        self.iq_occupancy = r.u64()? as usize;
+        self.lsq_occupancy = r.u64()? as usize;
+        self.first_executing_seq = r.u64()?;
+        self.executing_count = r.u64()? as usize;
+        self.next_complete_at = r.u64()?;
+        self.ready = r.u64_slice()?;
+        self.waiting_stores = r.u64_slice()?;
+        self.wakeups.restore_state(r)?;
+        self.stores.restore_state(r)?;
+        for writer in &mut self.last_writer {
+            *writer = r.opt_u64()?;
+        }
+        self.in_flight_writers = r.u64()? as usize;
+        self.next_seq = r.u64()?;
+        self.now = r.u64()?;
+        self.fetch_pc = r.u64()?;
+        self.fetch_resume = r.u64()?;
+        self.wrong_path_mode = r.bool()?;
+        self.wrong_path_stuck = r.bool()?;
+        self.fetch_stopped = r.bool()?;
+        self.oracle_fault = r.opt_u64()?;
+        self.cur_line = match (r.opt_u64()?, r.opt_u64()?) {
+            (Some(l), Some(c)) => Some((l, c)),
+            (None, None) => None,
+            _ => {
+                return Err(rev_trace::CkptError::Malformed(
+                    "half-present current fetch line".to_string(),
+                ))
+            }
+        };
+        self.prefetched_line = match (r.opt_u64()?, r.opt_u64()?) {
+            (Some(l), Some(c)) => Some((l, c)),
+            (None, None) => None,
+            _ => {
+                return Err(rev_trace::CkptError::Malformed(
+                    "half-present prefetched line".to_string(),
+                ))
+            }
+        };
+        self.head_retry_at = r.u64()?;
+        self.stats.restore_state(r)?;
+        self.stats_start_cycle = r.u64()?;
+        let fpu_free = r.u64_slice()?;
+        let alu_free = r.u64_slice()?;
+        if fpu_free.len() != self.fpu_free.len() || alu_free.len() != self.alu_free.len() {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "functional-unit counts {}/{} do not match configuration {}/{}",
+                fpu_free.len(),
+                alu_free.len(),
+                self.fpu_free.len(),
+                self.alu_free.len()
+            )));
+        }
+        self.fpu_free = fpu_free;
+        self.alu_free = alu_free;
+        self.ready_scratch.clear();
+        self.wake_buf.clear();
+        self.reads_buf.clear();
+        Ok(())
+    }
+
     /// Runs until `max_instrs` correct-path instructions commit, the
     /// program halts, or the monitor reports a violation.
     ///
@@ -590,6 +894,20 @@ impl Pipeline {
     /// session-slicing equivalence suite in `rev-bench` pins this across
     /// all 18 workload profiles).
     pub fn run_slice<M: ExecMonitor>(&mut self, monitor: &mut M, max_instrs: u64) -> RunResult {
+        // A previous slice can end on the exact cycle the program drains
+        // (the halt commits and the budget hits together): the budget
+        // return below pre-empts the empty check, so the drained state is
+        // only discovered here, on resume. Re-derive it *before* stepping
+        // a cycle — the monolithic loop sees empty in the same iteration,
+        // and resumption must not charge a cycle it never ran.
+        if self.pipeline_empty() {
+            monitor.on_run_end(&mut self.mem, self.now);
+            let outcome = match self.oracle_fault {
+                Some(pc) => RunOutcome::OracleFault { pc },
+                None => RunOutcome::Halted,
+            };
+            return RunResult { outcome, stats: self.stats.clone() };
+        }
         let mut last_commit_cycle = self.now;
         let mut last_committed = self.stats.committed_instrs;
         loop {

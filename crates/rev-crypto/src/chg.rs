@@ -165,6 +165,37 @@ impl ChgPipeline {
     pub fn total_flushed(&self) -> u64 {
         self.flushed
     }
+
+    /// Exports the complete mutable state as logical values — in-flight
+    /// `(tag, ready_at)` pairs in queue order plus the lifetime counters.
+    /// Checkpoint encoders in higher layers serialize these (this crate
+    /// stays codec-agnostic).
+    pub fn snapshot(&self) -> (Vec<(u64, u64)>, u64, u64) {
+        (
+            self.in_flight.iter().map(|e| (e.tag.0, e.ready_at)).collect(),
+            self.enqueued,
+            self.flushed,
+        )
+    }
+
+    /// Restores state exported by [`ChgPipeline::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `in_flight` exceeds capacity or is not strictly
+    /// tag-sorted — a snapshot from a same-config pipeline always
+    /// satisfies both (callers validate untrusted bytes before this).
+    pub fn restore(&mut self, in_flight: &[(u64, u64)], enqueued: u64, flushed: u64) {
+        assert!(in_flight.len() <= self.config.capacity, "CHG snapshot over capacity");
+        assert!(
+            in_flight.windows(2).all(|w| w[0].0 < w[1].0),
+            "CHG snapshot tags must be strictly increasing"
+        );
+        self.in_flight =
+            in_flight.iter().map(|&(t, r)| InFlight { tag: ChgTag(t), ready_at: r }).collect();
+        self.enqueued = enqueued;
+        self.flushed = flushed;
+    }
 }
 
 #[cfg(test)]

@@ -201,6 +201,60 @@ impl Cache {
     pub fn latency(&self) -> u64 {
         self.config.latency
     }
+
+    /// Serializes the mutable state (lines, LRU clock, stats) into a
+    /// checkpoint. Geometry comes from the constructor on restore, so
+    /// only per-line content is written; the flat line order is part of
+    /// the deterministic model state and round-trips byte-identically.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.u64(self.tick);
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+        w.u64(self.stats.writebacks);
+        w.len(self.lines.len());
+        for l in &self.lines {
+            w.u64(l.tag);
+            w.u8(u8::from(l.valid) | (u8::from(l.dirty) << 1));
+            w.u64(l.lru);
+        }
+    }
+
+    /// Restores state saved by [`Cache::save_state`] into a cache built
+    /// with the *same* geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or if the
+    /// serialized line count does not match this cache's geometry.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        self.tick = r.u64()?;
+        self.stats.accesses = r.u64()?;
+        self.stats.misses = r.u64()?;
+        self.stats.writebacks = r.u64()?;
+        let n = r.len(17)?;
+        if n != self.lines.len() {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "cache line count {n} does not match geometry ({} lines)",
+                self.lines.len()
+            )));
+        }
+        for l in &mut self.lines {
+            l.tag = r.u64()?;
+            let flags = r.u8()?;
+            if flags > 0b11 {
+                return Err(rev_trace::CkptError::Malformed(format!(
+                    "cache line flag byte {flags:#04x}"
+                )));
+            }
+            l.valid = flags & 1 != 0;
+            l.dirty = flags & 2 != 0;
+            l.lru = r.u64()?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,9 @@ use std::cell::Cell;
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
 
+/// Checkpoint section marker for main-memory page content.
+const TAG_MEM: u8 = 0x6d; // 'm'
+
 /// Sentinel page index marking an empty slot (real indices are
 /// `addr >> 12`, so the top bits can never all be set).
 const EMPTY: u64 = u64::MAX;
@@ -301,6 +304,58 @@ impl MainMemory {
     /// Number of resident pages (for tests / footprint reporting).
     pub fn resident_pages(&self) -> usize {
         self.pages.len
+    }
+
+    /// Serializes every resident page, sorted by page index (canonical
+    /// order — re-serializing a restored memory is byte-identical).
+    /// All-zero pages are written too: a page that held data at build
+    /// time and was zeroed mid-run must restore as zero, not revert to
+    /// its build-time image.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.tag(TAG_MEM);
+        let mut idxs: Vec<u64> = self.pages.keys().collect();
+        idxs.sort_unstable();
+        w.len(idxs.len());
+        for idx in idxs {
+            let (_, page) = self.pages.get(idx).expect("listed page is resident");
+            w.u64(idx);
+            w.raw(&page[..]);
+        }
+    }
+
+    /// Restores pages saved by [`MainMemory::save_state`], overwriting
+    /// this memory's contents page by page. Restore targets a memory
+    /// rebuilt from the same program image, whose resident set is a
+    /// subset of the checkpoint's (pages are never freed within a run),
+    /// so overwriting every checkpointed page reproduces the saved state
+    /// exactly. The fault injector and last-page accelerator are left
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or an unsorted
+    /// page list.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        r.tag(TAG_MEM)?;
+        let n = r.len(8 + PAGE_SIZE)?;
+        let mut prev: Option<u64> = None;
+        for _ in 0..n {
+            let idx = r.u64()?;
+            if prev.is_some_and(|p| p >= idx) {
+                return Err(rev_trace::CkptError::Malformed(format!(
+                    "page index {idx:#x} out of order"
+                )));
+            }
+            prev = Some(idx);
+            let bytes = r.raw(PAGE_SIZE)?;
+            let (_, page) = self.pages.get_or_insert(idx);
+            page.copy_from_slice(bytes);
+        }
+        self.last.set((EMPTY, 0));
+        Ok(())
     }
 }
 

@@ -122,6 +122,58 @@ impl Tlb {
     pub fn probe(&self, addr: u64) -> bool {
         self.index.contains_key(&self.vpn(addr))
     }
+
+    /// Serializes the mutable state. The entry vector order is part of
+    /// the deterministic model (fills push, evictions `swap_remove`), so
+    /// it is written as-is; the hash index and last-hit accelerator are
+    /// derived state and rebuilt on restore.
+    pub fn save_state(&self, w: &mut rev_trace::CkptWriter) {
+        w.u64(self.tick);
+        w.u64(self.stats.accesses);
+        w.u64(self.stats.misses);
+        w.len(self.entries.len());
+        for &(vpn, t) in &self.entries {
+            w.u64(vpn);
+            w.u64(t);
+        }
+    }
+
+    /// Restores state saved by [`Tlb::save_state`] into a TLB built with
+    /// the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError`] on decode failure or if the
+    /// entry count exceeds this TLB's capacity.
+    pub fn restore_state(
+        &mut self,
+        r: &mut rev_trace::CkptReader<'_>,
+    ) -> Result<(), rev_trace::CkptError> {
+        self.tick = r.u64()?;
+        self.stats.accesses = r.u64()?;
+        self.stats.misses = r.u64()?;
+        let n = r.len(16)?;
+        if n > self.config.entries {
+            return Err(rev_trace::CkptError::Malformed(format!(
+                "TLB entry count {n} exceeds capacity {}",
+                self.config.entries
+            )));
+        }
+        self.entries.clear();
+        self.index = crate::FlatMap::default();
+        self.last = None;
+        for slot in 0..n {
+            let vpn = r.u64()?;
+            let t = r.u64()?;
+            if self.index.insert(vpn, slot).is_some() {
+                return Err(rev_trace::CkptError::Malformed(format!(
+                    "duplicate TLB entry for vpn {vpn:#x}"
+                )));
+            }
+            self.entries.push((vpn, t));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

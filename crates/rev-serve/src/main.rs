@@ -1,23 +1,42 @@
 //! The `rev-serve` daemon binary.
 //!
 //! ```text
-//! rev-serve [--workers N] [--slice N] [--listen ADDR] [--verbose]
+//! rev-serve [--workers N] [--slice N] [--queue-cap N] [--retries N]
+//!           [--backoff-ms N] [--ckpt-every N] [--listen ADDR]
+//!           [--idle-timeout SECS] [--verbose]
+//!           [--chaos-panic ID:SLICE] [--chaos-corrupt ID] [--chaos-stall ID:MS]
 //! ```
 //!
-//! By default the daemon speaks `rev-serve/1` on stdin/stdout — the
-//! mode the smoke gate in `scripts/check.sh` drives, and the simplest
+//! By default the daemon speaks `rev-serve/2` on stdin/stdout — the
+//! mode the smoke gates in `scripts/check.sh` drive, and the simplest
 //! way to embed the gateway under another process. With `--listen ADDR`
 //! it binds a TCP socket instead and serves connections sequentially,
 //! one full protocol conversation per connection (a fresh `serve.*`
-//! registry each time). See `docs/SERVE.md` for the protocol.
+//! registry each time); `--idle-timeout` arms a per-connection read
+//! timeout so an idle client cannot hold the daemon forever. The
+//! `--chaos-*` flags inject service-layer faults (worker panics,
+//! checkpoint corruption, slow-worker stalls) for the crash-recovery
+//! smoke gate and the `rev-chaos --serve` campaign; they are never used
+//! in normal operation. See `docs/SERVE.md` for the protocol and the
+//! fault-tolerance contract.
 
 use rev_serve::server::{serve, ServeOptions};
 use std::io::{BufReader, Write as _};
 use std::net::TcpListener;
+use std::time::Duration;
+
+/// Splits `ID:VALUE` (last colon wins, so ids may contain colons).
+fn id_value(flag: &str, arg: &str) -> (String, u64) {
+    let (id, value) =
+        arg.rsplit_once(':').unwrap_or_else(|| panic!("{flag} expects ID:VALUE, got '{arg}'"));
+    let value = value.parse().unwrap_or_else(|_| panic!("{flag}: '{value}' is not an integer"));
+    (id.to_string(), value)
+}
 
 fn main() {
     let mut opts = ServeOptions { quiet: true, ..Default::default() };
     let mut listen: Option<String> = None;
+    let mut idle_timeout: Option<Duration> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -30,14 +49,50 @@ fn main() {
                 opts.slice = v.parse().expect("--slice must be an integer");
                 assert!(opts.slice >= 1, "--slice must be at least 1");
             }
+            "--queue-cap" => {
+                let v = args.next().expect("--queue-cap needs a value");
+                opts.queue_cap = v.parse().expect("--queue-cap must be an integer");
+            }
+            "--retries" => {
+                let v = args.next().expect("--retries needs a value");
+                opts.max_retries = v.parse().expect("--retries must be an integer");
+            }
+            "--backoff-ms" => {
+                let v = args.next().expect("--backoff-ms needs a value");
+                opts.retry_backoff_ms = v.parse().expect("--backoff-ms must be an integer");
+            }
+            "--ckpt-every" => {
+                let v = args.next().expect("--ckpt-every needs a value");
+                opts.ckpt_every = v.parse().expect("--ckpt-every must be an integer");
+            }
             "--listen" => {
                 listen = Some(args.next().expect("--listen needs an address (host:port)"));
+            }
+            "--idle-timeout" => {
+                let v = args.next().expect("--idle-timeout needs seconds");
+                let secs: u64 = v.parse().expect("--idle-timeout must be an integer");
+                assert!(secs >= 1, "--idle-timeout must be at least 1 second");
+                idle_timeout = Some(Duration::from_secs(secs));
+            }
+            "--chaos-panic" => {
+                let v = args.next().expect("--chaos-panic needs ID:SLICE");
+                opts.chaos.panics.push(id_value("--chaos-panic", &v));
+            }
+            "--chaos-corrupt" => {
+                let v = args.next().expect("--chaos-corrupt needs a job id");
+                opts.chaos.corrupt_ckpt.push(v);
+            }
+            "--chaos-stall" => {
+                let v = args.next().expect("--chaos-stall needs ID:MS");
+                opts.chaos.stall_ms.push(id_value("--chaos-stall", &v));
             }
             "--verbose" => opts.quiet = false,
             other => {
                 eprintln!(
                     "rev-serve: unknown argument '{other}' \
-                     (expected --workers, --slice, --listen, --verbose)"
+                     (expected --workers, --slice, --queue-cap, --retries, --backoff-ms, \
+                     --ckpt-every, --listen, --idle-timeout, --verbose, \
+                     --chaos-panic, --chaos-corrupt, --chaos-stall)"
                 );
                 std::process::exit(2);
             }
@@ -62,6 +117,12 @@ fn main() {
                         continue;
                     }
                 };
+                // An idle client trips the read timeout; serve() treats
+                // the resulting read error as EOF and drains cleanly.
+                if let Err(e) = stream.set_read_timeout(idle_timeout) {
+                    eprintln!("rev-serve: cannot arm idle timeout: {e}");
+                    continue;
+                }
                 let reader = BufReader::new(match stream.try_clone() {
                     Ok(r) => r,
                     Err(e) => {

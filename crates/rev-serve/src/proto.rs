@@ -1,4 +1,4 @@
-//! The `rev-serve/1` wire protocol: typed request/response messages and
+//! The `rev-serve/2` wire protocol: typed request/response messages and
 //! their JSON serde.
 //!
 //! `docs/SERVE.md` is the **normative** reference for this module; the
@@ -6,12 +6,16 @@
 //! error code and `serve.*` metric defined here is documented there, and
 //! that every JSON example in the document round-trips through these
 //! types. Framing is line-delimited JSON: one complete JSON object per
-//! `\n`-terminated line, no intra-message newlines.
+//! `\n`-terminated line, no intra-message newlines, at most
+//! [`MAX_LINE_BYTES`] bytes per request line.
 //!
 //! Parsing is **strict**: an object carrying a key outside its message
 //! type's field table is rejected with `bad-request`. That is the
 //! versioning policy made mechanical — fields are never silently added
-//! to `rev-serve/1`; an incompatible change bumps the protocol string.
+//! to `rev-serve/2`; an incompatible change bumps the protocol string
+//! (`rev-serve/1` → `rev-serve/2` added `submit.deadline_ms`,
+//! `shutdown.mode`, `error.retry_after_ms`, the `suspended` event and
+//! the fault-tolerance error codes).
 
 use rev_core::ValidationMode;
 use rev_trace::{json, Json};
@@ -19,7 +23,12 @@ use std::fmt;
 
 /// The protocol identifier, sent in both `hello` messages and checked on
 /// the client's. Incompatible revisions bump the suffix.
-pub const PROTOCOL: &str = "rev-serve/1";
+pub const PROTOCOL: &str = "rev-serve/2";
+
+/// Upper bound on one request line, in bytes (newline excluded). The
+/// daemon rejects longer lines with `bad-request` instead of buffering
+/// them unboundedly, then resynchronizes at the next newline.
+pub const MAX_LINE_BYTES: usize = 64 * 1024;
 
 /// The schema identifier of verdict result payloads (`snapshot` fields):
 /// the deterministic `rev-trace/1` measurement snapshot.
@@ -30,8 +39,17 @@ pub const REQUEST_TYPES: &[&str] = &["hello", "submit", "cancel", "status", "shu
 
 /// Every response/event `type` tag the daemon can emit, in documentation
 /// order.
-pub const RESPONSE_TYPES: &[&str] =
-    &["hello", "accepted", "progress", "verdict", "cancelled", "error", "metrics", "bye"];
+pub const RESPONSE_TYPES: &[&str] = &[
+    "hello",
+    "accepted",
+    "progress",
+    "verdict",
+    "cancelled",
+    "suspended",
+    "error",
+    "metrics",
+    "bye",
+];
 
 /// A protocol-level failure: what an `error` response carries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +73,18 @@ pub enum ErrorCode {
     QuotaExceeded,
     /// Workload generation or simulator assembly failed for the job.
     BuildFailed,
+    /// The job's wall-clock deadline (`submit.deadline_ms`) expired
+    /// before it finished.
+    Deadline,
+    /// The bounded admission queue is full; the submit was shed. The
+    /// error carries `retry_after_ms` as a resubmission hint.
+    Overloaded,
+    /// A worker crashed on the job and the bounded retry budget is
+    /// exhausted (or the panic message itself, on the final attempt).
+    Crashed,
+    /// The job's checkpoint failed its integrity checksum on restore;
+    /// the daemon refuses to resume from corrupt state (fail closed).
+    CkptCorrupt,
 }
 
 impl ErrorCode {
@@ -69,6 +99,10 @@ impl ErrorCode {
         ErrorCode::UnknownJob,
         ErrorCode::QuotaExceeded,
         ErrorCode::BuildFailed,
+        ErrorCode::Deadline,
+        ErrorCode::Overloaded,
+        ErrorCode::Crashed,
+        ErrorCode::CkptCorrupt,
     ];
 
     /// The wire label (`error.code` value).
@@ -83,6 +117,10 @@ impl ErrorCode {
             ErrorCode::UnknownJob => "unknown-job",
             ErrorCode::QuotaExceeded => "quota-exceeded",
             ErrorCode::BuildFailed => "build-failed",
+            ErrorCode::Deadline => "deadline",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Crashed => "crashed",
+            ErrorCode::CkptCorrupt => "ckpt-corrupt",
         }
     }
 
@@ -226,6 +264,10 @@ pub struct JobSpec {
     /// a job that reaches it before its target is aborted with a
     /// `quota-exceeded` error.
     pub quota: Option<u64>,
+    /// Optional wall-clock deadline in milliseconds, measured from
+    /// acceptance; a job still live past it is killed with a `deadline`
+    /// error at its next scheduling point.
+    pub deadline_ms: Option<u64>,
 }
 
 impl JobSpec {
@@ -241,6 +283,7 @@ impl JobSpec {
             label: "rev".to_string(),
             config: JobConfig::default(),
             quota: None,
+            deadline_ms: None,
         }
     }
 }
@@ -262,8 +305,15 @@ pub enum Request {
     },
     /// Ask for a `metrics` event (the `serve.*` registry).
     Status,
-    /// Stop accepting jobs, drain in-flight ones, emit `metrics` + `bye`.
-    Shutdown,
+    /// Stop accepting jobs and wind the connection down with a final
+    /// `metrics` + `bye` pair.
+    Shutdown {
+        /// `false` (the default, wire value `"drain"`): run queued and
+        /// in-flight jobs to their natural end. `true` (`"suspend"`):
+        /// seal each live job into a `rev-ckpt/1` checkpoint and retire
+        /// it with a `suspended` event instead of a verdict.
+        suspend: bool,
+    },
 }
 
 impl Request {
@@ -274,7 +324,7 @@ impl Request {
             Request::Submit(_) => "submit",
             Request::Cancel { .. } => "cancel",
             Request::Status => "status",
-            Request::Shutdown => "shutdown",
+            Request::Shutdown { .. } => "shutdown",
         }
     }
 
@@ -299,6 +349,9 @@ impl Request {
                 if let Some(q) = spec.quota {
                     pairs.push(("quota", Json::Int(q as i64)));
                 }
+                if let Some(d) = spec.deadline_ms {
+                    pairs.push(("deadline_ms", Json::Int(d as i64)));
+                }
                 Json::obj(pairs)
             }
             Request::Cancel { id } => Json::obj(vec![
@@ -306,7 +359,13 @@ impl Request {
                 ("id", Json::Str(id.clone())),
             ]),
             Request::Status => Json::obj(vec![("type", Json::Str("status".to_string()))]),
-            Request::Shutdown => Json::obj(vec![("type", Json::Str("shutdown".to_string()))]),
+            Request::Shutdown { suspend } => {
+                let mut pairs = vec![("type", Json::Str("shutdown".to_string()))];
+                if *suspend {
+                    pairs.push(("mode", Json::Str("suspend".to_string())));
+                }
+                Json::obj(pairs)
+            }
         }
     }
 
@@ -335,6 +394,7 @@ impl Request {
                         "label",
                         "config",
                         "quota",
+                        "deadline_ms",
                     ],
                 )?;
                 let mut spec = JobSpec::new(
@@ -374,6 +434,15 @@ impl Request {
                     }
                     spec.quota = Some(quota);
                 }
+                if let Some(d) = v.get("deadline_ms") {
+                    let deadline = d
+                        .as_u64()
+                        .ok_or_else(|| ProtoError::bad("submit.deadline_ms must be >= 1"))?;
+                    if deadline == 0 {
+                        return Err(ProtoError::bad("submit.deadline_ms must be at least 1"));
+                    }
+                    spec.deadline_ms = Some(deadline);
+                }
                 Ok(Request::Submit(Box::new(spec)))
             }
             "cancel" => {
@@ -385,8 +454,20 @@ impl Request {
                 Ok(Request::Status)
             }
             "shutdown" => {
-                check_fields(v, "shutdown", &[])?;
-                Ok(Request::Shutdown)
+                check_fields(v, "shutdown", &["mode"])?;
+                let suspend = match v.get("mode") {
+                    None => false,
+                    Some(m) => match m.as_str() {
+                        Some("drain") => false,
+                        Some("suspend") => true,
+                        _ => {
+                            return Err(ProtoError::bad(
+                                "shutdown.mode must be \"drain\" or \"suspend\"",
+                            ))
+                        }
+                    },
+                };
+                Ok(Request::Shutdown { suspend })
             }
             other => Err(ProtoError::bad(format!("unknown request type {other:?}"))),
         }
@@ -479,6 +560,19 @@ pub enum Response {
         /// Instructions committed before the cancel landed.
         committed: u64,
     },
+    /// A suspending shutdown sealed this live job into a checkpoint and
+    /// retired it without a verdict.
+    Suspended {
+        /// Job id.
+        id: String,
+        /// Instructions committed when the suspension landed.
+        committed: u64,
+        /// Committed-instruction target the job was working toward.
+        target: u64,
+        /// Size of the sealed `rev-ckpt/1` envelope in bytes (0 when
+        /// the job had not yet started and there is no warmed state).
+        ckpt_bytes: u64,
+    },
     /// A request or job failed.
     Error {
         /// The affected job, when the failure is job-scoped.
@@ -487,6 +581,9 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+        /// Resubmission hint in milliseconds, present on `overloaded`
+        /// rejections from the bounded admission queue.
+        retry_after_ms: Option<u64>,
     },
     /// The daemon's `serve.*` metric registry (answer to `status`; also
     /// emitted before `bye`).
@@ -507,6 +604,7 @@ impl Response {
             Response::Progress { .. } => "progress",
             Response::Verdict { .. } => "verdict",
             Response::Cancelled { .. } => "cancelled",
+            Response::Suspended { .. } => "suspended",
             Response::Error { .. } => "error",
             Response::Metrics { .. } => "metrics",
             Response::Bye => "bye",
@@ -552,13 +650,23 @@ impl Response {
                 ("id", Json::Str(id.clone())),
                 ("committed", Json::Int(*committed as i64)),
             ]),
-            Response::Error { id, code, message } => {
+            Response::Suspended { id, committed, target, ckpt_bytes } => Json::obj(vec![
+                ("type", Json::Str("suspended".to_string())),
+                ("id", Json::Str(id.clone())),
+                ("committed", Json::Int(*committed as i64)),
+                ("target", Json::Int(*target as i64)),
+                ("ckpt_bytes", Json::Int(*ckpt_bytes as i64)),
+            ]),
+            Response::Error { id, code, message, retry_after_ms } => {
                 let mut pairs = vec![("type", Json::Str("error".to_string()))];
                 if let Some(id) = id {
                     pairs.push(("id", Json::Str(id.clone())));
                 }
                 pairs.push(("code", Json::Str(code.as_str().to_string())));
                 pairs.push(("message", Json::Str(message.clone())));
+                if let Some(ms) = retry_after_ms {
+                    pairs.push(("retry_after_ms", Json::Int(*ms as i64)));
+                }
                 Json::obj(pairs)
             }
             Response::Metrics { metrics } => Json::obj(vec![
@@ -628,15 +736,31 @@ impl Response {
                     committed: req_u64(v, "cancelled", "committed")?,
                 })
             }
+            "suspended" => {
+                check_fields(v, "suspended", &["id", "committed", "target", "ckpt_bytes"])?;
+                Ok(Response::Suspended {
+                    id: req_str(v, "suspended", "id")?,
+                    committed: req_u64(v, "suspended", "committed")?,
+                    target: req_u64(v, "suspended", "target")?,
+                    ckpt_bytes: req_u64(v, "suspended", "ckpt_bytes")?,
+                })
+            }
             "error" => {
-                check_fields(v, "error", &["id", "code", "message"])?;
+                check_fields(v, "error", &["id", "code", "message", "retry_after_ms"])?;
                 let code_label = req_str(v, "error", "code")?;
                 let code = ErrorCode::parse(&code_label)
                     .ok_or_else(|| ProtoError::bad(format!("unknown error code {code_label:?}")))?;
+                let retry_after_ms = match v.get("retry_after_ms") {
+                    None => None,
+                    Some(ms) => Some(ms.as_u64().ok_or_else(|| {
+                        ProtoError::bad("error.retry_after_ms must be a non-negative integer")
+                    })?),
+                };
                 Ok(Response::Error {
                     id: v.get("id").and_then(Json::as_str).map(str::to_string),
                     code,
                     message: req_str(v, "error", "message")?,
+                    retry_after_ms,
                 })
             }
             "metrics" => {
@@ -718,11 +842,13 @@ mod tests {
         spec.config =
             JobConfig { mode: ValidationMode::Aggressive, sc_kib: 64, superblocks: false };
         spec.quota = Some(1_000_000);
+        spec.deadline_ms = Some(30_000);
         round_trip_request(&Request::Submit(Box::new(spec)));
         round_trip_request(&Request::Submit(Box::new(JobSpec::new("j2", "gcc", 1))));
         round_trip_request(&Request::Cancel { id: "j1".to_string() });
         round_trip_request(&Request::Status);
-        round_trip_request(&Request::Shutdown);
+        round_trip_request(&Request::Shutdown { suspend: false });
+        round_trip_request(&Request::Shutdown { suspend: true });
     }
 
     #[test]
@@ -754,15 +880,29 @@ mod tests {
             snapshot: Json::obj(vec![]),
         });
         round_trip_response(&Response::Cancelled { id: "j1".to_string(), committed: 123 });
+        round_trip_response(&Response::Suspended {
+            id: "j1".to_string(),
+            committed: 150_003,
+            target: 200_000,
+            ckpt_bytes: 2_412_820,
+        });
         round_trip_response(&Response::Error {
             id: Some("j9".to_string()),
             code: ErrorCode::QuotaExceeded,
             message: "quota of 5000 instructions exhausted".to_string(),
+            retry_after_ms: None,
+        });
+        round_trip_response(&Response::Error {
+            id: Some("j10".to_string()),
+            code: ErrorCode::Overloaded,
+            message: "admission queue is full".to_string(),
+            retry_after_ms: Some(250),
         });
         round_trip_response(&Response::Error {
             id: None,
             code: ErrorCode::BadJson,
             message: "JSON parse error at byte 0: expected a value".to_string(),
+            retry_after_ms: None,
         });
         round_trip_response(&Response::Metrics {
             metrics: Json::obj(vec![("serve.jobs.submitted", Json::Int(2))]),
@@ -815,7 +955,7 @@ mod tests {
             Request::Submit(Box::new(JobSpec::new("a", "b", 1))).type_tag(),
             Request::Cancel { id: String::new() }.type_tag(),
             Request::Status.type_tag(),
-            Request::Shutdown.type_tag(),
+            Request::Shutdown { suspend: false }.type_tag(),
         ];
         assert_eq!(reqs.as_slice(), REQUEST_TYPES);
         let resps = [
@@ -830,8 +970,15 @@ mod tests {
             }
             .type_tag(),
             Response::Cancelled { id: String::new(), committed: 0 }.type_tag(),
-            Response::Error { id: None, code: ErrorCode::BadJson, message: String::new() }
+            Response::Suspended { id: String::new(), committed: 0, target: 0, ckpt_bytes: 0 }
                 .type_tag(),
+            Response::Error {
+                id: None,
+                code: ErrorCode::BadJson,
+                message: String::new(),
+                retry_after_ms: None,
+            }
+            .type_tag(),
             Response::Metrics { metrics: Json::Null }.type_tag(),
             Response::Bye.type_tag(),
         ];

@@ -1,0 +1,530 @@
+//! The `rev-ckpt/1` binary checkpoint codec.
+//!
+//! A checkpoint is a self-delimiting byte envelope:
+//!
+//! ```text
+//! +----------+---------+----------------+-----------+------------+
+//! | magic 8B | ver u32 | recipe (bytes) | state ... | fnv64  8B  |
+//! +----------+---------+----------------+-----------+------------+
+//! ```
+//!
+//! * **magic** — the literal bytes `REVCKPT1`.
+//! * **version** — [`CKPT_VERSION`], little-endian. Any layout change to
+//!   the state body bumps it; readers reject unknown versions.
+//! * **recipe** — an opaque, caller-owned section (length-prefixed).
+//!   `rev-serve` stores the job spec JSON here so a checkpoint file is
+//!   self-describing; the codec never interprets it.
+//! * **state** — the serialized mutable simulator state, written through
+//!   [`CkptWriter`]'s primitive encoders and tagged section markers.
+//! * **checksum** — FNV-1a 64 over every preceding byte. Verified
+//!   *before* any field is parsed, so a corrupted checkpoint (any single
+//!   bit flip, anywhere) is rejected with
+//!   [`CkptError::ChecksumMismatch`] and can never be silently restored.
+//!
+//! Reading is panic-free: every accessor bounds-checks and returns a
+//! structured [`CkptError`]. Canonical encoding is the writer's job —
+//! container state is serialized as sorted logical content, so
+//! `serialize → deserialize → serialize` is byte-identical (pinned by
+//! the round-trip suite in `rev-core`).
+//!
+//! `docs/CHECKPOINT.md` is the normative schema reference.
+
+use std::fmt;
+
+/// The 8-byte envelope magic.
+pub const CKPT_MAGIC: [u8; 8] = *b"REVCKPT1";
+
+/// The current state-body layout version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// The schema identifier advertised in docs and service handshakes.
+pub const CKPT_SCHEMA: &str = "rev-ckpt/1";
+
+/// FNV-1a 64 over `bytes` — the envelope's trailing checksum function.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A structured checkpoint decode failure. Restores never panic and never
+/// partially apply: any error leaves the target untouched by contract
+/// (callers restore into a freshly built simulator and discard it on
+/// error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The envelope is shorter than the fixed header + checksum.
+    Truncated {
+        /// Byte offset at which data ran out.
+        at: usize,
+    },
+    /// The first eight bytes are not [`CKPT_MAGIC`].
+    BadMagic,
+    /// The version field names a layout this reader does not speak.
+    BadVersion(u32),
+    /// The trailing FNV-1a 64 does not match the envelope bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the envelope.
+        stored: u64,
+        /// Checksum computed over the envelope bytes.
+        computed: u64,
+    },
+    /// A section marker byte differed from the expected tag.
+    BadTag {
+        /// Tag the reader expected.
+        expected: u8,
+        /// Tag actually present.
+        found: u8,
+        /// Byte offset of the marker.
+        offset: usize,
+    },
+    /// A semantic invariant failed (fingerprint mismatch, impossible
+    /// length, out-of-range enum discriminant).
+    Malformed(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Truncated { at } => write!(f, "checkpoint truncated at byte {at}"),
+            CkptError::BadMagic => write!(f, "not a rev-ckpt envelope (bad magic)"),
+            CkptError::BadVersion(v) => {
+                write!(f, "unsupported checkpoint version {v} (this build speaks {CKPT_VERSION})")
+            }
+            CkptError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint checksum mismatch (stored {stored:#018x}, computed {computed:#018x})"
+            ),
+            CkptError::BadTag { expected, found, offset } => write!(
+                f,
+                "checkpoint section tag mismatch at byte {offset}: expected {expected:#04x}, \
+                 found {found:#04x}"
+            ),
+            CkptError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Appends the envelope header and primitive encodings to a byte buffer.
+///
+/// All integers are little-endian; variable-length payloads carry a u64
+/// length prefix. [`CkptWriter::finish`] seals the envelope with the
+/// trailing checksum.
+#[derive(Debug)]
+pub struct CkptWriter {
+    buf: Vec<u8>,
+}
+
+impl Default for CkptWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CkptWriter {
+    /// Starts an envelope: magic + version are written immediately.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&CKPT_MAGIC);
+        buf.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        CkptWriter { buf }
+    }
+
+    /// Writes a section marker byte (checked by the reader).
+    pub fn tag(&mut self, t: u8) {
+        self.buf.push(t);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a bool as one byte (0/1).
+    pub fn bool(&mut self, v: bool) {
+        self.buf.push(u8::from(v));
+    }
+
+    /// Writes a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a usize as a little-endian u64.
+    pub fn len(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an f64 by bit pattern (exact round trip).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes an optional u64 (presence byte + value).
+    pub fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(x) => {
+                self.bool(true);
+                self.u64(x);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.len(b.len());
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes raw bytes with no length prefix (fixed-size payloads).
+    pub fn raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes a length-prefixed slice of u64s.
+    pub fn u64_slice(&mut self, v: &[u64]) {
+        self.len(v.len());
+        for &x in v {
+            self.u64(x);
+        }
+    }
+
+    /// Bytes written so far (header included, checksum not yet).
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Seals the envelope: appends FNV-1a 64 over everything written.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<u8> {
+        let sum = fnv1a64(&self.buf);
+        self.buf.extend_from_slice(&sum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Bounds-checked reader over a sealed envelope.
+///
+/// [`CkptReader::new`] verifies length, checksum, magic and version
+/// before handing out a single field, so every later accessor operates
+/// on an integrity-checked byte range and can only fail on structural
+/// mismatches ([`CkptError::Truncated`] / [`CkptError::BadTag`] /
+/// [`CkptError::Malformed`]).
+#[derive(Debug)]
+pub struct CkptReader<'a> {
+    /// Envelope body (magic through last state byte; checksum stripped).
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> CkptReader<'a> {
+    /// Opens an envelope: checks length, checksum, magic, version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CkptError`] describing the first integrity failure.
+    pub fn new(data: &'a [u8]) -> Result<Self, CkptError> {
+        let min = CKPT_MAGIC.len() + 4 + 8;
+        if data.len() < min {
+            return Err(CkptError::Truncated { at: data.len() });
+        }
+        let (body, sum_bytes) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(sum_bytes.try_into().expect("split at 8"));
+        let computed = fnv1a64(body);
+        if stored != computed {
+            return Err(CkptError::ChecksumMismatch { stored, computed });
+        }
+        if body[..8] != CKPT_MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let version = u32::from_le_bytes(body[8..12].try_into().expect("4 bytes"));
+        if version != CKPT_VERSION {
+            return Err(CkptError::BadVersion(version));
+        }
+        Ok(CkptReader { data: body, pos: 12 })
+    }
+
+    /// Current byte offset into the envelope.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        let end = self.pos.checked_add(n).ok_or(CkptError::Truncated { at: self.pos })?;
+        if end > self.data.len() {
+            return Err(CkptError::Truncated { at: self.pos });
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads and checks a section marker.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::BadTag`] if the marker differs from `expected`.
+    pub fn tag(&mut self, expected: u8) -> Result<(), CkptError> {
+        let offset = self.pos;
+        let found = self.u8()?;
+        if found != expected {
+            return Err(CkptError::BadTag { expected, found, offset });
+        }
+        Ok(())
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn u8(&mut self) -> Result<u8, CkptError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a bool byte, rejecting anything but 0/1.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] on a non-boolean byte.
+    pub fn bool(&mut self) -> Result<bool, CkptError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Malformed(format!("bool byte {b:#04x}"))),
+        }
+    }
+
+    /// Reads a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length prefix, sanity-bounded by the remaining envelope
+    /// size (`per_item` bytes per element) so a corrupt length can never
+    /// drive an allocation larger than the checkpoint itself.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] if the announced length cannot fit.
+    pub fn len(&mut self, per_item: usize) -> Result<usize, CkptError> {
+        let raw = self.u64()?;
+        let n = usize::try_from(raw)
+            .map_err(|_| CkptError::Malformed(format!("length {raw} overflows usize")))?;
+        let remaining = self.data.len() - self.pos;
+        if n.checked_mul(per_item.max(1)).is_none_or(|need| need > remaining) {
+            return Err(CkptError::Malformed(format!(
+                "length {n} x {per_item}B exceeds remaining {remaining}B"
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads an f64 by bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn f64(&mut self) -> Result<f64, CkptError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an optional u64.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying bool/u64 decode failure.
+    pub fn opt_u64(&mut self) -> Result<Option<u64>, CkptError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reads a length-prefixed byte slice (borrowed from the envelope).
+    ///
+    /// # Errors
+    ///
+    /// Propagates length/bounds failures.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CkptError> {
+        let n = self.len(1)?;
+        self.take(n)
+    }
+
+    /// Reads `n` raw bytes (fixed-size payloads, no length prefix).
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Truncated`] past the end of the envelope.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed u64 slice.
+    ///
+    /// # Errors
+    ///
+    /// Propagates length/bounds failures.
+    pub fn u64_slice(&mut self) -> Result<Vec<u64>, CkptError> {
+        let n = self.len(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u64()?);
+        }
+        Ok(v)
+    }
+
+    /// Asserts the whole envelope was consumed (trailing garbage in a
+    /// checksummed envelope means a writer/reader layout skew).
+    ///
+    /// # Errors
+    ///
+    /// [`CkptError::Malformed`] when bytes remain.
+    pub fn finish(self) -> Result<(), CkptError> {
+        if self.pos != self.data.len() {
+            return Err(CkptError::Malformed(format!(
+                "{} unread bytes after the last field",
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut w = CkptWriter::new();
+        w.tag(0x10);
+        w.u8(7);
+        w.bool(true);
+        w.u16(0xbeef);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 1);
+        w.f64(-0.5);
+        w.opt_u64(None);
+        w.opt_u64(Some(42));
+        w.bytes(b"hello");
+        w.u64_slice(&[1, 2, 3]);
+        let data = w.finish();
+
+        let mut r = CkptReader::new(&data).unwrap();
+        r.tag(0x10).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u16().unwrap(), 0xbeef);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.5);
+        assert_eq!(r.opt_u64().unwrap(), None);
+        assert_eq!(r.opt_u64().unwrap(), Some(42));
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.u64_slice().unwrap(), vec![1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let mut w = CkptWriter::new();
+        w.u64(0x0123_4567_89ab_cdef);
+        w.bytes(b"payload");
+        let data = w.finish();
+        for bit in 0..data.len() * 8 {
+            let mut bad = data.clone();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            let err = match CkptReader::new(&bad) {
+                Err(e) => e,
+                Ok(_) => panic!("bit flip {bit} accepted"),
+            };
+            assert!(
+                matches!(err, CkptError::ChecksumMismatch { .. }),
+                "bit {bit}: unexpected error {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let data = CkptWriter::new().finish();
+        for cut in 0..data.len() {
+            assert!(CkptReader::new(&data[..cut]).is_err(), "prefix {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        // A syntactically valid envelope with version 2: flip the version
+        // field and re-seal the checksum.
+        let mut data = CkptWriter::new().finish();
+        data.truncate(data.len() - 8);
+        data[8] = 2;
+        let sum = fnv1a64(&data);
+        data.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(CkptReader::new(&data).unwrap_err(), CkptError::BadVersion(2));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_overallocate() {
+        let mut w = CkptWriter::new();
+        w.u64(u64::MAX); // an absurd length prefix, correctly checksummed
+        let data = w.finish();
+        let mut r = CkptReader::new(&data).unwrap();
+        assert!(matches!(r.u64_slice(), Err(CkptError::Malformed(_))));
+    }
+
+    #[test]
+    fn tag_mismatch_is_structured() {
+        let mut w = CkptWriter::new();
+        w.tag(0x20);
+        let data = w.finish();
+        let mut r = CkptReader::new(&data).unwrap();
+        let err = r.tag(0x30).unwrap_err();
+        assert_eq!(err, CkptError::BadTag { expected: 0x30, found: 0x20, offset: 12 });
+    }
+}

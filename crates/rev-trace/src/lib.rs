@@ -18,6 +18,12 @@
 //!   ([`Snapshot`], rendered as `BENCH_rev.json`) and a regression
 //!   [`compare`] used by the `rev-trace compare` subcommand and
 //!   `scripts/check.sh`.
+//! * [`ckpt`] — the **`rev-ckpt/1` binary checkpoint codec**
+//!   ([`CkptWriter`] / [`CkptReader`]): a checksummed, schema-versioned
+//!   envelope the simulator crates use to serialize suspended sessions
+//!   (see `docs/CHECKPOINT.md`). Corruption is detected before a single
+//!   field is parsed; a corrupt checkpoint can never be silently
+//!   restored.
 //! * [`fault`] — a deterministic, seeded **fault-injection substrate**
 //!   ([`FaultInjector`]): the same null-handle pattern as the event bus,
 //!   consulted at injection sites across the simulator layers and driven
@@ -30,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt;
 pub mod event;
 pub mod fault;
 pub mod json;
@@ -37,6 +44,7 @@ pub mod metrics;
 pub mod pool;
 pub mod snapshot;
 
+pub use ckpt::{fnv1a64, CkptError, CkptReader, CkptWriter, CKPT_MAGIC, CKPT_SCHEMA, CKPT_VERSION};
 pub use event::{EventKind, ProbeOutcome, TraceBus, TraceEvent, Verdict};
 pub use fault::{FaultInjector, FaultKind, FaultLayer, FaultSpec, FAULT_LAYERS};
 pub use json::Json;

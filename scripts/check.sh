@@ -56,6 +56,22 @@ if ! diff -u baselines/serve_smoke.jsonl "$serve_out"; then
 fi
 rm -f "$serve_out"
 
+# Crash-recovery smoke gate (hard): the same two jobs with a worker
+# panic injected on j1's second slice. Supervision must catch the panic,
+# restore j1 from its checkpoint, and finish with verdicts byte-identical
+# to the undisturbed run — so the *same* baseline is the expectation.
+echo "==> rev-serve crash-recovery smoke (injected panic, same baseline)"
+crash_out="$(mktemp /tmp/serve_crash.XXXXXX.jsonl)"
+./target/release/rev-serve --workers 2 --chaos-panic j1:1 --backoff-ms 0 \
+    < scripts/serve_smoke_input.jsonl \
+    | grep '"type":"verdict"' | sort > "$crash_out"
+if ! diff -u baselines/serve_smoke.jsonl "$crash_out"; then
+    echo "FAIL: verdicts after crash recovery differ from the undisturbed run."
+    echo "      Checkpoint/restore must be byte-exact; see docs/CHECKPOINT.md."
+    exit 1
+fi
+rm -f "$crash_out"
+
 # Chaos gate (hard): a quick seeded fault-injection campaign must report
 # zero silent-corruption and zero false-positive outcomes (rev-chaos
 # exits 1 otherwise). The byte-identical JSON is diffed against the
@@ -69,6 +85,22 @@ if ! diff -q baselines/chaos_quick.json "$chaos" >/dev/null; then
     echo "      cargo run --release -p rev-chaos -- --quick --seed 7 --quiet --json baselines/chaos_quick.json"
 fi
 rm -f "$chaos"
+
+# Service-layer chaos gate (hard): the quick seeded campaign against the
+# rev-serve gateway — worker panics, corrupted checkpoints, stalls under
+# deadlines, client disconnects — must be clean (zero silent-corruption,
+# zero false-positive; rev-chaos exits 1 otherwise). The byte-identical
+# JSON is diffed against the committed baseline as a soft drift check.
+echo "==> rev-chaos --serve --quick (service-layer chaos gate)"
+chaos_serve="$(mktemp /tmp/chaos_serve.XXXXXX.json)"
+cargo run --release -q -p rev-chaos -- \
+    --serve --quick --seed 7 --jobs 4 --quiet --json "$chaos_serve" >/dev/null
+if ! diff -q baselines/chaos_serve_quick.json "$chaos_serve" >/dev/null; then
+    echo "WARN: serve campaign drifted from baselines/chaos_serve_quick.json (soft gate)."
+    echo "      If intentional, regenerate with:"
+    echo "      cargo run --release -p rev-chaos -- --serve --quick --seed 7 --quiet --json baselines/chaos_serve_quick.json"
+fi
+rm -f "$chaos_serve"
 
 # Audit gates (DESIGN.md §11). Hard: the differential audit oracle —
 # every attack class under every validation mode diffed against the
