@@ -3,11 +3,12 @@
 //! this sweep shows overhead flat through H = 16 and climbing beyond —
 //! the case where dummy post-commit stages would be needed.
 
-use rev_bench::{overhead_pct, program_for, BenchOptions, TablePrinter};
-use rev_core::{RevConfig, RevSimulator};
+use rev_bench::{overhead_pct, sim_for, BenchOptions, TablePrinter, WarmPool};
+use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
     let latencies: [u64; 6] = [8, 12, 16, 24, 32, 48];
     let mut headers = vec!["benchmark".to_string(), "base IPC".to_string()];
     headers.extend(latencies.iter().map(|h| format!("H={h} ovh %")));
@@ -15,14 +16,14 @@ fn main() {
     for p in opts.profiles() {
         eprintln!("[ablation_chg] {} ...", p.name);
         let base = {
-            let sim = RevSimulator::new(program_for(&p), RevConfig::paper_default()).unwrap();
+            let sim = sim_for(&pool, &opts, &p, RevConfig::paper_default());
             sim.run_baseline(opts.instructions).cpu.ipc()
         };
         let mut row = vec![p.name.to_string(), format!("{base:.3}")];
         for &h in &latencies {
             let mut cfg = RevConfig::paper_default();
             cfg.chg.latency = h;
-            let mut sim = RevSimulator::new(program_for(&p), cfg).unwrap();
+            let mut sim = sim_for(&pool, &opts, &p, cfg);
             let r = sim.run(opts.instructions);
             row.push(format!("{:.2}", overhead_pct(base, r.cpu.ipc())));
         }

@@ -3,11 +3,12 @@
 //! back-pressures commit; too aggressive splitting multiplies
 //! validations.
 
-use rev_bench::{overhead_pct, program_for, BenchOptions, TablePrinter};
-use rev_core::{RevConfig, RevSimulator};
+use rev_bench::{overhead_pct, sim_for, BenchOptions, TablePrinter, WarmPool};
+use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
     let configs: [(usize, usize, usize); 5] = [
         // (defer capacity, max instrs/BB, max stores/BB)
         (8, 64, 8),
@@ -22,7 +23,7 @@ fn main() {
     for p in opts.profiles() {
         eprintln!("[ablation_defer] {} ...", p.name);
         let base = {
-            let sim = RevSimulator::new(program_for(&p), RevConfig::paper_default()).unwrap();
+            let sim = sim_for(&pool, &opts, &p, RevConfig::paper_default());
             sim.run_baseline(opts.instructions).cpu.ipc()
         };
         let mut row = vec![p.name.to_string(), format!("{base:.3}")];
@@ -31,7 +32,7 @@ fn main() {
             cfg.defer_capacity = defer;
             cfg.bb_limits.max_instrs = max_instrs;
             cfg.bb_limits.max_stores = max_stores;
-            let mut sim = RevSimulator::new(program_for(&p), cfg).unwrap();
+            let mut sim = sim_for(&pool, &opts, &p, cfg);
             let r = sim.run(opts.instructions);
             row.push(format!("{:.2}", overhead_pct(base, r.cpu.ipc())));
         }

@@ -4,11 +4,12 @@
 //! called function). The delayed scheme exists to avoid exactly that
 //! walk; this measures what it saves.
 
-use rev_bench::{overhead_pct, program_for, BenchOptions, TablePrinter};
-use rev_core::{RevConfig, RevSimulator};
+use rev_bench::{overhead_pct, sim_for, BenchOptions, TablePrinter, WarmPool};
+use rev_core::RevConfig;
 
 fn main() {
     let opts = BenchOptions::from_args();
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
     let mut t = TablePrinter::new(
         vec![
             "benchmark",
@@ -23,14 +24,19 @@ fn main() {
     for p in opts.profiles() {
         eprintln!("[ablation_returns] {} ...", p.name);
         let base = {
-            let sim = RevSimulator::new(program_for(&p), RevConfig::paper_default()).unwrap();
+            let sim = sim_for(&pool, &opts, &p, RevConfig::paper_default());
             sim.run_baseline_with_warmup(opts.warmup, opts.instructions).cpu.ipc()
         };
         let run = |naive: bool| {
             let mut cfg = RevConfig::paper_default();
             cfg.naive_return_validation = naive;
-            let mut sim = RevSimulator::new(program_for(&p), cfg).unwrap();
-            sim.warmup(opts.warmup);
+            let mut sim = if opts.pool {
+                pool.warm_fork(&p, &cfg, opts.warmup).0
+            } else {
+                let mut sim = sim_for(&pool, &opts, &p, cfg);
+                sim.warmup(opts.warmup);
+                sim
+            };
             let r = sim.run(opts.instructions);
             (overhead_pct(base, r.cpu.ipc()), r.rev.spill_fetches)
         };

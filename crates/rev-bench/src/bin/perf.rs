@@ -13,6 +13,7 @@
 //! usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]
 //!             [--bench NAME]... [--json PATH] [--check BASELINE]
 //!             [--band PCT] [--csv] [--quiet] [--superblocks=on|off]
+//!             [--pool=on|off] [--ckpt-pool DIR]
 //! ```
 //!
 //! * `--json PATH` — write/merge the `perf` registries into `PATH`. If
@@ -32,7 +33,8 @@
 //! what the band is for.
 
 use rev_bench::{
-    perf_registry, perf_sample, perf_soft_check, BenchOptions, Narrator, TablePrinter,
+    perf_registry, perf_sample, perf_sample_pooled, perf_soft_check, BenchOptions, Narrator,
+    TablePrinter, WarmPool,
 };
 use rev_core::RevConfig;
 use rev_trace::Snapshot;
@@ -64,12 +66,16 @@ fn main() {
             "--quiet" => opts.quiet = true,
             "--superblocks=on" => opts.superblocks = true,
             "--superblocks=off" => opts.superblocks = false,
+            "--pool=on" => opts.pool = true,
+            "--pool=off" => opts.pool = false,
+            "--ckpt-pool" => opts.ckpt_pool = Some(value("--ckpt-pool")),
             other => {
                 eprintln!("error: unknown argument '{other}'");
                 eprintln!(
                     "usage: perf [--quick] [--instructions N] [--warmup N] [--scale F]\n\
                      \x20           [--bench NAME]... [--json PATH] [--check BASELINE]\n\
-                     \x20           [--band PCT] [--csv] [--quiet] [--superblocks=on|off]"
+                     \x20           [--band PCT] [--csv] [--quiet] [--superblocks=on|off]\n\
+                     \x20           [--pool=on|off] [--ckpt-pool DIR]"
                 );
                 std::process::exit(2);
             }
@@ -77,11 +83,16 @@ fn main() {
     }
 
     let narrator = Narrator::new(opts.quiet);
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
     let profiles = opts.profiles();
     let mut samples = Vec::with_capacity(profiles.len());
     for profile in &profiles {
         narrator.note(&format!("[perf] {} ...", profile.name));
-        samples.push(perf_sample(profile, &opts, RevConfig::paper_default()));
+        samples.push(if opts.pool {
+            perf_sample_pooled(profile, &opts, RevConfig::paper_default(), &pool)
+        } else {
+            perf_sample(profile, &opts, RevConfig::paper_default())
+        });
     }
 
     let mut table = TablePrinter::new(

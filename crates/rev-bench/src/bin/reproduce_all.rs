@@ -2,11 +2,17 @@
 //! order. All simulation work — base, REV-32K, REV-64K, both aggressive
 //! variants and CFI-only — fans out across `--jobs` worker threads in a
 //! single sweep, with each profile's baseline computed once and shared by
-//! every configuration.
+//! every configuration. The config-independent prefix (program, CFG
+//! stats, table builds, warmup per recipe) is shared through one warm
+//! checkpoint pool spanning the sweep *and* the table-sizes phase; a
+//! `--shard i/N` run seals its share of the work items into `--shard-dir`
+//! and prints nothing, and the `--resume` merge run renders output
+//! byte-identical to a monolithic one.
 
 use rev_bench::{
     mean, overhead_pct, parallel_map, program_for, record_attacks, snapshot_from_runs,
-    sweep_configs, write_snapshot, BenchOptions, Narrator, SweepConfig, TablePrinter,
+    sweep_configs_pooled, write_snapshot, BenchOptions, Narrator, SweepConfig, SweepOutcome,
+    TablePrinter, WarmPool,
 };
 use rev_core::{CostModel, RevConfig, RevSimulator, ValidationMode};
 use rev_mem::Requester;
@@ -16,8 +22,40 @@ use std::time::Instant;
 fn main() {
     let opts = BenchOptions::from_args();
     let narrator = Narrator::new(opts.quiet);
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
     let t_start = Instant::now();
     let mut snap = Snapshot::new();
+
+    // One fan-out covers Figures 6-12 and the CFI-only section: per
+    // profile one shared baseline plus five REV configurations.
+    let configs = [
+        SweepConfig::new("REV-32K", RevConfig::paper_default()),
+        SweepConfig::new("REV-64K", RevConfig::paper_64k()),
+        SweepConfig::new(
+            "aggr-32K",
+            RevConfig::paper_default().with_mode(ValidationMode::Aggressive),
+        ),
+        SweepConfig::new("aggr-64K", RevConfig::paper_64k().with_mode(ValidationMode::Aggressive)),
+        SweepConfig::new("cfi-only", RevConfig::paper_default().with_mode(ValidationMode::CfiOnly)),
+    ];
+
+    if opts.shard.is_some() {
+        // A shard run simulates and seals only its own work items and
+        // keeps stdout empty — only the merge run (`--resume` without
+        // `--shard`) renders tables, so exactly one output ever exists.
+        match sweep_configs_pooled(&opts, &configs, &pool) {
+            SweepOutcome::Partial { computed, resumed, skipped } => narrator.note(&format!(
+                "[shard] sealed {computed} item(s), {resumed} already sealed, \
+                 {skipped} left to other shards in {:.2?}",
+                t_start.elapsed()
+            )),
+            SweepOutcome::Complete(_) => narrator.note(&format!(
+                "[shard] every item computed or already sealed in {:.2?}",
+                t_start.elapsed()
+            )),
+        }
+        return;
+    }
 
     println!("=== Table 1: attacks and detection ===");
     for (kind, out) in record_attacks(&mut snap) {
@@ -32,20 +70,11 @@ fn main() {
     println!();
     let t_attacks = t_start.elapsed();
 
-    // One fan-out covers Figures 6-12 and the CFI-only section: per
-    // profile one shared baseline plus five REV configurations.
     let t_sweep_start = Instant::now();
-    let configs = [
-        SweepConfig::new("REV-32K", RevConfig::paper_default()),
-        SweepConfig::new("REV-64K", RevConfig::paper_64k()),
-        SweepConfig::new(
-            "aggr-32K",
-            RevConfig::paper_default().with_mode(ValidationMode::Aggressive),
-        ),
-        SweepConfig::new("aggr-64K", RevConfig::paper_64k().with_mode(ValidationMode::Aggressive)),
-        SweepConfig::new("cfi-only", RevConfig::paper_default().with_mode(ValidationMode::CfiOnly)),
-    ];
-    let runs = sweep_configs(&opts, &configs);
+    let runs = match sweep_configs_pooled(&opts, &configs, &pool) {
+        SweepOutcome::Complete(runs) => runs,
+        SweepOutcome::Partial { .. } => unreachable!("partial sweeps only happen under --shard"),
+    };
     let t_sweep = t_sweep_start.elapsed();
     let (rev32, rev64, agg32, agg64, cfi) = (0, 1, 2, 3, 4);
 
@@ -183,11 +212,19 @@ fn main() {
     let profiles = opts.profiles();
     let size_rows = parallel_map(opts.jobs, &profiles, |worker, p| {
         narrator.note(&format!("[tables w{worker:02}] {} ...", p.name));
+        // Through the pool all three modes are table-shelf hits: the
+        // sweep above already built standard, aggressive and CFI-only
+        // tables for every profile.
         let ratio = |mode: ValidationMode| {
-            let program = program_for(p);
-            let sim =
-                RevSimulator::new(program, RevConfig::paper_default().with_mode(mode)).unwrap();
-            sim.table_stats()[0].ratio_to_code() * 100.0
+            let config = RevConfig::paper_default().with_mode(mode);
+            let stats = if opts.pool {
+                pool.table_stats(p, &config)[0]
+            } else {
+                let program = program_for(p);
+                let sim = RevSimulator::new(program, config).unwrap();
+                sim.table_stats()[0]
+            };
+            stats.ratio_to_code() * 100.0
         };
         (
             p.name.to_string(),

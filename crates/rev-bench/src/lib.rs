@@ -12,7 +12,17 @@
 //! * `--csv` — CSV tables on stdout instead of aligned text,
 //! * `--json PATH` — write the schema-versioned measurement snapshot
 //!   (`rev-trace` format; see `docs/METRICS.md`) to `PATH`,
-//! * `--quiet` — suppress worker progress and timing narration on stderr.
+//! * `--quiet` — suppress worker progress and timing narration on stderr,
+//! * `--pool=on|off` — the warm-start checkpoint pool (default on; `off`
+//!   rebuilds every work item from scratch — output is byte-identical
+//!   either way, the equivalence suite enforces it),
+//! * `--ckpt-pool DIR` — persist warm checkpoints to `DIR` across runs,
+//! * `--shard i/N`, `--shard-dir DIR`, `--resume` — partition a sweep
+//!   across processes, seal per-item results, and merge them back into a
+//!   byte-identical monolithic output (see `docs/CHECKPOINT.md`).
+
+pub mod pool;
+pub mod shard;
 
 use rev_core::{BaselineReport, RevConfig, RevReport, RevSimulator};
 use rev_prog::{BbLimits, Cfg, CfgStats, Program};
@@ -21,6 +31,9 @@ use rev_trace::{AttackRecord, Json, MetricRegistry, MetricSink, MetricValue, Sna
 use rev_workloads::{generate, SpecProfile, ALL_PROFILES};
 use std::io::Write;
 use std::sync::Mutex;
+
+pub use pool::{PoolFetch, PoolStats, WarmPool};
+pub use shard::ShardSpec;
 
 /// Parsed command-line options shared by all harness binaries.
 #[derive(Debug, Clone)]
@@ -50,7 +63,52 @@ pub struct BenchOptions {
     /// escape hatch; every measurement snapshot is byte-identical either
     /// way — the equivalence suite enforces it).
     pub superblocks: bool,
+    /// Warm-start checkpoint pool (`--pool=off` rebuilds every work item
+    /// from scratch; output is byte-identical either way — the
+    /// equivalence suite and `scripts/check.sh` enforce it).
+    pub pool: bool,
+    /// On-disk warm-checkpoint cache directory (`--ckpt-pool DIR`),
+    /// shared across processes and runs.
+    pub ckpt_pool: Option<String>,
+    /// Simulate only this shard of the (profile × slot) work-item list
+    /// (`--shard i/N`; requires `--shard-dir` to seal the results).
+    pub shard: Option<ShardSpec>,
+    /// Directory where computed work items are sealed (`--shard-dir`).
+    pub shard_dir: Option<String>,
+    /// Load valid sealed items from `--shard-dir` instead of recomputing
+    /// them (`--resume`; invalid or missing entries recompute fail-open).
+    pub resume: bool,
 }
+
+/// A malformed command line. [`BenchOptions::from_args`] reports it on
+/// stderr with the usage summary and exits with status 2 — bad input is
+/// a usage error, not a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsageError {
+    /// What was wrong, naming the offending flag and value.
+    pub message: String,
+}
+
+impl UsageError {
+    /// Creates a usage error.
+    pub fn new<S: Into<String>>(message: S) -> Self {
+        UsageError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The flag summary printed under a usage error.
+pub const USAGE: &str = "usage: [--instructions N] [--warmup N] [--scale F] [--quick] \
+[--bench NAME]... [--csv] [--jobs N] [--preflight] [--json PATH] [--quiet] \
+[--superblocks=on|off] [--pool=on|off] [--ckpt-pool DIR] \
+[--shard i/N --shard-dir DIR] [--resume]";
 
 /// The host's available parallelism (1 if it cannot be determined).
 pub fn default_jobs() -> usize {
@@ -70,28 +128,47 @@ impl Default for BenchOptions {
             json: None,
             quiet: false,
             superblocks: true,
+            pool: true,
+            ckpt_pool: None,
+            shard: None,
+            shard_dir: None,
+            resume: false,
         }
     }
 }
 
 impl BenchOptions {
-    /// Parses `std::env::args`.
+    /// Parses an argument list (everything after the binary name).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics with a usage message on malformed arguments.
-    pub fn from_args() -> Self {
+    /// Returns a [`UsageError`] naming the offending flag and value on
+    /// any malformed input.
+    pub fn parse<I>(args: I) -> Result<Self, UsageError>
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        fn value(
+            args: &mut impl Iterator<Item = String>,
+            flag: &str,
+        ) -> Result<String, UsageError> {
+            args.next().ok_or_else(|| UsageError::new(format!("{flag} needs a value")))
+        }
+        fn parsed<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, UsageError> {
+            v.parse().map_err(|_| UsageError::new(format!("{what}, got '{v}'")))
+        }
         let mut opts = BenchOptions::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter().map(Into::into);
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--instructions" => {
-                    let v = args.next().expect("--instructions needs a value");
-                    opts.instructions = v.parse().expect("--instructions must be an integer");
+                    let v = value(&mut args, "--instructions")?;
+                    opts.instructions = parsed(&v, "--instructions must be an integer")?;
                 }
                 "--scale" => {
-                    let v = args.next().expect("--scale needs a value");
-                    opts.scale = v.parse().expect("--scale must be a float");
+                    let v = value(&mut args, "--scale")?;
+                    opts.scale = parsed(&v, "--scale must be a float")?;
                 }
                 "--quick" => {
                     opts.scale = 0.05;
@@ -99,31 +176,47 @@ impl BenchOptions {
                     opts.warmup = 50_000;
                 }
                 "--warmup" => {
-                    let v = args.next().expect("--warmup needs a value");
-                    opts.warmup = v.parse().expect("--warmup must be an integer");
+                    let v = value(&mut args, "--warmup")?;
+                    opts.warmup = parsed(&v, "--warmup must be an integer")?;
                 }
-                "--bench" => {
-                    opts.only.push(args.next().expect("--bench needs a name"));
-                }
+                "--bench" => opts.only.push(value(&mut args, "--bench")?),
                 "--csv" => opts.csv = true,
                 "--preflight" => opts.preflight = true,
-                "--json" => {
-                    opts.json = Some(args.next().expect("--json needs a path"));
-                }
+                "--json" => opts.json = Some(value(&mut args, "--json")?),
                 "--quiet" => opts.quiet = true,
                 "--superblocks=on" => opts.superblocks = true,
                 "--superblocks=off" => opts.superblocks = false,
+                "--pool=on" => opts.pool = true,
+                "--pool=off" => opts.pool = false,
+                "--ckpt-pool" => opts.ckpt_pool = Some(value(&mut args, "--ckpt-pool")?),
+                "--shard" => {
+                    let v = value(&mut args, "--shard")?;
+                    opts.shard = Some(ShardSpec::parse(&v)?);
+                }
+                "--shard-dir" => opts.shard_dir = Some(value(&mut args, "--shard-dir")?),
+                "--resume" => opts.resume = true,
                 "--jobs" => {
-                    let v = args.next().expect("--jobs needs a value");
-                    let n: usize = v.parse().expect("--jobs must be an integer");
+                    let v = value(&mut args, "--jobs")?;
+                    let n: usize = parsed(&v, "--jobs must be an integer")?;
                     opts.jobs = if n == 0 { default_jobs() } else { n };
                 }
-                other => panic!(
-                    "unknown argument '{other}' (expected --instructions, --warmup, --scale, --quick, --bench, --csv, --jobs, --preflight, --json, --quiet, --superblocks=on|off)"
-                ),
+                other => return Err(UsageError::new(format!("unknown argument '{other}'"))),
             }
         }
-        opts
+        if opts.shard.is_some() && opts.shard_dir.is_none() {
+            return Err(UsageError::new("--shard requires --shard-dir"));
+        }
+        Ok(opts)
+    }
+
+    /// Parses `std::env::args`, printing the error and usage summary to
+    /// stderr and exiting with status 2 on malformed input.
+    pub fn from_args() -> Self {
+        Self::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
     }
 
     /// The selected, scale-adjusted profiles.
@@ -228,6 +321,25 @@ pub fn run_rev_only(profile: &SpecProfile, opts: &BenchOptions, config: RevConfi
     sim.run(opts.instructions)
 }
 
+/// Builds a simulator for one ablation variant: through `pool`'s memo
+/// shelves when `opts.pool` is set — every variant of a profile shares
+/// one program generation, and all variants that agree on validation
+/// mode and BB limits share one table build — and from scratch
+/// otherwise. Warm forking is deliberately not used here: ablations run
+/// without warmup, where a fork would save nothing.
+pub fn sim_for(
+    pool: &WarmPool,
+    opts: &BenchOptions,
+    profile: &SpecProfile,
+    config: RevConfig,
+) -> RevSimulator {
+    if opts.pool {
+        pool.cold_sim(profile, &config)
+    } else {
+        RevSimulator::new(program_for(profile), config).expect("workload builds")
+    }
+}
+
 /// One benchmark measured at base, REV-32K and REV-64K (the sweep behind
 /// Figures 6–11).
 #[derive(Debug, Clone)]
@@ -327,45 +439,192 @@ pub struct ProfileRun {
     pub audit: MetricRegistry,
 }
 
-enum SweepItemOut {
+pub(crate) enum SweepItemOut {
     Base(Box<(BaselineReport, CfgStats, TableStats, MetricRegistry)>),
     Rev(Box<RevReport>),
 }
 
-/// Runs base + every configuration for every selected profile, fanning the
-/// per-(profile, config) work items across `opts.jobs` worker threads.
-///
-/// The baseline simulation runs **once per profile** and is shared across
-/// all configurations (the seed harness re-ran it per config pair).
-/// Results are deterministic and ordered by profile then configuration —
-/// identical output for any `--jobs` value.
-pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<ProfileRun> {
-    assert!(!configs.is_empty(), "sweep_configs needs at least one configuration");
-    let profiles = opts.profiles();
-    // Work item = (profile, slot): slot 0 is the baseline run (plus the
-    // static CFG / table statistics), slot k >= 1 is configs[k - 1].
-    let slots = configs.len() + 1;
-    let items: Vec<(usize, usize)> =
-        (0..profiles.len()).flat_map(|p| (0..slots).map(move |s| (p, s))).collect();
-    let narrator = Narrator::new(opts.quiet);
-    let outs = parallel_map(opts.jobs, &items, |worker, &(p, s)| {
-        let profile = &profiles[p];
-        let label = if s == 0 { "base" } else { configs[s - 1].label.as_str() };
-        narrator.note(&format!("[sweep w{worker:02}] {} {} ...", profile.name, label));
-        if s == 0 {
+/// One worker's verdict on a sweep work item.
+enum SweepItem {
+    /// Simulated here (or loaded from a sealed file under `--resume`).
+    Done { out: SweepItemOut, resumed: bool },
+    /// Owned by another shard — not simulated, not loaded.
+    Skipped,
+}
+
+/// Result of [`sweep_configs_pooled`].
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// Every work item is present (a monolithic or merge run).
+    Complete(Vec<ProfileRun>),
+    /// A `--shard i/N` run: this process sealed its own items into
+    /// `--shard-dir` and left the rest to the other shards, so no
+    /// result set can be assembled. Callers print nothing to stdout.
+    Partial {
+        /// Items this process simulated (and sealed).
+        computed: usize,
+        /// Items satisfied by existing sealed files (`--resume`).
+        resumed: usize,
+        /// Items left to other shards.
+        skipped: usize,
+    },
+}
+
+/// The content address of one sweep work item: every option that can
+/// change the item's measurements is in here, so a sealed result can
+/// never be spliced into a sweep it doesn't belong to.
+fn item_recipe(
+    opts: &BenchOptions,
+    configs: &[SweepConfig],
+    profile: &SpecProfile,
+    slot: usize,
+) -> String {
+    let label = if slot == 0 { "base" } else { configs[slot - 1].label.as_str() };
+    format!(
+        "sweep-item/1|{}|{profile:?}|slot={slot}|label={label}|instrs={}|warmup={}|scale={}|superblocks={}|preflight={}|configs={configs:?}",
+        rev_trace::CKPT_SCHEMA,
+        opts.instructions,
+        opts.warmup,
+        opts.scale,
+        opts.superblocks,
+        opts.preflight,
+    )
+}
+
+/// Atomically writes a sealed item (temp file + rename, like the warm
+/// pool's disk store). I/O failure is silently ignored: a missing seal
+/// costs a recompute on resume, never correctness.
+fn write_sealed(path: &std::path::Path, data: &[u8]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension(format!("item.tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, data).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+/// Simulates one (profile, slot) work item, through the warm pool when
+/// `opts.pool` is set and from scratch otherwise. Both paths produce
+/// byte-identical measurements (`rev-bench/tests/equivalence.rs`).
+fn compute_item(
+    opts: &BenchOptions,
+    configs: &[SweepConfig],
+    pool: &WarmPool,
+    profile: &SpecProfile,
+    slot: usize,
+) -> SweepItemOut {
+    if slot == 0 {
+        let (base, cfg, table, audit) = if opts.pool {
+            let bundle = pool.program(profile);
+            let audit = rev_lint::audit_program(&bundle.0, &configs[0].config).metrics();
+            let sim = pool.cold_sim(profile, &configs[0].config);
+            let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
+            (base, bundle.1, sim.table_stats()[0], audit)
+        } else {
             let program = program_for(profile);
             let cfg = cfg_stats_for(&program);
             let audit = rev_lint::audit_program(&program, &configs[0].config).metrics();
             let sim = RevSimulator::new(program, configs[0].config).expect("workload builds");
             let base = sim.run_baseline_with_warmup(opts.warmup, opts.instructions);
-            let table = sim.table_stats()[0];
-            SweepItemOut::Base(Box::new((base, cfg, table, audit)))
-        } else {
-            SweepItemOut::Rev(Box::new(run_rev_only(profile, opts, configs[s - 1].config)))
+            (base, cfg, sim.table_stats()[0], audit)
+        };
+        SweepItemOut::Base(Box::new((base, cfg, table, audit)))
+    } else if opts.pool {
+        let config = configs[slot - 1].config.with_superblocks(opts.superblocks);
+        let (mut sim, _fetch) = pool.warm_fork(profile, &config, opts.warmup);
+        // The fresh path preflights before warmup; forked simulators are
+        // already warmed, but preflight is read-only so the order cannot
+        // change a single counter.
+        if opts.preflight {
+            preflight(&sim);
         }
+        SweepItemOut::Rev(Box::new(sim.run(opts.instructions)))
+    } else {
+        SweepItemOut::Rev(Box::new(run_rev_only(profile, opts, configs[slot - 1].config)))
+    }
+}
+
+/// [`sweep_configs`] with an explicit warm pool and `--shard`/`--resume`
+/// support — the full-control entry point shared by `reproduce_all` and
+/// the equivalence suite.
+///
+/// Work items are (profile, slot) pairs: slot 0 is the baseline run
+/// (plus static CFG / table statistics and the audit registry), slot
+/// k ≥ 1 is `configs[k - 1]`. Under `--shard i/N` only every N-th item
+/// is simulated (and sealed into `--shard-dir`); under `--resume` valid
+/// sealed items are loaded instead of recomputed. Results are ordered
+/// by profile then configuration — identical output for any `--jobs`
+/// value, any shard split, and with the pool on or off.
+pub fn sweep_configs_pooled(
+    opts: &BenchOptions,
+    configs: &[SweepConfig],
+    pool: &WarmPool,
+) -> SweepOutcome {
+    assert!(!configs.is_empty(), "sweep_configs needs at least one configuration");
+    let profiles = opts.profiles();
+    let slots = configs.len() + 1;
+    let items: Vec<(usize, usize)> =
+        (0..profiles.len()).flat_map(|p| (0..slots).map(move |s| (p, s))).collect();
+    let narrator = Narrator::new(opts.quiet);
+    let shard_dir = opts.shard_dir.as_ref().map(std::path::Path::new);
+    let outs = parallel_map(opts.jobs, &items, |worker, &(p, s)| {
+        let profile = &profiles[p];
+        let label = if s == 0 { "base" } else { configs[s - 1].label.as_str() };
+        let recipe = item_recipe(opts, configs, profile, s);
+        let sealed_path =
+            shard_dir.map(|d| d.join(shard::item_file_name(profile.name, s, &recipe)));
+        if opts.resume {
+            if let Some(path) = &sealed_path {
+                if let Ok(data) = std::fs::read(path) {
+                    match shard::unseal_item(&data, &recipe) {
+                        Ok(out) => {
+                            narrator.note(&format!(
+                                "[sweep w{worker:02}] {} {} (sealed)",
+                                profile.name, label
+                            ));
+                            return SweepItem::Done { out, resumed: true };
+                        }
+                        Err(e) => narrator.note(&format!(
+                            "[sweep w{worker:02}] {} {} sealed entry rejected ({e}); recomputing",
+                            profile.name, label
+                        )),
+                    }
+                }
+            }
+        }
+        if let Some(spec) = opts.shard {
+            if !spec.owns(p * slots + s) {
+                return SweepItem::Skipped;
+            }
+        }
+        narrator.note(&format!("[sweep w{worker:02}] {} {} ...", profile.name, label));
+        let out = compute_item(opts, configs, pool, profile, s);
+        if let Some(path) = &sealed_path {
+            write_sealed(path, &shard::seal_item(&recipe, &out));
+        }
+        SweepItem::Done { out, resumed: false }
     });
-    let mut outs = outs.into_iter();
-    profiles
+    let (mut computed, mut resumed, mut skipped) = (0, 0, 0);
+    let mut assembled: Vec<SweepItemOut> = Vec::new();
+    for item in outs {
+        match item {
+            SweepItem::Done { out, resumed: was_resumed } => {
+                if was_resumed {
+                    resumed += 1;
+                } else {
+                    computed += 1;
+                }
+                assembled.push(out);
+            }
+            SweepItem::Skipped => skipped += 1,
+        }
+    }
+    if skipped > 0 {
+        return SweepOutcome::Partial { computed, resumed, skipped };
+    }
+    let mut outs = assembled.into_iter();
+    let runs = profiles
         .iter()
         .map(|profile| {
             let Some(SweepItemOut::Base(base_out)) = outs.next() else {
@@ -382,7 +641,32 @@ pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<Profil
                 .collect();
             ProfileRun { name: profile.name.to_string(), base, revs, table, cfg, audit }
         })
-        .collect()
+        .collect();
+    SweepOutcome::Complete(runs)
+}
+
+/// Runs base + every configuration for every selected profile, fanning the
+/// per-(profile, config) work items across `opts.jobs` worker threads.
+///
+/// The baseline simulation runs **once per profile** and is shared across
+/// all configurations (the seed harness re-ran it per config pair), and
+/// the config-independent prefix (program, CFG stats, table build, warmup
+/// per recipe) is shared through a per-call [`WarmPool`] when `opts.pool`
+/// is set. Results are deterministic and ordered by profile then
+/// configuration — identical output for any `--jobs` value.
+///
+/// # Panics
+///
+/// Panics when `opts.shard` is set — sharded runs cannot assemble a
+/// result set; drive them through [`sweep_configs_pooled`].
+pub fn sweep_configs(opts: &BenchOptions, configs: &[SweepConfig]) -> Vec<ProfileRun> {
+    let pool = WarmPool::new(opts.ckpt_pool.as_deref());
+    match sweep_configs_pooled(opts, configs, &pool) {
+        SweepOutcome::Complete(runs) => runs,
+        SweepOutcome::Partial { .. } => {
+            panic!("sweep_configs cannot assemble a --shard run; use sweep_configs_pooled")
+        }
+    }
 }
 
 /// Runs the full base/32K/64K sweep for the selected profiles, fanned out
@@ -581,6 +865,21 @@ pub struct PerfSample {
     pub sb_flushes: u64,
     /// Body hashes computed through the multi-lane CubeHash.
     pub chg_lanes: u64,
+    /// Host nanoseconds materializing the program + CFG statistics
+    /// (`perf.phase.gen_ns`; ~0 on a warm-pool hit).
+    pub gen_ns: u64,
+    /// Host nanoseconds building tables + assembling the simulator
+    /// (`perf.phase.table_ns`; ~0 on a warm-pool hit).
+    pub table_ns: u64,
+    /// Host nanoseconds warming up (or restoring a disk checkpoint on a
+    /// disk hit; `perf.phase.warm_ns`).
+    pub warm_ns: u64,
+    /// Warm-pool hits contributing to this sample (`pool.hits`).
+    pub pool_hits: u64,
+    /// Warm-pool misses contributing to this sample (`pool.misses`).
+    pub pool_misses: u64,
+    /// Disk pool entries rejected and rebuilt (`pool.corrupt`).
+    pub pool_corrupt: u64,
 }
 
 impl PerfSample {
@@ -620,20 +919,19 @@ pub fn perf_registry(sample: &PerfSample) -> MetricRegistry {
     reg.counter("perf.superblock.hits", sample.sb_hits);
     reg.counter("perf.superblock.flushes", sample.sb_flushes);
     reg.counter("rev.chg.lanes", sample.chg_lanes);
+    reg.counter("perf.phase.gen_ns", sample.gen_ns);
+    reg.counter("perf.phase.table_ns", sample.table_ns);
+    reg.counter("perf.phase.warm_ns", sample.warm_ns);
+    reg.counter("perf.phase.measure_ns", sample.wall_ns);
+    reg.counter("pool.hits", sample.pool_hits);
+    reg.counter("pool.misses", sample.pool_misses);
+    reg.counter("pool.corrupt", sample.pool_corrupt);
     reg
 }
 
-/// Measures one profile: a warmed-up REV run under `config` with the
-/// wall clock taken around the measurement window only (workload
-/// generation, table build, and warmup are excluded).
-pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> PerfSample {
-    let program = program_for(profile);
-    let config = config.with_superblocks(opts.superblocks);
-    let mut sim = RevSimulator::new(program, config).expect("workload builds");
-    sim.warmup(opts.warmup);
-    let start = std::time::Instant::now();
-    let rev = sim.run(opts.instructions);
-    let wall_ns = start.elapsed().as_nanos() as u64;
+/// The counters every perf path shares; phase/pool fields start at zero
+/// and are filled in by the caller.
+fn perf_sample_body(profile: &SpecProfile, rev: &RevReport, wall_ns: u64) -> PerfSample {
     PerfSample {
         name: profile.name.to_string(),
         committed_instrs: rev.cpu.committed_instrs,
@@ -645,7 +943,62 @@ pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig
         sb_hits: rev.rev.sb_hits,
         sb_flushes: rev.rev.sb_flushes,
         chg_lanes: rev.rev.chg_lanes,
+        gen_ns: 0,
+        table_ns: 0,
+        warm_ns: 0,
+        pool_hits: 0,
+        pool_misses: 0,
+        pool_corrupt: 0,
     }
+}
+
+/// Measures one profile: a warmed-up REV run under `config` with the
+/// wall clock taken around the measurement window only (workload
+/// generation, table build, and warmup are timed separately as
+/// `perf.phase.*`; the `pool.*` counters stay zero on this fresh path).
+pub fn perf_sample(profile: &SpecProfile, opts: &BenchOptions, config: RevConfig) -> PerfSample {
+    let t = std::time::Instant::now();
+    let program = program_for(profile);
+    let gen_ns = t.elapsed().as_nanos() as u64;
+    let config = config.with_superblocks(opts.superblocks);
+    let t = std::time::Instant::now();
+    let mut sim = RevSimulator::new(program, config).expect("workload builds");
+    let table_ns = t.elapsed().as_nanos() as u64;
+    let t = std::time::Instant::now();
+    sim.warmup(opts.warmup);
+    let warm_ns = t.elapsed().as_nanos() as u64;
+    let start = std::time::Instant::now();
+    let rev = sim.run(opts.instructions);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut sample = perf_sample_body(profile, &rev, wall_ns);
+    sample.gen_ns = gen_ns;
+    sample.table_ns = table_ns;
+    sample.warm_ns = warm_ns;
+    sample
+}
+
+/// [`perf_sample`] through the warm pool: the prefix phases come from
+/// the pool fetch — collapsing to ~0 on a hit — and the hit/miss/corrupt
+/// outcome lands in the sample's `pool.*` counters.
+pub fn perf_sample_pooled(
+    profile: &SpecProfile,
+    opts: &BenchOptions,
+    config: RevConfig,
+    pool: &WarmPool,
+) -> PerfSample {
+    let config = config.with_superblocks(opts.superblocks);
+    let (mut sim, fetch) = pool.warm_fork(profile, &config, opts.warmup);
+    let start = std::time::Instant::now();
+    let rev = sim.run(opts.instructions);
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let mut sample = perf_sample_body(profile, &rev, wall_ns);
+    sample.gen_ns = fetch.gen_ns;
+    sample.table_ns = fetch.table_ns;
+    sample.warm_ns = fetch.warm_ns;
+    sample.pool_hits = u64::from(fetch.hit);
+    sample.pool_misses = u64::from(!fetch.hit);
+    sample.pool_corrupt = u64::from(fetch.corrupt);
+    sample
 }
 
 /// Result of [`perf_soft_check`]: per-profile verdict lines plus whether
@@ -730,6 +1083,62 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_every_flag() {
+        let opts = BenchOptions::parse([
+            "--instructions",
+            "1234",
+            "--warmup",
+            "99",
+            "--scale",
+            "0.5",
+            "--bench",
+            "mcf",
+            "--csv",
+            "--jobs",
+            "3",
+            "--preflight",
+            "--json",
+            "out.json",
+            "--quiet",
+            "--superblocks=off",
+            "--pool=off",
+            "--ckpt-pool",
+            "/tmp/pool",
+            "--shard",
+            "2/3",
+            "--shard-dir",
+            "/tmp/shards",
+            "--resume",
+        ])
+        .expect("well-formed command line");
+        assert_eq!(opts.instructions, 1234);
+        assert_eq!(opts.warmup, 99);
+        assert!((opts.scale - 0.5).abs() < 1e-12);
+        assert_eq!(opts.only, vec!["mcf".to_string()]);
+        assert!(opts.csv && opts.preflight && opts.quiet && opts.resume);
+        assert_eq!(opts.jobs, 3);
+        assert_eq!(opts.json.as_deref(), Some("out.json"));
+        assert!(!opts.superblocks && !opts.pool);
+        assert_eq!(opts.ckpt_pool.as_deref(), Some("/tmp/pool"));
+        assert_eq!(opts.shard, Some(ShardSpec { index: 2, total: 3 }));
+        assert_eq!(opts.shard_dir.as_deref(), Some("/tmp/shards"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input_with_structured_errors() {
+        let err = |args: &[&str]| BenchOptions::parse(args.iter().copied()).unwrap_err();
+        assert!(err(&["--warmup", "soon"]).message.contains("--warmup"));
+        assert!(err(&["--instructions", "-5"]).message.contains("--instructions"));
+        assert!(err(&["--instructions"]).message.contains("needs a value"));
+        assert!(err(&["--jobs", "many"]).message.contains("--jobs"));
+        assert!(err(&["--scale", "x"]).message.contains("--scale"));
+        assert!(err(&["--shard", "3/2"]).message.contains("--shard"));
+        assert!(err(&["--shard", "1/2"]).message.contains("--shard-dir"));
+        assert!(err(&["--superblocks"]).message.contains("unknown argument"));
+        assert!(err(&["--frobnicate"]).message.contains("unknown argument"));
+    }
+
+    #[test]
     fn options_profiles_filter() {
         let mut o = BenchOptions::default();
         assert_eq!(o.profiles().len(), 18);
@@ -760,12 +1169,10 @@ mod tests {
             warmup: 4_000,
             scale: 0.05,
             only: vec!["mcf".into()],
-            csv: false,
-            json: None,
             quiet: true,
             jobs: 1,
             preflight: true,
-            superblocks: true,
+            ..BenchOptions::default()
         };
         let serial = sweep(&opts);
         opts.jobs = 4;

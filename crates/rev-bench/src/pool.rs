@@ -1,0 +1,388 @@
+//! The warm-start checkpoint pool: build once, fork per slot.
+//!
+//! Every (profile × configuration) work item in a sweep pays the same
+//! config-independent prefix — program materialization, CFG statistics,
+//! the AES-heavy signature-table build — and, per full recipe, the same
+//! warmup run. [`WarmPool`] memoizes all three layers behind
+//! content-addressed keys so the prefix is computed once per process and
+//! every further item starts from a cheap [`RevSimulator::fork`] of the
+//! warmed simulator. Fork is proven byte-equivalent to a
+//! checkpoint → restore round-trip (`rev-core/tests/ckpt.rs`), so a
+//! pooled sweep renders measurement snapshots byte-identical to a fresh
+//! one — `rev-bench/tests/equivalence.rs` pins that across all 18
+//! profiles, and `scripts/check.sh` hard-gates it.
+//!
+//! ## Keying and invalidation (DESIGN.md §13)
+//!
+//! Three shelves, each keyed by an FNV-1a-64 digest of a versioned
+//! recipe string:
+//!
+//! * **program** — `prog/1 | SpecProfile` → generated [`Program`] +
+//!   [`CfgStats`]. Workload generation is deterministic in the profile.
+//! * **tables** — `tables/1 | SpecProfile | mode | BbLimits` → built
+//!   (unplaced) [`SignatureTable`]s + [`TableStats`]. Table content
+//!   depends only on the program, the validation mode and the BB limits;
+//!   SC size, deferral depth etc. never reach the builder, so e.g.
+//!   standard-mode 32K and 64K slots share one AES schedule expansion.
+//! * **warm** — `rev-bench-pool/1 | rev-ckpt/1 | SpecProfile |
+//!   RevConfig | warmup` → a warmed [`RevSimulator`]. The full
+//!   `RevConfig` debug form (which includes the superblocks flag) and
+//!   the warmup budget are part of the key; the `rev-ckpt/1` schema
+//!   version is included so any codec bump invalidates disk entries.
+//!
+//! Warm entries optionally persist under `--ckpt-pool DIR` as sealed
+//! `rev-ckpt/1` envelopes (`Session::checkpoint` with the recipe string
+//! as the envelope's recipe section). A disk entry is trusted only if
+//! the trailing checksum verifies, the stored recipe string matches the
+//! requested one byte-for-byte (a digest collision or stale schema shows
+//! up here), and the structural fingerprint matches the freshly rebuilt
+//! simulator. Any failure counts as `pool.corrupt` and the entry is
+//! rebuilt fail-open — a corrupt cache can cost time, never correctness.
+
+use crate::cfg_stats_for;
+use rev_core::{linked_tables, RevConfig, RevSimulator, Session};
+use rev_prog::CfgStats;
+use rev_prog::Program;
+use rev_sigtable::{SignatureTable, TableStats};
+use rev_trace::{fnv1a64, CKPT_SCHEMA};
+use rev_workloads::{generate, SpecProfile};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A point-in-time copy of the pool's counters (`pool.*` in
+/// `docs/METRICS.md`, surfaced per profile by the `perf` binary).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Warm fetches served from the pool (memory or a valid disk entry).
+    pub hits: u64,
+    /// Warm fetches that had to build (no entry anywhere).
+    pub misses: u64,
+    /// Disk entries rejected (checksum, recipe, or fingerprint) and
+    /// rebuilt fail-open.
+    pub corrupt: u64,
+}
+
+/// What one [`WarmPool::warm_fork`] call did, with host-side phase
+/// timings for the config-independent prefix. On a pool hit all three
+/// phase costs collapse to ~0 — the `perf.phase.*` rows make the win
+/// visible in `BENCH_rev.json`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolFetch {
+    /// Served from the pool (memory or disk) rather than built.
+    pub hit: bool,
+    /// A disk entry existed but failed validation and was rebuilt.
+    pub corrupt: bool,
+    /// Program materialization + CFG statistics, nanoseconds.
+    pub gen_ns: u64,
+    /// Signature-table build (AES schedule expansion) + simulator
+    /// assembly, nanoseconds.
+    pub table_ns: u64,
+    /// Warmup run (or disk-checkpoint restore on a disk hit), nanoseconds.
+    pub warm_ns: u64,
+}
+
+/// One single-flight memo shelf: key → slot, where the slot's inner
+/// mutex is held across the build so concurrent requesters for the same
+/// key block until the first build lands (requesters for other keys
+/// proceed — the outer map lock is only held for the slot lookup).
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+#[derive(Debug)]
+struct Shelf<V> {
+    slots: Mutex<HashMap<u64, Slot<V>>>,
+}
+
+impl<V> Default for Shelf<V> {
+    fn default() -> Self {
+        Shelf { slots: Mutex::new(HashMap::new()) }
+    }
+}
+
+impl<V> Shelf<V> {
+    fn slot(&self, key: u64) -> Arc<Mutex<Option<Arc<V>>>> {
+        self.slots.lock().unwrap().entry(key).or_default().clone()
+    }
+
+    fn get_or_build(&self, key: u64, build: impl FnOnce() -> V) -> Arc<V> {
+        let slot = self.slot(key);
+        let mut guard = slot.lock().unwrap();
+        if let Some(v) = guard.as_ref() {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(build());
+        *guard = Some(Arc::clone(&v));
+        v
+    }
+}
+
+/// The warm-start pool: per-process memo shelves for the sweep's
+/// config-independent prefix plus an optional on-disk warm-checkpoint
+/// cache. Shared by reference across `parallel_map` workers.
+#[derive(Debug)]
+pub struct WarmPool {
+    disk: Option<PathBuf>,
+    programs: Shelf<(Program, CfgStats)>,
+    tables: Shelf<(Vec<SignatureTable>, Vec<TableStats>)>,
+    /// Warmed simulators live *inside* their slot mutex (not behind a
+    /// shared `Arc<RevSimulator>`): a simulator is `Send` but not `Sync`
+    /// (the memory model keeps an interior-mutable segment-lookup
+    /// cache), so every fork happens under the slot lock.
+    warm: Mutex<HashMap<u64, Arc<Mutex<Option<RevSimulator>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl WarmPool {
+    /// Creates a pool; `disk_dir` (the `--ckpt-pool DIR` flag) enables
+    /// the on-disk warm-checkpoint cache, created on first use.
+    pub fn new(disk_dir: Option<&str>) -> Self {
+        WarmPool {
+            disk: disk_dir.map(PathBuf::from),
+            programs: Shelf::default(),
+            tables: Shelf::default(),
+            warm: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// The pool counters so far.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The profile's generated program and CFG statistics, built once
+    /// per process.
+    pub fn program(&self, profile: &SpecProfile) -> Arc<(Program, CfgStats)> {
+        let key = fnv1a64(format!("prog/1|{profile:?}").as_bytes());
+        self.programs.get_or_build(key, || {
+            let program = generate(profile);
+            let cfg = cfg_stats_for(&program);
+            (program, cfg)
+        })
+    }
+
+    /// The built (unplaced) signature tables for `(profile, mode,
+    /// bb_limits)` — everything [`RevConfig`] contributes to table
+    /// content — built once per process.
+    fn table_bundle(
+        &self,
+        profile: &SpecProfile,
+        config: &RevConfig,
+    ) -> Arc<(Vec<SignatureTable>, Vec<TableStats>)> {
+        let key = fnv1a64(
+            format!("tables/1|{profile:?}|mode={:?}|limits={:?}", config.mode, config.bb_limits)
+                .as_bytes(),
+        );
+        self.tables.get_or_build(key, || {
+            let program = self.program(profile);
+            linked_tables(&program.0, config).expect("workload builds")
+        })
+    }
+
+    /// Per-module table statistics for `(profile, config)` without
+    /// assembling a simulator — what the table-sizes phase needs.
+    pub fn table_stats(&self, profile: &SpecProfile, config: &RevConfig) -> Vec<TableStats> {
+        self.table_bundle(profile, config).1.clone()
+    }
+
+    /// Assembles a cold (unwarmed) simulator from the memoized program
+    /// and tables — indistinguishable from `RevSimulator::new` on the
+    /// same inputs, minus the repeated analysis and AES work.
+    pub fn cold_sim(&self, profile: &SpecProfile, config: &RevConfig) -> RevSimulator {
+        let program = self.program(profile);
+        let bundle = self.table_bundle(profile, config);
+        RevSimulator::with_prebuilt(program.0.clone(), *config, bundle.0.clone(), bundle.1.clone())
+            .expect("workload builds")
+    }
+
+    /// The warm recipe string — the full content address of a pooled
+    /// simulator. Anything that could change a single counter of a
+    /// warmed run is in here.
+    fn warm_recipe(profile: &SpecProfile, config: &RevConfig, warmup: u64) -> String {
+        format!("rev-bench-pool/1|{CKPT_SCHEMA}|{profile:?}|{config:?}|warmup={warmup}")
+    }
+
+    /// A warmed simulator for `(profile, config, warmup)`, forked from
+    /// the pool: the first request per key builds (or restores from the
+    /// disk cache) and every request returns an independent fork. The
+    /// returned [`PoolFetch`] carries the phase timings and hit/miss
+    /// outcome for the `perf.phase.*` / `pool.*` metrics.
+    pub fn warm_fork(
+        &self,
+        profile: &SpecProfile,
+        config: &RevConfig,
+        warmup: u64,
+    ) -> (RevSimulator, PoolFetch) {
+        let recipe = Self::warm_recipe(profile, config, warmup);
+        let key = fnv1a64(recipe.as_bytes());
+        let mut fetch = PoolFetch::default();
+        let slot = self.warm.lock().unwrap().entry(key).or_default().clone();
+        let mut guard = slot.lock().unwrap();
+        if let Some(sim) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            fetch.hit = true;
+            let fork = sim.fork().expect("pooled simulators never arm injectors or traces");
+            return (fork, fetch);
+        }
+        let sim = match self.disk_load(&recipe, key, profile, config, &mut fetch) {
+            Some(sim) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                fetch.hit = true;
+                sim
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let t = Instant::now();
+                self.program(profile);
+                fetch.gen_ns = t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                let mut sim = self.cold_sim(profile, config);
+                fetch.table_ns = t.elapsed().as_nanos() as u64;
+                let t = Instant::now();
+                if warmup > 0 {
+                    sim.warmup(warmup);
+                }
+                fetch.warm_ns = t.elapsed().as_nanos() as u64;
+                if warmup > 0 {
+                    sim = self.disk_store(&recipe, key, sim);
+                }
+                sim
+            }
+        };
+        let fork = sim.fork().expect("pooled simulators never arm injectors or traces");
+        *guard = Some(sim);
+        (fork, fetch)
+    }
+
+    fn warm_path(&self, key: u64) -> Option<PathBuf> {
+        self.disk.as_ref().map(|d| d.join(format!("warm-{key:016x}.ckpt")))
+    }
+
+    /// Tries the on-disk warm cache. `None` means "no usable entry" —
+    /// absent is silent, while a present-but-invalid entry (checksum,
+    /// recipe, fingerprint, or decode failure) bumps `pool.corrupt` and
+    /// falls through to a rebuild. A valid entry is restored into a
+    /// cold simulator rebuilt from the memo shelves, with the restore
+    /// cost attributed to the warm phase.
+    fn disk_load(
+        &self,
+        recipe: &str,
+        key: u64,
+        profile: &SpecProfile,
+        config: &RevConfig,
+        fetch: &mut PoolFetch,
+    ) -> Option<RevSimulator> {
+        let path = self.warm_path(key)?;
+        let data = std::fs::read(&path).ok()?;
+        let mut reject = || {
+            self.corrupt.fetch_add(1, Ordering::Relaxed);
+            fetch.corrupt = true;
+        };
+        let Ok(stored) = Session::recipe(&data) else {
+            reject();
+            return None;
+        };
+        if stored != recipe.as_bytes() {
+            reject();
+            return None;
+        }
+        let t = Instant::now();
+        self.program(profile);
+        fetch.gen_ns = t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let cold = self.cold_sim(profile, config);
+        fetch.table_ns = t.elapsed().as_nanos() as u64;
+        let t = Instant::now();
+        let Ok(session) = Session::restore(cold, &data) else {
+            reject();
+            return None;
+        };
+        fetch.warm_ns = t.elapsed().as_nanos() as u64;
+        Some(session.into_simulator())
+    }
+
+    /// Seals the warmed simulator into the disk cache (atomic
+    /// temp-file + rename so a concurrent reader never sees a torn
+    /// entry) and hands it back. Any I/O failure is silently ignored —
+    /// the disk cache is an accelerator, never a correctness dependency.
+    fn disk_store(&self, recipe: &str, key: u64, sim: RevSimulator) -> RevSimulator {
+        let Some(path) = self.warm_path(key) else { return sim };
+        let session = Session::new(sim, u64::MAX);
+        if let Ok(envelope) = session.checkpoint(recipe.as_bytes()) {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            if std::fs::write(&tmp, &envelope).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+        session.into_simulator()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rev_workloads::ALL_PROFILES;
+
+    fn tiny_profile() -> SpecProfile {
+        ALL_PROFILES.iter().find(|p| p.name == "mcf").unwrap().scaled(0.05)
+    }
+
+    /// The pool is shared by reference across `parallel_map` workers.
+    #[test]
+    fn pool_is_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<WarmPool>();
+    }
+
+    #[test]
+    fn warm_forks_are_independent_and_counted() {
+        let pool = WarmPool::new(None);
+        let p = tiny_profile();
+        let config = RevConfig::paper_default();
+        let (mut a, fa) = pool.warm_fork(&p, &config, 2_000);
+        let (mut b, fb) = pool.warm_fork(&p, &config, 2_000);
+        assert!(!fa.hit && fb.hit, "first builds, second hits");
+        assert!(fa.warm_ns > 0, "the build pays the warmup");
+        let ra = a.run(5_000);
+        let rb = b.run(5_000);
+        assert_eq!(ra.cpu.cycles, rb.cpu.cycles, "forks must be indistinguishable");
+        assert_eq!(pool.stats(), PoolStats { hits: 1, misses: 1, corrupt: 0 });
+    }
+
+    #[test]
+    fn pooled_cold_sim_matches_fresh_build() {
+        let pool = WarmPool::new(None);
+        let p = tiny_profile();
+        let config = RevConfig::paper_default();
+        let mut pooled = pool.cold_sim(&p, &config);
+        let mut fresh = RevSimulator::new(generate(&p), config).unwrap();
+        assert_eq!(pooled.fingerprint(), fresh.fingerprint());
+        let a = pooled.run(5_000);
+        let b = fresh.run(5_000);
+        assert_eq!(a.cpu.cycles, b.cpu.cycles);
+        assert_eq!(a.rev.validations, b.rev.validations);
+    }
+
+    #[test]
+    fn table_shelf_is_shared_across_sc_sizes() {
+        let pool = WarmPool::new(None);
+        let p = tiny_profile();
+        let s32 = pool.table_stats(&p, &RevConfig::paper_default());
+        let s64 = pool.table_stats(&p, &RevConfig::paper_64k());
+        assert_eq!(s32, s64, "table content is independent of SC size");
+        assert_eq!(pool.tables.slots.lock().unwrap().len(), 1, "one build serves both");
+    }
+}

@@ -1,0 +1,317 @@
+//! Sweep scale-out: `--shard i/N` partitioning and sealed work items.
+//!
+//! A sharded sweep partitions the (profile × slot) work-item list
+//! round-robin across N independent processes; each process simulates
+//! only its own items and *seals* every result into `--shard-dir` as a
+//! `rev-ckpt/1` envelope. A final merge run (`--resume`, no `--shard`)
+//! loads every sealed item and renders output byte-identical to a
+//! monolithic run — the same contract `rev-bench/tests/equivalence.rs`
+//! pins for `--jobs` and pooling, extended across process boundaries.
+//!
+//! A sealed item is self-describing: its recipe section is the exact
+//! item recipe string (profile, slot, every result-affecting option and
+//! the full configuration grid), so a resume can never splice a stale
+//! or mismatched result into a sweep — recipe mismatch, checksum
+//! failure, truncation, or trailing garbage all read as "not sealed"
+//! and the item is recomputed fail-open.
+
+use crate::{SweepItemOut, UsageError};
+use rev_core::{BaselineReport, RevReport};
+use rev_cpu::{CpuStats, RunOutcome, Violation, ViolationKind};
+use rev_mem::MemStats;
+use rev_prog::CfgStats;
+use rev_sigtable::TableStats;
+use rev_trace::{fnv1a64, CkptError, CkptReader, CkptWriter, MetricRegistry};
+
+/// One shard of a partitioned sweep: `--shard i/N` (1-based).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This process's 1-based shard index.
+    pub index: usize,
+    /// Total shard count.
+    pub total: usize,
+}
+
+impl ShardSpec {
+    /// Parses `"i/N"` with `1 <= i <= N`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UsageError`] on any other form.
+    pub fn parse(s: &str) -> Result<Self, UsageError> {
+        let err = || UsageError::new(format!("--shard must be i/N with 1 <= i <= N, got '{s}'"));
+        let (i, n) = s.split_once('/').ok_or_else(err)?;
+        let index: usize = i.parse().map_err(|_| err())?;
+        let total: usize = n.parse().map_err(|_| err())?;
+        if index == 0 || total == 0 || index > total {
+            return Err(err());
+        }
+        Ok(ShardSpec { index, total })
+    }
+
+    /// Whether this shard owns the `item_index`-th work item
+    /// (round-robin, so profiles spread evenly across shards).
+    pub fn owns(&self, item_index: usize) -> bool {
+        item_index % self.total == self.index - 1
+    }
+}
+
+/// Tags distinguishing the two sealed item kinds.
+const TAG_BASE: u8 = 0xB0;
+const TAG_REV: u8 = 0xB1;
+
+fn save_outcome(w: &mut CkptWriter, outcome: &RunOutcome) {
+    match outcome {
+        RunOutcome::BudgetReached => w.u8(0),
+        RunOutcome::Halted => w.u8(1),
+        RunOutcome::Violation(v) => {
+            w.u8(2);
+            save_violation(w, v);
+        }
+        RunOutcome::OracleFault { pc } => {
+            w.u8(3);
+            w.u64(*pc);
+        }
+    }
+}
+
+fn restore_outcome(r: &mut CkptReader<'_>) -> Result<RunOutcome, CkptError> {
+    Ok(match r.u8()? {
+        0 => RunOutcome::BudgetReached,
+        1 => RunOutcome::Halted,
+        2 => RunOutcome::Violation(restore_violation(r)?),
+        3 => RunOutcome::OracleFault { pc: r.u64()? },
+        other => return Err(CkptError::Malformed(format!("unknown outcome tag {other}"))),
+    })
+}
+
+fn save_violation(w: &mut CkptWriter, v: &Violation) {
+    w.u8(match v.kind {
+        ViolationKind::HashMismatch => 0,
+        ViolationKind::IllegalTarget => 1,
+        ViolationKind::ReturnMismatch => 2,
+        ViolationKind::NoTable => 3,
+        ViolationKind::TableCorrupt => 4,
+        ViolationKind::ParityError => 5,
+    });
+    w.u64(v.bb_addr);
+    w.u64(v.actual_target);
+    w.u64(v.cycle);
+}
+
+fn restore_violation(r: &mut CkptReader<'_>) -> Result<Violation, CkptError> {
+    let kind = match r.u8()? {
+        0 => ViolationKind::HashMismatch,
+        1 => ViolationKind::IllegalTarget,
+        2 => ViolationKind::ReturnMismatch,
+        3 => ViolationKind::NoTable,
+        4 => ViolationKind::TableCorrupt,
+        5 => ViolationKind::ParityError,
+        other => return Err(CkptError::Malformed(format!("unknown violation kind {other}"))),
+    };
+    Ok(Violation { kind, bb_addr: r.u64()?, actual_target: r.u64()?, cycle: r.u64()? })
+}
+
+fn save_mem(w: &mut CkptWriter, m: &MemStats) {
+    for arr in
+        [&m.l1_accesses, &m.l1_misses, &m.l2_accesses, &m.l2_misses, &m.dram_accesses, &m.tlb_walks]
+    {
+        w.u64_slice(arr);
+    }
+}
+
+fn restore_mem(r: &mut CkptReader<'_>) -> Result<MemStats, CkptError> {
+    let mut m = MemStats::default();
+    for arr in [
+        &mut m.l1_accesses,
+        &mut m.l1_misses,
+        &mut m.l2_accesses,
+        &mut m.l2_misses,
+        &mut m.dram_accesses,
+        &mut m.tlb_walks,
+    ] {
+        let v = r.u64_slice()?;
+        if v.len() != arr.len() {
+            return Err(CkptError::Malformed(format!(
+                "memory stats arity {} != {}",
+                v.len(),
+                arr.len()
+            )));
+        }
+        arr.copy_from_slice(&v);
+    }
+    Ok(m)
+}
+
+fn save_cfg(w: &mut CkptWriter, c: &CfgStats) {
+    w.u64(c.blocks as u64);
+    w.f64(c.avg_instrs);
+    w.f64(c.avg_successors);
+    w.u64(c.computed_terminators as u64);
+    w.u64(c.code_bytes as u64);
+}
+
+fn restore_cfg(r: &mut CkptReader<'_>) -> Result<CfgStats, CkptError> {
+    Ok(CfgStats {
+        blocks: r.u64()? as usize,
+        avg_instrs: r.f64()?,
+        avg_successors: r.f64()?,
+        computed_terminators: r.u64()? as usize,
+        code_bytes: r.u64()? as usize,
+    })
+}
+
+fn save_table(w: &mut CkptWriter, t: &TableStats) {
+    w.u64(t.primaries as u64);
+    w.u64(t.spills as u64);
+    w.u64(t.slots as u64);
+    w.u64(t.image_bytes as u64);
+    w.u64(t.code_bytes as u64);
+}
+
+fn restore_table(r: &mut CkptReader<'_>) -> Result<TableStats, CkptError> {
+    Ok(TableStats {
+        primaries: r.u64()? as usize,
+        spills: r.u64()? as usize,
+        slots: r.u64()? as usize,
+        image_bytes: r.u64()? as usize,
+        code_bytes: r.u64()? as usize,
+    })
+}
+
+/// The deterministic sealed-item file name: profile, slot, and a digest
+/// of the full recipe — two option sets can never collide on a file.
+pub(crate) fn item_file_name(profile_name: &str, slot: usize, recipe: &str) -> String {
+    format!("{profile_name}-s{slot}-{:016x}.item", fnv1a64(recipe.as_bytes()))
+}
+
+/// Seals one sweep work-item result into a self-describing envelope.
+pub(crate) fn seal_item(recipe: &str, out: &SweepItemOut) -> Vec<u8> {
+    let mut w = CkptWriter::new();
+    w.bytes(recipe.as_bytes());
+    match out {
+        SweepItemOut::Base(b) => {
+            let (base, cfg, table, audit) = &**b;
+            w.tag(TAG_BASE);
+            save_outcome(&mut w, &base.outcome);
+            base.cpu.save_state(&mut w);
+            save_mem(&mut w, &base.mem);
+            save_cfg(&mut w, cfg);
+            save_table(&mut w, table);
+            // The audit registry round-trips through its deterministic
+            // JSON form: `MetricRegistry::to_json` renders sorted keys
+            // and `from_json` reconstructs them losslessly, so a merged
+            // snapshot is byte-identical to a monolithic one.
+            w.bytes(audit.to_json().render().as_bytes());
+        }
+        SweepItemOut::Rev(rev) => {
+            w.tag(TAG_REV);
+            save_outcome(&mut w, &rev.outcome);
+            rev.cpu.save_state(&mut w);
+            rev.rev.save_state(&mut w);
+            // `RevStats::save_state` deliberately omits the terminal
+            // violation (live-session checkpoints never carry one); a
+            // sealed *finished* run can, so it rides alongside.
+            match &rev.rev.violation {
+                Some(v) => {
+                    w.bool(true);
+                    save_violation(&mut w, v);
+                }
+                None => w.bool(false),
+            }
+            save_mem(&mut w, &rev.mem);
+        }
+    }
+    w.finish()
+}
+
+/// Opens a sealed item, verifying the checksum and that the stored
+/// recipe matches `recipe` exactly.
+///
+/// # Errors
+///
+/// Returns [`CkptError`] on any integrity failure or recipe mismatch —
+/// resume paths treat every error as "not sealed" and recompute.
+pub(crate) fn unseal_item(data: &[u8], recipe: &str) -> Result<SweepItemOut, CkptError> {
+    let mut r = CkptReader::new(data)?;
+    let stored = r.bytes()?;
+    if stored != recipe.as_bytes() {
+        return Err(CkptError::Malformed("sealed item recipe mismatch".to_string()));
+    }
+    let tag = r.u8()?;
+    let out = match tag {
+        TAG_BASE => {
+            let outcome = restore_outcome(&mut r)?;
+            let mut cpu = CpuStats::default();
+            cpu.restore_state(&mut r)?;
+            let mem = restore_mem(&mut r)?;
+            let cfg = restore_cfg(&mut r)?;
+            let table = restore_table(&mut r)?;
+            let audit_text = String::from_utf8(r.bytes()?.to_vec())
+                .map_err(|_| CkptError::Malformed("audit registry is not UTF-8".to_string()))?;
+            let audit_json = rev_trace::json::parse(&audit_text)
+                .map_err(|e| CkptError::Malformed(format!("audit registry: {e}")))?;
+            let audit = MetricRegistry::from_json(&audit_json)
+                .ok_or_else(|| CkptError::Malformed("audit registry shape mismatch".to_string()))?;
+            SweepItemOut::Base(Box::new((BaselineReport { outcome, cpu, mem }, cfg, table, audit)))
+        }
+        TAG_REV => {
+            let outcome = restore_outcome(&mut r)?;
+            let mut cpu = CpuStats::default();
+            cpu.restore_state(&mut r)?;
+            let mut rev = rev_core::RevStats::default();
+            rev.restore_state(&mut r)?;
+            if r.bool()? {
+                rev.violation = Some(restore_violation(&mut r)?);
+            }
+            let mem = restore_mem(&mut r)?;
+            SweepItemOut::Rev(Box::new(RevReport { outcome, cpu, rev, mem }))
+        }
+        other => return Err(CkptError::Malformed(format!("unknown item tag {other:#x}"))),
+    };
+    r.finish()?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spec_parses_and_partitions() {
+        assert_eq!(ShardSpec::parse("1/1").unwrap(), ShardSpec { index: 1, total: 1 });
+        assert_eq!(ShardSpec::parse("2/3").unwrap(), ShardSpec { index: 2, total: 3 });
+        for bad in ["", "0/2", "3/2", "1/0", "a/b", "1", "1/2/3", "-1/2"] {
+            assert!(ShardSpec::parse(bad).is_err(), "'{bad}' must be rejected");
+        }
+        // Every item is owned by exactly one of N shards.
+        let shards: Vec<ShardSpec> = (1..=3).map(|i| ShardSpec { index: i, total: 3 }).collect();
+        for item in 0..20 {
+            assert_eq!(shards.iter().filter(|s| s.owns(item)).count(), 1, "item {item}");
+        }
+    }
+
+    #[test]
+    fn outcome_and_violation_round_trip() {
+        let outcomes = [
+            RunOutcome::BudgetReached,
+            RunOutcome::Halted,
+            RunOutcome::Violation(Violation {
+                kind: ViolationKind::ReturnMismatch,
+                bb_addr: 0x1234,
+                actual_target: 0x5678,
+                cycle: 99,
+            }),
+            RunOutcome::OracleFault { pc: 0xdead },
+        ];
+        for outcome in outcomes {
+            let mut w = CkptWriter::new();
+            save_outcome(&mut w, &outcome);
+            let sealed = w.finish();
+            let mut r = CkptReader::new(&sealed).unwrap();
+            let back = restore_outcome(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(format!("{outcome:?}"), format!("{back:?}"));
+        }
+    }
+}

@@ -13,7 +13,10 @@
 //! engine in `crates/rev-chaos/tests/chaos.rs`; the self-modifying-code
 //! invalidation contract lives in `crates/rev-core/tests/smc.rs`.)
 
-use rev_bench::{program_for, snapshot_from_runs, sweep_configs, BenchOptions, SweepConfig};
+use rev_bench::{
+    program_for, snapshot_from_runs, sweep_configs, sweep_configs_pooled, BenchOptions, ShardSpec,
+    SweepConfig, SweepOutcome, WarmPool,
+};
 use rev_core::{RevConfig, RevSimulator, Session, SessionStatus};
 use rev_trace::{parallel_map, MetricRegistry, MetricSink, Snapshot};
 
@@ -205,6 +208,168 @@ fn checkpoint_restore_matches_monolithic_across_all_profiles() {
             "{name}: checkpoint/restore must not move a rendered metric byte"
         );
     }
+}
+
+/// A per-test scratch directory under the system temp dir, wiped on
+/// entry so a stale run never leaks state in.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rev-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The warm-start checkpoint pool is a pure scheduling optimization:
+/// sweeping all 18 profiles through pooled forks renders exactly the
+/// snapshot bytes of a sweep that rebuilds every work item from scratch
+/// (`--pool=off`). Two SC sizes share one program generation and one
+/// table build per profile, and every REV slot runs on a fork of the
+/// same warmed simulator — none of which may move a byte.
+#[test]
+fn pooled_sweep_renders_identical_snapshot() {
+    let configs = [
+        SweepConfig::new("REV-32K", RevConfig::paper_default()),
+        SweepConfig::new("REV-64K", RevConfig::paper_64k()),
+    ];
+    let render = |pooled: bool| {
+        let mut opts = tiny_opts();
+        opts.pool = pooled;
+        let runs = sweep_configs(&opts, &configs);
+        assert_eq!(runs.len(), opts.profiles().len(), "every profile must be swept");
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    assert_eq!(tiny_opts().profiles().len(), 18, "the paper's full profile set");
+    assert_eq!(render(true), render(false), "the warm pool must never move a rendered byte");
+}
+
+/// Sharded sweeps merge byte-identically: partitioning the 18-profile
+/// work-item list across 2 (and then 3) independent "processes" — each
+/// with its own pool, sealing into a shared `--shard-dir` — and merging
+/// with `--resume` renders exactly the monolithic snapshot. The sealed
+/// items are shard-agnostic, so a 3-way split resumes seamlessly over a
+/// 2-way split's seals, and a corrupted seal is recomputed fail-open.
+#[test]
+fn sharded_sweep_merges_byte_identical() {
+    let configs = [SweepConfig::new("REV-32K", RevConfig::paper_default())];
+    let monolithic = {
+        let opts = tiny_opts();
+        let runs = sweep_configs(&opts, &configs);
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    let dir = scratch_dir("shards");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let shard_opts = |spec: Option<ShardSpec>, resume: bool| BenchOptions {
+        shard: spec,
+        shard_dir: Some(dir_s.clone()),
+        resume,
+        ..tiny_opts()
+    };
+    for index in 1..=2 {
+        let opts = shard_opts(Some(ShardSpec { index, total: 2 }), false);
+        match sweep_configs_pooled(&opts, &configs, &WarmPool::new(None)) {
+            SweepOutcome::Partial { computed, resumed, skipped } => {
+                assert!(computed > 0 && skipped > 0, "a 2-way shard owns a strict subset");
+                assert_eq!(resumed, 0, "nothing to resume on first pass");
+            }
+            SweepOutcome::Complete(_) => panic!("a 2-way shard run cannot be complete"),
+        }
+    }
+    let items = || {
+        std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "item"))
+            .collect::<Vec<_>>()
+    };
+    let sealed = items();
+    assert_eq!(sealed.len(), 18 * 2, "every (profile, slot) item must be sealed");
+    // Corrupt one seal: the merge must reject and recompute it, still
+    // rendering monolithic bytes.
+    let mut bytes = std::fs::read(&sealed[0]).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&sealed[0], &bytes).unwrap();
+    let merged = {
+        let opts = shard_opts(None, true);
+        let SweepOutcome::Complete(runs) =
+            sweep_configs_pooled(&opts, &configs, &WarmPool::new(None))
+        else {
+            panic!("a merge run assembles every item")
+        };
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    assert_eq!(merged, monolithic, "a 2-way shard merge must render monolithic bytes");
+    // 3-way split over the same dir: every item is already sealed (the
+    // merge resealed the corrupted one), so all three shards resume
+    // without recomputing and a final merge still matches.
+    for index in 1..=3 {
+        let opts = shard_opts(Some(ShardSpec { index, total: 3 }), true);
+        match sweep_configs_pooled(&opts, &configs, &WarmPool::new(None)) {
+            SweepOutcome::Complete(_) => {} // every item loaded from seals
+            SweepOutcome::Partial { computed, .. } => {
+                assert_eq!(computed, 0, "shard {index}/3 must not recompute sealed items");
+            }
+        }
+    }
+    let remerged = {
+        let opts = shard_opts(None, true);
+        let SweepOutcome::Complete(runs) =
+            sweep_configs_pooled(&opts, &configs, &WarmPool::new(None))
+        else {
+            panic!("a merge run assembles every item")
+        };
+        let mut snap = Snapshot::new();
+        snapshot_from_runs(&mut snap, &opts, &configs, &runs);
+        snap.render()
+    };
+    assert_eq!(remerged, monolithic, "a 3-way resume merge must render monolithic bytes");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted `--ckpt-pool` disk entry can cost time, never
+/// correctness: the pool detects it (checksum / recipe / fingerprint),
+/// counts `pool.corrupt`, rebuilds fail-open, and the rebuilt fork
+/// reproduces the same measurements as the original build and as a
+/// valid disk hit.
+#[test]
+fn corrupt_disk_pool_entry_is_rebuilt_fail_open() {
+    let dir = scratch_dir("ckpt-pool");
+    let dir_s = dir.to_string_lossy().into_owned();
+    let opts = BenchOptions { only: vec!["mcf".to_string()], ..tiny_opts() };
+    let profile = opts.profiles().remove(0);
+    let config = RevConfig::paper_default();
+    let run = |pool: &WarmPool| {
+        let (mut sim, fetch) = pool.warm_fork(&profile, &config, opts.warmup);
+        (sim.run(opts.instructions).cpu.cycles, fetch)
+    };
+    let first = WarmPool::new(Some(&dir_s));
+    let (cycles_built, fetch_built) = run(&first);
+    assert!(!fetch_built.hit, "an empty disk cache cannot hit");
+    let second = WarmPool::new(Some(&dir_s));
+    let (cycles_disk, fetch_disk) = run(&second);
+    assert!(fetch_disk.hit && !fetch_disk.corrupt, "a fresh process must hit the disk entry");
+    assert_eq!(cycles_built, cycles_disk, "a disk restore must be indistinguishable");
+    let entry = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "ckpt"))
+        .expect("one warm entry on disk");
+    let mut bytes = std::fs::read(&entry).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&entry, &bytes).unwrap();
+    let third = WarmPool::new(Some(&dir_s));
+    let (cycles_rebuilt, fetch_rebuilt) = run(&third);
+    assert!(!fetch_rebuilt.hit && fetch_rebuilt.corrupt, "a corrupt entry must not be trusted");
+    assert_eq!(third.stats().corrupt, 1, "the rejection must be counted");
+    assert_eq!(cycles_built, cycles_rebuilt, "the rebuild must reproduce the measurements");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The superblock replay layer is a pure simulator fast path: rendering

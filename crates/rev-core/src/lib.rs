@@ -62,7 +62,10 @@ pub use sag::{Sag, SagEntry};
 pub use sc::{ScEntry, ScProbe, ScStats, ScVariant, SignatureCache};
 pub use session::{Session, SessionStatus};
 pub use shadow::{ShadowMemory, ShadowStats};
-pub use sim::{analyze_and_link, BaselineReport, RevReport, RevSimulator, SimBuildError, SimError};
+pub use sim::{
+    analyze_and_link, linked_tables, BaselineReport, RevReport, RevSimulator, SimBuildError,
+    SimError,
+};
 pub use stats::RevStats;
 
 // Re-export the pieces users need alongside the simulator.

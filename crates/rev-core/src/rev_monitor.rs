@@ -52,7 +52,7 @@ struct PendingBb {
 /// consume from the front and flushes cut a suffix — so a deque with a
 /// front fast path and binary-search fallback replaces the `BTreeMap` this
 /// used to be, with zero per-block node allocation.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct PendingQueue {
     entries: VecDeque<(u64, PendingBb)>,
 }
@@ -149,7 +149,11 @@ pub type DynBlockTriple = (u64, u64, [u8; 32]);
 type DigestKey = (u64, [u8; 32], u64, u64, usize);
 
 /// The REV hardware state, implementing [`ExecMonitor`].
-#[derive(Debug)]
+///
+/// `Clone` is a structural copy that *shares* the attached [`TraceBus`]
+/// and [`FaultInjector`] handles; callers forking a monitor for
+/// independent reuse must sever both (see `RevSimulator::fork`).
+#[derive(Debug, Clone)]
 pub struct RevMonitor {
     config: RevConfig,
     sag: Sag,

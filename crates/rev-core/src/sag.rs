@@ -22,7 +22,11 @@ pub struct SagEntry {
 }
 
 /// The SAG: registered tables + the resident register window.
-#[derive(Debug)]
+///
+/// `Clone` copies every registered table image and shares the attached
+/// [`FaultInjector`] handle; forking callers re-arm via
+/// [`Sag::set_fault_injector`].
+#[derive(Debug, Clone)]
 pub struct Sag {
     tables: Vec<SignatureTable>,
     /// Table indices sorted by module base, so `resolve` can binary-search

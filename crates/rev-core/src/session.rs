@@ -111,6 +111,28 @@ impl Session {
         self.sim
     }
 
+    /// Forks the suspended session: a cheap in-memory structural copy,
+    /// with no serialize/deserialize round-trip on the hot path. The
+    /// fork resumes from exactly this point with the same target, fully
+    /// independent of the original — byte-equivalent to sealing a
+    /// [`Session::checkpoint`] and restoring it into a freshly rebuilt
+    /// simulator (the fork suite in `tests/ckpt.rs` pins the two
+    /// envelopes byte-identical). The warm-start pool in `rev-bench`
+    /// builds on this: one warmed session, many forked measurement runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Malformed`] under [`Session::checkpoint`]'s
+    /// refusal rules — the session already finished, a fault injector is
+    /// armed, or block tracing is on.
+    pub fn fork(&self) -> Result<Self, CkptError> {
+        if self.finished {
+            return Err(CkptError::Malformed("cannot fork a finished session".to_string()));
+        }
+        let sim = self.sim.fork()?;
+        Ok(Session { sim, target: self.target, finished: false })
+    }
+
     /// Serializes the suspended session into a sealed `rev-ckpt/1`
     /// envelope (see `docs/CHECKPOINT.md`). `recipe` is an opaque,
     /// caller-owned section — `rev-serve` stores the job spec there so a

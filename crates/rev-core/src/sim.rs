@@ -205,6 +205,24 @@ pub fn analyze_and_link(
     Ok(cfgs)
 }
 
+/// The trusted toolchain's full build: [`analyze_and_link`] followed by
+/// table generation under the default key generation — exactly what
+/// [`RevSimulator::new`] runs internally. Exposed so build caches (the
+/// warm-start pool in `rev-bench`) can amortize the AES-heavy table
+/// encryption across simulators and hand the product to
+/// [`RevSimulator::with_prebuilt`].
+///
+/// # Errors
+///
+/// Returns [`SimBuildError`] if a module fails static analysis or table
+/// generation.
+pub fn linked_tables(
+    program: &Program,
+    config: &RevConfig,
+) -> Result<(Vec<SignatureTable>, Vec<TableStats>), SimBuildError> {
+    link_modules(program, config, 0)
+}
+
 /// The trusted toolchain: analyzes every module, stitches cross-module
 /// return linkage (paper Sec. IV.B), and builds each module's encrypted
 /// signature table.
@@ -296,7 +314,52 @@ impl RevSimulator {
         config.validate()?;
         mem_config.validate()?;
         let (tables, table_stats) = link_modules(&program, &config, 0)?;
+        Ok(Self::assemble(program, config, cpu_config, mem_config, tables, table_stats))
+    }
 
+    /// Builds a simulator from tables produced by [`linked_tables`] for
+    /// the *same* program and configuration, skipping static analysis and
+    /// the AES-heavy table encryption. With matching inputs the result is
+    /// indistinguishable from [`RevSimulator::new`] — table construction
+    /// is deterministic, and placement happens here either way — which is
+    /// what lets the warm-start pool in `rev-bench` reuse one build
+    /// across every slot of a sweep without perturbing a single counter.
+    ///
+    /// Uses the paper's default core and memory configuration, mirroring
+    /// [`RevSimulator::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimBuildError`] if the REV configuration is unrunnable.
+    pub fn with_prebuilt(
+        program: Program,
+        config: RevConfig,
+        tables: Vec<SignatureTable>,
+        table_stats: Vec<TableStats>,
+    ) -> Result<Self, SimBuildError> {
+        config.validate()?;
+        Ok(Self::assemble(
+            program,
+            config,
+            CpuConfig::paper_default(),
+            MemConfig::paper_default(),
+            tables,
+            table_stats,
+        ))
+    }
+
+    /// The loader half of construction: places tables, wires up memory
+    /// views, and assembles the pipeline + monitor. Shared by
+    /// [`Self::with_configs`] and [`Self::with_prebuilt`] so the pooled
+    /// and fresh build paths cannot drift.
+    fn assemble(
+        program: Program,
+        config: RevConfig,
+        cpu_config: CpuConfig,
+        mem_config: MemConfig,
+        tables: Vec<SignatureTable>,
+        table_stats: Vec<TableStats>,
+    ) -> Self {
         // Trusted loader: program image + tables into RAM.
         let mut memory = MainMemory::with_segments(&program.segments());
         let table_region = table_region_base(&program);
@@ -309,7 +372,7 @@ impl RevSimulator {
         let mut rev_mem_config = mem_config;
         rev_mem_config.l1d_ports += 1;
         let pipeline = Pipeline::new(cpu_config, rev_mem_config, oracle);
-        Ok(RevSimulator {
+        RevSimulator {
             program,
             config,
             cpu_config,
@@ -318,6 +381,47 @@ impl RevSimulator {
             monitor,
             table_stats,
             initial_memory: memory,
+        }
+    }
+
+    /// Forks the simulator: a structural copy of the complete state —
+    /// pipeline, caches, predictor, REV monitor, both memory views —
+    /// with no serialize/deserialize round-trip. The fork is detached
+    /// from any trace bus the original had attached (exactly as a
+    /// checkpoint → restore round-trip would leave it), so forking can
+    /// never perturb a counter in either copy: the two simulators share
+    /// no mutable state afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rev_trace::CkptError::Malformed`] if a fault injector
+    /// is armed or block tracing is on — the same refusal rules as
+    /// [`crate::Session::checkpoint`], and for the same reason: both
+    /// would silently drop campaign state the caller thinks is live.
+    pub fn fork(&self) -> Result<Self, rev_trace::CkptError> {
+        if self.monitor.fault_injector().is_enabled() {
+            return Err(rev_trace::CkptError::Malformed(
+                "cannot fork with a fault injector armed".to_string(),
+            ));
+        }
+        if self.monitor.block_trace().is_some() {
+            return Err(rev_trace::CkptError::Malformed(
+                "cannot fork with block tracing enabled".to_string(),
+            ));
+        }
+        let mut pipeline = self.pipeline.clone();
+        pipeline.set_trace(TraceBus::disabled());
+        let mut monitor = self.monitor.clone();
+        monitor.set_trace(TraceBus::disabled());
+        Ok(RevSimulator {
+            program: self.program.clone(),
+            config: self.config,
+            cpu_config: self.cpu_config,
+            mem_config: self.mem_config,
+            pipeline,
+            monitor,
+            table_stats: self.table_stats.clone(),
+            initial_memory: self.initial_memory.clone(),
         })
     }
 

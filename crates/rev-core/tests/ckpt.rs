@@ -231,6 +231,72 @@ proptest! {
     }
 }
 
+/// The fork contract: [`Session::fork`] is byte-equivalent to sealing a
+/// checkpoint and restoring it — the two paths must be interchangeable,
+/// which is what lets the warm-start pool fork one warmed session per
+/// sweep slot instead of round-tripping through the codec.
+#[test]
+fn fork_equals_checkpoint_restore_byte_for_byte() {
+    let s = suspended_at(100);
+    let forked = s.fork().unwrap();
+    let env_orig = s.checkpoint(b"job-recipe").unwrap();
+    let env_fork = forked.checkpoint(b"job-recipe").unwrap();
+    assert_eq!(env_orig, env_fork, "fork must checkpoint byte-identical to its original");
+    // And the fork resumes exactly like the restored session would.
+    let restored = Session::restore(fresh_sim(), &env_orig).unwrap();
+    assert_eq!(finish(forked), finish(restored));
+}
+
+/// Forking must not perturb the original: it finishes exactly as an
+/// unforked run, and fork-of-fork stays on the same trajectory.
+#[test]
+fn fork_of_fork_and_original_all_finish_identical() {
+    let uninterrupted = finish(Session::new(fresh_sim(), u64::MAX));
+    let s = suspended_at(100);
+    let fork1 = s.fork().unwrap();
+    let fork2 = fork1.fork().unwrap();
+    assert_eq!(
+        fork1.checkpoint(b"x").unwrap(),
+        fork2.checkpoint(b"x").unwrap(),
+        "fork-of-fork must checkpoint byte-identical"
+    );
+    assert_eq!(finish(s), uninterrupted, "forking must not disturb the original");
+    assert_eq!(finish(fork1), uninterrupted);
+    assert_eq!(finish(fork2), uninterrupted);
+}
+
+/// Fork mirrors checkpoint's refusal rules: a finished session and a
+/// session with an armed fault injector both refuse.
+#[test]
+fn fork_refusal_mirrors_checkpoint_rules() {
+    let mut done = Session::new(fresh_sim(), 10);
+    loop {
+        if let SessionStatus::Done(_) = done.run(u64::MAX) {
+            break;
+        }
+    }
+    assert!(matches!(done.fork(), Err(CkptError::Malformed(_))));
+
+    let mut sim = fresh_sim();
+    sim.set_fault_injector(rev_trace::FaultInjector::armed(rev_trace::FaultSpec {
+        layer: rev_trace::FaultLayer::ScEntry,
+        kind: rev_trace::FaultKind::Transient,
+        trigger: 1,
+        bit: 0,
+    }));
+    let mut s = Session::new(sim, u64::MAX);
+    match s.run(50) {
+        SessionStatus::Yielded { .. } => {}
+        SessionStatus::Done(_) => panic!("demo program ended inside budget"),
+    }
+    match s.fork() {
+        Err(CkptError::Malformed(msg)) => {
+            assert!(msg.contains("fault injector"), "unexpected message: {msg}");
+        }
+        other => panic!("expected injector refusal, got {other:?}"),
+    }
+}
+
 /// Regression: a slice budget landing on the exact cycle the halt
 /// commits used to pre-empt the drained-pipeline check, and the resumed
 /// slice charged one cycle the monolithic run never ran. Every uniform

@@ -298,7 +298,7 @@ struct WakeNode {
 /// nothing. Entries for squashed consumers are skipped lazily at wake time
 /// (seqs are never reused); entries keyed by a squashed producer are
 /// dropped eagerly during the squash walk.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct WakeupTable {
     heads: FlatMap<u64, u32>,
     slab: Vec<WakeNode>,
@@ -421,7 +421,7 @@ struct StoreNode {
 /// effective address is known (issued but not yet committed/squashed);
 /// nodes live in a slab with a free list, so steady state allocates
 /// nothing.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct StoreTracker {
     heads: FlatMap<u64, u32>,
     slab: Vec<StoreNode>,
@@ -578,7 +578,11 @@ impl StoreTracker {
 /// The out-of-order core.
 ///
 /// Construct with a loaded [`Oracle`] and run against an [`ExecMonitor`].
-#[derive(Debug)]
+///
+/// `Clone` produces a structural copy that *shares* the attached
+/// [`TraceBus`] handle; callers forking a pipeline for independent reuse
+/// must sever it with [`Pipeline::set_trace`]`(TraceBus::disabled())`.
+#[derive(Debug, Clone)]
 pub struct Pipeline {
     config: CpuConfig,
     oracle: Oracle,

@@ -38,6 +38,50 @@ cargo bench --no-run --workspace -q
 echo "==> rev-lint --all (static table verification)"
 cargo run --release -q -p rev-lint -- --all --scale 0.05 --format json >/dev/null
 
+# Warm-pool equivalence gate (hard): the default (pooled, forked) quick
+# sweep must render stdout and the JSON snapshot byte-identical to a
+# fresh-simulator run with the pool disabled. Any divergence means
+# forking perturbed a counter — see DESIGN.md §13.
+echo "==> pooled-vs-fresh quick sweep byte-diff (hard gate)"
+pool_dir="$(mktemp -d /tmp/pool_gate.XXXXXX)"
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --json "$pool_dir/pooled.json" > "$pool_dir/pooled.txt"
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --pool=off --json "$pool_dir/fresh.json" > "$pool_dir/fresh.txt"
+if ! diff -u "$pool_dir/fresh.txt" "$pool_dir/pooled.txt"; then
+    echo "FAIL: pooled sweep stdout differs from --pool=off."
+    exit 1
+fi
+if ! diff -u "$pool_dir/fresh.json" "$pool_dir/pooled.json"; then
+    echo "FAIL: pooled sweep snapshot differs from --pool=off."
+    exit 1
+fi
+rm -rf "$pool_dir"
+
+# Shard merge-identity gate (hard): split one benchmark's sweep grid
+# across two shard processes, merge the sealed items with --resume, and
+# require stdout + JSON byte-identical to the monolithic run.
+echo "==> sharded sweep merge-identity smoke (hard gate)"
+shard_dir="$(mktemp -d /tmp/shard_gate.XXXXXX)"
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --bench mcf --json "$shard_dir/mono.json" > "$shard_dir/mono.txt"
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --bench mcf --shard 1/2 --shard-dir "$shard_dir/items" >/dev/null
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --bench mcf --shard 2/2 --shard-dir "$shard_dir/items" >/dev/null
+cargo run --release -q -p rev-bench --bin reproduce_all -- \
+    --quick --quiet --bench mcf --resume --shard-dir "$shard_dir/items" \
+    --json "$shard_dir/merged.json" > "$shard_dir/merged.txt"
+if ! diff -u "$shard_dir/mono.txt" "$shard_dir/merged.txt"; then
+    echo "FAIL: merged shard stdout differs from the monolithic run."
+    exit 1
+fi
+if ! diff -u "$shard_dir/mono.json" "$shard_dir/merged.json"; then
+    echo "FAIL: merged shard snapshot differs from the monolithic run."
+    exit 1
+fi
+rm -rf "$shard_dir"
+
 # rev-serve smoke gate (hard): drive the daemon end-to-end over stdio
 # with the docs/SERVE.md example jobs and byte-compare the verdicts
 # against the committed expectation. Two workers make completion *order*
